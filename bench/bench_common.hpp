@@ -1,0 +1,85 @@
+// Shared helpers for the experiment benches.
+//
+// SCALE NOTE (see DESIGN.md §2 and EXPERIMENTS.md): the paper's testbed
+// runs a 10 Gbps bottleneck. The benches default to a 250 Mbps bottleneck
+// with the same RTTs and BDP-proportional buffers. This preserves every
+// reported *shape* — who wins, where losses appear, convergence measured
+// in seconds (CUBIC's convergence clock runs in wall time, so the smaller
+// window count actually matches the paper's ~20 s convergence window) —
+// while keeping each bench's runtime in seconds. Set P4S_SCALE_BPS to
+// override.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/monitoring_system.hpp"
+#include "util/units.hpp"
+
+namespace p4s::bench {
+
+inline std::uint64_t experiment_seed() {
+  if (const char* env = std::getenv("P4S_SEED")) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+inline std::uint64_t scaled_bottleneck_bps() {
+  if (const char* env = std::getenv("P4S_SCALE_BPS")) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return units::mbps(250);
+}
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const char* expectation) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_ref);
+  std::printf("expected shape: %s\n", expectation);
+  std::printf("bottleneck: %.0f Mbps (paper: 10 Gbps; see EXPERIMENTS.md "
+              "scale note)\n",
+              static_cast<double>(scaled_bottleneck_bps()) / 1e6);
+  std::printf("==========================================================\n");
+}
+
+/// Print a thinned metric table from a recorder.
+inline void print_metric(const core::Recorder& recorder,
+                         const std::string& title,
+                         double core::FlowSample::*metric,
+                         const std::string& unit, std::size_t max_rows = 40) {
+  const auto thinned = core::thin(recorder.samples(), max_rows);
+  const auto labels = [&] {
+    return recorder.labels();
+  }();
+  std::printf("\n== %s (%s) ==\n%-7s", title.c_str(), unit.c_str(), "t_s");
+  for (const auto& label : labels) std::printf("%14s", label.c_str());
+  std::printf("\n");
+  for (const auto& s : thinned) {
+    std::printf("%-7.1f", s.t_s);
+    for (const auto& label : labels) {
+      double value = 0.0;
+      bool found = false;
+      for (const auto& f : s.flows) {
+        if (f.label == label) {
+          value = f.*metric;
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        std::printf("%14.3f", value);
+      } else {
+        std::printf("%14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace p4s::bench

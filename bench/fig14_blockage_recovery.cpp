@@ -1,0 +1,200 @@
+// Figure 14 / §5.4.3 reproduction: recovery speed of three blockage
+// detectors that steer traffic to a backup path —
+//  * P4-based: the data plane's IAT monitor raises a digest; the control
+//    plane reroutes immediately;
+//  * throughput-based: an SDN-style controller polls flow throughput once
+//    per second and reroutes after observing degradation;
+//  * RSSI-based: an off-the-shelf radio watches its received signal
+//    strength, debounces, and re-associates before traffic moves.
+//
+// Paper shape: the gray 2 s blockage; the P4-based system reacts before
+// throughput visibly degrades and outperforms both baselines.
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "controlplane/control_plane.hpp"
+#include "net/impairment.hpp"
+#include "net/topology.hpp"
+#include "p4/p4_switch.hpp"
+#include "tcp/flow.hpp"
+#include "telemetry/dataplane_program.hpp"
+
+using namespace p4s;
+using units::milliseconds;
+using units::seconds;
+
+namespace {
+
+constexpr double kBlockStart = 5.0;
+constexpr double kBlockDur = 2.0;
+
+struct RunResult {
+  std::vector<std::pair<double, double>> goodput;  // (t_s, Mbps per 100ms)
+  double detect_t = -1.0;   // when the detector fired (s)
+  double recover_t = -1.0;  // goodput back >= 80% of baseline (s)
+};
+
+enum class Detector { kP4, kThroughput, kRssi };
+
+const char* name(Detector d) {
+  switch (d) {
+    case Detector::kP4: return "P4-based (IAT in the data plane)";
+    case Detector::kThroughput: return "throughput-based (1 s polling)";
+    case Detector::kRssi: return "RSSI-based (off-the-shelf radio)";
+  }
+  return "?";
+}
+
+RunResult run(Detector detector) {
+  sim::Simulation sim(14);
+  net::Network network(sim);
+  auto& host_a = network.add_host("sender", net::ipv4(10, 9, 0, 1));
+  auto& host_b = network.add_host("receiver", net::ipv4(10, 9, 0, 2));
+  auto& sw = network.add_switch("tor");
+
+  const std::uint64_t mmwave_bps = units::mbps(200);
+  net::Network::LinkSpec uplink{units::gbps(1), units::microseconds(5),
+                                units::mebibytes(8), units::mebibytes(8)};
+  network.connect(host_a, sw, uplink);
+  net::Network::LinkSpec mmlink{mmwave_bps, units::microseconds(50),
+                                units::mebibytes(8), units::mebibytes(8)};
+  auto primary = network.connect(host_b, sw, mmlink);
+  net::MmWaveLink mmwave(sim, *primary.reverse_link);
+  mmwave.schedule_blockage(units::seconds_f(kBlockStart),
+                           units::seconds_f(kBlockDur));
+
+  // Backup wired path (switch -> receiver), initially unused.
+  net::Link backup_link(sim, mmwave_bps, units::microseconds(100));
+  backup_link.set_sink(host_b);
+  net::OutputPort backup_port(sim, units::mebibytes(8), backup_link);
+  const std::size_t backup_idx = sw.add_port(backup_port);
+
+  bool rerouted = false;
+  RunResult result;
+  auto reroute = [&]() {
+    if (rerouted) return;
+    rerouted = true;
+    result.detect_t = units::to_seconds(sim.now());
+    sw.route(host_b.ip(), backup_idx);
+  };
+
+  // Passive P4 monitoring (present in every run; only the P4 detector
+  // acts on it).
+  telemetry::DataPlaneProgram program;
+  p4::P4Switch p4sw(sim, "monitor");
+  p4sw.load_program(program);
+  net::OpticalTapPair taps(sim, p4sw);
+  taps.attach(sw, *primary.reverse);
+  cp::ControlPlaneConfig cp_config;
+  cp_config.digest_poll_interval = milliseconds(5);
+  cp::ControlPlane control(sim, program, cp_config);
+  control.start();
+  if (detector == Detector::kP4) {
+    control.set_on_blockage(
+        [&](const telemetry::BlockageDigest&) { reroute(); });
+  }
+
+  tcp::TcpFlow::Config flow_config;
+  flow_config.sender.rate_limit_bps = units::mbps(100);
+  tcp::TcpFlow flow(sim, host_a, host_b, flow_config);
+  flow.start_at(milliseconds(100));
+
+  // Goodput sampler (100 ms bins) + detector baselines.
+  std::uint64_t last_goodput = 0;
+  std::deque<double> recent_rates;
+  bool recovered_logged = false;
+  int rssi_low_count = 0;
+
+  sim.every(milliseconds(100), milliseconds(100), [&]() {
+    const double t = units::to_seconds(sim.now());
+    const std::uint64_t bytes = flow.receiver().stats().goodput_bytes;
+    const double mbps =
+        static_cast<double>(bytes - last_goodput) * 8.0 / 0.1 / 1e6;
+    last_goodput = bytes;
+    result.goodput.emplace_back(t, mbps);
+
+    // Rolling pre-blockage baseline.
+    if (t < kBlockStart) {
+      recent_rates.push_back(mbps);
+      if (recent_rates.size() > 20) recent_rates.pop_front();
+    }
+    double baseline = 0.0;
+    for (double r : recent_rates) baseline += r;
+    if (!recent_rates.empty()) {
+      baseline /= static_cast<double>(recent_rates.size());
+    }
+
+    // Throughput-based detector: 1 s polling cadence.
+    if (detector == Detector::kThroughput &&
+        result.goodput.size() % 10 == 0 && t > 2.0 && baseline > 1.0 &&
+        mbps < 0.5 * baseline) {
+      reroute();
+    }
+
+    // RSSI-based detector: 100 ms sampling, 5-sample debounce, then a
+    // 1 s re-association before traffic actually moves.
+    if (detector == Detector::kRssi && t > 1.0) {
+      if (mmwave.rssi_dbm() < -65.0) {
+        if (++rssi_low_count == 5) {
+          sim.after(seconds(1), reroute);  // beam re-search + re-assoc
+        }
+      } else {
+        rssi_low_count = 0;
+      }
+    }
+
+    // Recovery detection.
+    if (!recovered_logged && t > kBlockStart && baseline > 1.0 &&
+        mbps >= 0.8 * baseline) {
+      result.recover_t = t;
+      recovered_logged = true;
+    }
+    return t < 12.0;
+  });
+  sim.run_until(units::seconds_f(12.5));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 14 — blockage reaction: P4 vs throughput vs RSSI",
+      "§5.4.3, Fig. 14 (2 s blockage, gray rectangle)",
+      "P4 reacts before throughput degrades; throughput-based next; "
+      "RSSI-based slowest");
+
+  RunResult results[3] = {run(Detector::kP4), run(Detector::kThroughput),
+                          run(Detector::kRssi)};
+  const Detector kinds[3] = {Detector::kP4, Detector::kThroughput,
+                             Detector::kRssi};
+
+  std::printf("\n== goodput (Mbps per 100 ms bin), blockage %0.1f-%0.1f s "
+              "==\n%-7s %16s %18s %14s\n",
+              kBlockStart, kBlockStart + kBlockDur, "t_s", "P4-based",
+              "throughput-based", "RSSI-based");
+  const std::size_t n = results[0].goodput.size();
+  for (std::size_t i = 0; i < n; i += 2) {
+    std::printf("%-7.1f", results[0].goodput[i].first);
+    for (const auto& r : results) {
+      std::printf("%16.1f",
+                  i < r.goodput.size() ? r.goodput[i].second : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nshape summary (blockage at %.1f s):\n", kBlockStart);
+  for (int i = 0; i < 3; ++i) {
+    const auto& r = results[i];
+    std::printf("  %-40s detect %+7.1f ms   goodput restored %+7.1f ms "
+                "after blockage onset\n",
+                name(kinds[i]),
+                r.detect_t >= 0 ? (r.detect_t - kBlockStart) * 1e3 : -1.0,
+                r.recover_t >= 0 ? (r.recover_t - kBlockStart) * 1e3 : -1.0);
+  }
+  std::printf("(paper: the P4-based system detects the blockage before "
+              "throughput degrades and outperforms both baselines)\n");
+  return 0;
+}

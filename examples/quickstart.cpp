@@ -1,0 +1,75 @@
+// Quickstart: bring up the full P4-perfSONAR system, configure it through
+// pSConfig's config-P4 command, run two DTN transfers, and read results
+// back from both the control plane and the perfSONAR archiver.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/monitoring_system.hpp"
+#include "util/units.hpp"
+
+using namespace p4s;
+using units::seconds;
+
+int main() {
+  core::MonitoringSystemConfig config;
+  config.topology.bottleneck_bps = units::mbps(500);
+  core::MonitoringSystem system(config);
+
+  // Configure reporting through the perfSONAR configuration layer,
+  // exactly as Figure 6 of the paper shows.
+  auto& psconfig = system.psonar().psconfig();
+  for (const char* cmd : {
+           "psconfig config-P4 --metric throughput --samples_per_second 1",
+           "psconfig config-P4 --metric RTT --samples_per_second 2",
+           "psconfig config-P4 --metric queue_occupancy --alert "
+           "--threshold 30 --samples_per_second 10",
+       }) {
+    const auto result = psconfig.execute(cmd);
+    std::printf("%-100s -> %s\n", cmd,
+                result.ok ? result.message.c_str() : result.message.c_str());
+  }
+
+  system.start();
+
+  // Two bulk transfers from the internal DTN: to DTN-ext1 (50 ms RTT)
+  // and DTN-ext2 (75 ms RTT).
+  auto& flow1 = system.add_transfer(0);
+  auto& flow2 = system.add_transfer(1);
+  flow1.start_at(seconds(1));
+  flow2.start_at(seconds(3));
+  flow1.stop_at(seconds(18));
+  flow2.stop_at(seconds(18));
+
+  system.run_until(seconds(25));
+
+  std::printf("\n-- control-plane flow table --\n");
+  for (const auto& report : system.control_plane().final_reports()) {
+    std::printf(
+        "flow %s -> %s: %.2f s, %llu packets, %.1f MB, avg %.1f Mbps, "
+        "%llu retransmissions (%.4f%%)\n",
+        net::to_string(report.flow.tuple.src_ip).c_str(),
+        net::to_string(report.flow.tuple.dst_ip).c_str(),
+        units::to_seconds(report.end - report.start),
+        static_cast<unsigned long long>(report.packets),
+        static_cast<double>(report.bytes) / 1e6,
+        report.avg_throughput_bps / 1e6,
+        static_cast<unsigned long long>(report.retransmissions),
+        report.retransmission_pct);
+  }
+
+  std::printf("\n-- perfSONAR archiver --\n");
+  auto& archiver = system.psonar().archiver();
+  for (const auto& index : archiver.indices()) {
+    std::printf("%-28s %llu docs\n", index.c_str(),
+                static_cast<unsigned long long>(archiver.doc_count(index)));
+  }
+
+  const auto agg = archiver.aggregate("p4sonar-throughput",
+                                      "throughput_bps");
+  std::printf("\nper-flow throughput samples: n=%llu avg=%.1f Mbps "
+              "max=%.1f Mbps\n",
+              static_cast<unsigned long long>(agg.count), agg.avg / 1e6,
+              agg.max / 1e6);
+  return 0;
+}

@@ -1,0 +1,296 @@
+#include "controlplane/control_plane.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace p4s::cp {
+
+ControlPlane::ControlPlane(sim::Simulation& sim,
+                           telemetry::DataPlaneProgram& program,
+                           ControlPlaneConfig config)
+    : sim_(sim), program_(program), config_(config) {}
+
+void ControlPlane::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    schedule_metric(static_cast<MetricKind>(i));
+  }
+  sim_.every(sim_.now() + config_.digest_poll_interval,
+             config_.digest_poll_interval, [this]() {
+               poll_digests();
+               scan_idle_flows();
+               return true;
+             });
+}
+
+void ControlPlane::set_samples_per_second(MetricKind kind, double sps) {
+  if (sps <= 0.0) return;
+  metric_config(kind).interval = units::seconds_f(1.0 / sps);
+}
+
+void ControlPlane::set_alert(MetricKind kind, double threshold,
+                             std::optional<double> boosted_sps) {
+  MetricConfig& mc = metric_config(kind);
+  mc.alert_enabled = true;
+  mc.alert_threshold = threshold;
+  if (boosted_sps.has_value() && *boosted_sps > 0.0) {
+    mc.boosted_interval = units::seconds_f(1.0 / *boosted_sps);
+  }
+}
+
+void ControlPlane::clear_alert(MetricKind kind) {
+  metric_config(kind).alert_enabled = false;
+  runtime_[static_cast<std::size_t>(kind)].boosted = false;
+}
+
+SimTime ControlPlane::current_interval(MetricKind kind) const {
+  const auto& mc = config_.metrics[static_cast<std::size_t>(kind)];
+  const auto& rt = runtime_[static_cast<std::size_t>(kind)];
+  const SimTime interval = rt.boosted ? mc.boosted_interval : mc.interval;
+  return std::max<SimTime>(interval, units::microseconds(100));
+}
+
+void ControlPlane::schedule_metric(MetricKind kind) {
+  sim_.after(current_interval(kind), [this, kind]() {
+    extract_metric(kind);
+    schedule_metric(kind);  // re-arm with the (possibly boosted) interval
+  });
+}
+
+double ControlPlane::occupancy_pct(SimTime queue_delay) const {
+  if (config_.core_buffer_bytes == 0 || config_.bottleneck_bps == 0) {
+    return 0.0;
+  }
+  const double drain_ns = static_cast<double>(config_.core_buffer_bytes) *
+                          8.0 * 1e9 /
+                          static_cast<double>(config_.bottleneck_bps);
+  return 100.0 * static_cast<double>(queue_delay) / drain_ns;
+}
+
+void ControlPlane::extract_metric(MetricKind kind) {
+  const SimTime now = sim_.now();
+  double worst = 0.0;  // per-tick max, drives the boost hysteresis
+
+  for (auto& [slot, state] : flows_) {
+    switch (kind) {
+      case MetricKind::kThroughput: {
+        const std::uint64_t bytes = program_.bytes(slot);
+        state.total_bytes = bytes;
+        state.total_packets = program_.packets(slot);
+        const SimTime prev_at = state.prev_bytes_at
+                                    ? state.prev_bytes_at
+                                    : state.detected_at;
+        const double dt = units::to_seconds(now - prev_at);
+        if (dt > 0.0) {
+          state.throughput_bps =
+              static_cast<double>(bytes - state.prev_bytes) * 8.0 / dt;
+        }
+        state.prev_bytes = bytes;
+        state.prev_bytes_at = now;
+        emit(make_metric_report(kind, state.flow, now,
+                                state.throughput_bps, "throughput_bps"));
+        check_alert(kind, state.flow, state.throughput_bps);
+        worst = std::max(worst, state.throughput_bps);
+        break;
+      }
+      case MetricKind::kPacketLoss: {
+        const std::uint64_t losses = program_.rtt_loss().losses(slot);
+        const std::uint64_t packets = program_.packets(slot);
+        state.total_losses = losses;
+        const std::uint64_t dl = losses - state.prev_losses;
+        const std::uint64_t dp = packets - state.prev_packets;
+        state.loss_delta = dl;
+        state.loss_pct =
+            dp > 0 ? 100.0 * static_cast<double>(dl) /
+                         static_cast<double>(dp)
+                   : 0.0;
+        state.prev_losses = losses;
+        state.prev_packets = packets;
+        emit(make_metric_report(kind, state.flow, now, state.loss_pct,
+                                "loss_pct"));
+        check_alert(kind, state.flow, state.loss_pct);
+        worst = std::max(worst, state.loss_pct);
+        break;
+      }
+      case MetricKind::kRtt: {
+        state.rtt_ns = program_.rtt_loss().last_rtt(slot);
+        const double rtt_ms = units::to_milliseconds(state.rtt_ns);
+        if (state.rtt_ns > 0 &&
+            state.rtt_samples_ms.size() < kMaxLifetimeSamples) {
+          state.rtt_samples_ms.push_back(rtt_ms);
+        }
+        emit(make_metric_report(kind, state.flow, now, rtt_ms, "rtt_ms"));
+        check_alert(kind, state.flow, rtt_ms);
+        worst = std::max(worst, rtt_ms);
+        break;
+      }
+      case MetricKind::kQueueOccupancy: {
+        state.queue_delay_ns = program_.queue_monitor().last_queue_delay(slot);
+        state.queue_occupancy_pct = occupancy_pct(state.queue_delay_ns);
+        if (state.occupancy_samples_pct.size() < kMaxLifetimeSamples) {
+          state.occupancy_samples_pct.push_back(state.queue_occupancy_pct);
+        }
+        emit(make_metric_report(kind, state.flow, now,
+                                state.queue_occupancy_pct,
+                                "occupancy_pct"));
+        check_alert(kind, state.flow, state.queue_occupancy_pct);
+        worst = std::max(worst, state.queue_occupancy_pct);
+        break;
+      }
+    }
+    // Limitation verdict piggybacks on the throughput extraction.
+    if (kind == MetricKind::kThroughput) {
+      state.verdict = program_.limit_classifier().verdict(slot);
+      state.flight_bytes = program_.limit_classifier().flight_bytes(slot);
+      emit(make_limitation_report(state.flow, now, state.verdict,
+                                  state.flight_bytes));
+    }
+  }
+
+  // Boost hysteresis: drop back to the normal rate once the worst value
+  // across flows is below the threshold again.
+  auto& rt = runtime_[static_cast<std::size_t>(kind)];
+  const auto& mc = config_.metrics[static_cast<std::size_t>(kind)];
+  if (rt.boosted && (!mc.alert_enabled || worst < mc.alert_threshold)) {
+    rt.boosted = false;
+  }
+
+  // Aggregate traffic statistics (§5.3) on every throughput tick.
+  if (kind == MetricKind::kThroughput) {
+    Aggregates agg;
+    agg.at = now;
+    std::vector<double> rates;
+    rates.reserve(flows_.size());
+    for (const auto& [slot, state] : flows_) {
+      (void)slot;
+      agg.total_bytes += state.total_bytes;
+      agg.total_packets += state.total_packets;
+      agg.total_throughput_bps += state.throughput_bps;
+      rates.push_back(state.throughput_bps);
+    }
+    agg.active_flows = flows_.size();
+    agg.fairness = util::jain_fairness(rates);
+    if (config_.bottleneck_bps > 0) {
+      agg.link_utilization = agg.total_throughput_bps /
+                             static_cast<double>(config_.bottleneck_bps);
+    }
+    aggregates_ = agg;
+    emit(make_aggregate_report(now, agg.link_utilization, agg.fairness,
+                               agg.active_flows, agg.total_bytes,
+                               agg.total_packets,
+                               agg.total_throughput_bps));
+  }
+}
+
+void ControlPlane::check_alert(MetricKind kind,
+                               const telemetry::FlowIdentity& flow,
+                               double value) {
+  const auto& mc = config_.metrics[static_cast<std::size_t>(kind)];
+  if (!mc.alert_enabled || value < mc.alert_threshold) return;
+  auto& rt = runtime_[static_cast<std::size_t>(kind)];
+  const SimTime now = sim_.now();
+  Alert alert{kind, flow, now, value, mc.alert_threshold};
+  alerts_.push_back(alert);
+  emit(make_alert_report(kind, flow, now, value, mc.alert_threshold));
+  if (on_alert_) on_alert_(alert);
+  // §3.2: exceeding the threshold increases the collection rate.
+  rt.boosted = true;
+}
+
+void ControlPlane::poll_digests() {
+  for (const auto& d : program_.tracker().new_flow_digests().drain()) {
+    FlowState state;
+    state.flow = d.flow;
+    state.detected_at = d.detected_at;
+    flows_[d.slot] = state;
+    emit(make_flow_detected_report(d.flow, d.detected_at));
+  }
+  for (const auto& d : program_.fin_digests().drain()) {
+    if (flows_.count(d.slot) > 0) finalize_flow(d.slot, d.at);
+  }
+  for (const auto& d : program_.queue_monitor().microburst_digests().drain()) {
+    microbursts_.push_back(d);
+    emit(make_microburst_report(d));
+    if (on_microburst_) on_microburst_(d);
+  }
+  for (const auto& d : program_.int_exporter().postcards().drain()) {
+    util::Json j = util::Json::object();
+    j["report"] = "int_postcard";
+    j["ts_ns"] = static_cast<std::int64_t>(d.egress_ts);
+    j["flow_id"] = static_cast<std::int64_t>(d.flow_id);
+    j["queue_delay_ns"] = static_cast<std::int64_t>(d.queue_delay_ns);
+    j["seq"] = static_cast<std::int64_t>(d.seq);
+    emit(j);
+  }
+  for (const auto& d : program_.iat_monitor().blockage_digests().drain()) {
+    auto it = flows_.find(d.slot);
+    if (it != flows_.end()) {
+      emit(make_blockage_report(d, it->second.flow));
+    }
+    if (on_blockage_) on_blockage_(d);
+  }
+}
+
+void ControlPlane::scan_idle_flows() {
+  const SimTime now = sim_.now();
+  std::vector<std::uint16_t> expired;
+  for (const auto& [slot, state] : flows_) {
+    (void)state;
+    const SimTime last = program_.last_seen(slot);
+    if (last != 0 && now > last && now - last >= config_.flow_idle_timeout) {
+      expired.push_back(slot);
+    }
+  }
+  for (std::uint16_t slot : expired) finalize_flow(slot, now);
+}
+
+void ControlPlane::finalize_flow(std::uint16_t slot, SimTime end_ts) {
+  auto it = flows_.find(slot);
+  if (it == flows_.end()) return;
+
+  FlowFinalReport report;
+  report.flow = it->second.flow;
+  report.start = program_.first_seen(slot);
+  const SimTime last = program_.last_seen(slot);
+  report.end = last != 0 ? last : end_ts;
+  report.packets = program_.packets(slot);
+  report.bytes = program_.bytes(slot);
+  report.retransmissions = program_.rtt_loss().losses(slot);
+  if (report.end > report.start) {
+    report.avg_throughput_bps =
+        static_cast<double>(report.bytes) * 8.0 /
+        units::to_seconds(report.end - report.start);
+  }
+  if (report.packets > 0) {
+    report.retransmission_pct = 100.0 *
+                                static_cast<double>(report.retransmissions) /
+                                static_cast<double>(report.packets);
+  }
+  report.rtt_p50_ms = util::percentile(it->second.rtt_samples_ms, 0.50);
+  report.rtt_p95_ms = util::percentile(it->second.rtt_samples_ms, 0.95);
+  report.rtt_p99_ms = util::percentile(it->second.rtt_samples_ms, 0.99);
+  report.occupancy_p95_pct =
+      util::percentile(it->second.occupancy_samples_pct, 0.95);
+  final_reports_.push_back(report);
+  util::Json final_doc = make_flow_final_report(
+      report.flow, report.start, report.end, report.packets, report.bytes,
+      report.avg_throughput_bps, report.retransmissions,
+      report.retransmission_pct);
+  final_doc["rtt_p50_ms"] = report.rtt_p50_ms;
+  final_doc["rtt_p95_ms"] = report.rtt_p95_ms;
+  final_doc["rtt_p99_ms"] = report.rtt_p99_ms;
+  final_doc["occupancy_p95_pct"] = report.occupancy_p95_pct;
+  emit(final_doc);
+  program_.release_slot(slot);
+  flows_.erase(it);
+}
+
+void ControlPlane::emit(const util::Json& report) {
+  ++reports_emitted_;
+  if (sink_ != nullptr) sink_->on_report(report);
+}
+
+}  // namespace p4s::cp

@@ -1,0 +1,207 @@
+// The switch control plane (§3.2, Figure 5b).
+//
+// Four independent extraction timers — t_N (bytes), t_P (losses), t_R
+// (RTT), t_Q (queue occupancy) — read the data plane's registers through
+// the driver API, convert raw values to metrics (throughput from byte
+// deltas, loss percentage, occupancy from queuing delay vs. buffer drain
+// time) and emit Report_v1 documents to the configured sink. Each metric
+// has an optional alert threshold (a_N..a_Q): a breach emits an alert
+// report, invokes the alert callback, and boosts that metric's extraction
+// rate to its boosted interval until the value falls back below the
+// threshold (§3.2).
+//
+// A digest poll loop consumes data-plane digests (new long flow, FIN,
+// microburst, blockage) and an idle scan finalizes flows that stopped
+// sending, emitting the paper's terminated-long-flow report (§3.3.2).
+// On every throughput tick the control plane also derives the traffic
+// statistics of §5.3: link utilization, active flow count, aggregate
+// bytes/packets and Jain's fairness index.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "controlplane/report.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/dataplane_program.hpp"
+#include "util/stats.hpp"
+
+namespace p4s::cp {
+
+struct MetricConfig {
+  /// Extraction interval (t_X). samples_per_second = 1e9 / interval.
+  SimTime interval = units::seconds(1);
+  /// Alert threshold (a_X); disabled unless alert_enabled. Semantics:
+  /// throughput bps, loss %, RTT ms, occupancy %.
+  double alert_threshold = 0.0;
+  bool alert_enabled = false;
+  /// Interval while the threshold is exceeded.
+  SimTime boosted_interval = units::milliseconds(100);
+};
+
+struct ControlPlaneConfig {
+  std::array<MetricConfig, kMetricCount> metrics{};
+  /// Idle time after which a tracked flow is considered terminated.
+  SimTime flow_idle_timeout = units::seconds(2);
+  SimTime digest_poll_interval = units::milliseconds(10);
+  /// Monitored core-switch characteristics, needed to turn queuing delay
+  /// into occupancy: occupancy = delay / (buffer_bytes * 8 / rate).
+  std::uint64_t core_buffer_bytes = 0;
+  std::uint64_t bottleneck_bps = 0;
+};
+
+class ControlPlane {
+ public:
+  ControlPlane(sim::Simulation& sim, telemetry::DataPlaneProgram& program,
+               ControlPlaneConfig config);
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  void set_sink(ReportSink* sink) { sink_ = sink; }
+
+  /// Start the extraction timers and digest polling.
+  void start();
+
+  // ---- Run-time configuration (driven by pSConfig's config-P4) --------
+  void set_samples_per_second(MetricKind kind, double sps);
+  void set_alert(MetricKind kind, double threshold,
+                 std::optional<double> boosted_sps = std::nullopt);
+  void clear_alert(MetricKind kind);
+  MetricConfig& metric_config(MetricKind kind) {
+    return config_.metrics[static_cast<std::size_t>(kind)];
+  }
+  const ControlPlaneConfig& config() const { return config_; }
+
+  // ---- Observability for experiments and tests ------------------------
+  struct FlowState {
+    telemetry::FlowIdentity flow;
+    SimTime detected_at = 0;
+    // Rolling values from the most recent extraction of each metric.
+    double throughput_bps = 0.0;
+    double loss_pct = 0.0;
+    std::uint64_t loss_delta = 0;
+    SimTime rtt_ns = 0;
+    SimTime queue_delay_ns = 0;
+    double queue_occupancy_pct = 0.0;
+    telemetry::LimitVerdict verdict = telemetry::LimitVerdict::kUnknown;
+    std::uint64_t flight_bytes = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t total_packets = 0;
+    std::uint64_t total_losses = 0;
+    // Extraction bookkeeping (per-metric deltas).
+    std::uint64_t prev_bytes = 0;
+    SimTime prev_bytes_at = 0;
+    std::uint64_t prev_losses = 0;
+    std::uint64_t prev_packets = 0;
+    // Lifetime sample reservoirs (capped) feeding the terminated-flow
+    // report's percentile summary.
+    std::vector<double> rtt_samples_ms;
+    std::vector<double> occupancy_samples_pct;
+  };
+
+  /// Reservoir cap: extraction samples beyond this are dropped (at 1 Hz
+  /// that is over an hour of flow lifetime).
+  static constexpr std::size_t kMaxLifetimeSamples = 4096;
+
+  struct Aggregates {
+    SimTime at = 0;
+    double link_utilization = 0.0;  // fraction of bottleneck capacity
+    double fairness = 1.0;          // Jain's index over flow throughputs
+    std::size_t active_flows = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t total_packets = 0;
+    double total_throughput_bps = 0.0;
+  };
+
+  struct FlowFinalReport {
+    telemetry::FlowIdentity flow;
+    SimTime start = 0;
+    SimTime end = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    double avg_throughput_bps = 0.0;
+    std::uint64_t retransmissions = 0;
+    double retransmission_pct = 0.0;
+    // Lifetime percentile summary over the extracted samples.
+    double rtt_p50_ms = 0.0;
+    double rtt_p95_ms = 0.0;
+    double rtt_p99_ms = 0.0;
+    double occupancy_p95_pct = 0.0;
+  };
+
+  struct Alert {
+    MetricKind metric;
+    telemetry::FlowIdentity flow;
+    SimTime at = 0;
+    double value = 0.0;
+    double threshold = 0.0;
+  };
+
+  /// Current per-flow state (keyed by slot).
+  const std::unordered_map<std::uint16_t, FlowState>& flows() const {
+    return flows_;
+  }
+  const Aggregates& aggregates() const { return aggregates_; }
+  const std::vector<FlowFinalReport>& final_reports() const {
+    return final_reports_;
+  }
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  const std::vector<telemetry::MicroburstDigest>& microbursts() const {
+    return microbursts_;
+  }
+
+  void set_on_alert(std::function<void(const Alert&)> cb) {
+    on_alert_ = std::move(cb);
+  }
+  void set_on_blockage(
+      std::function<void(const telemetry::BlockageDigest&)> cb) {
+    on_blockage_ = std::move(cb);
+  }
+  void set_on_microburst(
+      std::function<void(const telemetry::MicroburstDigest&)> cb) {
+    on_microburst_ = std::move(cb);
+  }
+
+  std::uint64_t reports_emitted() const { return reports_emitted_; }
+
+ private:
+  struct MetricRuntime {
+    bool boosted = false;
+  };
+
+  void schedule_metric(MetricKind kind);
+  void extract_metric(MetricKind kind);
+  void poll_digests();
+  void scan_idle_flows();
+  void finalize_flow(std::uint16_t slot, SimTime end_ts);
+  void emit(const util::Json& report);
+  void check_alert(MetricKind kind, const telemetry::FlowIdentity& flow,
+                   double value);
+  SimTime current_interval(MetricKind kind) const;
+  double occupancy_pct(SimTime queue_delay) const;
+
+  sim::Simulation& sim_;
+  telemetry::DataPlaneProgram& program_;
+  ControlPlaneConfig config_;
+  ReportSink* sink_ = nullptr;
+  bool started_ = false;
+
+  std::unordered_map<std::uint16_t, FlowState> flows_;
+  Aggregates aggregates_;
+  std::vector<FlowFinalReport> final_reports_;
+  std::vector<Alert> alerts_;
+  std::vector<telemetry::MicroburstDigest> microbursts_;
+  std::array<MetricRuntime, kMetricCount> runtime_{};
+
+  std::function<void(const Alert&)> on_alert_;
+  std::function<void(const telemetry::BlockageDigest&)> on_blockage_;
+  std::function<void(const telemetry::MicroburstDigest&)> on_microburst_;
+  std::uint64_t reports_emitted_ = 0;
+};
+
+}  // namespace p4s::cp

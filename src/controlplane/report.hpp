@@ -1,0 +1,70 @@
+// Report_v1: the structured measurement records the switch control plane
+// produces from raw register values (Figure 7). These are JSON documents
+// shipped to perfSONAR's Logstash over the TCP input plugin; Logstash
+// adds archive metadata to make Report_v2 and stores it in OpenSearch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/types.hpp"
+#include "util/json.hpp"
+#include "util/units.hpp"
+
+namespace p4s::cp {
+
+/// The four run-time-configurable metrics (§3.2: t_N, t_P, t_R, t_Q and
+/// thresholds a_N, a_P, a_R, a_Q).
+enum class MetricKind : std::uint8_t {
+  kThroughput = 0,   // N: bytes
+  kPacketLoss = 1,   // P: losses
+  kRtt = 2,          // R: round-trip time
+  kQueueOccupancy = 3,  // Q: queue occupancy
+};
+inline constexpr std::size_t kMetricCount = 4;
+
+const char* metric_name(MetricKind kind);
+/// Inverse of metric_name; throws std::invalid_argument on unknown names.
+MetricKind metric_from_name(const std::string& name);
+
+/// Consumer of Report_v1 documents (Logstash's TCP input plugin in the
+/// integrated system; experiment collectors in benches and tests).
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void on_report(const util::Json& report) = 0;
+};
+
+/// JSON object describing a flow (embedded in every per-flow report).
+util::Json flow_json(const telemetry::FlowIdentity& flow);
+
+// Report_v1 builders. Every document carries "report" (the record kind)
+// and "ts_ns" (switch nanosecond timestamp).
+util::Json make_metric_report(MetricKind kind,
+                              const telemetry::FlowIdentity& flow,
+                              SimTime ts, double value,
+                              const char* value_key);
+util::Json make_flow_detected_report(const telemetry::FlowIdentity& flow,
+                                     SimTime ts);
+util::Json make_flow_final_report(const telemetry::FlowIdentity& flow,
+                                  SimTime start, SimTime end,
+                                  std::uint64_t packets, std::uint64_t bytes,
+                                  double avg_throughput_bps,
+                                  std::uint64_t retransmissions,
+                                  double retransmission_pct);
+util::Json make_microburst_report(const telemetry::MicroburstDigest& d);
+util::Json make_blockage_report(const telemetry::BlockageDigest& d,
+                                const telemetry::FlowIdentity& flow);
+util::Json make_limitation_report(const telemetry::FlowIdentity& flow,
+                                  SimTime ts, telemetry::LimitVerdict v,
+                                  std::uint64_t flight_bytes);
+util::Json make_aggregate_report(SimTime ts, double link_utilization,
+                                 double fairness, std::size_t active_flows,
+                                 std::uint64_t total_bytes,
+                                 std::uint64_t total_packets,
+                                 double total_throughput_bps);
+util::Json make_alert_report(MetricKind kind,
+                             const telemetry::FlowIdentity& flow, SimTime ts,
+                             double value, double threshold);
+
+}  // namespace p4s::cp

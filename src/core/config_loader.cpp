@@ -1,0 +1,122 @@
+#include "core/config_loader.hpp"
+
+#include <stdexcept>
+
+namespace p4s::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("config: " + what);
+}
+
+double require_number(const util::Json& v, const std::string& key) {
+  if (!v.is_number()) fail("'" + key + "' must be a number");
+  return v.as_double();
+}
+
+/// Walk an object's keys, dispatching each to `apply`; unknown keys fail.
+template <typename Apply>
+void walk(const util::Json& obj, const std::string& section, Apply&& apply) {
+  if (!obj.is_object()) fail("'" + section + "' must be an object");
+  for (const auto& [key, value] : obj.as_object()) {
+    if (!apply(key, value)) {
+      fail("unknown key '" + section + "." + key + "'");
+    }
+  }
+}
+
+}  // namespace
+
+MonitoringSystemConfig config_from_json(const util::Json& doc) {
+  MonitoringSystemConfig config;
+  if (!doc.is_object()) fail("document must be an object");
+
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(
+          require_number(value, key));
+    } else if (key == "tap_latency_us") {
+      config.tap_latency = units::seconds_f(
+          require_number(value, key) / 1e6);
+    } else if (key == "topology") {
+      walk(value, "topology", [&](const std::string& k,
+                                  const util::Json& v) {
+        if (k == "bottleneck_mbps") {
+          config.topology.bottleneck_bps = static_cast<std::uint64_t>(
+              require_number(v, k) * 1e6);
+        } else if (k == "access_mbps") {
+          config.topology.access_bps = static_cast<std::uint64_t>(
+              require_number(v, k) * 1e6);
+        } else if (k == "rtt_ms") {
+          if (!v.is_array() || v.size() != 3) {
+            fail("'topology.rtt_ms' must be an array of 3 numbers");
+          }
+          for (std::size_t i = 0; i < 3; ++i) {
+            config.topology.rtt[i] = units::seconds_f(
+                require_number(v.as_array()[i], k) / 1e3);
+          }
+        } else if (k == "core_buffer_bytes") {
+          config.topology.core_buffer_bytes =
+              static_cast<std::uint64_t>(require_number(v, k));
+        } else if (k == "core_buffer_bdp_of_rtt_ms") {
+          // JsonObject iterates keys alphabetically, so
+          // "bottleneck_mbps" has already been applied when this
+          // resolves ('b' < 'c').
+          config.topology.core_buffer_bytes = units::bdp_bytes(
+              config.topology.bottleneck_bps,
+              units::seconds_f(require_number(v, k) / 1e3));
+        } else {
+          return false;
+        }
+        return true;
+      });
+    } else if (key == "program") {
+      walk(value, "program", [&](const std::string& k,
+                                 const util::Json& v) {
+        if (k == "promotion_kb") {
+          config.program.tracker.promotion_bytes =
+              static_cast<std::uint64_t>(require_number(v, k) * 1024);
+        } else if (k == "burst_threshold_us") {
+          config.program.queue.burst_threshold_ns = units::seconds_f(
+              require_number(v, k) / 1e6);
+          config.program.queue.burst_exit_ns =
+              config.program.queue.burst_threshold_ns / 2;
+        } else if (k == "int_sample_every") {
+          const auto n = static_cast<std::uint32_t>(require_number(v, k));
+          config.program.int_export.enabled = n > 0;
+          if (n > 0) config.program.int_export.sample_every = n;
+        } else if (k == "iat_min_gap_ms") {
+          config.program.iat.min_gap_ns = units::seconds_f(
+              require_number(v, k) / 1e3);
+        } else {
+          return false;
+        }
+        return true;
+      });
+    } else if (key == "control") {
+      walk(value, "control", [&](const std::string& k,
+                                 const util::Json& v) {
+        if (k == "flow_idle_timeout_s") {
+          config.control.flow_idle_timeout = units::seconds_f(
+              require_number(v, k));
+        } else if (k == "digest_poll_ms") {
+          config.control.digest_poll_interval = units::seconds_f(
+              require_number(v, k) / 1e3);
+        } else {
+          return false;
+        }
+        return true;
+      });
+    } else {
+      fail("unknown key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+MonitoringSystemConfig config_from_text(const std::string& text) {
+  return config_from_json(util::Json::parse(text));
+}
+
+}  // namespace p4s::core

@@ -1,0 +1,32 @@
+// JSON configuration loading for MonitoringSystem — lets experiments be
+// described declaratively (the run_experiment tool consumes these):
+//
+//   {
+//     "seed": 7,
+//     "topology": {"bottleneck_mbps": 250, "rtt_ms": [50, 75, 100],
+//                  "core_buffer_bdp_of_rtt_ms": 50},
+//     "program":  {"promotion_kb": 100, "burst_threshold_us": 500,
+//                  "int_sample_every": 0},
+//     "control":  {"flow_idle_timeout_s": 2}
+//   }
+//
+// Every field is optional; absent fields keep their defaults. Unknown
+// keys are an error (config typos must not pass silently).
+#pragma once
+
+#include <string>
+
+#include "core/monitoring_system.hpp"
+#include "util/json.hpp"
+
+namespace p4s::core {
+
+/// Parse a config document into a MonitoringSystemConfig. Throws
+/// std::invalid_argument on unknown keys or ill-typed values.
+MonitoringSystemConfig config_from_json(const util::Json& doc);
+
+/// Convenience: parse text, then config_from_json. Throws
+/// util::JsonError / std::invalid_argument.
+MonitoringSystemConfig config_from_text(const std::string& text);
+
+}  // namespace p4s::core

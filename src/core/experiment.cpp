@@ -1,0 +1,126 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "net/packet.hpp"
+#include "util/csv.hpp"
+
+namespace p4s::core {
+
+void Recorder::start(SimTime start, SimTime interval, SimTime until) {
+  sim_.every(start, interval, [this, until]() {
+    take_sample();
+    return sim_.now() + 1 < until;
+  });
+}
+
+void Recorder::take_sample() {
+  TimeSample sample;
+  sample.t_s = units::to_seconds(sim_.now());
+  for (const auto& [slot, state] : control_plane_.flows()) {
+    (void)slot;
+    FlowSample fs;
+    fs.label = net::to_string(state.flow.tuple.dst_ip);
+    fs.throughput_mbps = state.throughput_bps / 1e6;
+    fs.rtt_ms = units::to_milliseconds(state.rtt_ns);
+    fs.loss_pct = state.loss_pct;
+    fs.queue_occupancy_pct = state.queue_occupancy_pct;
+    fs.flight_kb = static_cast<double>(state.flight_bytes) / 1e3;
+    fs.verdict = telemetry::to_string(state.verdict);
+    sample.flows.push_back(std::move(fs));
+  }
+  std::sort(sample.flows.begin(), sample.flows.end(),
+            [](const FlowSample& a, const FlowSample& b) {
+              return a.label < b.label;
+            });
+  const auto& agg = control_plane_.aggregates();
+  sample.link_utilization = agg.link_utilization;
+  sample.fairness = agg.fairness;
+  sample.active_flows = agg.active_flows;
+  sample.total_throughput_mbps = agg.total_throughput_bps / 1e6;
+  samples_.push_back(std::move(sample));
+}
+
+std::vector<std::string> Recorder::labels() const {
+  std::set<std::string> set;
+  for (const auto& s : samples_) {
+    for (const auto& f : s.flows) set.insert(f.label);
+  }
+  return {set.begin(), set.end()};
+}
+
+Recorder::Series Recorder::series(double FlowSample::*metric) const {
+  Series out;
+  for (const auto& s : samples_) {
+    for (const auto& f : s.flows) {
+      out[f.label].emplace_back(s.t_s, f.*metric);
+    }
+  }
+  return out;
+}
+
+void Recorder::print_table(std::ostream& out, const std::string& title,
+                           double FlowSample::*metric,
+                           const std::string& unit) const {
+  const auto all_labels = labels();
+  out << "== " << title << " (" << unit << ") ==\n";
+  out << "t_s";
+  for (const auto& label : all_labels) out << "\t" << label;
+  out << "\n";
+  char buf[32];
+  for (const auto& s : samples_) {
+    std::snprintf(buf, sizeof buf, "%.1f", s.t_s);
+    out << buf;
+    for (const auto& label : all_labels) {
+      double value = 0.0;
+      for (const auto& f : s.flows) {
+        if (f.label == label) {
+          value = f.*metric;
+          break;
+        }
+      }
+      std::snprintf(buf, sizeof buf, "%.3f", value);
+      out << "\t" << buf;
+    }
+    out << "\n";
+  }
+}
+
+void Recorder::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.header({"t_s", "flow", "throughput_mbps", "rtt_ms", "loss_pct",
+              "queue_occupancy_pct", "flight_kb", "verdict",
+              "link_utilization", "fairness", "active_flows"});
+  for (const auto& s : samples_) {
+    for (const auto& f : s.flows) {
+      csv.cell(s.t_s)
+          .cell(f.label)
+          .cell(f.throughput_mbps)
+          .cell(f.rtt_ms)
+          .cell(f.loss_pct)
+          .cell(f.queue_occupancy_pct)
+          .cell(f.flight_kb)
+          .cell(f.verdict)
+          .cell(s.link_utilization)
+          .cell(s.fairness)
+          .cell(static_cast<std::uint64_t>(s.active_flows));
+      csv.end_row();
+    }
+  }
+}
+
+std::vector<TimeSample> thin(const std::vector<TimeSample>& samples,
+                             std::size_t max_rows) {
+  if (samples.size() <= max_rows || max_rows == 0) return samples;
+  std::vector<TimeSample> out;
+  const double step =
+      static_cast<double>(samples.size()) / static_cast<double>(max_rows);
+  for (std::size_t i = 0; i < max_rows; ++i) {
+    out.push_back(samples[static_cast<std::size_t>(i * step)]);
+  }
+  return out;
+}
+
+}  // namespace p4s::core

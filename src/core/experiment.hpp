@@ -1,0 +1,78 @@
+// Experiment harness: periodic sampling of the control plane's per-flow
+// state and aggregates into time series — the repository's stand-in for
+// the paper's Grafana dashboards. Series can be printed as aligned
+// console tables (what the benches show) or CSV (for external plotting).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "controlplane/control_plane.hpp"
+#include "sim/simulation.hpp"
+
+namespace p4s::core {
+
+/// One flow's metrics at a sample instant. Flows are labelled by their
+/// destination IP (the paper's Grafana setup "groups the reported
+/// measurements by their destination IP address", §5.1).
+struct FlowSample {
+  std::string label;
+  double throughput_mbps = 0.0;
+  double rtt_ms = 0.0;
+  double loss_pct = 0.0;
+  double queue_occupancy_pct = 0.0;
+  double flight_kb = 0.0;
+  std::string verdict;
+};
+
+struct TimeSample {
+  double t_s = 0.0;
+  std::vector<FlowSample> flows;  // sorted by label
+  double link_utilization = 0.0;
+  double fairness = 1.0;
+  std::size_t active_flows = 0;
+  double total_throughput_mbps = 0.0;
+};
+
+class Recorder {
+ public:
+  Recorder(sim::Simulation& sim, cp::ControlPlane& control_plane)
+      : sim_(sim), control_plane_(control_plane) {}
+
+  /// Sample every `interval` from `start` until `until`.
+  void start(SimTime start, SimTime interval, SimTime until);
+
+  const std::vector<TimeSample>& samples() const { return samples_; }
+
+  /// All flow labels that ever appeared, sorted.
+  std::vector<std::string> labels() const;
+
+  /// Per-flow series for one metric: label -> (t, value) pairs.
+  using Series = std::map<std::string, std::vector<std::pair<double, double>>>;
+  Series series(double FlowSample::*metric) const;
+
+  /// Console table: one row per sample, one column per flow for `metric`.
+  void print_table(std::ostream& out, const std::string& title,
+                   double FlowSample::*metric,
+                   const std::string& unit) const;
+
+  /// CSV with every metric of every flow plus the aggregates.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  void take_sample();
+
+  sim::Simulation& sim_;
+  cp::ControlPlane& control_plane_;
+  std::vector<TimeSample> samples_;
+};
+
+/// Downsample helper: keep roughly `max_rows` evenly spaced rows (for
+/// console output of long runs).
+std::vector<TimeSample> thin(const std::vector<TimeSample>& samples,
+                             std::size_t max_rows);
+
+}  // namespace p4s::core

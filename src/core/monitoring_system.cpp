@@ -1,0 +1,57 @@
+#include "core/monitoring_system.hpp"
+
+#include <stdexcept>
+
+namespace p4s::core {
+
+MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      network_(sim_),
+      topology_(net::make_paper_topology(network_, config_.topology)) {
+  program_ = std::make_unique<telemetry::DataPlaneProgram>(config_.program);
+  p4_switch_ = std::make_unique<p4::P4Switch>(sim_, "tofino-monitor");
+  p4_switch_->load_program(*program_);
+  taps_ = std::make_unique<net::OpticalTapPair>(sim_, *p4_switch_,
+                                                config_.tap_latency);
+  taps_->attach(*topology_.core_switch, *topology_.bottleneck_port);
+
+  // Fill control-plane knowledge of the monitored switch from the
+  // topology unless the caller overrode it.
+  cp::ControlPlaneConfig cp_config = config_.control;
+  if (cp_config.core_buffer_bytes == 0) {
+    cp_config.core_buffer_bytes =
+        topology_.bottleneck_port->queue().capacity_bytes();
+  }
+  if (cp_config.bottleneck_bps == 0) {
+    cp_config.bottleneck_bps = config_.topology.bottleneck_bps;
+  }
+  control_plane_ =
+      std::make_unique<cp::ControlPlane>(sim_, *program_, cp_config);
+
+  psonar_ =
+      std::make_unique<ps::PerfSonarNode>(sim_, *topology_.psonar_internal);
+  psonar_->psconfig().attach(*control_plane_);
+  control_plane_->set_sink(&psonar_->report_sink());
+}
+
+void MonitoringSystem::start() { control_plane_->start(); }
+
+tcp::TcpFlow& MonitoringSystem::add_transfer(
+    int ext_index, tcp::TcpFlow::Config flow_config) {
+  if (ext_index < 0 || ext_index > 2) {
+    throw std::out_of_range("add_transfer: ext_index must be 0..2");
+  }
+  return add_flow(*topology_.dtn_internal,
+                  *topology_.dtn_ext[static_cast<std::size_t>(ext_index)],
+                  std::move(flow_config));
+}
+
+tcp::TcpFlow& MonitoringSystem::add_flow(net::Host& src, net::Host& dst,
+                                         tcp::TcpFlow::Config flow_config) {
+  flows_.push_back(
+      std::make_unique<tcp::TcpFlow>(sim_, src, dst, std::move(flow_config)));
+  return *flows_.back();
+}
+
+}  // namespace p4s::core

@@ -1,0 +1,97 @@
+// MonitoringSystem — the paper's complete deployment (Figures 3-5) in one
+// object, and the library's main entry point:
+//
+//   * the Figure-8 topology (internal DTN + perfSONAR node, monitored
+//     core switch, bottleneck link, WAN switch, three external networks),
+//   * the passive TAP pair on the core switch,
+//   * the P4 switch running the telemetry data-plane program,
+//   * the switch control plane with its extraction timers,
+//   * a perfSONAR node whose Logstash/archiver receive the control
+//     plane's reports and whose pSConfig (config-P4) configures it.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::MonitoringSystem system({});
+//   system.psonar().psconfig().execute(
+//       "psconfig config-P4 --metric throughput --samples_per_second 1");
+//   system.start();
+//   auto& flow = system.add_transfer(0, {});     // DTN-int -> DTN-ext1
+//   flow.start_at(units::seconds(1));
+//   system.run_until(units::seconds(30));
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "controlplane/control_plane.hpp"
+#include "net/topology.hpp"
+#include "p4/p4_switch.hpp"
+#include "psonar/node.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/flow.hpp"
+#include "telemetry/dataplane_program.hpp"
+
+namespace p4s::core {
+
+struct MonitoringSystemConfig {
+  net::PaperTopologyConfig topology;
+  telemetry::DataPlaneProgram::Config program;
+  /// Control-plane config; core_buffer_bytes / bottleneck_bps are filled
+  /// from the topology when left 0.
+  cp::ControlPlaneConfig control;
+  SimTime tap_latency = units::microseconds(1);
+  std::uint64_t seed = 1;
+};
+
+class MonitoringSystem {
+ public:
+  explicit MonitoringSystem(MonitoringSystemConfig config);
+  MonitoringSystem() : MonitoringSystem(MonitoringSystemConfig{}) {}
+
+  MonitoringSystem(const MonitoringSystem&) = delete;
+  MonitoringSystem& operator=(const MonitoringSystem&) = delete;
+
+  /// Start the control plane's extraction timers (call after any initial
+  /// pSConfig commands so the first tick uses the configured rates).
+  void start();
+
+  /// Create a bulk transfer from the internal DTN to external DTN
+  /// `ext_index` (0..2). The flow is owned by the system; schedule it
+  /// with start_at()/stop_at().
+  tcp::TcpFlow& add_transfer(int ext_index,
+                             tcp::TcpFlow::Config flow_config = {});
+
+  /// Create a transfer between arbitrary hosts of the topology.
+  tcp::TcpFlow& add_flow(net::Host& src, net::Host& dst,
+                         tcp::TcpFlow::Config flow_config = {});
+
+  void run_until(SimTime t) { sim_.run_until(t); }
+
+  sim::Simulation& simulation() { return sim_; }
+  net::Network& network() { return network_; }
+  net::PaperTopology& topology() { return topology_; }
+  p4::P4Switch& p4_switch() { return *p4_switch_; }
+  telemetry::DataPlaneProgram& program() { return *program_; }
+  cp::ControlPlane& control_plane() { return *control_plane_; }
+  ps::PerfSonarNode& psonar() { return *psonar_; }
+  const MonitoringSystemConfig& config() const { return config_; }
+
+  const std::vector<std::unique_ptr<tcp::TcpFlow>>& flows() const {
+    return flows_;
+  }
+
+ private:
+  MonitoringSystemConfig config_;
+  sim::Simulation sim_;
+  net::Network network_;
+  net::PaperTopology topology_;
+  std::unique_ptr<telemetry::DataPlaneProgram> program_;
+  std::unique_ptr<p4::P4Switch> p4_switch_;
+  std::unique_ptr<net::OpticalTapPair> taps_;
+  std::unique_ptr<cp::ControlPlane> control_plane_;
+  std::unique_ptr<ps::PerfSonarNode> psonar_;
+  std::vector<std::unique_ptr<tcp::TcpFlow>> flows_;
+};
+
+}  // namespace p4s::core

@@ -1,0 +1,174 @@
+#include "core/svg_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace p4s::core {
+
+namespace {
+
+// A categorical palette that survives grayscale printing.
+const char* kColors[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                         "#9467bd", "#8c564b", "#17becf", "#7f7f7f"};
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Round a span up to a 1/2/5 x 10^k tick step.
+double nice_step(double span, int target_ticks) {
+  if (span <= 0) return 1.0;
+  const double raw = span / target_ticks;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (raw <= m * mag) return m * mag;
+  }
+  return 10.0 * mag;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Emit one chart's body at a vertical offset; returns used height.
+void emit_chart(const Chart& chart, std::ostream& out, int y_offset) {
+  const int ml = 64, mr = 140, mt = 34, mb = 42;
+  const int plot_w = chart.width - ml - mr;
+  const int plot_h = chart.height - mt - mb;
+
+  double x_min = 0, x_max = 1, y_min = 0, y_max = 1;
+  bool first = true;
+  for (const auto& s : chart.series) {
+    for (const auto& [x, y] : s.points) {
+      if (first) {
+        x_min = x_max = x;
+        y_min = y_max = y;
+        first = false;
+      }
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (chart.y_from_zero) y_min = std::min(0.0, y_min);
+  if (x_max <= x_min) x_max = x_min + 1;
+  if (y_max <= y_min) y_max = y_min + 1;
+  y_max *= 1.05;  // headroom
+
+  auto px = [&](double x) {
+    return ml + (x - x_min) / (x_max - x_min) * plot_w;
+  };
+  auto py = [&](double y) {
+    return y_offset + mt + plot_h -
+           (y - y_min) / (y_max - y_min) * plot_h;
+  };
+
+  out << "<g font-family=\"sans-serif\" font-size=\"11\">\n";
+  // Frame + title.
+  out << "<rect x=\"" << ml << "\" y=\"" << y_offset + mt << "\" width=\""
+      << plot_w << "\" height=\"" << plot_h
+      << "\" fill=\"#fcfcfc\" stroke=\"#999\"/>\n";
+  out << "<text x=\"" << ml << "\" y=\"" << y_offset + mt - 12
+      << "\" font-size=\"13\" font-weight=\"bold\">"
+      << escape(chart.title) << "</text>\n";
+
+  // Gridlines + ticks.
+  const double ys = nice_step(y_max - y_min, 5);
+  for (double y = std::ceil(y_min / ys) * ys; y <= y_max; y += ys) {
+    out << "<line x1=\"" << ml << "\" y1=\"" << fmt(py(y)) << "\" x2=\""
+        << ml + plot_w << "\" y2=\"" << fmt(py(y))
+        << "\" stroke=\"#e0e0e0\"/>\n";
+    out << "<text x=\"" << ml - 6 << "\" y=\"" << fmt(py(y) + 4)
+        << "\" text-anchor=\"end\">" << fmt(y) << "</text>\n";
+  }
+  const double xs = nice_step(x_max - x_min, 8);
+  for (double x = std::ceil(x_min / xs) * xs; x <= x_max; x += xs) {
+    out << "<line x1=\"" << fmt(px(x)) << "\" y1=\"" << y_offset + mt
+        << "\" x2=\"" << fmt(px(x)) << "\" y2=\"" << y_offset + mt + plot_h
+        << "\" stroke=\"#efefef\"/>\n";
+    out << "<text x=\"" << fmt(px(x)) << "\" y=\""
+        << y_offset + mt + plot_h + 16 << "\" text-anchor=\"middle\">"
+        << fmt(x) << "</text>\n";
+  }
+
+  // Axis labels.
+  out << "<text x=\"" << ml + plot_w / 2 << "\" y=\""
+      << y_offset + chart.height - 8 << "\" text-anchor=\"middle\">"
+      << escape(chart.x_label) << "</text>\n";
+  out << "<text x=\"14\" y=\"" << y_offset + mt + plot_h / 2
+      << "\" text-anchor=\"middle\" transform=\"rotate(-90 14 "
+      << y_offset + mt + plot_h / 2 << ")\">" << escape(chart.y_label)
+      << "</text>\n";
+
+  // Series polylines + legend.
+  int idx = 0;
+  for (const auto& s : chart.series) {
+    const char* color = kColors[idx % (sizeof kColors / sizeof *kColors)];
+    out << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"1.6\" points=\"";
+    for (const auto& [x, y] : s.points) {
+      out << fmt(px(x)) << "," << fmt(py(y)) << " ";
+    }
+    out << "\"/>\n";
+    const int ly = y_offset + mt + 14 + idx * 16;
+    out << "<line x1=\"" << ml + plot_w + 8 << "\" y1=\"" << ly - 4
+        << "\" x2=\"" << ml + plot_w + 28 << "\" y2=\"" << ly - 4
+        << "\" stroke=\"" << color << "\" stroke-width=\"2\"/>\n";
+    out << "<text x=\"" << ml + plot_w + 32 << "\" y=\"" << ly << "\">"
+        << escape(s.label) << "</text>\n";
+    ++idx;
+  }
+  out << "</g>\n";
+}
+
+}  // namespace
+
+void write_svg(const Chart& chart, std::ostream& out) {
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << chart.width << "\" height=\"" << chart.height << "\">\n";
+  emit_chart(chart, out, 0);
+  out << "</svg>\n";
+}
+
+Chart chart_for(const Recorder& recorder, const std::string& title,
+                double FlowSample::*metric, const std::string& y_label) {
+  Chart chart;
+  chart.title = title;
+  chart.y_label = y_label;
+  for (auto& [label, points] : recorder.series(metric)) {
+    chart.series.push_back(ChartSeries{label, points});
+  }
+  return chart;
+}
+
+void write_fig9_panels(const Recorder& recorder, std::ostream& out) {
+  const Chart panels[4] = {
+      chart_for(recorder, "per-flow throughput",
+                &FlowSample::throughput_mbps, "Mbps"),
+      chart_for(recorder, "per-flow RTT", &FlowSample::rtt_ms, "ms"),
+      chart_for(recorder, "queue occupancy",
+                &FlowSample::queue_occupancy_pct, "%"),
+      chart_for(recorder, "per-flow packet losses",
+                &FlowSample::loss_pct, "% of pkts"),
+  };
+  const int h = panels[0].height;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << panels[0].width << "\" height=\"" << 4 * h << "\">\n";
+  for (int i = 0; i < 4; ++i) emit_chart(panels[i], out, i * h);
+  out << "</svg>\n";
+}
+
+}  // namespace p4s::core

@@ -1,0 +1,43 @@
+// Self-contained SVG time-series renderer — the repository's stand-in
+// for the paper's Grafana dashboards (§5.1). Renders a Recorder metric
+// (one line per flow, labelled axes, legend, auto-scaled) into a single
+// .svg file viewable in any browser; Figure-9-style panels come out of
+// chart_for() + write_svg().
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace p4s::core {
+
+struct ChartSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+struct Chart {
+  std::string title;
+  std::string x_label = "time (s)";
+  std::string y_label;
+  std::vector<ChartSeries> series;
+  int width = 760;
+  int height = 360;
+  /// Force y-axis minimum to zero (throughput/occupancy panels).
+  bool y_from_zero = true;
+};
+
+/// Render the chart as a standalone SVG document.
+void write_svg(const Chart& chart, std::ostream& out);
+
+/// Build a chart from a recorder metric, one series per flow label.
+Chart chart_for(const Recorder& recorder, const std::string& title,
+                double FlowSample::*metric, const std::string& y_label);
+
+/// Build the four Figure-9 panels (throughput / RTT / queue occupancy /
+/// loss %) and write them into one SVG document stacked vertically.
+void write_fig9_panels(const Recorder& recorder, std::ostream& out);
+
+}  // namespace p4s::core

@@ -1,0 +1,53 @@
+#include "net/impairment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p4s::net {
+
+MmWaveLink::MmWaveLink(sim::Simulation& sim, Link& link, Config config)
+    : sim_(sim), link_(link), config_(config) {
+  if (config_.nominal_rate_bps == 0) {
+    config_.nominal_rate_bps = link_.rate_bps();
+  }
+}
+
+void MmWaveLink::schedule_blockage(SimTime start, SimTime duration) {
+  sim_.at(start, [this]() { set_blocked(true); });
+  sim_.at(start + duration, [this]() { set_blocked(false); });
+}
+
+void MmWaveLink::set_blocked(bool blocked) {
+  if (blocked == blocked_) return;
+  blocked_ = blocked;
+  last_transition_ = sim_.now();
+  if (blocked) {
+    const double degraded = static_cast<double>(config_.nominal_rate_bps) /
+                            std::max(1.0, config_.degradation_factor);
+    link_.set_rate(std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(degraded)));
+    link_.set_loss_rate(config_.blocked_loss_rate);
+  } else {
+    link_.set_rate(config_.nominal_rate_bps);
+    link_.set_loss_rate(0.0);
+  }
+}
+
+double MmWaveLink::rssi_dbm() {
+  const double from = blocked_ ? config_.clear_rssi_dbm
+                               : config_.blocked_rssi_dbm;
+  const double to = blocked_ ? config_.blocked_rssi_dbm
+                             : config_.clear_rssi_dbm;
+  const SimTime elapsed = sim_.now() - last_transition_;
+  double level = to;
+  if (config_.rssi_ramp > 0 && elapsed < config_.rssi_ramp) {
+    const double f = static_cast<double>(elapsed) /
+                     static_cast<double>(config_.rssi_ramp);
+    level = from + (to - from) * f;
+  }
+  const double noise =
+      (sim_.rng().next_double() * 2.0 - 1.0) * config_.rssi_noise_dbm;
+  return level + noise;
+}
+
+}  // namespace p4s::net

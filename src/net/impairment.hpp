@@ -1,0 +1,91 @@
+// Network impairments used by the use-case experiments:
+//  * RandomLossGate — probabilistic drop on a path (Fig. 12, network-
+//    limited flow via 0.01% induced loss).
+//  * MmWaveLink — line-of-sight blockage model for the data-center mmWave
+//    use case (Figs. 13-14): during a blockage window the link's effective
+//    rate collapses by orders of magnitude (gray failure), inflating
+//    packet inter-arrival times; an RSSI observable with noise and
+//    transition ramps feeds the RSSI-based baseline detector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace p4s::net {
+
+/// Drops packets with probability `loss_rate` before handing them to the
+/// wrapped sink. Deterministic given the simulation seed.
+class RandomLossGate : public PacketSink {
+ public:
+  RandomLossGate(sim::Simulation& sim, PacketSink& next, double loss_rate)
+      : sim_(sim), next_(next), loss_rate_(loss_rate) {}
+
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  void on_packet(const Packet& pkt) override {
+    if (loss_rate_ > 0.0 && sim_.rng().chance(loss_rate_)) {
+      ++dropped_;
+      return;
+    }
+    ++passed_;
+    next_.on_packet(pkt);
+  }
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t passed() const { return passed_; }
+
+ private:
+  sim::Simulation& sim_;
+  PacketSink& next_;
+  double loss_rate_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+/// Controls a Link to emulate a 60 GHz point-to-point hop with LOS
+/// blockage. While blocked the link runs at nominal_rate / degradation
+/// (PHY retries still trickle frames through, which is exactly what makes
+/// the IAT signature of Fig. 13 observable).
+class MmWaveLink {
+ public:
+  struct Config {
+    std::uint64_t nominal_rate_bps = 0;  // taken from the link if 0
+    double degradation_factor = 500.0;   // rate divisor during blockage
+    double blocked_loss_rate = 0.05;     // extra frame loss while blocked
+    double clear_rssi_dbm = -42.0;
+    double blocked_rssi_dbm = -78.0;
+    double rssi_noise_dbm = 1.5;         // uniform +/- noise
+    SimTime rssi_ramp = units::milliseconds(20);  // transition duration
+  };
+
+  MmWaveLink(sim::Simulation& sim, Link& link, Config config);
+  MmWaveLink(sim::Simulation& sim, Link& link)
+      : MmWaveLink(sim, link, Config{}) {}
+
+  /// Schedule a blockage window [start, start+duration).
+  void schedule_blockage(SimTime start, SimTime duration);
+
+  bool blocked() const { return blocked_; }
+
+  /// Instantaneous RSSI observable (with deterministic noise), as an
+  /// off-the-shelf radio would report it. Ramps between the clear and
+  /// blocked levels over `rssi_ramp` around each transition.
+  double rssi_dbm();
+
+  const Config& config() const { return config_; }
+
+ private:
+  void set_blocked(bool blocked);
+
+  sim::Simulation& sim_;
+  Link& link_;
+  Config config_;
+  bool blocked_ = false;
+  SimTime last_transition_ = 0;
+};
+
+}  // namespace p4s::net

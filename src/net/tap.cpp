@@ -1,0 +1,21 @@
+#include "net/tap.hpp"
+
+namespace p4s::net {
+
+void OpticalTapPair::attach(LegacySwitch& sw, OutputPort& monitored_port) {
+  sw.set_ingress_hook(
+      [this](const Packet& pkt) { mirror(pkt, MirrorPoint::kIngress); });
+  monitored_port.set_egress_hook(
+      [this](const Packet& pkt, SimTime /*queue_delay*/) {
+        mirror(pkt, MirrorPoint::kEgress);
+      });
+}
+
+void OpticalTapPair::mirror(const Packet& pkt, MirrorPoint point) {
+  ++mirrored_pkts_;
+  sim_.after(tap_latency_, [this, pkt, point]() {
+    sink_.on_mirrored(pkt, point);
+  });
+}
+
+}  // namespace p4s::net

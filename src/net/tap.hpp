@@ -1,0 +1,58 @@
+// Passive optical TAP pair (§3.1, §4.2).
+//
+// The paper places one TAP on the fiber entering the core switch and one
+// on the fiber leaving it; both mirror every photon to the P4 switch. The
+// model duplicates each packet at the switch's ingress hook and at the
+// monitored port's egress hook, tags the copy with its mirror point, and
+// delivers it to the monitor after a fixed (equal) TAP-to-switch latency —
+// equal latencies are what let the P4 program recover the queuing delay
+// from the two copies' arrival-time difference.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/switch.hpp"
+#include "sim/simulation.hpp"
+
+namespace p4s::net {
+
+enum class MirrorPoint : std::uint8_t {
+  kIngress = 0,  // copy taken as the packet enters the core switch
+  kEgress = 1,   // copy taken as the packet leaves the core switch
+};
+
+/// Consumer of mirrored traffic (the P4 switch's two monitor ports).
+class MirrorSink {
+ public:
+  virtual ~MirrorSink() = default;
+  virtual void on_mirrored(const Packet& pkt, MirrorPoint point) = 0;
+};
+
+class OpticalTapPair {
+ public:
+  /// `tap_latency` models the fiber + TAP path to the monitor; it is the
+  /// same for both mirror points, so it cancels in delay differences.
+  OpticalTapPair(sim::Simulation& sim, MirrorSink& sink,
+                 SimTime tap_latency = units::microseconds(1))
+      : sim_(sim), sink_(sink), tap_latency_(tap_latency) {}
+
+  /// Attach the ingress-side TAP to a switch (mirrors every arrival) and
+  /// the egress-side TAP to one of its output ports (mirrors every
+  /// departure on the monitored link).
+  void attach(LegacySwitch& sw, OutputPort& monitored_port);
+
+  std::uint64_t mirrored_pkts() const { return mirrored_pkts_; }
+
+ private:
+  void mirror(const Packet& pkt, MirrorPoint point);
+
+  sim::Simulation& sim_;
+  MirrorSink& sink_;
+  SimTime tap_latency_;
+  std::uint64_t mirrored_pkts_ = 0;
+};
+
+}  // namespace p4s::net

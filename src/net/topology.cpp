@@ -1,0 +1,127 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace p4s::net {
+
+Host& Network::add_host(std::string name, Ipv4Address ip) {
+  hosts_.push_back(std::make_unique<Host>(sim_, std::move(name), ip));
+  return *hosts_.back();
+}
+
+LegacySwitch& Network::add_switch(std::string name) {
+  switches_.push_back(std::make_unique<LegacySwitch>(std::move(name)));
+  return *switches_.back();
+}
+
+Network::Duplex Network::make_duplex(PacketSink& a, PacketSink& b,
+                                     const LinkSpec& spec) {
+  Duplex d;
+  links_.push_back(std::make_unique<Link>(sim_, spec.bits_per_second,
+                                          spec.one_way_delay));
+  d.forward_link = links_.back().get();
+  d.forward_link->set_sink(b);
+  ports_.push_back(std::make_unique<OutputPort>(
+      sim_, spec.queue_bytes_forward, *d.forward_link));
+  d.forward = ports_.back().get();
+
+  links_.push_back(std::make_unique<Link>(sim_, spec.bits_per_second,
+                                          spec.one_way_delay));
+  d.reverse_link = links_.back().get();
+  d.reverse_link->set_sink(a);
+  ports_.push_back(std::make_unique<OutputPort>(
+      sim_, spec.queue_bytes_reverse, *d.reverse_link));
+  d.reverse = ports_.back().get();
+  return d;
+}
+
+Network::Duplex Network::connect(Host& host, LegacySwitch& sw,
+                                 const LinkSpec& spec) {
+  Duplex d = make_duplex(host, sw, spec);
+  host.attach_uplink(*d.forward);
+  const std::size_t idx = sw.add_port(*d.reverse);
+  sw.route(host.ip(), idx);
+  return d;
+}
+
+Network::Duplex Network::connect(LegacySwitch& a, LegacySwitch& b,
+                                 const LinkSpec& spec) {
+  Duplex d = make_duplex(a, b, spec);
+  a.add_port(*d.forward);
+  b.add_port(*d.reverse);
+  return d;
+}
+
+PaperTopology make_paper_topology(Network& network,
+                                  const PaperTopologyConfig& config) {
+  PaperTopology topo;
+  topo.network = &network;
+  topo.config = config;
+
+  std::uint64_t core_buffer = config.core_buffer_bytes;
+  if (core_buffer == 0) core_buffer = config.bdp_bytes_at_max_rtt();
+
+  // Delay budget: host access hops contribute 5 us each way, the
+  // inter-switch hop 500 us each way; the external access hop absorbs the
+  // remainder of the configured base RTT.
+  constexpr SimTime kHostDelay = units::microseconds(5);
+  constexpr SimTime kInterSwitchDelay = units::microseconds(500);
+
+  topo.core_switch = &network.add_switch("core-switch");
+  topo.wan_switch = &network.add_switch("wan-switch");
+  topo.core_switch->set_address(addrs::kCoreSwitch);
+  topo.wan_switch->set_address(addrs::kWanSwitch);
+
+  topo.dtn_internal =
+      &network.add_host("dtn-internal", addrs::kDtnInternal);
+  topo.psonar_internal =
+      &network.add_host("psonar-internal", addrs::kPsonarInternal);
+
+  const Network::LinkSpec access_spec{
+      config.access_bps, kHostDelay, config.access_buffer_bytes,
+      config.access_buffer_bytes};
+  network.connect(*topo.dtn_internal, *topo.core_switch, access_spec);
+  network.connect(*topo.psonar_internal, *topo.core_switch, access_spec);
+
+  const Network::LinkSpec bottleneck_spec{
+      config.bottleneck_bps, kInterSwitchDelay, core_buffer,
+      config.access_buffer_bytes};
+  Network::Duplex bottleneck =
+      network.connect(*topo.core_switch, *topo.wan_switch, bottleneck_spec);
+  topo.bottleneck_port = bottleneck.forward;
+  topo.bottleneck_reverse_port = bottleneck.reverse;
+
+  // All non-internal destinations leave the core switch via the
+  // bottleneck; everything the WAN switch does not know goes back to the
+  // core switch.
+  topo.core_switch->set_default_route(topo.core_switch->port_count() - 1);
+  topo.wan_switch->set_default_route(topo.wan_switch->port_count() - 1);
+
+  for (int i = 0; i < 3; ++i) {
+    const SimTime rtt = config.rtt[static_cast<std::size_t>(i)];
+    const SimTime fixed = 2 * (kHostDelay + kInterSwitchDelay + kHostDelay);
+    if (rtt <= fixed) {
+      throw std::invalid_argument(
+          "PaperTopologyConfig: RTT too small for the fixed hop delays");
+    }
+    const SimTime ext_delay = (rtt - fixed) / 2;
+    const Network::LinkSpec ext_spec{config.access_bps, ext_delay,
+                                     config.access_buffer_bytes,
+                                     config.access_buffer_bytes};
+    auto& dtn = network.add_host("dtn-ext" + std::to_string(i + 1),
+                                 addrs::kDtnExt[static_cast<std::size_t>(i)]);
+    auto& ps = network.add_host(
+        "psonar-ext" + std::to_string(i + 1),
+        addrs::kPsonarExt[static_cast<std::size_t>(i)]);
+    topo.ext_dtn_links[static_cast<std::size_t>(i)] =
+        network.connect(dtn, *topo.wan_switch, ext_spec);
+    network.connect(ps, *topo.wan_switch, ext_spec);
+    topo.dtn_ext[static_cast<std::size_t>(i)] = &dtn;
+    topo.psonar_ext[static_cast<std::size_t>(i)] = &ps;
+  }
+
+  return topo;
+}
+
+}  // namespace p4s::net

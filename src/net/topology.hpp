@@ -1,0 +1,126 @@
+// Topology construction.
+//
+// Network is the owner of all hosts, switches, links and ports; it wires
+// duplex connections and installs routes. make_paper_topology() builds the
+// experimental topology of Figure 8: an internal network (DTN + perfSONAR
+// node) behind the monitored core switch, a 10 Gbps-class bottleneck link
+// to a WAN switch, and three external networks (DTN + perfSONAR node each)
+// whose base RTTs to the internal DTN are 50 / 75 / 100 ms.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/impairment.hpp"
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "sim/simulation.hpp"
+
+namespace p4s::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulation& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Host& add_host(std::string name, Ipv4Address ip);
+  LegacySwitch& add_switch(std::string name);
+
+  struct Duplex {
+    OutputPort* forward = nullptr;  // a -> b direction
+    OutputPort* reverse = nullptr;  // b -> a direction
+    Link* forward_link = nullptr;
+    Link* reverse_link = nullptr;
+  };
+
+  struct LinkSpec {
+    std::uint64_t bits_per_second;
+    SimTime one_way_delay;
+    std::uint64_t queue_bytes_forward;
+    std::uint64_t queue_bytes_reverse;
+  };
+
+  /// Connect a host to a switch. Installs the host's uplink and a route
+  /// for the host's address on the switch.
+  Duplex connect(Host& host, LegacySwitch& sw, const LinkSpec& spec);
+
+  /// Connect two switches. Routes must be installed by the caller.
+  Duplex connect(LegacySwitch& a, LegacySwitch& b, const LinkSpec& spec);
+
+  sim::Simulation& simulation() { return sim_; }
+
+ private:
+  Duplex make_duplex(PacketSink& a, PacketSink& b, const LinkSpec& spec);
+
+  sim::Simulation& sim_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<LegacySwitch>> switches_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<OutputPort>> ports_;
+};
+
+struct PaperTopologyConfig {
+  /// Bottleneck (core switch <-> WAN switch) rate. The paper uses 10 Gbps;
+  /// the default here is a 1 Gbps scaled run — shapes are preserved because
+  /// buffers are configured in BDP units (see DESIGN.md §2).
+  std::uint64_t bottleneck_bps = units::gbps(1);
+  /// Access link rate for all hosts (fast enough to never be the
+  /// bottleneck).
+  std::uint64_t access_bps = units::gbps(4);
+  /// Base RTTs from the internal DTN to the three external DTNs.
+  std::array<SimTime, 3> rtt = {units::milliseconds(50),
+                                units::milliseconds(75),
+                                units::milliseconds(100)};
+  /// Core switch buffer on the bottleneck port. 0 -> one BDP at the
+  /// largest configured RTT (the Science DMZ guideline cited in §5.4.1).
+  std::uint64_t core_buffer_bytes = 0;
+  /// Buffers everywhere else (never the constraint in the experiments).
+  std::uint64_t access_buffer_bytes = units::mebibytes(64);
+
+  std::uint64_t bdp_bytes_at_max_rtt() const {
+    return units::bdp_bytes(bottleneck_bps, rtt[2]);
+  }
+};
+
+/// The built Figure-8 topology. Non-owning pointers into the Network.
+struct PaperTopology {
+  Network* network = nullptr;
+  Host* dtn_internal = nullptr;
+  Host* psonar_internal = nullptr;
+  std::array<Host*, 3> dtn_ext{};
+  std::array<Host*, 3> psonar_ext{};
+  LegacySwitch* core_switch = nullptr;  // monitored by the TAP pair
+  LegacySwitch* wan_switch = nullptr;
+  /// Core switch's output port onto the bottleneck link — the queue whose
+  /// occupancy the paper's Figures 9 and 11 report.
+  OutputPort* bottleneck_port = nullptr;
+  /// Reverse direction (WAN -> core), carrying the ACK stream.
+  OutputPort* bottleneck_reverse_port = nullptr;
+  /// Access links WAN switch <-> external DTNs (forward = toward the
+  /// DTN), for per-destination impairment injection (Fig. 12).
+  std::array<Network::Duplex, 3> ext_dtn_links{};
+  PaperTopologyConfig config;
+};
+
+/// Build the Figure-8 topology into `network`.
+PaperTopology make_paper_topology(Network& network,
+                                  const PaperTopologyConfig& config = {});
+
+/// Well-known addresses used by the paper topology.
+namespace addrs {
+inline constexpr Ipv4Address kCoreSwitch = ipv4(10, 0, 0, 1);
+inline constexpr Ipv4Address kWanSwitch = ipv4(10, 254, 0, 1);
+inline constexpr Ipv4Address kDtnInternal = ipv4(10, 0, 0, 10);
+inline constexpr Ipv4Address kPsonarInternal = ipv4(10, 0, 0, 20);
+inline constexpr std::array<Ipv4Address, 3> kDtnExt = {
+    ipv4(10, 1, 0, 10), ipv4(10, 2, 0, 10), ipv4(10, 3, 0, 10)};
+inline constexpr std::array<Ipv4Address, 3> kPsonarExt = {
+    ipv4(10, 1, 0, 20), ipv4(10, 2, 0, 20), ipv4(10, 3, 0, 20)};
+}  // namespace addrs
+
+}  // namespace p4s::net

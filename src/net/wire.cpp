@@ -1,0 +1,190 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace p4s::net {
+
+namespace {
+
+void put_u8(std::span<std::uint8_t> out, std::size_t& pos, std::uint8_t v) {
+  out[pos++] = v;
+}
+void put_u16(std::span<std::uint8_t> out, std::size_t& pos, std::uint16_t v) {
+  out[pos++] = static_cast<std::uint8_t>(v >> 8);
+  out[pos++] = static_cast<std::uint8_t>(v & 0xFF);
+}
+void put_u32(std::span<std::uint8_t> out, std::size_t& pos, std::uint32_t v) {
+  out[pos++] = static_cast<std::uint8_t>(v >> 24);
+  out[pos++] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+  out[pos++] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+  out[pos++] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+std::uint8_t get_u8(std::span<const std::uint8_t> in, std::size_t& pos) {
+  return in[pos++];
+}
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint16_t v = static_cast<std::uint16_t>(in[pos] << 8) | in[pos + 1];
+  pos += 2;
+  return v;
+}
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint32_t v = (static_cast<std::uint32_t>(in[pos]) << 24) |
+                    (static_cast<std::uint32_t>(in[pos + 1]) << 16) |
+                    (static_cast<std::uint32_t>(in[pos + 2]) << 8) |
+                    in[pos + 3];
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(bytes[i]) << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) {
+    sum += static_cast<std::uint32_t>(bytes[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void mac_for(Ipv4Address addr, std::span<std::uint8_t> out) {
+  out[0] = 0x02;  // locally administered, unicast
+  out[1] = 0x00;
+  out[2] = static_cast<std::uint8_t>(addr >> 24);
+  out[3] = static_cast<std::uint8_t>(addr >> 16);
+  out[4] = static_cast<std::uint8_t>(addr >> 8);
+  out[5] = static_cast<std::uint8_t>(addr);
+}
+
+std::size_t serialize_headers(const Packet& pkt,
+                              std::span<std::uint8_t> out) {
+  std::size_t pos = 0;
+  // Ethernet II: dst MAC, src MAC, EtherType.
+  mac_for(pkt.ip.dst, out.subspan(pos, 6));
+  pos += 6;
+  mac_for(pkt.ip.src, out.subspan(pos, 6));
+  pos += 6;
+  put_u16(out, pos, kEtherTypeIpv4);
+  const std::size_t ip_start = pos;
+  const Ipv4Header& ip = pkt.ip;
+  put_u8(out, pos, static_cast<std::uint8_t>((ip.version << 4) | ip.ihl));
+  put_u8(out, pos, ip.dscp);
+  put_u16(out, pos, ip.total_len);
+  put_u16(out, pos, ip.id);
+  put_u16(out, pos, 0);  // flags + fragment offset: never fragmented here
+  put_u8(out, pos, ip.ttl);
+  put_u8(out, pos, ip.protocol);
+  const std::size_t checksum_pos = pos;
+  put_u16(out, pos, 0);  // checksum placeholder
+  put_u32(out, pos, ip.src);
+  put_u32(out, pos, ip.dst);
+  const std::uint16_t csum =
+      internet_checksum(out.subspan(ip_start, ip.header_bytes()));
+  out[checksum_pos] = static_cast<std::uint8_t>(csum >> 8);
+  out[checksum_pos + 1] = static_cast<std::uint8_t>(csum & 0xFF);
+
+  if (pkt.is_tcp()) {
+    const TcpHeader& t = pkt.tcp();
+    put_u16(out, pos, t.src_port);
+    put_u16(out, pos, t.dst_port);
+    put_u32(out, pos, t.seq);
+    put_u32(out, pos, t.ack);
+    put_u8(out, pos, static_cast<std::uint8_t>(t.data_offset << 4));
+    put_u8(out, pos, t.flags);
+    put_u16(out, pos, static_cast<std::uint16_t>(t.window >> kWindowShift));
+    put_u16(out, pos, 0);  // TCP checksum not modelled (payload is virtual)
+    put_u16(out, pos, 0);  // urgent pointer
+  } else if (pkt.is_udp()) {
+    const UdpHeader& u = pkt.udp();
+    put_u16(out, pos, u.src_port);
+    put_u16(out, pos, u.dst_port);
+    put_u16(out, pos, u.length);
+    put_u16(out, pos, 0);  // UDP checksum optional in IPv4
+  } else {
+    const IcmpHeader& ic = pkt.icmp();
+    put_u8(out, pos, ic.type);
+    put_u8(out, pos, ic.code);
+    put_u16(out, pos, 0);  // ICMP checksum not modelled
+    put_u16(out, pos, ic.ident);
+    put_u16(out, pos, ic.seq);
+  }
+  return pos;
+}
+
+std::optional<Packet> parse_headers(std::span<const std::uint8_t> in) {
+  if (in.size() < kEthernetHeaderBytes + 20) return std::nullopt;
+  std::size_t pos = 12;  // skip MACs
+  if (get_u16(in, pos) != kEtherTypeIpv4) return std::nullopt;
+  in = in.subspan(kEthernetHeaderBytes);
+  pos = 0;
+  Packet pkt;
+  const std::uint8_t ver_ihl = get_u8(in, pos);
+  pkt.ip.version = ver_ihl >> 4;
+  pkt.ip.ihl = ver_ihl & 0x0F;
+  if (pkt.ip.version != 4 || pkt.ip.ihl < 5) return std::nullopt;
+  if (in.size() < pkt.ip.header_bytes()) return std::nullopt;
+  pkt.ip.dscp = get_u8(in, pos);
+  pkt.ip.total_len = get_u16(in, pos);
+  pkt.ip.id = get_u16(in, pos);
+  (void)get_u16(in, pos);  // flags/fragment
+  pkt.ip.ttl = get_u8(in, pos);
+  pkt.ip.protocol = get_u8(in, pos);
+  (void)get_u16(in, pos);  // checksum (verified over the whole header below)
+  pkt.ip.src = get_u32(in, pos);
+  pkt.ip.dst = get_u32(in, pos);
+  if (internet_checksum(in.subspan(0, pkt.ip.header_bytes())) != 0) {
+    return std::nullopt;  // ones'-complement sum over a valid header is 0
+  }
+  pos = pkt.ip.header_bytes();
+
+  switch (static_cast<Protocol>(pkt.ip.protocol)) {
+    case Protocol::kTcp: {
+      if (in.size() < pos + 20) return std::nullopt;
+      TcpHeader t;
+      t.src_port = get_u16(in, pos);
+      t.dst_port = get_u16(in, pos);
+      t.seq = get_u32(in, pos);
+      t.ack = get_u32(in, pos);
+      t.data_offset = get_u8(in, pos) >> 4;
+      t.flags = get_u8(in, pos);
+      t.window = static_cast<std::uint32_t>(get_u16(in, pos)) << kWindowShift;
+      (void)get_u16(in, pos);  // checksum
+      (void)get_u16(in, pos);  // urgent
+      pkt.l4 = t;
+      break;
+    }
+    case Protocol::kUdp: {
+      if (in.size() < pos + 8) return std::nullopt;
+      UdpHeader u;
+      u.src_port = get_u16(in, pos);
+      u.dst_port = get_u16(in, pos);
+      u.length = get_u16(in, pos);
+      (void)get_u16(in, pos);
+      pkt.l4 = u;
+      break;
+    }
+    case Protocol::kIcmp: {
+      if (in.size() < pos + 8) return std::nullopt;
+      IcmpHeader ic;
+      ic.type = get_u8(in, pos);
+      ic.code = get_u8(in, pos);
+      (void)get_u16(in, pos);
+      ic.ident = get_u16(in, pos);
+      ic.seq = get_u16(in, pos);
+      pkt.l4 = ic;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return pkt;
+}
+
+}  // namespace p4s::net

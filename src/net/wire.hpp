@@ -1,0 +1,47 @@
+// Byte-level header serialization (network byte order, real layouts, real
+// IPv4 header checksum). The P4 switch's programmable parser consumes these
+// bytes, so header extraction in the pipeline is genuine parsing rather
+// than struct copying. Payload bytes are virtual (zeros are implied by
+// total_len) and never emitted.
+//
+// Frames start with an Ethernet II header (as every P4 parser's start
+// state expects): MAC addresses are synthesized deterministically from
+// the IP endpoints (locally-administered prefix 02:00 + the address),
+// EtherType 0x0800.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/packet.hpp"
+
+namespace p4s::net {
+
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+/// Maximum serialized header size we ever produce (Ethernet II + IPv4
+/// without options + largest L4 header).
+inline constexpr std::size_t kMaxHeaderBytes =
+    kEthernetHeaderBytes + 20 + 20;
+
+/// Deterministic MAC for an IPv4 address (02:00:aa:bb:cc:dd), written
+/// into `out` (6 bytes).
+void mac_for(Ipv4Address addr, std::span<std::uint8_t> out);
+
+/// Serialize IPv4 + L4 headers of `pkt` into `out` (must hold at least
+/// kMaxHeaderBytes). Returns the number of bytes written. Computes and
+/// embeds the IPv4 header checksum.
+std::size_t serialize_headers(const Packet& pkt, std::span<std::uint8_t> out);
+
+/// Inverse of serialize_headers. Returns nullopt if the buffer is
+/// truncated, the version is not 4, the checksum fails, or the protocol is
+/// unknown. The result has uid == 0 (uids are simulator metadata, not wire
+/// data).
+std::optional<Packet> parse_headers(std::span<const std::uint8_t> in);
+
+/// RFC 1071 ones'-complement checksum over a byte span.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
+
+}  // namespace p4s::net

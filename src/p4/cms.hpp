@@ -1,0 +1,67 @@
+// Count-min sketch (Cormode & Muthukrishnan 2005), the structure the
+// paper's data plane uses to detect long ("heavy") flows before allocating
+// one of the 2048 per-flow register slots (§4). Each row uses an
+// independently seeded CRC32, matching how a P4 program instantiates
+// multiple hash externs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "p4/hash.hpp"
+
+namespace p4s::p4 {
+
+class CountMinSketch {
+ public:
+  /// `depth` rows x `width` counters. Width should be a power of two so
+  /// indexing is a mask (as it would compile on a hardware target).
+  CountMinSketch(std::size_t depth, std::size_t width)
+      : width_(width), counters_(depth, std::vector<std::uint64_t>(width, 0)) {
+    hashes_.reserve(depth);
+    for (std::size_t d = 0; d < depth; ++d) {
+      hashes_.emplace_back(static_cast<std::uint32_t>(0x9E3779B9u * (d + 1)));
+    }
+  }
+
+  /// Add `amount` to the key's counters and return the new min estimate
+  /// (conservative update is NOT used: plain CMS, as in the paper's cited
+  /// construction).
+  std::uint64_t update(std::span<const std::uint8_t> key,
+                       std::uint64_t amount = 1) {
+    std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t d = 0; d < counters_.size(); ++d) {
+      const std::size_t idx = hashes_[d](key) % width_;
+      counters_[d][idx] += amount;
+      est = std::min(est, counters_[d][idx]);
+    }
+    return est;
+  }
+
+  /// Point query without updating.
+  std::uint64_t estimate(std::span<const std::uint8_t> key) const {
+    std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t d = 0; d < counters_.size(); ++d) {
+      const std::size_t idx = hashes_[d](key) % width_;
+      est = std::min(est, counters_[d][idx]);
+    }
+    return est;
+  }
+
+  void clear() {
+    for (auto& row : counters_) std::fill(row.begin(), row.end(), 0);
+  }
+
+  std::size_t depth() const { return counters_.size(); }
+  std::size_t width() const { return width_; }
+
+ private:
+  std::size_t width_;
+  std::vector<std::vector<std::uint64_t>> counters_;
+  std::vector<Crc32> hashes_;
+};
+
+}  // namespace p4s::p4

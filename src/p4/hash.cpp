@@ -1,0 +1,83 @@
+#include "p4/hash.hpp"
+
+namespace p4s::p4 {
+
+namespace {
+
+struct Crc32Table {
+  std::array<std::uint32_t, 256> entries{};
+  constexpr Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrc32Table{};
+
+struct Crc16Table {
+  std::array<std::uint16_t, 256> entries{};
+  constexpr Crc16Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint16_t c = static_cast<std::uint16_t>(i);
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? static_cast<std::uint16_t>(0xA001u ^ (c >> 1))
+                    : static_cast<std::uint16_t>(c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc16Table kCrc16Table{};
+
+}  // namespace
+
+std::uint32_t Crc32::operator()(std::span<const std::uint8_t> data) const {
+  std::uint32_t c = ~seed_;
+  for (std::uint8_t b : data) {
+    c = kCrc32Table.entries[(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+std::uint16_t Crc16::operator()(std::span<const std::uint8_t> data) const {
+  // CRC-16/ARC: init = seed (0 by default), reflected, no final xor.
+  std::uint16_t c = seed_;
+  for (std::uint8_t b : data) {
+    c = static_cast<std::uint16_t>(kCrc16Table.entries[(c ^ b) & 0xFF] ^
+                                   (c >> 8));
+  }
+  return c;
+}
+
+std::array<std::uint8_t, 13> five_tuple_key(const net::FiveTuple& t) {
+  std::array<std::uint8_t, 13> key{};
+  auto put32 = [&key](std::size_t at, std::uint32_t v) {
+    key[at] = static_cast<std::uint8_t>(v >> 24);
+    key[at + 1] = static_cast<std::uint8_t>(v >> 16);
+    key[at + 2] = static_cast<std::uint8_t>(v >> 8);
+    key[at + 3] = static_cast<std::uint8_t>(v);
+  };
+  auto put16 = [&key](std::size_t at, std::uint16_t v) {
+    key[at] = static_cast<std::uint8_t>(v >> 8);
+    key[at + 1] = static_cast<std::uint8_t>(v);
+  };
+  put32(0, t.src_ip);
+  put32(4, t.dst_ip);
+  put16(8, t.src_port);
+  put16(10, t.dst_port);
+  key[12] = t.protocol;
+  return key;
+}
+
+std::uint32_t flow_hash(const net::FiveTuple& t, std::uint32_t seed) {
+  const auto key = five_tuple_key(t);
+  return Crc32{seed}(key);
+}
+
+}  // namespace p4s::p4

@@ -1,0 +1,48 @@
+// Hash engines as provided by P4 targets: CRC-based, seedable, usable for
+// flow-ID computation and count-min sketch row indexing (§4: "group
+// packets into flows using the hash of the 5-tuple").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "net/packet.hpp"
+
+namespace p4s::p4 {
+
+/// Reflected CRC32 (polynomial 0xEDB88320), table-driven, with a seed so
+/// multiple independent hash units can be instantiated (CMS rows).
+class Crc32 {
+ public:
+  explicit Crc32(std::uint32_t seed = 0) : seed_(seed) {}
+
+  std::uint32_t operator()(std::span<const std::uint8_t> data) const;
+
+  std::uint32_t seed() const { return seed_; }
+
+ private:
+  std::uint32_t seed_;
+};
+
+/// CRC16/ARC (polynomial 0x8005 reflected = 0xA001).
+class Crc16 {
+ public:
+  explicit Crc16(std::uint16_t seed = 0) : seed_(seed) {}
+
+  std::uint16_t operator()(std::span<const std::uint8_t> data) const;
+
+ private:
+  std::uint16_t seed_;
+};
+
+/// Canonical byte encoding of a 5-tuple for hashing (13 bytes:
+/// src ip, dst ip, src port, dst port, protocol — big-endian), matching
+/// how a P4 program would feed header fields into a hash extern.
+std::array<std::uint8_t, 13> five_tuple_key(const net::FiveTuple& t);
+
+/// Flow ID as the paper uses it: CRC32 of the 5-tuple. The data plane
+/// indexes its 2048-slot register arrays with (id % slots).
+std::uint32_t flow_hash(const net::FiveTuple& t, std::uint32_t seed = 0);
+
+}  // namespace p4s::p4

@@ -1,0 +1,28 @@
+#include "p4/p4_switch.hpp"
+
+#include <array>
+
+#include "net/wire.hpp"
+
+namespace p4s::p4 {
+
+void P4Switch::on_mirrored(const net::Packet& pkt, net::MirrorPoint point) {
+  std::array<std::uint8_t, net::kMaxHeaderBytes> buf{};
+  const std::size_t len = net::serialize_headers(pkt, buf);
+
+  PacketContext ctx;
+  ctx.data = std::span<const std::uint8_t>(buf.data(), len);
+  ctx.meta.ingress_port = point == net::MirrorPoint::kIngress
+                              ? kIngressTapPort
+                              : kEgressTapPort;
+  ctx.meta.ingress_ts = sim_.now();
+
+  if (parser_.parse(ctx) != Parser::Result::kAccept) {
+    ++parse_errors_;
+    return;
+  }
+  ++processed_;
+  if (program_ != nullptr) program_->ingress(ctx);
+}
+
+}  // namespace p4s::p4

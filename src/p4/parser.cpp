@@ -1,0 +1,140 @@
+#include "p4/parser.hpp"
+
+namespace p4s::p4 {
+
+namespace {
+
+struct Cursor {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  bool have(std::size_t n) const { return pos + n <= data.size(); }
+  std::uint8_t u8() { return data[pos++]; }
+  std::uint16_t u16() {
+    const std::uint16_t v =
+        static_cast<std::uint16_t>(data[pos] << 8) | data[pos + 1];
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[pos]) << 24) |
+                            (static_cast<std::uint32_t>(data[pos + 1]) << 16) |
+                            (static_cast<std::uint32_t>(data[pos + 2]) << 8) |
+                            data[pos + 3];
+    pos += 4;
+    return v;
+  }
+  void skip(std::size_t n) { pos += n; }
+};
+
+// state parse_ethernet
+bool parse_ethernet(Cursor& c, ParsedHeaders& hdr) {
+  if (!c.have(14)) return false;
+  for (auto& b : hdr.ethernet.dst_mac) b = c.u8();
+  for (auto& b : hdr.ethernet.src_mac) b = c.u8();
+  hdr.ethernet.ethertype = c.u16();
+  hdr.ethernet_valid = true;
+  return true;
+}
+
+// state parse_ipv4
+bool parse_ipv4(Cursor& c, ParsedHeaders& hdr) {
+  if (!c.have(20)) return false;
+  const std::uint8_t ver_ihl = c.u8();
+  hdr.ipv4.version = ver_ihl >> 4;
+  hdr.ipv4.ihl = ver_ihl & 0x0F;
+  if (hdr.ipv4.version != 4 || hdr.ipv4.ihl < 5) return false;
+  hdr.ipv4.dscp = c.u8();
+  hdr.ipv4.total_len = c.u16();
+  hdr.ipv4.id = c.u16();
+  c.skip(2);  // flags/frag
+  hdr.ipv4.ttl = c.u8();
+  hdr.ipv4.protocol = c.u8();
+  c.skip(2);  // checksum (verified by the MAU in hardware, not the parser)
+  hdr.ipv4.src = c.u32();
+  hdr.ipv4.dst = c.u32();
+  // Options, if any, are skipped (not extracted).
+  const std::size_t options = (hdr.ipv4.ihl - 5u) * 4u;
+  if (!c.have(options)) return false;
+  c.skip(options);
+  hdr.ipv4_valid = true;
+  return true;
+}
+
+// state parse_tcp
+bool parse_tcp(Cursor& c, ParsedHeaders& hdr) {
+  if (!c.have(20)) return false;
+  hdr.tcp.src_port = c.u16();
+  hdr.tcp.dst_port = c.u16();
+  hdr.tcp.seq = c.u32();
+  hdr.tcp.ack = c.u32();
+  hdr.tcp.data_offset = c.u8() >> 4;
+  hdr.tcp.flags = c.u8();
+  hdr.tcp.window = static_cast<std::uint32_t>(c.u16()) << net::kWindowShift;
+  c.skip(4);  // checksum + urgent
+  hdr.tcp_valid = true;
+  return true;
+}
+
+// state parse_udp
+bool parse_udp(Cursor& c, ParsedHeaders& hdr) {
+  if (!c.have(8)) return false;
+  hdr.udp.src_port = c.u16();
+  hdr.udp.dst_port = c.u16();
+  hdr.udp.length = c.u16();
+  c.skip(2);
+  hdr.udp_valid = true;
+  return true;
+}
+
+// state parse_icmp
+bool parse_icmp(Cursor& c, ParsedHeaders& hdr) {
+  if (!c.have(8)) return false;
+  hdr.icmp.type = c.u8();
+  hdr.icmp.code = c.u8();
+  c.skip(2);
+  hdr.icmp.ident = c.u16();
+  hdr.icmp.seq = c.u16();
+  hdr.icmp_valid = true;
+  return true;
+}
+
+}  // namespace
+
+Parser::Result Parser::parse(PacketContext& ctx) {
+  Cursor c{ctx.data, 0};
+  ctx.hdr = ParsedHeaders{};
+
+  // start -> parse_ethernet
+  if (!parse_ethernet(c, ctx.hdr)) {
+    ++stats_.rejected;
+    return Result::kReject;
+  }
+  // select(hdr.ethernet.ethertype)
+  if (ctx.hdr.ethernet.ethertype != net::kEtherTypeIpv4) {
+    // Non-IPv4 frames accept with only Ethernet extracted (the telemetry
+    // program ignores them).
+    ++stats_.accepted;
+    return Result::kAccept;
+  }
+  if (!parse_ipv4(c, ctx.hdr)) {
+    ++stats_.rejected;
+    return Result::kReject;
+  }
+  // select(hdr.ipv4.protocol)
+  bool ok = false;
+  switch (static_cast<net::Protocol>(ctx.hdr.ipv4.protocol)) {
+    case net::Protocol::kTcp: ok = parse_tcp(c, ctx.hdr); break;
+    case net::Protocol::kUdp: ok = parse_udp(c, ctx.hdr); break;
+    case net::Protocol::kIcmp: ok = parse_icmp(c, ctx.hdr); break;
+    default: ok = true; break;  // L4-unknown still accepts (IPv4-only view)
+  }
+  if (!ok) {
+    ++stats_.rejected;
+    return Result::kReject;
+  }
+  ++stats_.accepted;
+  return Result::kAccept;
+}
+
+}  // namespace p4s::p4

@@ -1,0 +1,56 @@
+// Pipeline program interface and the digest channel through which the
+// data plane notifies the control plane asynchronously (new long flow
+// detected, microburst started, ...). Digests are typed and bounded, like
+// a hardware digest FIFO: when the control plane falls behind, new
+// digests are dropped and counted.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "p4/parser.hpp"
+
+namespace p4s::p4 {
+
+/// A P4 program's ingress control block. The target (P4Switch) invokes
+/// this once per accepted packet.
+class P4Program {
+ public:
+  virtual ~P4Program() = default;
+  virtual void ingress(PacketContext& ctx) = 0;
+};
+
+template <typename T>
+class DigestQueue {
+ public:
+  explicit DigestQueue(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Data plane: emit a digest. Drops (and counts) when the FIFO is full.
+  void emit(T digest) {
+    if (queue_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    queue_.push_back(std::move(digest));
+  }
+
+  /// Control plane: drain all pending digests.
+  std::vector<T> drain() {
+    std::vector<T> out(std::make_move_iterator(queue_.begin()),
+                       std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    return out;
+  }
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> queue_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace p4s::p4

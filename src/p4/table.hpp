@@ -1,0 +1,64 @@
+// Match-action table emulation. The control plane populates entries at
+// run time; the data plane performs exact-match lookups and applies the
+// hit action's data (or the default action's). Typed on key and action
+// data, which is how generated P4 APIs look after codegen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+namespace p4s::p4 {
+
+template <typename Key, typename ActionData,
+          typename Hash = std::hash<Key>>
+class ExactMatchTable {
+ public:
+  explicit ExactMatchTable(std::size_t max_entries = 65536)
+      : max_entries_(max_entries) {}
+
+  /// Control plane: insert or update an entry. Returns false when the
+  /// table is full (a real target rejects the entry).
+  bool insert(const Key& key, ActionData data) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second = std::move(data);
+      return true;
+    }
+    if (entries_.size() >= max_entries_) return false;
+    entries_.emplace(key, std::move(data));
+    return true;
+  }
+
+  bool erase(const Key& key) { return entries_.erase(key) > 0; }
+  void clear() { entries_.clear(); }
+
+  void set_default(ActionData data) { default_ = std::move(data); }
+
+  /// Data plane: exact-match lookup. Returns the hit entry, or the
+  /// default action data (which may be nullopt -> "miss, no default").
+  std::optional<ActionData> lookup(const Key& key) const {
+    ++lookups_;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    return default_;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return max_entries_; }
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t hits() const { return hits_; }
+
+ private:
+  std::size_t max_entries_;
+  std::unordered_map<Key, ActionData, Hash> entries_;
+  std::optional<ActionData> default_;
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t hits_ = 0;
+};
+
+}  // namespace p4s::p4

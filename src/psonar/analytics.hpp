@@ -1,0 +1,88 @@
+// Trace analytics over the archiver — the consumers §6 says benefit from
+// the P4 system's richer traces:
+//
+//  * NetSage-style longitudinal analysis: per-destination traffic trends
+//    (time-bucketed throughput, top talkers) computed from archived
+//    per-flow reports;
+//  * OnTimeDetect-style anomaly notification: an EWMA + deviation
+//    detector over any archived numeric series, flagging points that
+//    depart from the learned baseline (the classic perfSONAR plateau/
+//    dip detector shape).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "psonar/archiver.hpp"
+#include "util/units.hpp"
+
+namespace p4s::ps {
+
+class Analytics {
+ public:
+  explicit Analytics(const Archiver& archiver) : archiver_(archiver) {}
+
+  // ---- NetSage-style longitudinal views --------------------------------
+
+  struct TrendBucket {
+    SimTime start = 0;
+    double mean_throughput_bps = 0.0;
+    std::uint64_t samples = 0;
+  };
+
+  /// Time-bucketed mean throughput for one destination, from the
+  /// "p4sonar-throughput" index.
+  std::vector<TrendBucket> throughput_trend(const std::string& dst_ip,
+                                            SimTime bucket) const;
+
+  struct Talker {
+    std::string dst_ip;
+    std::uint64_t bytes = 0;
+    std::uint64_t flows = 0;
+    double retransmission_pct = 0.0;  // bytes-weighted mean
+  };
+
+  /// Destinations ranked by total transferred bytes, from the
+  /// terminated-flow reports ("p4sonar-flow_final").
+  std::vector<Talker> top_talkers(std::size_t limit = 10) const;
+
+  // ---- OnTimeDetect-style anomaly detection ----------------------------
+
+  struct Anomaly {
+    SimTime at = 0;
+    double value = 0.0;
+    double expected = 0.0;   // EWMA baseline at that point
+    double deviation = 0.0;  // |value-expected| / band
+  };
+
+  struct AnomalyConfig {
+    double alpha = 0.125;        // EWMA weight
+    double band_factor = 3.0;    // deviations beyond band_factor * MAD
+    std::size_t warmup = 8;      // samples before detection arms
+  };
+
+  /// Scan a numeric field of an index (optionally filtered) for points
+  /// departing from the EWMA baseline by more than band_factor times the
+  /// running mean absolute deviation.
+  std::vector<Anomaly> detect_anomalies(const std::string& index,
+                                        const std::string& field,
+                                        const Archiver::Query& query,
+                                        const AnomalyConfig& config) const;
+  std::vector<Anomaly> detect_anomalies(const std::string& index,
+                                        const std::string& field) const {
+    return detect_anomalies(index, field, Archiver::Query{},
+                            AnomalyConfig{});
+  }
+  std::vector<Anomaly> detect_anomalies(const std::string& index,
+                                        const std::string& field,
+                                        const Archiver::Query& query) const {
+    return detect_anomalies(index, field, query, AnomalyConfig{});
+  }
+
+ private:
+  const Archiver& archiver_;
+};
+
+}  // namespace p4s::ps

@@ -1,0 +1,96 @@
+#include "psonar/archiver.hpp"
+
+#include <algorithm>
+
+namespace p4s::ps {
+
+std::uint64_t Archiver::index(const std::string& index_name,
+                              util::Json doc) {
+  auto& docs = indices_[index_name];
+  docs.push_back(std::move(doc));
+  ++total_docs_;
+  return docs.size() - 1;
+}
+
+std::optional<util::Json> Archiver::field_at(const util::Json& doc,
+                                             const std::string& path) {
+  const util::Json* cur = &doc;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    const std::string key = path.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    if (!cur->is_object() || !cur->contains(key)) return std::nullopt;
+    cur = &cur->at(key);
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return *cur;
+}
+
+bool Archiver::matches(const util::Json& doc, const Query& query) {
+  for (const auto& [path, expected] : query.terms) {
+    auto value = field_at(doc, path);
+    if (!value.has_value() || !(*value == expected)) return false;
+  }
+  if (!query.range_field.empty()) {
+    auto value = field_at(doc, query.range_field);
+    if (!value.has_value() || !value->is_number()) return false;
+    const double v = value->as_double();
+    if (query.range_min.has_value() && v < *query.range_min) return false;
+    if (query.range_max.has_value() && v > *query.range_max) return false;
+  }
+  return true;
+}
+
+std::vector<util::Json> Archiver::search(const std::string& index_name,
+                                         const Query& query) const {
+  std::vector<util::Json> out;
+  auto it = indices_.find(index_name);
+  if (it == indices_.end()) return out;
+  for (const auto& doc : it->second) {
+    if (matches(doc, query)) out.push_back(doc);
+  }
+  return out;
+}
+
+Archiver::Aggregation Archiver::aggregate(const std::string& index_name,
+                                          const std::string& field,
+                                          const Query& query) const {
+  Aggregation agg;
+  auto it = indices_.find(index_name);
+  if (it == indices_.end()) return agg;
+  for (const auto& doc : it->second) {
+    if (!matches(doc, query)) continue;
+    auto value = field_at(doc, field);
+    if (!value.has_value() || !value->is_number()) continue;
+    const double v = value->as_double();
+    if (agg.count == 0) {
+      agg.min = agg.max = v;
+    } else {
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+    }
+    agg.sum += v;
+    ++agg.count;
+  }
+  if (agg.count > 0) agg.avg = agg.sum / static_cast<double>(agg.count);
+  return agg;
+}
+
+std::uint64_t Archiver::doc_count(const std::string& index_name) const {
+  auto it = indices_.find(index_name);
+  return it == indices_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> Archiver::indices() const {
+  std::vector<std::string> names;
+  names.reserve(indices_.size());
+  for (const auto& [name, docs] : indices_) {
+    (void)docs;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace p4s::ps

@@ -1,0 +1,69 @@
+// The perfSONAR archiver: an OpenSearch-like document store (§3.3.5,
+// Figure 7 — "the final version of the reports is shipped to the archive,
+// i.e. the OpenSearch database").
+//
+// Documents are JSON, organized into named indices, queryable by exact
+// field match and by time range, with basic metric aggregations — the
+// subset of OpenSearch the perfSONAR dashboards actually use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace p4s::ps {
+
+class Archiver {
+ public:
+  /// Store a document. Returns the document's sequence id within the
+  /// index.
+  std::uint64_t index(const std::string& index_name, util::Json doc);
+
+  struct Query {
+    /// Exact-match terms: dotted paths -> required value
+    /// (e.g. {"flow.dst_ip": "10.1.0.10"}).
+    std::map<std::string, util::Json> terms;
+    /// Optional range filter on a numeric field.
+    std::string range_field;
+    std::optional<double> range_min;
+    std::optional<double> range_max;
+  };
+
+  /// All documents of an index matching the query, in insertion order.
+  std::vector<util::Json> search(const std::string& index_name,
+                                 const Query& query = {}) const;
+
+  struct Aggregation {
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double avg = 0.0;
+    double sum = 0.0;
+  };
+
+  /// Aggregate a numeric field over the query's matches.
+  Aggregation aggregate(const std::string& index_name,
+                        const std::string& field,
+                        const Query& query = {}) const;
+
+  std::uint64_t doc_count(const std::string& index_name) const;
+  std::vector<std::string> indices() const;
+  std::uint64_t total_docs() const { return total_docs_; }
+
+  /// Resolve a dotted path ("flow.dst_ip") inside a document.
+  static std::optional<util::Json> field_at(const util::Json& doc,
+                                            const std::string& path);
+
+ private:
+  static bool matches(const util::Json& doc, const Query& query);
+
+  std::map<std::string, std::vector<util::Json>> indices_;
+  std::uint64_t total_docs_ = 0;
+};
+
+}  // namespace p4s::ps

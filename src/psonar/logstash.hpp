@@ -1,0 +1,81 @@
+// Logstash emulation (Figure 7): the data-processing pipeline perfSONAR
+// uses between measurement producers and the OpenSearch archive.
+//
+//   inputs  — the TCP input plugin receives newline-delimited JSON
+//             (Report_v1) from the switch control plane; a direct
+//             event() entry point serves the Tools layer (pScheduler);
+//   filters — an ordered chain of transformations (mutate/add-field/
+//             drop). A filter returns nullopt to drop the event;
+//   output  — the OpenSearch output plugin adds the archive metadata
+//             (@timestamp, event ordinal, pipeline tag) producing
+//             Report_v2 and writes it to the archiver, one index per
+//             report kind ("p4sonar-throughput", "pscheduler-...", ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "controlplane/report.hpp"
+#include "psonar/archiver.hpp"
+#include "util/json.hpp"
+
+namespace p4s::ps {
+
+/// A filter stage: transform or drop an event.
+using Filter = std::function<std::optional<util::Json>(util::Json)>;
+
+class Logstash {
+ public:
+  explicit Logstash(Archiver& archiver) : archiver_(archiver) {}
+
+  /// Append a filter to the chain (applied in order).
+  void add_filter(std::string name, Filter filter);
+
+  /// Feed one event through filters and the output plugin.
+  void event(util::Json doc);
+
+  /// The TCP input plugin: accepts one newline-delimited JSON payload
+  /// (possibly several lines). Malformed lines are counted and dropped,
+  /// as the real plugin does with a _jsonparsefailure tag.
+  void tcp_input(const std::string& payload);
+
+  /// Index name for a document (index_prefix + report kind).
+  static std::string index_for(const util::Json& doc);
+
+  std::uint64_t events_in() const { return events_in_; }
+  std::uint64_t events_out() const { return events_out_; }
+  std::uint64_t events_dropped() const { return events_dropped_; }
+  std::uint64_t parse_failures() const { return parse_failures_; }
+
+ private:
+  void output(util::Json doc);
+
+  Archiver& archiver_;
+  std::vector<std::pair<std::string, Filter>> filters_;
+  std::uint64_t events_in_ = 0;
+  std::uint64_t events_out_ = 0;
+  std::uint64_t events_dropped_ = 0;
+  std::uint64_t parse_failures_ = 0;
+  std::uint64_t sequence_ = 0;
+};
+
+/// Adapter: lets the switch control plane use Logstash's TCP input as a
+/// ReportSink — this is the wire between the two systems in Figure 7.
+/// Serializes each Report_v1 to a JSON line, exactly what travels the TCP
+/// connection in the real deployment.
+class LogstashTcpSink : public cp::ReportSink {
+ public:
+  explicit LogstashTcpSink(Logstash& logstash) : logstash_(logstash) {}
+
+  void on_report(const util::Json& report) override {
+    logstash_.tcp_input(report.dump() + "\n");
+  }
+
+ private:
+  Logstash& logstash_;
+};
+
+}  // namespace p4s::ps

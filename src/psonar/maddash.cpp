@@ -1,0 +1,142 @@
+#include "psonar/maddash.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace p4s::ps {
+
+const char* MadDash::status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "OK";
+    case Status::kWarn: return "WARN";
+    case Status::kCritical: return "CRIT";
+    case Status::kNoData: return "-";
+  }
+  return "?";
+}
+
+template <typename Classify>
+MadDash::Grid MadDash::build(const std::string& index,
+                             const std::string& field,
+                             const std::string& title,
+                             const std::string& unit,
+                             Classify&& classify) const {
+  Grid grid;
+  grid.title = title;
+  grid.unit = unit;
+  std::set<std::string> rows, cols;
+  for (const auto& doc : archiver_.search(index)) {
+    const auto src = Archiver::field_at(doc, "source");
+    const auto dst = Archiver::field_at(doc, "destination");
+    const auto value = Archiver::field_at(doc, field);
+    if (!src || !dst || !value || !value->is_number()) continue;
+    const std::string s = src->as_string();
+    const std::string d = dst->as_string();
+    rows.insert(s);
+    cols.insert(d);
+    Cell& cell = grid.cells[{s, d}];
+    cell.value = value->as_double();  // docs arrive in time order: latest
+    ++cell.samples;
+    cell.status = classify(cell.value);
+  }
+  grid.rows.assign(rows.begin(), rows.end());
+  grid.cols.assign(cols.begin(), cols.end());
+  return grid;
+}
+
+MadDash::Grid MadDash::throughput_grid(double warn_below_bps,
+                                       double crit_below_bps) const {
+  return build("pscheduler-throughput", "throughput_bps",
+               "throughput (iperf3)", "Mbps",
+               [=](double bps) {
+                 if (bps < crit_below_bps) return Status::kCritical;
+                 if (bps < warn_below_bps) return Status::kWarn;
+                 return Status::kOk;
+               });
+}
+
+MadDash::Grid MadDash::loss_grid(double warn_above_pct,
+                                 double crit_above_pct) const {
+  // Loss derives from sent/received of the latest latency doc per pair;
+  // compute via a synthetic classify on the received ratio.
+  Grid grid;
+  grid.title = "echo loss (ping)";
+  grid.unit = "%";
+  std::set<std::string> rows, cols;
+  for (const auto& doc : archiver_.search("pscheduler-latency")) {
+    const auto src = Archiver::field_at(doc, "source");
+    const auto dst = Archiver::field_at(doc, "destination");
+    const auto sent = Archiver::field_at(doc, "sent");
+    const auto received = Archiver::field_at(doc, "received");
+    if (!src || !dst || !sent || !received) continue;
+    const double total = sent->as_double();
+    if (total <= 0) continue;
+    const double loss_pct =
+        100.0 * (total - received->as_double()) / total;
+    const std::string s = src->as_string();
+    const std::string d = dst->as_string();
+    rows.insert(s);
+    cols.insert(d);
+    Cell& cell = grid.cells[{s, d}];
+    cell.value = loss_pct;
+    ++cell.samples;
+    cell.status = loss_pct > crit_above_pct  ? Status::kCritical
+                  : loss_pct > warn_above_pct ? Status::kWarn
+                                              : Status::kOk;
+  }
+  grid.rows.assign(rows.begin(), rows.end());
+  grid.cols.assign(cols.begin(), cols.end());
+  return grid;
+}
+
+MadDash::Grid MadDash::owd_grid(double warn_above_ms,
+                                double crit_above_ms) const {
+  return build("pscheduler-latencybg", "mean_owd_ms",
+               "one-way delay (owping)", "ms",
+               [=](double ms) {
+                 if (ms > crit_above_ms) return Status::kCritical;
+                 if (ms > warn_above_ms) return Status::kWarn;
+                 return Status::kOk;
+               });
+}
+
+void MadDash::render(const Grid& grid, std::ostream& out) {
+  out << "== MaDDash: " << grid.title << " (" << grid.unit << ") ==\n";
+  if (grid.cells.empty()) {
+    out << "(no data)\n";
+    return;
+  }
+  std::size_t row_width = 8;
+  for (const auto& r : grid.rows) row_width = std::max(row_width, r.size());
+  out << std::string(row_width, ' ');
+  for (const auto& c : grid.cols) {
+    out << "  " << c;
+  }
+  out << "\n";
+  for (const auto& r : grid.rows) {
+    out << r << std::string(row_width - r.size(), ' ');
+    for (const auto& c : grid.cols) {
+      const Cell* cell = grid.cell(r, c);
+      char buf[48];
+      if (cell == nullptr) {
+        std::snprintf(buf, sizeof buf, "%*s", static_cast<int>(c.size()),
+                      "-");
+      } else {
+        const double shown = grid.unit == "Mbps" ? cell->value / 1e6
+                                                 : cell->value;
+        std::snprintf(buf, sizeof buf, "%*s", static_cast<int>(c.size()),
+                      (std::string(status_name(cell->status)) + ":" +
+                       [&] {
+                         char v[16];
+                         std::snprintf(v, sizeof v, "%.1f", shown);
+                         return std::string(v);
+                       }())
+                          .c_str());
+      }
+      out << "  " << buf;
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace p4s::ps

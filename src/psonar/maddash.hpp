@@ -1,0 +1,70 @@
+// MaDDash emulation — the Monitoring and Debugging Dashboard from the
+// perfSONAR suite (Figure 2). MaDDash renders a src x dst grid per
+// measurement type, coloring each cell by threshold checks against the
+// archived results. This implementation builds those grids straight from
+// the archiver's pscheduler indices and renders them as text.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "psonar/archiver.hpp"
+
+namespace p4s::ps {
+
+class MadDash {
+ public:
+  enum class Status { kOk, kWarn, kCritical, kNoData };
+
+  struct Cell {
+    Status status = Status::kNoData;
+    double value = 0.0;  // latest archived value for the pair
+    std::uint64_t samples = 0;
+  };
+
+  struct Grid {
+    std::string title;
+    std::string unit;
+    std::vector<std::string> rows;  // sources
+    std::vector<std::string> cols;  // destinations
+    std::map<std::pair<std::string, std::string>, Cell> cells;
+
+    const Cell* cell(const std::string& src, const std::string& dst) const {
+      auto it = cells.find({src, dst});
+      return it == cells.end() ? nullptr : &it->second;
+    }
+  };
+
+  explicit MadDash(const Archiver& archiver) : archiver_(archiver) {}
+
+  /// Throughput grid from "pscheduler-throughput": ok when the latest
+  /// average is >= `warn_below_bps`, warn when >= `crit_below_bps`,
+  /// critical below that.
+  Grid throughput_grid(double warn_below_bps, double crit_below_bps) const;
+
+  /// Loss grid from "pscheduler-latency" (ping): percentage of lost
+  /// echoes; ok below warn, critical above crit.
+  Grid loss_grid(double warn_above_pct, double crit_above_pct) const;
+
+  /// One-way-delay grid from "pscheduler-latencybg" (owping): mean OWD in
+  /// ms with thresholds above which the pair warns / goes critical.
+  Grid owd_grid(double warn_above_ms, double crit_above_ms) const;
+
+  /// Render a grid as an aligned ASCII table with status glyphs
+  /// (OK / WARN / CRIT / '-').
+  static void render(const Grid& grid, std::ostream& out);
+
+  static const char* status_name(Status status);
+
+ private:
+  template <typename Classify>
+  Grid build(const std::string& index, const std::string& field,
+             const std::string& title, const std::string& unit,
+             Classify&& classify) const;
+
+  const Archiver& archiver_;
+};
+
+}  // namespace p4s::ps

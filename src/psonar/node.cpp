@@ -1,0 +1,3 @@
+#include "psonar/node.hpp"
+
+// PerfSonarNode is header-only composition; this TU anchors the library.

@@ -1,0 +1,49 @@
+// PerfSonarNode: one deployed perfSONAR instance (Figure 2) — the
+// archiver (OpenSearch), the Logstash pipeline in front of it, the
+// pScheduler running active tests from this node's host, and the
+// pSConfig layer (with config-P4) that can drive a P4 switch's control
+// plane.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/host.hpp"
+#include "psonar/archiver.hpp"
+#include "psonar/logstash.hpp"
+#include "psonar/psconfig.hpp"
+#include "psonar/pscheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace p4s::ps {
+
+class PerfSonarNode {
+ public:
+  PerfSonarNode(sim::Simulation& sim, net::Host& host)
+      : host_(host),
+        logstash_(archiver_),
+        scheduler_(sim, logstash_),
+        tcp_sink_(logstash_) {}
+
+  PerfSonarNode(const PerfSonarNode&) = delete;
+  PerfSonarNode& operator=(const PerfSonarNode&) = delete;
+
+  net::Host& host() { return host_; }
+  Archiver& archiver() { return archiver_; }
+  Logstash& logstash() { return logstash_; }
+  PScheduler& scheduler() { return scheduler_; }
+  PsConfig& psconfig() { return psconfig_; }
+
+  /// The ReportSink end of the control-plane -> Logstash TCP connection.
+  cp::ReportSink& report_sink() { return tcp_sink_; }
+
+ private:
+  net::Host& host_;
+  Archiver archiver_;
+  Logstash logstash_;
+  PScheduler scheduler_;
+  PsConfig psconfig_;
+  LogstashTcpSink tcp_sink_;
+};
+
+}  // namespace p4s::ps

@@ -1,0 +1,366 @@
+#include "psonar/pscheduler.hpp"
+
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+namespace p4s::ps {
+
+void PScheduler::schedule_throughput(net::Host& src, net::Host& dst,
+                                     const ThroughputTask& task) {
+  sim_.at(task.start,
+          [this, &src, &dst, task]() { run_throughput(src, dst, task); });
+  if (task.repeat_interval > 0) {
+    ThroughputTask next = task;
+    next.start = task.start + task.repeat_interval;
+    sim_.at(task.start, [this, &src, &dst, next]() {
+      schedule_throughput(src, dst, next);
+    });
+  }
+}
+
+void PScheduler::run_throughput(net::Host& src, net::Host& dst,
+                                ThroughputTask task) {
+  tcp::TcpFlow::Config config;
+  config.sender = task.sender;
+  auto flow = std::make_unique<tcp::TcpFlow>(sim_, src, dst, config);
+  tcp::TcpFlow* raw = flow.get();
+  const SimTime begin = sim_.now();
+  const std::string src_name = src.name();
+  const std::string dst_name = dst.name();
+
+  raw->set_on_complete([this, raw, begin, src_name, dst_name]() {
+    ThroughputResult r;
+    r.src = src_name;
+    r.dst = dst_name;
+    r.start = begin;
+    r.end = sim_.now();
+    r.bytes = raw->receiver().stats().goodput_bytes;
+    r.retransmits = raw->sender().stats().retransmitted_segments;
+    const double secs = units::to_seconds(r.end - r.start);
+    if (secs > 0.0) {
+      r.avg_throughput_bps = static_cast<double>(r.bytes) * 8.0 / secs;
+    }
+    throughput_results_.push_back(r);
+    report_throughput(r);
+  });
+  raw->start_at(sim_.now());
+  raw->stop_at(sim_.now() + task.duration);
+  active_flows_.push_back(std::move(flow));
+}
+
+void PScheduler::report_throughput(const ThroughputResult& r) {
+  util::Json doc = util::Json::object();
+  doc["report"] = "throughput";
+  doc["tool"] = "iperf3";
+  doc["source"] = r.src;
+  doc["destination"] = r.dst;
+  doc["ts_ns"] = static_cast<std::int64_t>(r.end);
+  // Default perfSONAR granularity: the average, nothing else (§2.3).
+  doc["throughput_bps"] = r.avg_throughput_bps;
+  logstash_.event(std::move(doc));
+}
+
+void PScheduler::schedule_latency(net::Host& src, net::Host& dst,
+                                  const LatencyTask& task) {
+  sim_.at(task.start,
+          [this, &src, &dst, task]() { run_latency(src, dst, task); });
+  if (task.repeat_interval > 0) {
+    LatencyTask next = task;
+    next.start = task.start + task.repeat_interval;
+    sim_.at(task.start, [this, &src, &dst, next]() {
+      schedule_latency(src, dst, next);
+    });
+  }
+}
+
+void PScheduler::run_latency(net::Host& src, net::Host& dst,
+                             LatencyTask task) {
+  struct PingState {
+    std::vector<SimTime> sent_at;
+    std::vector<SimTime> rtts;
+  };
+  auto state = std::make_shared<PingState>();
+  state->sent_at.resize(static_cast<std::size_t>(task.count), 0);
+  const std::uint16_t ident = next_icmp_ident_++;
+  const SimTime begin = sim_.now();
+
+  src.bind(net::Protocol::kIcmp, ident,
+           [this, state](const net::Packet& pkt) {
+             const auto seq = pkt.icmp().seq;
+             if (seq < state->sent_at.size() && state->sent_at[seq] != 0) {
+               state->rtts.push_back(sim_.now() - state->sent_at[seq]);
+               state->sent_at[seq] = 0;  // ignore duplicated replies
+             }
+           });
+
+  for (int i = 0; i < task.count; ++i) {
+    sim_.after(task.spacing * static_cast<std::uint64_t>(i),
+               [&src, &dst, ident, i, state, task, this]() {
+                 state->sent_at[static_cast<std::size_t>(i)] = sim_.now();
+                 src.send(net::make_icmp_packet(
+                     src.ip(), dst.ip(), /*type=*/8, ident,
+                     static_cast<std::uint16_t>(i), task.payload_bytes));
+               });
+  }
+
+  const SimTime finish = task.spacing * static_cast<std::uint64_t>(
+                                            std::max(0, task.count - 1)) +
+                         task.timeout;
+  sim_.after(finish, [this, state, task, begin, ident, &src, &dst]() {
+    src.unbind(net::Protocol::kIcmp, ident);
+    LatencyResult r;
+    r.src = src.name();
+    r.dst = dst.name();
+    r.start = begin;
+    r.end = sim_.now();
+    r.sent = task.count;
+    r.received = static_cast<int>(state->rtts.size());
+    if (!state->rtts.empty()) {
+      SimTime mn = state->rtts.front(), mx = state->rtts.front();
+      double sum = 0.0;
+      for (SimTime rtt : state->rtts) {
+        mn = std::min(mn, rtt);
+        mx = std::max(mx, rtt);
+        sum += static_cast<double>(rtt);
+      }
+      r.min_rtt_ms = units::to_milliseconds(mn);
+      r.max_rtt_ms = units::to_milliseconds(mx);
+      r.mean_rtt_ms =
+          sum / static_cast<double>(state->rtts.size()) / 1e6;
+    }
+    latency_results_.push_back(r);
+    report_latency(r);
+  });
+}
+
+void PScheduler::schedule_traceroute(net::Host& src, net::Host& dst,
+                                     const TracerouteTask& task) {
+  sim_.at(task.start,
+          [this, &src, &dst, task]() { run_traceroute(src, dst, task); });
+  if (task.repeat_interval > 0) {
+    TracerouteTask next = task;
+    next.start = task.start + task.repeat_interval;
+    sim_.at(task.start, [this, &src, &dst, next]() {
+      schedule_traceroute(src, dst, next);
+    });
+  }
+}
+
+void PScheduler::run_traceroute(net::Host& src, net::Host& dst,
+                                TracerouteTask task) {
+  struct State {
+    TracerouteResult result;
+    int current_ttl = 0;
+    bool answered = false;
+    SimTime probe_sent = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->result.src = src.name();
+  state->result.dst = dst.name();
+  const std::uint16_t ident = next_icmp_ident_++;
+
+  // probe() is self-rescheduling; it stores only a WEAK reference to
+  // itself (the strong reference lives in the host's handler binding) to
+  // avoid a closure cycle. finish() defers the unbind by one event so a
+  // handler is never destroyed while it is executing.
+  auto probe = std::make_shared<std::function<void()>>();
+  auto finish = [this, state, ident, &src]() {
+    state->result.end = sim_.now();
+    sim_.after(1, [this, state, ident, &src]() {
+      src.unbind(net::Protocol::kIcmp, ident);
+      traceroute_results_.push_back(state->result);
+      report_traceroute(state->result);
+    });
+  };
+
+  *probe = [this, state, ident, &src, &dst, task, finish,
+            wp = std::weak_ptr<std::function<void()>>(probe)]() {
+    if (state->result.reached || state->current_ttl >= task.max_hops) {
+      finish();
+      return;
+    }
+    ++state->current_ttl;
+    state->answered = false;
+    state->probe_sent = sim_.now();
+    net::Packet p = net::make_icmp_packet(
+        src.ip(), dst.ip(), /*type=*/8, ident,
+        static_cast<std::uint16_t>(state->current_ttl), 28);
+    p.ip.ttl = static_cast<std::uint8_t>(state->current_ttl);
+    src.send(std::move(p));
+    // Timeout: mark the hop silent and move on.
+    sim_.after(task.probe_timeout, [state, wp, ttl = state->current_ttl]() {
+      if (state->answered || state->result.reached) return;
+      if (state->current_ttl != ttl) return;  // already moved on
+      state->result.hops.push_back(TracerouteHop{});
+      if (auto p = wp.lock()) (*p)();
+    });
+  };
+
+  src.bind(net::Protocol::kIcmp, ident,
+           [this, state, probe](const net::Packet& pkt) {
+             if (state->answered || state->result.reached) return;
+             const auto& icmp = pkt.icmp();
+             if (icmp.type != 11 && icmp.type != 0) return;
+             if (icmp.seq != state->current_ttl) return;  // stale probe
+             state->answered = true;
+             TracerouteHop hop;
+             hop.addr = pkt.ip.src;
+             hop.replied = true;
+             hop.rtt_ms = units::to_milliseconds(sim_.now() -
+                                                 state->probe_sent);
+             state->result.hops.push_back(hop);
+             if (icmp.type == 0) state->result.reached = true;
+             (*probe)();
+           });
+  (*probe)();
+}
+
+void PScheduler::report_traceroute(const TracerouteResult& r) {
+  util::Json doc = util::Json::object();
+  doc["report"] = "trace";
+  doc["tool"] = "traceroute";
+  doc["source"] = r.src;
+  doc["destination"] = r.dst;
+  doc["ts_ns"] = static_cast<std::int64_t>(r.end);
+  doc["reached"] = r.reached;
+  util::Json hops = util::Json::array();
+  for (const auto& hop : r.hops) {
+    util::Json h = util::Json::object();
+    h["addr"] = hop.replied ? net::to_string(hop.addr) : "*";
+    h["rtt_ms"] = hop.rtt_ms;
+    hops.as_array().push_back(std::move(h));
+  }
+  doc["hops"] = std::move(hops);
+  logstash_.event(std::move(doc));
+}
+
+void PScheduler::schedule_udp_stream(net::Host& src, net::Host& dst,
+                                     const UdpStreamTask& task) {
+  sim_.at(task.start,
+          [this, &src, &dst, task]() { run_udp_stream(src, dst, task); });
+  if (task.repeat_interval > 0) {
+    UdpStreamTask next = task;
+    next.start = task.start + task.repeat_interval;
+    sim_.at(task.start, [this, &src, &dst, next]() {
+      schedule_udp_stream(src, dst, next);
+    });
+  }
+}
+
+void PScheduler::run_udp_stream(net::Host& src, net::Host& dst,
+                                UdpStreamTask task) {
+  struct State {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t out_of_order = 0;
+    std::uint32_t highest_seq = 0;
+    util::RunningStats owd_ms;
+    double jitter_ns = 0.0;
+    SimTime prev_transit = 0;
+    bool have_prev = false;
+  };
+  auto state = std::make_shared<State>();
+  const std::uint16_t dport = next_udp_port_++;
+  const std::uint16_t sport = src.allocate_port();
+  const SimTime begin = sim_.now();
+
+  dst.bind(net::Protocol::kUdp, dport,
+           [this, state](const net::Packet& pkt) {
+             ++state->received;
+             if (state->received > 1 &&
+                 pkt.app.seq < state->highest_seq) {
+               ++state->out_of_order;
+             }
+             state->highest_seq = std::max(state->highest_seq, pkt.app.seq);
+             const SimTime transit = sim_.now() - pkt.app.timestamp;
+             state->owd_ms.add(units::to_milliseconds(transit));
+             if (state->have_prev) {
+               const double d = std::abs(
+                   static_cast<double>(transit) -
+                   static_cast<double>(state->prev_transit));
+               // RFC 3550: J += (|D| - J) / 16.
+               state->jitter_ns += (d - state->jitter_ns) / 16.0;
+             }
+             state->prev_transit = transit;
+             state->have_prev = true;
+           });
+
+  const SimTime gap = std::max<SimTime>(
+      1, units::transmission_time(task.payload_bytes,
+                                  std::max<std::uint64_t>(1, task.rate_bps)));
+  sim_.every(sim_.now(), gap,
+             [this, state, &src, &dst, sport, dport, task, gap,
+              until = sim_.now() + task.duration]() {
+               net::Packet p = net::make_udp_packet(
+                   src.ip(), dst.ip(), sport, dport, task.payload_bytes);
+               p.app.seq = static_cast<std::uint32_t>(state->sent);
+               p.app.timestamp = sim_.now();
+               ++state->sent;
+               src.send(std::move(p));
+               return sim_.now() + gap < until;
+             });
+
+  sim_.after(task.duration + task.drain,
+             [this, state, &src, &dst, dport, begin]() {
+               dst.unbind(net::Protocol::kUdp, dport);
+               UdpStreamResult r;
+               r.src = src.name();
+               r.dst = dst.name();
+               r.start = begin;
+               r.end = sim_.now();
+               r.sent = state->sent;
+               r.received = state->received;
+               r.out_of_order = state->out_of_order;
+               if (state->sent > 0) {
+                 r.loss_pct = 100.0 *
+                              static_cast<double>(state->sent -
+                                                  state->received) /
+                              static_cast<double>(state->sent);
+               }
+               r.min_owd_ms = state->owd_ms.min();
+               r.mean_owd_ms = state->owd_ms.mean();
+               r.max_owd_ms = state->owd_ms.max();
+               r.jitter_ms = state->jitter_ns / 1e6;
+               udp_stream_results_.push_back(r);
+               report_udp_stream(r);
+             });
+}
+
+void PScheduler::report_udp_stream(const UdpStreamResult& r) {
+  util::Json doc = util::Json::object();
+  doc["report"] = "latencybg";
+  doc["tool"] = "owping";
+  doc["source"] = r.src;
+  doc["destination"] = r.dst;
+  doc["ts_ns"] = static_cast<std::int64_t>(r.end);
+  doc["sent"] = static_cast<std::int64_t>(r.sent);
+  doc["received"] = static_cast<std::int64_t>(r.received);
+  doc["loss_pct"] = r.loss_pct;
+  doc["min_owd_ms"] = r.min_owd_ms;
+  doc["mean_owd_ms"] = r.mean_owd_ms;
+  doc["max_owd_ms"] = r.max_owd_ms;
+  doc["jitter_ms"] = r.jitter_ms;
+  logstash_.event(std::move(doc));
+}
+
+void PScheduler::report_latency(const LatencyResult& r) {
+  util::Json doc = util::Json::object();
+  doc["report"] = "latency";
+  doc["tool"] = "ping";
+  doc["source"] = r.src;
+  doc["destination"] = r.dst;
+  doc["ts_ns"] = static_cast<std::int64_t>(r.end);
+  // Default perfSONAR granularity for RTT: min / mean / max (§2.3).
+  doc["min_rtt_ms"] = r.min_rtt_ms;
+  doc["mean_rtt_ms"] = r.mean_rtt_ms;
+  doc["max_rtt_ms"] = r.max_rtt_ms;
+  doc["sent"] = static_cast<std::int64_t>(r.sent);
+  doc["received"] = static_cast<std::int64_t>(r.received);
+  logstash_.event(std::move(doc));
+}
+
+}  // namespace p4s::ps

@@ -1,0 +1,177 @@
+// pScheduler: perfSONAR's active measurement layer. Runs the classic
+// tools over the simulated network and reports their (deliberately
+// aggregated) results to Logstash — this is the "regular perfSONAR"
+// baseline of Table 1:
+//
+//  * throughput tests (iperf3): a real TCP bulk transfer between two
+//    perfSONAR hosts for a fixed duration; the archived result is the
+//    AVERAGE throughput only (§2.3: "For throughput tests, Logstash only
+//    reports the average value");
+//  * latency tests (ping): ICMP echo trains; the archived result is
+//    min / mean / max RTT and the loss count (§2.3);
+//  * traceroute: TTL-stepped probes; intermediate switches answer with
+//    ICMP time-exceeded;
+//  * one-way UDP streams (owamp/powstream-style): paced, timestamped
+//    packets; the result is one-way delay min/mean/max, RFC 3550 jitter
+//    and loss.
+//
+// Tests can repeat on an interval, like a pSConfig mesh schedule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "psonar/logstash.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/flow.hpp"
+
+namespace p4s::ps {
+
+struct ThroughputResult {
+  std::string src;
+  std::string dst;
+  SimTime start = 0;
+  SimTime end = 0;
+  double avg_throughput_bps = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t retransmits = 0;
+};
+
+struct LatencyResult {
+  std::string src;
+  std::string dst;
+  SimTime start = 0;
+  SimTime end = 0;
+  int sent = 0;
+  int received = 0;
+  double min_rtt_ms = 0.0;
+  double mean_rtt_ms = 0.0;
+  double max_rtt_ms = 0.0;
+};
+
+struct TracerouteHop {
+  net::Ipv4Address addr = 0;
+  double rtt_ms = 0.0;
+  bool replied = false;
+};
+
+struct TracerouteResult {
+  std::string src;
+  std::string dst;
+  SimTime end = 0;
+  bool reached = false;
+  std::vector<TracerouteHop> hops;
+};
+
+struct UdpStreamResult {
+  std::string src;
+  std::string dst;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t out_of_order = 0;
+  double loss_pct = 0.0;
+  double min_owd_ms = 0.0;
+  double mean_owd_ms = 0.0;
+  double max_owd_ms = 0.0;
+  double jitter_ms = 0.0;  // RFC 3550 interarrival jitter
+};
+
+class PScheduler {
+ public:
+  PScheduler(sim::Simulation& sim, Logstash& logstash)
+      : sim_(sim), logstash_(logstash) {}
+
+  PScheduler(const PScheduler&) = delete;
+  PScheduler& operator=(const PScheduler&) = delete;
+
+  struct ThroughputTask {
+    SimTime start = 0;
+    SimTime duration = units::seconds(10);
+    /// 0 = run once; otherwise repeat with this period.
+    SimTime repeat_interval = 0;
+    tcp::TcpSender::Config sender;  // tool knobs (CCA, rate limit, ...)
+  };
+
+  /// Schedule an iperf3-style throughput test from `src` to `dst`.
+  void schedule_throughput(net::Host& src, net::Host& dst,
+                           const ThroughputTask& task);
+
+  struct LatencyTask {
+    SimTime start = 0;
+    int count = 10;
+    SimTime spacing = units::milliseconds(200);
+    SimTime timeout = units::seconds(2);
+    std::uint32_t payload_bytes = 56;
+    SimTime repeat_interval = 0;
+  };
+
+  /// Schedule a ping-style latency test from `src` to `dst`.
+  void schedule_latency(net::Host& src, net::Host& dst,
+                        const LatencyTask& task);
+
+  struct TracerouteTask {
+    SimTime start = 0;
+    int max_hops = 8;
+    SimTime probe_timeout = units::seconds(1);
+    SimTime repeat_interval = 0;
+  };
+
+  /// Schedule a traceroute from `src` to `dst` (one probe per TTL;
+  /// switches with router addresses answer time-exceeded).
+  void schedule_traceroute(net::Host& src, net::Host& dst,
+                           const TracerouteTask& task);
+
+  struct UdpStreamTask {
+    SimTime start = 0;
+    SimTime duration = units::seconds(5);
+    std::uint64_t rate_bps = 10'000'000;
+    std::uint32_t payload_bytes = 1000;
+    /// Grace period after the last send before results are computed.
+    SimTime drain = units::seconds(1);
+    SimTime repeat_interval = 0;
+  };
+
+  /// Schedule a one-way UDP stream test from `src` to `dst`.
+  void schedule_udp_stream(net::Host& src, net::Host& dst,
+                           const UdpStreamTask& task);
+
+  const std::vector<ThroughputResult>& throughput_results() const {
+    return throughput_results_;
+  }
+  const std::vector<LatencyResult>& latency_results() const {
+    return latency_results_;
+  }
+  const std::vector<TracerouteResult>& traceroute_results() const {
+    return traceroute_results_;
+  }
+  const std::vector<UdpStreamResult>& udp_stream_results() const {
+    return udp_stream_results_;
+  }
+
+ private:
+  void run_throughput(net::Host& src, net::Host& dst, ThroughputTask task);
+  void run_latency(net::Host& src, net::Host& dst, LatencyTask task);
+  void run_traceroute(net::Host& src, net::Host& dst, TracerouteTask task);
+  void run_udp_stream(net::Host& src, net::Host& dst, UdpStreamTask task);
+  void report_throughput(const ThroughputResult& r);
+  void report_latency(const LatencyResult& r);
+  void report_traceroute(const TracerouteResult& r);
+  void report_udp_stream(const UdpStreamResult& r);
+
+  sim::Simulation& sim_;
+  Logstash& logstash_;
+  std::vector<ThroughputResult> throughput_results_;
+  std::vector<LatencyResult> latency_results_;
+  std::vector<TracerouteResult> traceroute_results_;
+  std::vector<UdpStreamResult> udp_stream_results_;
+  std::vector<std::unique_ptr<tcp::TcpFlow>> active_flows_;
+  std::uint16_t next_icmp_ident_ = 1;
+  std::uint16_t next_udp_port_ = 8760;
+};
+
+}  // namespace p4s::ps

@@ -1,0 +1,221 @@
+#include "psonar/psconfig.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace p4s::ps {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+std::optional<double> parse_number(const std::string& s) {
+  double v = 0.0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+PsConfig::Result PsConfig::execute(const std::string& command_line) {
+  const auto tokens = tokenize(command_line);
+  if (tokens.empty() || tokens[0] != "psconfig") {
+    return {false, "usage: psconfig <command> [options]"};
+  }
+  if (tokens.size() < 2) {
+    return {false, "psconfig: missing command"};
+  }
+  if (tokens[1] == "config-P4") {
+    return run_config_p4({tokens.begin() + 2, tokens.end()}, command_line);
+  }
+  return {false, "psconfig: unknown command '" + tokens[1] + "'"};
+}
+
+PsConfig::Result PsConfig::run_config_p4(const std::vector<std::string>& args,
+                                         const std::string& original) {
+  if (control_plane_ == nullptr) {
+    return {false, "config-P4: no switch control plane attached"};
+  }
+
+  std::optional<cp::MetricKind> metric;
+  std::optional<double> samples_per_second;
+  std::optional<double> threshold;
+  bool alert = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next_value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    if (arg == "--metric") {
+      auto v = next_value();
+      if (!v) return {false, "config-P4: --metric needs a value"};
+      try {
+        metric = cp::metric_from_name(*v);
+      } catch (const std::invalid_argument& e) {
+        return {false, std::string("config-P4: ") + e.what()};
+      }
+    } else if (arg == "--samples_per_second") {
+      auto v = next_value();
+      if (!v) return {false, "config-P4: --samples_per_second needs a value"};
+      samples_per_second = parse_number(*v);
+      if (!samples_per_second || *samples_per_second <= 0.0) {
+        return {false, "config-P4: bad samples_per_second '" + *v + "'"};
+      }
+    } else if (arg == "--threshold") {
+      auto v = next_value();
+      if (!v) return {false, "config-P4: --threshold needs a value"};
+      threshold = parse_number(*v);
+      if (!threshold) {
+        return {false, "config-P4: bad threshold '" + *v + "'"};
+      }
+    } else if (arg == "--alert") {
+      alert = true;
+    } else {
+      return {false, "config-P4: unknown option '" + arg + "'"};
+    }
+  }
+
+  if (alert && !threshold.has_value()) {
+    return {false, "config-P4: --alert requires --threshold"};
+  }
+  if (!alert && !samples_per_second.has_value()) {
+    return {false,
+            "config-P4: nothing to do (need --samples_per_second or "
+            "--alert --threshold)"};
+  }
+
+  // Figure 6 semantics: no --metric applies to all metrics.
+  std::vector<cp::MetricKind> targets;
+  if (metric.has_value()) {
+    targets.push_back(*metric);
+  } else {
+    for (std::size_t i = 0; i < cp::kMetricCount; ++i) {
+      targets.push_back(static_cast<cp::MetricKind>(i));
+    }
+  }
+
+  for (cp::MetricKind kind : targets) {
+    if (alert) {
+      control_plane_->set_alert(kind, *threshold, samples_per_second);
+    } else {
+      control_plane_->set_samples_per_second(kind, *samples_per_second);
+    }
+  }
+
+  history_.push_back(original);
+  std::string applied = alert ? "alert configured" : "sampling configured";
+  return {true, applied};
+}
+
+namespace {
+
+/// Typed field access with defaults for mesh task objects.
+double number_or(const util::Json& obj, const std::string& key,
+                 double fallback) {
+  if (auto v = obj.find(key); v.has_value() && v->is_number()) {
+    return v->as_double();
+  }
+  return fallback;
+}
+
+}  // namespace
+
+PsConfig::Result PsConfig::apply_mesh(
+    const util::Json& mesh, PScheduler& scheduler,
+    const std::map<std::string, net::Host*>& hosts) {
+  if (!mesh.is_object() || !mesh.contains("tasks") ||
+      !mesh.at("tasks").is_array()) {
+    return {false, "mesh: expected an object with a 'tasks' array"};
+  }
+
+  // Validate everything first: templates apply atomically.
+  struct Planned {
+    std::string type;
+    net::Host* src;
+    net::Host* dst;
+    util::Json spec;
+  };
+  std::vector<Planned> plan;
+  for (const auto& task : mesh.at("tasks").as_array()) {
+    if (!task.is_object()) return {false, "mesh: task must be an object"};
+    for (const char* key : {"type", "src", "dst"}) {
+      if (!task.contains(key) || !task.at(key).is_string()) {
+        return {false, std::string("mesh: task missing '") + key + "'"};
+      }
+    }
+    const std::string type = task.at("type").as_string();
+    if (type != "throughput" && type != "latency" && type != "trace" &&
+        type != "udp_stream") {
+      return {false, "mesh: unknown task type '" + type + "'"};
+    }
+    auto find_host = [&](const std::string& name) -> net::Host* {
+      auto it = hosts.find(name);
+      return it == hosts.end() ? nullptr : it->second;
+    };
+    net::Host* src = find_host(task.at("src").as_string());
+    net::Host* dst = find_host(task.at("dst").as_string());
+    if (src == nullptr || dst == nullptr) {
+      return {false, "mesh: unknown host in task (src='" +
+                         task.at("src").as_string() + "', dst='" +
+                         task.at("dst").as_string() + "')"};
+    }
+    plan.push_back(Planned{type, src, dst, task});
+  }
+
+  for (const auto& p : plan) {
+    const SimTime start = units::seconds_f(number_or(p.spec, "start_s", 1));
+    const SimTime repeat =
+        units::seconds_f(number_or(p.spec, "repeat_s", 0));
+    if (p.type == "throughput") {
+      PScheduler::ThroughputTask t;
+      t.start = start;
+      t.duration = units::seconds_f(number_or(p.spec, "duration_s", 10));
+      t.repeat_interval = repeat;
+      scheduler.schedule_throughput(*p.src, *p.dst, t);
+    } else if (p.type == "latency") {
+      PScheduler::LatencyTask t;
+      t.start = start;
+      t.count = static_cast<int>(number_or(p.spec, "count", 10));
+      t.repeat_interval = repeat;
+      scheduler.schedule_latency(*p.src, *p.dst, t);
+    } else if (p.type == "trace") {
+      PScheduler::TracerouteTask t;
+      t.start = start;
+      t.max_hops = static_cast<int>(number_or(p.spec, "max_hops", 8));
+      t.repeat_interval = repeat;
+      scheduler.schedule_traceroute(*p.src, *p.dst, t);
+    } else {
+      PScheduler::UdpStreamTask t;
+      t.start = start;
+      t.duration = units::seconds_f(number_or(p.spec, "duration_s", 5));
+      t.rate_bps = static_cast<std::uint64_t>(
+          number_or(p.spec, "rate_mbps", 10) * 1e6);
+      t.repeat_interval = repeat;
+      scheduler.schedule_udp_stream(*p.src, *p.dst, t);
+    }
+  }
+  history_.push_back("apply_mesh(" + std::to_string(plan.size()) +
+                     " tasks)");
+  return {true, std::to_string(plan.size()) + " tasks scheduled"};
+}
+
+PsConfig::Result PsConfig::apply_mesh_text(
+    const std::string& text, PScheduler& scheduler,
+    const std::map<std::string, net::Host*>& hosts) {
+  try {
+    return apply_mesh(util::Json::parse(text), scheduler, hosts);
+  } catch (const util::JsonError& e) {
+    return {false, std::string("mesh: ") + e.what()};
+  }
+}
+
+}  // namespace p4s::ps

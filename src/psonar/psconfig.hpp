@@ -1,0 +1,85 @@
+// pSConfig with the paper's `config-P4` extension (§3.3.5, Figure 6).
+//
+// The added command configures the programmable switch's control plane
+// from a perfSONAR node at run time:
+//
+//   psconfig config-P4 --metric throughput --samples_per_second 1
+//   psconfig config-P4 --metric RTT --samples_per_second 2
+//   psconfig config-P4 --metric queue_occupancy --alert --threshold 30
+//                      --samples_per_second 10
+//
+// Without --alert, --samples_per_second sets the metric's extraction
+// rate. With --alert, --threshold sets the alert threshold and
+// --samples_per_second sets the boosted rate used while the threshold is
+// exceeded. Omitting --metric applies the configuration to all four
+// metrics (§3.3.5).
+// pSConfig also carries its original duty: JSON mesh templates that
+// define which active tests run between which hosts on what schedule
+// (apply_mesh). Template format (a compact pscfg.json analogue):
+//
+//   {
+//     "tasks": [
+//       {"type": "throughput", "src": "psonar-internal",
+//        "dst": "psonar-ext1", "start_s": 1, "duration_s": 10,
+//        "repeat_s": 60},
+//       {"type": "latency",   ..., "count": 10},
+//       {"type": "trace",     ..., "max_hops": 8},
+//       {"type": "udp_stream",..., "rate_mbps": 10, "duration_s": 5}
+//     ]
+//   }
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "controlplane/control_plane.hpp"
+#include "psonar/pscheduler.hpp"
+#include "util/json.hpp"
+
+namespace p4s::ps {
+
+class PsConfig {
+ public:
+  PsConfig() = default;
+  explicit PsConfig(cp::ControlPlane& control_plane)
+      : control_plane_(&control_plane) {}
+
+  /// Point the configuration layer at a switch control plane.
+  void attach(cp::ControlPlane& control_plane) {
+    control_plane_ = &control_plane;
+  }
+
+  struct Result {
+    bool ok = false;
+    std::string message;
+  };
+
+  /// Execute a full command line ("psconfig config-P4 ...").
+  Result execute(const std::string& command_line);
+
+  /// History of executed command lines (successful ones), as pSConfig's
+  /// audit trail.
+  const std::vector<std::string>& history() const { return history_; }
+
+  /// Apply a JSON mesh template: schedules every task on `scheduler`,
+  /// resolving host names through `hosts`. Returns ok with the number of
+  /// scheduled tasks in the message, or the first error encountered
+  /// (nothing is scheduled on error — templates apply atomically).
+  Result apply_mesh(const util::Json& mesh, PScheduler& scheduler,
+                    const std::map<std::string, net::Host*>& hosts);
+
+  /// Convenience: parse `text` as JSON, then apply_mesh.
+  Result apply_mesh_text(const std::string& text, PScheduler& scheduler,
+                         const std::map<std::string, net::Host*>& hosts);
+
+ private:
+  Result run_config_p4(const std::vector<std::string>& args,
+                       const std::string& original);
+
+  cp::ControlPlane* control_plane_ = nullptr;
+  std::vector<std::string> history_;
+};
+
+}  // namespace p4s::ps

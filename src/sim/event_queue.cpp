@@ -1,0 +1,60 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace p4s::sim {
+
+EventHandle EventQueue::schedule_at(SimTime at, EventFn fn) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(cancelled)};
+  heap_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
+  ++live_;
+  return handle;
+}
+
+bool EventQueue::pop_and_run() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the event is moved out via const_cast,
+    // which is safe because pop() immediately removes the slot.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    if (*ev.cancelled) {
+      continue;  // lazily dropped
+    }
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    *ev.cancelled = true;  // mark fired so handles report !pending
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::step() { return pop_and_run(); }
+
+void EventQueue::run_until(SimTime until) {
+  while (!heap_.empty()) {
+    // Skip cancelled events without advancing time.
+    if (*heap_.top().cancelled) {
+      heap_.pop();
+      --live_;
+      continue;
+    }
+    if (heap_.top().time > until) break;
+    pop_and_run();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run() {
+  while (pop_and_run()) {
+  }
+}
+
+}  // namespace p4s::sim

@@ -1,0 +1,100 @@
+// Discrete-event scheduler.
+//
+// A binary heap keyed by (time, sequence) gives O(log n) schedule/pop with
+// deterministic FIFO ordering for simultaneous events — determinism matters
+// because every experiment in EXPERIMENTS.md must be exactly reproducible.
+// Cancellation is lazy: a cancelled event stays in the heap but is skipped
+// when popped, which keeps cancel() O(1) (TCP cancels its RTO timer on
+// every ACK, so this path is hot).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace p4s::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles are inert. Copies share the same underlying event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly and
+  /// on inert handles.
+  void cancel() {
+    if (auto p = state_.lock()) *p = true;
+  }
+
+  /// True if the handle refers to an event that is still pending.
+  bool pending() const {
+    auto p = state_.lock();
+    return p && !*p;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> state) : state_(std::move(state)) {}
+  std::weak_ptr<bool> state_;  // *state == true -> cancelled
+};
+
+class EventQueue {
+ public:
+  /// Current simulated time. Monotonically non-decreasing.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now()). Events at equal
+  /// times fire in scheduling order.
+  EventHandle schedule_at(SimTime at, EventFn fn);
+
+  /// Schedule `fn` to run `delay` ns from now.
+  EventHandle schedule_in(SimTime delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run events until the queue is empty or `until` is reached. Events
+  /// scheduled exactly at `until` DO run; afterwards now() == until if the
+  /// horizon was hit, else the time of the last event.
+  void run_until(SimTime until);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  /// Execute at most one event; returns false if none were pending.
+  bool step();
+
+  /// Heap entries not yet collected. Cancellation is lazy, so a cancelled
+  /// event still counts until its slot is popped.
+  std::size_t pending_events() const { return live_; }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;  // heap entries not yet popped
+};
+
+}  // namespace p4s::sim

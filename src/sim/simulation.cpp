@@ -1,0 +1,27 @@
+#include "sim/simulation.hpp"
+
+#include <cmath>
+
+namespace p4s::sim {
+
+double Rng::next_exponential(double mean) {
+  // Inverse CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+void Simulation::every(SimTime start, SimTime period,
+                       std::function<bool()> fn) {
+  schedule_tick(start, period,
+                std::make_shared<std::function<bool()>>(std::move(fn)));
+}
+
+void Simulation::schedule_tick(SimTime t, SimTime period,
+                               std::shared_ptr<std::function<bool()>> fn) {
+  at(t, [this, period, fn]() {
+    if ((*fn)()) schedule_tick(now() + period, period, fn);
+  });
+}
+
+}  // namespace p4s::sim

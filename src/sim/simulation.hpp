@@ -1,0 +1,47 @@
+// Simulation: owns the event queue and the root PRNG, and is handed by
+// reference to every component. One Simulation == one deterministic run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "util/units.hpp"
+
+namespace p4s::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return events_.now(); }
+  EventQueue& events() { return events_; }
+  Rng& rng() { return rng_; }
+
+  EventHandle at(SimTime t, EventFn fn) {
+    return events_.schedule_at(t, std::move(fn));
+  }
+  EventHandle after(SimTime delay, EventFn fn) {
+    return events_.schedule_in(delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at `start` and then every `period` until it returns
+  /// false or the run ends.
+  void every(SimTime start, SimTime period, std::function<bool()> fn);
+
+  void run_until(SimTime until) { events_.run_until(until); }
+  void run() { events_.run(); }
+
+ private:
+  void schedule_tick(SimTime t, SimTime period,
+                     std::shared_ptr<std::function<bool()>> fn);
+
+  EventQueue events_;
+  Rng rng_;
+};
+
+}  // namespace p4s::sim

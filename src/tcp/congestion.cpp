@@ -1,0 +1,341 @@
+#include "tcp/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace p4s::tcp {
+
+namespace {
+
+class Reno final : public CongestionControl {
+ public:
+  void init(std::uint32_t mss, std::uint64_t initial_cwnd) override {
+    mss_ = mss;
+    cwnd_ = initial_cwnd;
+    ssthresh_ = std::numeric_limits<std::uint64_t>::max();
+  }
+
+  void on_ack(std::uint64_t acked_bytes, SimTime /*now*/, SimTime /*srtt*/,
+              SimTime /*min_rtt*/) override {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += acked_bytes;  // slow start: exponential per RTT
+    } else {
+      // Congestion avoidance: ~one MSS per RTT (per-ACK fraction).
+      cwnd_ += std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(mss_) * acked_bytes / cwnd_);
+    }
+  }
+
+  void on_enter_recovery(std::uint64_t flight_bytes, SimTime) override {
+    ssthresh_ = std::max<std::uint64_t>(flight_bytes / 2, 2ULL * mss_);
+    cwnd_ = ssthresh_;
+  }
+
+  void on_exit_recovery(SimTime) override { cwnd_ = ssthresh_; }
+
+  void on_rto(SimTime) override {
+    ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2ULL * mss_);
+    cwnd_ = mss_;
+  }
+
+  std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
+  const char* name() const override { return "reno"; }
+
+ private:
+  std::uint32_t mss_ = 1460;
+  std::uint64_t cwnd_ = 0;
+  std::uint64_t ssthresh_ = std::numeric_limits<std::uint64_t>::max();
+};
+
+// CUBIC per RFC 8312. Window arithmetic is done in MSS units (double) as
+// in the RFC; the byte interface converts at the boundary.
+class Cubic final : public CongestionControl {
+ public:
+  void init(std::uint32_t mss, std::uint64_t initial_cwnd) override {
+    mss_ = mss;
+    cwnd_mss_ = static_cast<double>(initial_cwnd) / mss_;
+    ssthresh_mss_ = kInf;
+    reset_epoch();
+  }
+
+  void on_ack(std::uint64_t acked_bytes, SimTime now, SimTime srtt,
+              SimTime min_rtt) override {
+    const double acked_mss = static_cast<double>(acked_bytes) / mss_;
+    if (cwnd_mss_ < ssthresh_mss_) {
+      cwnd_mss_ += acked_mss;  // slow start
+      // HyStart-style delay-increase exit (Linux CUBIC default): once the
+      // smoothed RTT has risen measurably above the path's minimum, the
+      // pipe is full — stop doubling before a mass-drop overshoot.
+      if (srtt > 0 && min_rtt > 0) {
+        const SimTime budget =
+            std::max<SimTime>(min_rtt / 8, units::milliseconds(4));
+        if (srtt > min_rtt + budget) {
+          ssthresh_mss_ = cwnd_mss_;
+          epoch_start_ = 0;
+          w_max_ = cwnd_mss_;
+        }
+      }
+      return;
+    }
+    if (epoch_start_ == 0) {
+      epoch_start_ = now;
+      if (w_max_ <= 0.0) w_max_ = cwnd_mss_;
+      k_ = std::cbrt(w_max_ * (1.0 - kBeta) / kC);
+      w_est_ = cwnd_mss_;
+    }
+    const double t = units::to_seconds(now - epoch_start_);
+    const double rtt_s = std::max(1e-6, units::to_seconds(srtt));
+    const double target = kC * std::pow(t - k_, 3.0) + w_max_;
+
+    // TCP-friendly region (RFC 8312 §4.2): track what Reno would achieve.
+    w_est_ += kRenoAlpha * acked_mss / cwnd_mss_;
+
+    (void)rtt_s;
+    double next = cwnd_mss_;
+    if (target > cwnd_mss_) {
+      // Concave/convex region, per-ACK form of RFC 8312 §4.1:
+      // cwnd += (target - cwnd) / cwnd per acked MSS.
+      next = cwnd_mss_ + (target - cwnd_mss_) / cwnd_mss_ * acked_mss;
+    } else {
+      // In the plateau: minimal growth keeps probing.
+      next = cwnd_mss_ + 0.01 * acked_mss;
+    }
+    cwnd_mss_ = std::max(next, w_est_);
+  }
+
+  void on_enter_recovery(std::uint64_t flight_bytes, SimTime) override {
+    const double flight_mss = static_cast<double>(flight_bytes) / mss_;
+    // Fast convergence (RFC 8312 §4.6).
+    if (flight_mss < w_max_) {
+      w_max_ = flight_mss * (1.0 + kBeta) / 2.0;
+    } else {
+      w_max_ = flight_mss;
+    }
+    ssthresh_mss_ = std::max(flight_mss * kBeta, 2.0);
+    cwnd_mss_ = ssthresh_mss_;
+    epoch_start_ = 0;
+  }
+
+  void on_exit_recovery(SimTime) override { cwnd_mss_ = ssthresh_mss_; }
+
+  void on_rto(SimTime) override {
+    ssthresh_mss_ = std::max(cwnd_mss_ * kBeta, 2.0);
+    w_max_ = cwnd_mss_;
+    cwnd_mss_ = 1.0;
+    epoch_start_ = 0;
+  }
+
+  std::uint64_t cwnd_bytes() const override {
+    return static_cast<std::uint64_t>(cwnd_mss_ * mss_);
+  }
+  std::uint64_t ssthresh_bytes() const override {
+    if (ssthresh_mss_ >= kInf) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    return static_cast<std::uint64_t>(ssthresh_mss_ * mss_);
+  }
+  const char* name() const override { return "cubic"; }
+
+ private:
+  void reset_epoch() {
+    epoch_start_ = 0;
+    w_max_ = 0.0;
+    k_ = 0.0;
+    w_est_ = 0.0;
+  }
+
+  static constexpr double kC = 0.4;
+  static constexpr double kBeta = 0.7;
+  // Reno-equivalent AIMD increase with CUBIC's beta (RFC 8312 eq. 4).
+  static constexpr double kRenoAlpha = 3.0 * (1.0 - kBeta) / (1.0 + kBeta);
+  static constexpr double kInf = 1e18;
+
+  std::uint32_t mss_ = 1460;
+  double cwnd_mss_ = 10.0;
+  double ssthresh_mss_ = kInf;
+  double w_max_ = 0.0;
+  double k_ = 0.0;
+  double w_est_ = 0.0;
+  SimTime epoch_start_ = 0;
+};
+
+// Simplified BBR (after BBRv1): model the path with two measurements —
+// the bottleneck bandwidth (windowed max of per-ACK delivery rate) and
+// the round-trip propagation delay (min RTT) — and pace at
+// gain * btl_bw with cwnd = 2 * BDP. States: STARTUP (gain 2.89 until
+// the bandwidth estimate plateaus) -> DRAIN -> PROBE_BW (8-phase gain
+// cycle). PROBE_RTT is omitted (the simulated paths do not grow their
+// min-RTT estimate stale within experiment timescales); documented here
+// as the one deliberate simplification.
+class Bbr final : public CongestionControl {
+ public:
+  void init(std::uint32_t mss, std::uint64_t initial_cwnd) override {
+    mss_ = mss;
+    cwnd_ = std::max<std::uint64_t>(initial_cwnd, 4ULL * mss);
+  }
+
+  void on_ack(std::uint64_t acked_bytes, SimTime now, SimTime /*srtt*/,
+              SimTime min_rtt) override {
+    if (min_rtt > 0) rt_prop_ = rt_prop_ ? std::min(rt_prop_, min_rtt)
+                                         : min_rtt;
+    // Delivery-rate sample over a full-RTT measurement window: per-ACK
+    // gaps are dominated by ACK compression, and recovery's cumulative-
+    // ACK jumps would read as absurd instantaneous rates; averaging over
+    // an RTT approximates real BBR's per-packet delivery-rate sampler.
+    if (rate_window_start_ == 0) rate_window_start_ = now;
+    window_bytes_ += acked_bytes;
+    const SimTime min_window = std::max<SimTime>(
+        rt_prop_, units::milliseconds(1));
+    if (now - rate_window_start_ >= min_window) {
+      const double rate =
+          static_cast<double>(window_bytes_) * 8e9 /
+          static_cast<double>(now - rate_window_start_);
+      update_max_filter(rate, now);
+      window_bytes_ = 0;
+      rate_window_start_ = now;
+    }
+    advance_state(now);
+
+    const std::uint64_t bdp = bdp_bytes();
+    switch (state_) {
+      case State::kStartup:
+        // Exponential growth; the pacing rate (2.89 x est. bandwidth)
+        // throttles what actually enters the network.
+        cwnd_ += acked_bytes;
+        break;
+      case State::kDrain:
+      case State::kProbeBw:
+        cwnd_ = std::max<std::uint64_t>(2 * bdp, 4ULL * mss_);
+        break;
+    }
+  }
+
+  void on_enter_recovery(std::uint64_t, SimTime) override {
+    // BBRv1 famously ignores loss; that prolongs the 2.89x startup
+    // overload when flows compete. Adopt BBRv2's startup refinement:
+    // repeated loss episodes during STARTUP mean the pipe is full — move
+    // on to DRAIN. Steady-state loss is still not a congestion signal.
+    if (state_ == State::kStartup && ++startup_recoveries_ >= 4) {
+      state_ = State::kDrain;
+      full_bw_ = max_bw_;
+    }
+  }
+  void on_exit_recovery(SimTime) override {}
+
+  void on_rto(SimTime) override {
+    // Timeout: restart the window conservatively but KEEP the path model
+    // (real BBR's estimates only expire through their windowed filters;
+    // discarding them here would re-run the 2.89x startup overshoot
+    // after every timeout and loop the loss storm).
+    cwnd_ = 4ULL * mss_;
+    if (state_ == State::kStartup) return;  // loss-exit will advance it
+    state_ = State::kProbeBw;
+    cycle_index_ = 1;  // resume in the 0.75 (draining) phase
+  }
+
+  std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::uint64_t ssthresh_bytes() const override {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  bool in_slow_start() const override {
+    return state_ == State::kStartup;
+  }
+  std::uint64_t pacing_rate_bps() const override {
+    if (max_bw_ <= 0.0) return 0;  // unpaced until the first estimate
+    return static_cast<std::uint64_t>(pacing_gain() * max_bw_);
+  }
+  bool wants_ack_in_recovery() const override { return true; }
+  const char* name() const override { return "bbr"; }
+
+ private:
+  enum class State { kStartup, kDrain, kProbeBw };
+
+  static constexpr double kHighGain = 2.885;
+  static constexpr double kDrainGain = 1.0 / 2.885;
+  static constexpr double kCycle[8] = {1.25, 0.75, 1, 1, 1, 1, 1, 1};
+
+  double pacing_gain() const {
+    switch (state_) {
+      case State::kStartup: return kHighGain;
+      case State::kDrain: return kDrainGain;
+      case State::kProbeBw: return kCycle[cycle_index_];
+    }
+    return 1.0;
+  }
+
+  std::uint64_t bdp_bytes() const {
+    if (max_bw_ <= 0.0 || rt_prop_ == 0) return 10ULL * mss_;
+    return static_cast<std::uint64_t>(max_bw_ *
+                                      units::to_seconds(rt_prop_) / 8.0);
+  }
+
+  void update_max_filter(double rate, SimTime now) {
+    // Windowed max over ~10 rt_prop.
+    const SimTime window = rt_prop_ ? 10 * rt_prop_ : units::seconds(1);
+    if (rate >= max_bw_ || now - max_bw_at_ > window) {
+      max_bw_ = rate;
+      max_bw_at_ = now;
+    }
+  }
+
+  void advance_state(SimTime now) {
+    const SimTime round = rt_prop_ ? rt_prop_ : units::milliseconds(100);
+    if (now - round_start_ < round) return;
+    round_start_ = now;
+    switch (state_) {
+      case State::kStartup:
+        // Exit when bandwidth stops growing 25% per round for 3 rounds.
+        if (max_bw_ < full_bw_ * 1.25) {
+          if (++full_bw_rounds_ >= 3) state_ = State::kDrain;
+        } else {
+          full_bw_ = max_bw_;
+          full_bw_rounds_ = 0;
+        }
+        break;
+      case State::kDrain:
+        // Hold the drain gain until the startup overshoot has left the
+        // queue (three rounds at ~1/3 of the bottleneck rate drain more
+        // than any 2.89x startup excess).
+        if (++drain_rounds_ >= 3) {
+          state_ = State::kProbeBw;
+          cycle_index_ = 0;
+        }
+        break;
+      case State::kProbeBw:
+        cycle_index_ = (cycle_index_ + 1) % 8;
+        break;
+    }
+  }
+
+  std::uint32_t mss_ = 1460;
+  std::uint64_t cwnd_ = 0;
+  State state_ = State::kStartup;
+  double max_bw_ = 0.0;      // bits per second
+  SimTime max_bw_at_ = 0;
+  std::uint64_t window_bytes_ = 0;
+  SimTime rate_window_start_ = 0;
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+  int startup_recoveries_ = 0;
+  int drain_rounds_ = 0;
+  SimTime rt_prop_ = 0;
+  SimTime round_start_ = 0;
+  int cycle_index_ = 0;
+};
+
+constexpr double Bbr::kCycle[8];
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> make_congestion_control(
+    const std::string& name) {
+  if (name == "reno") return std::make_unique<Reno>();
+  if (name == "cubic") return std::make_unique<Cubic>();
+  if (name == "bbr") return std::make_unique<Bbr>();
+  throw std::invalid_argument("unknown congestion control: " + name);
+}
+
+}  // namespace p4s::tcp

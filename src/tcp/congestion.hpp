@@ -1,0 +1,60 @@
+// Congestion-control algorithms. The paper's DTNs run standard loss-based
+// TCP; we provide NewReno-style AIMD ("reno") and CUBIC (RFC 8312), the
+// Linux default on real DTNs, plus a model-based "bbr" (after BBRv1 —
+// the related work the paper cites evaluates BBRv2 coexistence). The
+// algorithm owns cwnd/ssthresh; the sender owns dup-ACK accounting and
+// recovery sequencing, and honours pacing_rate_bps() when non-zero.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace p4s::tcp {
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// Called once before the first segment. `initial_cwnd` in bytes.
+  virtual void init(std::uint32_t mss, std::uint64_t initial_cwnd) = 0;
+
+  /// New cumulative ACK for `acked_bytes` outside loss recovery.
+  /// `srtt`/`min_rtt` come from the sender's estimator; CUBIC uses them
+  /// for its HyStart-style slow-start exit (leave 0 when unknown).
+  virtual void on_ack(std::uint64_t acked_bytes, SimTime now, SimTime srtt,
+                      SimTime min_rtt) = 0;
+
+  /// Entering fast recovery (triple dup-ACK). Sets ssthresh and reduces
+  /// cwnd per the algorithm's multiplicative decrease.
+  virtual void on_enter_recovery(std::uint64_t flight_bytes, SimTime now) = 0;
+
+  /// Recovery completed (full ACK past the recovery point).
+  virtual void on_exit_recovery(SimTime now) = 0;
+
+  /// Retransmission timeout: collapse to one segment and re-enter slow
+  /// start.
+  virtual void on_rto(SimTime now) = 0;
+
+  virtual std::uint64_t cwnd_bytes() const = 0;
+  virtual std::uint64_t ssthresh_bytes() const = 0;
+  virtual bool in_slow_start() const {
+    return cwnd_bytes() < ssthresh_bytes();
+  }
+  /// Pacing rate in bits/s; 0 means "window-clocked, no pacing" (Reno and
+  /// CUBIC here). BBR returns its gain-cycled rate.
+  virtual std::uint64_t pacing_rate_bps() const { return 0; }
+  /// Model-based CCAs keep learning from ACKs inside loss recovery
+  /// (BBR's rate sampler); loss-based ones freeze their window there.
+  virtual bool wants_ack_in_recovery() const { return false; }
+  virtual const char* name() const = 0;
+};
+
+/// "reno", "cubic" or "bbr" (case-sensitive). Throws
+/// std::invalid_argument on anything else.
+std::unique_ptr<CongestionControl> make_congestion_control(
+    const std::string& name);
+
+}  // namespace p4s::tcp

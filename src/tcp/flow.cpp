@@ -1,0 +1,41 @@
+#include "tcp/flow.hpp"
+
+namespace p4s::tcp {
+
+std::uint16_t TcpFlow::next_default_port_ = 5201;
+
+TcpFlow::TcpFlow(sim::Simulation& sim, net::Host& src, net::Host& dst,
+                 Config config)
+    : sim_(sim) {
+  const std::uint16_t dst_port =
+      config.dst_port != 0 ? config.dst_port : next_default_port_++;
+  const std::uint16_t src_port =
+      config.src_port != 0 ? config.src_port : src.allocate_port();
+  receiver_ = std::make_unique<TcpReceiver>(sim, dst, dst_port,
+                                            config.receiver);
+  sender_ = std::make_unique<TcpSender>(sim, src, dst.ip(), src_port,
+                                        dst_port, config.sender);
+}
+
+void TcpFlow::start_at(SimTime at) {
+  sim_.at(at, [this]() { sender_->start(); });
+}
+
+void TcpFlow::stop_at(SimTime at) {
+  sim_.at(at, [this]() { sender_->stop(); });
+}
+
+void TcpFlow::set_on_complete(std::function<void()> cb) {
+  sender_->set_on_complete(std::move(cb));
+}
+
+double TcpFlow::average_goodput_bps(SimTime now) const {
+  const auto& s = sender_->stats();
+  if (s.established_time == 0) return 0.0;
+  const SimTime end = s.end_time != 0 ? s.end_time : now;
+  if (end <= s.established_time) return 0.0;
+  const double secs = units::to_seconds(end - s.established_time);
+  return static_cast<double>(receiver_->stats().goodput_bytes) * 8.0 / secs;
+}
+
+}  // namespace p4s::tcp

@@ -1,0 +1,64 @@
+// TcpFlow: a one-directional bulk TCP transfer between two hosts — the
+// iPerf3-style workload every experiment in the paper runs. Owns the
+// sender and receiver endpoints, wires their port bindings, and exposes
+// the per-flow counters that the experiments (and the telemetry's ground
+// truth) read.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/host.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sender.hpp"
+
+namespace p4s::tcp {
+
+class TcpFlow {
+ public:
+  struct Config {
+    TcpSender::Config sender;
+    TcpReceiver::Config receiver;
+    /// Destination port; 0 picks 5201 + flow index (iperf3 convention).
+    std::uint16_t dst_port = 0;
+    /// Source port; 0 allocates an ephemeral port on the source host.
+    std::uint16_t src_port = 0;
+  };
+
+  TcpFlow(sim::Simulation& sim, net::Host& src, net::Host& dst,
+          Config config);
+  TcpFlow(sim::Simulation& sim, net::Host& src, net::Host& dst)
+      : TcpFlow(sim, src, dst, Config{}) {}
+
+  /// Schedule connection establishment at absolute time `at`.
+  void start_at(SimTime at);
+  /// Schedule a graceful stop (FIN) at absolute time `at`.
+  void stop_at(SimTime at);
+
+  void set_on_complete(std::function<void()> cb);
+
+  TcpSender& sender() { return *sender_; }
+  const TcpSender& sender() const { return *sender_; }
+  TcpReceiver& receiver() { return *receiver_; }
+  const TcpReceiver& receiver() const { return *receiver_; }
+
+  net::FiveTuple five_tuple() const { return sender_->five_tuple(); }
+
+  /// Receiver goodput averaged over the flow's own active interval, bps.
+  double average_goodput_bps(SimTime now) const;
+
+  bool complete() const {
+    return sender_->state() == TcpSender::State::kClosed;
+  }
+
+ private:
+  sim::Simulation& sim_;
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+  static std::uint16_t next_default_port_;
+};
+
+}  // namespace p4s::tcp

@@ -1,0 +1,90 @@
+// TCP receiver endpoint: cumulative ACKs, out-of-order reassembly
+// bookkeeping (interval set over unwrapped 64-bit offsets), and a
+// configurable receive buffer whose size bounds the advertised window —
+// the paper's "receiver-limited" case (§5.4.2) is exactly a small value
+// here. The application consumes in-order data instantly (DTN writing to
+// fast storage), so the advertised window is buffer minus held
+// out-of-order bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace p4s::tcp {
+
+class TcpReceiver {
+ public:
+  struct Config {
+    /// Receive buffer in bytes; bounds the advertised window.
+    std::uint64_t buffer_bytes = 64ULL << 20;
+  };
+
+  struct Stats {
+    std::uint64_t goodput_bytes = 0;       // delivered in order
+    std::uint64_t received_segments = 0;
+    std::uint64_t duplicate_segments = 0;  // fully below rcv_next
+    std::uint64_t out_of_order_segments = 0;
+    std::uint64_t acks_sent = 0;
+    SimTime first_data_time = 0;
+    SimTime last_data_time = 0;
+    bool fin_received = false;
+  };
+
+  TcpReceiver(sim::Simulation& sim, net::Host& host, std::uint16_t port,
+              Config config);
+  TcpReceiver(sim::Simulation& sim, net::Host& host, std::uint16_t port)
+      : TcpReceiver(sim, host, port, Config{}) {}
+  ~TcpReceiver();
+
+  TcpReceiver(const TcpReceiver&) = delete;
+  TcpReceiver& operator=(const TcpReceiver&) = delete;
+
+  void on_packet(const net::Packet& pkt);
+
+  void set_on_fin(std::function<void()> cb) { on_fin_ = std::move(cb); }
+
+  const Stats& stats() const { return stats_; }
+  std::uint64_t advertised_window() const;
+  bool established() const { return established_; }
+
+ private:
+  void handle_syn(const net::Packet& pkt);
+  void handle_data(const net::Packet& pkt);
+  void send_ack();
+
+  sim::Simulation& sim_;
+  net::Host& host_;
+  std::uint16_t port_;
+  Config config_;
+  Stats stats_;
+
+  bool established_ = false;
+  net::Ipv4Address peer_ip_ = 0;
+  std::uint16_t peer_port_ = 0;
+  std::uint32_t my_isn_ = 0;
+  std::uint32_t peer_isn_ = 0;
+  // rcv_next64_: count of in-order stream bytes consumed (offset 0 = first
+  // data byte). Wire ack = peer_isn_ + 1 + low bits, +1 more once FIN is
+  // consumed.
+  std::uint64_t rcv_next64_ = 0;
+  bool fin_acked_ = false;
+  // Out-of-order intervals [start, end) in 64-bit offsets, disjoint,
+  // all strictly above rcv_next64_.
+  std::map<std::uint64_t, std::uint64_t> ooo_;
+  std::uint64_t ooo_bytes_ = 0;
+  // Start of the interval containing the most recently received segment;
+  // RFC 2018 requires it as the first SACK block.
+  std::uint64_t newest_interval_start_ = kNoInterval;
+  // Rotation cursor so successive ACKs advertise different intervals.
+  std::uint64_t sack_cursor_ = 0;
+  static constexpr std::uint64_t kNoInterval = ~0ULL;
+
+  std::function<void()> on_fin_;
+};
+
+}  // namespace p4s::tcp

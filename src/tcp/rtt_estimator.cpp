@@ -1,0 +1,37 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+
+namespace p4s::tcp {
+
+void RttEstimator::add_sample(SimTime rtt) {
+  backoff_shift_ = 0;
+  if (!has_sample_) {
+    has_sample_ = true;
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    min_rtt_ = rtt;
+    return;
+  }
+  min_rtt_ = std::min(min_rtt_, rtt);
+  // RFC 6298 with alpha=1/8, beta=1/4, in integer nanoseconds.
+  const SimTime abs_err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+  rttvar_ = (3 * rttvar_ + abs_err) / 4;
+  srtt_ = (7 * srtt_ + rtt) / 8;
+}
+
+void RttEstimator::backoff() {
+  if (backoff_shift_ < 6) ++backoff_shift_;
+}
+
+SimTime RttEstimator::rto() const {
+  SimTime base = config_.initial_rto;
+  if (has_sample_) {
+    base = srtt_ + std::max<SimTime>(4 * rttvar_, units::milliseconds(1));
+  }
+  base = std::clamp(base, config_.min_rto, config_.max_rto);
+  const SimTime backed = base << backoff_shift_;
+  return std::min(backed, config_.max_rto);
+}
+
+}  // namespace p4s::tcp

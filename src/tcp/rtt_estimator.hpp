@@ -1,0 +1,41 @@
+// RFC 6298 smoothed RTT estimation and retransmission-timeout computation.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace p4s::tcp {
+
+class RttEstimator {
+ public:
+  struct Config {
+    SimTime min_rto = units::milliseconds(200);
+    SimTime max_rto = units::seconds(60);
+    SimTime initial_rto = units::seconds(1);
+  };
+
+  explicit RttEstimator(Config config) : config_(config) {}
+  RttEstimator() : RttEstimator(Config{}) {}
+
+  /// Feed one RTT sample (from a never-retransmitted segment — Karn's
+  /// algorithm is enforced by the caller).
+  void add_sample(SimTime rtt);
+
+  /// Exponential backoff after a retransmission timeout.
+  void backoff();
+
+  bool has_sample() const { return has_sample_; }
+  SimTime srtt() const { return srtt_; }
+  SimTime rttvar() const { return rttvar_; }
+  SimTime min_rtt() const { return min_rtt_; }
+  SimTime rto() const;
+
+ private:
+  Config config_;
+  bool has_sample_ = false;
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  SimTime min_rtt_ = 0;
+  unsigned backoff_shift_ = 0;
+};
+
+}  // namespace p4s::tcp

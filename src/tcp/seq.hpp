@@ -1,0 +1,43 @@
+// Wrap-safe 32-bit sequence arithmetic (RFC 793 style) and 64-bit
+// unwrapping. Science DMZ transfers exceed 4 GiB in seconds, so sequence
+// numbers wrap during every experiment; all comparisons must be modular.
+#pragma once
+
+#include <cstdint>
+
+namespace p4s::tcp {
+
+/// a < b in sequence space (window < 2^31).
+constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+constexpr bool seq_ge(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+/// Recover the 64-bit stream offset whose low 32 bits equal `seq` and
+/// which is closest to the 64-bit reference `ref`.
+constexpr std::uint64_t seq_unwrap(std::uint64_t ref, std::uint32_t seq) {
+  const std::uint64_t base = ref & ~0xFFFFFFFFULL;
+  const std::uint64_t candidate = base | seq;
+  // Choose among candidate - 2^32, candidate, candidate + 2^32 the one
+  // nearest to ref.
+  const std::int64_t diff =
+      static_cast<std::int64_t>(candidate) - static_cast<std::int64_t>(ref);
+  if (diff > static_cast<std::int64_t>(0x80000000LL)) {
+    return candidate - 0x100000000ULL;
+  }
+  if (diff < -static_cast<std::int64_t>(0x80000000LL) &&
+      candidate + 0x100000000ULL != 0) {
+    return candidate + 0x100000000ULL;
+  }
+  return candidate;
+}
+
+}  // namespace p4s::tcp

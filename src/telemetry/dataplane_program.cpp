@@ -1,0 +1,170 @@
+#include "telemetry/dataplane_program.hpp"
+
+#include <array>
+
+#include "p4/hash.hpp"
+
+namespace p4s::telemetry {
+
+DataPlaneProgram::DataPlaneProgram(Config config)
+    : tracker_(config.tracker),
+      rtt_loss_(config.eack_slots),
+      queue_(config.queue),
+      limit_(config.limit),
+      iat_(config.iat),
+      int_(config.int_export),
+      bytes_(kFlowSlots, 0),
+      pkts_(kFlowSlots, 0),
+      first_seen_(kFlowSlots, 0),
+      last_seen_(kFlowSlots, 0) {}
+
+net::FiveTuple DataPlaneProgram::tuple_from(const p4::ParsedHeaders& hdr) {
+  net::FiveTuple t;
+  t.src_ip = hdr.ipv4.src;
+  t.dst_ip = hdr.ipv4.dst;
+  t.protocol = hdr.ipv4.protocol;
+  if (hdr.tcp_valid) {
+    t.src_port = hdr.tcp.src_port;
+    t.dst_port = hdr.tcp.dst_port;
+  } else if (hdr.udp_valid) {
+    t.src_port = hdr.udp.src_port;
+    t.dst_port = hdr.udp.dst_port;
+  } else if (hdr.icmp_valid) {
+    t.src_port = hdr.icmp.ident;
+    t.dst_port = hdr.icmp.ident;
+  }
+  return t;
+}
+
+std::uint32_t DataPlaneProgram::packet_signature(
+    const net::FiveTuple& tuple, const p4::ParsedHeaders& hdr) {
+  // Identify a packet *instance* so the two TAP copies can be matched:
+  // 5-tuple + IPv4 identification + (for TCP) sequence number. The IP id
+  // alone cycles every 64k packets per host; adding the sequence number
+  // pushes collisions out beyond any realistic in-switch dwell time.
+  std::array<std::uint8_t, 19> key{};
+  const auto base = p4::five_tuple_key(tuple);
+  std::copy(base.begin(), base.end(), key.begin());
+  key[13] = static_cast<std::uint8_t>(hdr.ipv4.id >> 8);
+  key[14] = static_cast<std::uint8_t>(hdr.ipv4.id);
+  std::uint32_t seq = 0;
+  if (hdr.tcp_valid) seq = hdr.tcp.seq;
+  key[15] = static_cast<std::uint8_t>(seq >> 24);
+  key[16] = static_cast<std::uint8_t>(seq >> 16);
+  key[17] = static_cast<std::uint8_t>(seq >> 8);
+  key[18] = static_cast<std::uint8_t>(seq);
+  return p4::Crc32{0x04C11DB7u}(key);
+}
+
+void DataPlaneProgram::ingress(p4::PacketContext& ctx) {
+  if (!ctx.hdr.ipv4_valid) return;
+  const net::FiveTuple tuple = tuple_from(ctx.hdr);
+  const std::uint32_t pkt_sig = packet_signature(tuple, ctx.hdr);
+  const SimTime now = ctx.meta.ingress_ts;
+
+  const std::uint32_t hdr_bytes =
+      ctx.hdr.ipv4.header_bytes() +
+      (ctx.hdr.tcp_valid   ? ctx.hdr.tcp.header_bytes()
+       : ctx.hdr.udp_valid ? ctx.hdr.udp.header_bytes()
+       : ctx.hdr.icmp_valid ? ctx.hdr.icmp.header_bytes()
+                            : 0);
+  const std::uint32_t payload =
+      ctx.hdr.ipv4.total_len > hdr_bytes
+          ? ctx.hdr.ipv4.total_len - hdr_bytes
+          : 0;
+
+  if (ctx.meta.ingress_port == p4::P4Switch::kIngressTapPort) {
+    ++ingress_copies_;
+    queue_.on_ingress_copy(pkt_sig, now);
+    process_measurement_path(ctx, tuple, payload);
+    return;
+  }
+
+  // Egress-TAP copy: close the TAP pair, attribute the delay to the flow
+  // if it is tracked, and feed the classifier's queuing signal. The IAT
+  // monitor also runs here: departures on the monitored link are the
+  // signal that collapses instantly under an LOS blockage (§5.4.3),
+  // whereas arrivals keep flowing until TCP itself stalls.
+  ++egress_copies_;
+  const std::uint32_t flow_id = p4::flow_hash(tuple);
+  std::optional<std::uint16_t> slot = tracker_.dp_slot_of(flow_id);
+  const std::optional<SimTime> delay =
+      queue_.on_egress_copy(pkt_sig, slot, now);
+  if (slot.has_value()) {
+    if (delay.has_value()) limit_.on_queue_delay(*slot, *delay);
+    if (payload > 0) {
+      iat_.on_data(*slot, now);
+      int_.on_egress(*slot, flow_id,
+                     ctx.hdr.tcp_valid ? ctx.hdr.tcp.seq : 0,
+                     delay.value_or(0), now);
+    }
+  }
+}
+
+void DataPlaneProgram::process_measurement_path(
+    const p4::PacketContext& ctx, const net::FiveTuple& tuple,
+    std::uint32_t payload) {
+  const SimTime now = ctx.meta.ingress_ts;
+  const bool is_tcp = ctx.hdr.tcp_valid;
+  const std::uint8_t flags = is_tcp ? ctx.hdr.tcp.flags : 0;
+  const bool syn = is_tcp && (flags & net::tcpflags::kSyn) != 0;
+  const bool fin = is_tcp && (flags & net::tcpflags::kFin) != 0;
+  const bool pure_ack = is_tcp && payload == 0 && !syn && !fin &&
+                        (flags & net::tcpflags::kAck) != 0;
+
+  if (pure_ack) {
+    // ACK branch of Algorithm 1: this packet travels the reverse
+    // direction; hash of its reversed tuple is the data flow's ID.
+    const std::uint32_t ack_flow_id = p4::flow_hash(tuple);
+    const std::uint32_t data_flow_id = p4::flow_hash(tuple.reversed());
+    if (auto slot = tracker_.dp_slot_of(data_flow_id)) {
+      rtt_loss_.on_ack_packet(
+          RttLossEngine::AckPacketView{ack_flow_id, *slot,
+                                       ctx.hdr.tcp.ack},
+          now);
+      limit_.on_ack(*slot, ctx.hdr.tcp.ack, now);
+    }
+    return;
+  }
+
+  if (payload == 0 && !fin) return;  // SYN/SYN-ACK/etc: no measurements
+
+  const auto slot = tracker_.on_data_packet(tuple, payload, now);
+  if (!slot.has_value()) return;
+
+  // Byte/packet counters (§4.1: the data plane uses the IPv4 total
+  // length field).
+  bytes_.execute(*slot, [&](std::uint64_t& v) {
+    v += ctx.hdr.ipv4.total_len;
+    return 0;
+  });
+  pkts_.execute(*slot, [](std::uint64_t& v) { return ++v; });
+  if (first_seen_.read(*slot) == 0) first_seen_.write(*slot, now);
+  last_seen_.write(*slot, now);
+
+  if (is_tcp) {
+    const std::uint32_t rev_flow_id = p4::flow_hash(tuple.reversed());
+    const bool loss = rtt_loss_.on_data_packet(
+        RttLossEngine::DataPacketView{*slot, rev_flow_id, ctx.hdr.tcp.seq,
+                                      payload, false},
+        now);
+    if (loss) limit_.on_loss(*slot);
+    limit_.on_data(*slot, ctx.hdr.tcp.seq, payload, now);
+    if (fin) fin_digests_.emit(FlowFinDigest{*slot, now});
+  }
+}
+
+void DataPlaneProgram::release_slot(std::uint16_t slot) {
+  tracker_.release(slot);
+  rtt_loss_.clear_slot(slot);
+  queue_.clear_slot(slot);
+  limit_.clear_slot(slot);
+  iat_.clear_slot(slot);
+  int_.clear_slot(slot);
+  bytes_.cp_write(slot, 0);
+  pkts_.cp_write(slot, 0);
+  first_seen_.cp_write(slot, 0);
+  last_seen_.cp_write(slot, 0);
+}
+
+}  // namespace p4s::telemetry

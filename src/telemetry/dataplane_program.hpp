@@ -1,0 +1,110 @@
+// The complete data-plane telemetry program — the paper's P4 pipeline —
+// composed from the individual engines:
+//
+//   ingress-TAP copies: flow tracking (CMS promotion), byte/packet
+//   counters, Algorithm 1 (RTT + loss), flight-size limitation
+//   classification, IAT monitoring, FIN digests, eACK parking for the
+//   queue monitor;
+//   egress-TAP copies: TAP-pair matching -> per-packet queuing delay ->
+//   per-flow queue registers + microburst state machine.
+//
+// The control plane talks to this object through the register-read,
+// digest-drain and slot-release methods — nothing else, mirroring the
+// driver API boundary of a real target.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "p4/p4_switch.hpp"
+#include "p4/pipeline.hpp"
+#include "p4/register.hpp"
+#include "telemetry/flow_tracker.hpp"
+#include "telemetry/iat_monitor.hpp"
+#include "telemetry/int_export.hpp"
+#include "telemetry/limit_classifier.hpp"
+#include "telemetry/queue_monitor.hpp"
+#include "telemetry/rtt_loss.hpp"
+#include "telemetry/types.hpp"
+
+namespace p4s::telemetry {
+
+class DataPlaneProgram : public p4::P4Program {
+ public:
+  struct Config {
+    FlowTracker::Config tracker;
+    QueueMonitor::Config queue;
+    LimitClassifier::Config limit;
+    IatMonitor::Config iat;
+    IntExporter::Config int_export;
+    /// eACK register size (power of two); ablation knob.
+    std::size_t eack_slots = kEackSlots;
+  };
+
+  explicit DataPlaneProgram(Config config);
+  DataPlaneProgram() : DataPlaneProgram(Config{}) {}
+
+  void ingress(p4::PacketContext& ctx) override;
+
+  // ---- Control-plane (driver) API -------------------------------------
+  FlowTracker& tracker() { return tracker_; }
+  const FlowTracker& tracker() const { return tracker_; }
+  RttLossEngine& rtt_loss() { return rtt_loss_; }
+  const RttLossEngine& rtt_loss() const { return rtt_loss_; }
+  QueueMonitor& queue_monitor() { return queue_; }
+  const QueueMonitor& queue_monitor() const { return queue_; }
+  LimitClassifier& limit_classifier() { return limit_; }
+  const LimitClassifier& limit_classifier() const { return limit_; }
+  IatMonitor& iat_monitor() { return iat_; }
+  const IatMonitor& iat_monitor() const { return iat_; }
+  IntExporter& int_exporter() { return int_; }
+  const IntExporter& int_exporter() const { return int_; }
+
+  std::uint64_t bytes(std::uint16_t slot) const {
+    return bytes_.cp_read(slot);
+  }
+  std::uint64_t packets(std::uint16_t slot) const {
+    return pkts_.cp_read(slot);
+  }
+  SimTime last_seen(std::uint16_t slot) const {
+    return last_seen_.cp_read(slot);
+  }
+  SimTime first_seen(std::uint16_t slot) const {
+    return first_seen_.cp_read(slot);
+  }
+
+  p4::DigestQueue<FlowFinDigest>& fin_digests() { return fin_digests_; }
+
+  /// Release a slot and clear every engine's state for it.
+  void release_slot(std::uint16_t slot);
+
+  std::uint64_t ingress_copies() const { return ingress_copies_; }
+  std::uint64_t egress_copies() const { return egress_copies_; }
+
+ private:
+  void process_measurement_path(const p4::PacketContext& ctx,
+                                const net::FiveTuple& tuple,
+                                std::uint32_t payload_bytes);
+
+  static net::FiveTuple tuple_from(const p4::ParsedHeaders& hdr);
+  static std::uint32_t packet_signature(const net::FiveTuple& tuple,
+                                        const p4::ParsedHeaders& hdr);
+
+  FlowTracker tracker_;
+  RttLossEngine rtt_loss_;
+  QueueMonitor queue_;
+  LimitClassifier limit_;
+  IatMonitor iat_;
+  IntExporter int_;
+
+  p4::RegisterArray<std::uint64_t> bytes_;
+  p4::RegisterArray<std::uint64_t> pkts_;
+  p4::RegisterArray<SimTime> first_seen_;
+  p4::RegisterArray<SimTime> last_seen_;
+  p4::DigestQueue<FlowFinDigest> fin_digests_;
+
+  std::uint64_t ingress_copies_ = 0;
+  std::uint64_t egress_copies_ = 0;
+};
+
+}  // namespace p4s::telemetry

@@ -1,0 +1,72 @@
+#include "telemetry/flow_tracker.hpp"
+
+#include "p4/hash.hpp"
+
+namespace p4s::telemetry {
+
+const char* to_string(LimitVerdict verdict) {
+  switch (verdict) {
+    case LimitVerdict::kUnknown: return "unknown";
+    case LimitVerdict::kNetworkLimited: return "network";
+    case LimitVerdict::kEndpointLimited: return "endpoint";
+  }
+  return "?";
+}
+
+FlowTracker::FlowTracker(Config config)
+    : config_(config),
+      cms_(config_.cms_depth, config_.cms_width),
+      slot_flow_id_(kFlowSlots, 0) {}
+
+std::optional<std::uint16_t> FlowTracker::on_data_packet(
+    const net::FiveTuple& tuple, std::uint32_t payload_bytes, SimTime now) {
+  const std::uint32_t flow_id = p4::flow_hash(tuple);
+  const auto slot = static_cast<std::uint16_t>(flow_id & kFlowSlotMask);
+
+  if (occupied_[slot]) {
+    if (slot_flow_id_.read(slot) == flow_id) return slot;
+    ++slot_collisions_;
+    return std::nullopt;
+  }
+
+  const auto key = p4::five_tuple_key(tuple);
+  const std::uint64_t estimate = cms_.update(key, payload_bytes);
+  if (estimate < config_.promotion_bytes) return std::nullopt;
+
+  // Promote: claim the slot and report the flow to the control plane.
+  occupied_[slot] = true;
+  ++active_;
+  slot_flow_id_.write(slot, flow_id);
+  FlowIdentity ident;
+  ident.flow_id = flow_id;
+  ident.rev_flow_id = p4::flow_hash(tuple.reversed());
+  ident.tuple = tuple;
+  identities_[slot] = ident;
+  digests_.emit(NewFlowDigest{ident, slot, now});
+  return slot;
+}
+
+std::optional<std::uint16_t> FlowTracker::slot_of(
+    std::uint32_t flow_id) const {
+  const auto slot = static_cast<std::uint16_t>(flow_id & kFlowSlotMask);
+  if (!occupied_[slot]) return std::nullopt;
+  if (slot_flow_id_.cp_read(slot) != flow_id) return std::nullopt;
+  return slot;
+}
+
+std::optional<std::uint16_t> FlowTracker::dp_slot_of(std::uint32_t flow_id) {
+  const auto slot = static_cast<std::uint16_t>(flow_id & kFlowSlotMask);
+  if (!occupied_[slot]) return std::nullopt;
+  if (slot_flow_id_.read(slot) != flow_id) return std::nullopt;
+  return slot;
+}
+
+void FlowTracker::release(std::uint16_t slot) {
+  if (!occupied_[slot]) return;
+  occupied_[slot] = false;
+  --active_;
+  slot_flow_id_.cp_write(slot, 0);
+  identities_[slot] = FlowIdentity{};
+}
+
+}  // namespace p4s::telemetry

@@ -1,0 +1,80 @@
+// Long-flow detection and per-flow slot allocation (§4).
+//
+// Every data packet updates a count-min sketch keyed by the 5-tuple.
+// Once a flow's byte estimate crosses the promotion threshold it is
+// assigned one of the 2048 register slots (slot = flow_id & mask) and a
+// NewFlowDigest is emitted carrying the flow ID, the reversed ID and the
+// addresses — the record the control plane needs to label reports.
+//
+// Slot collisions (two long flows hashing to the same slot) are resolved
+// by keeping the incumbent and counting the rejection, matching how a
+// register-indexed design behaves on hardware; the counter is exposed so
+// experiments can verify it stays at zero for their workloads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "p4/cms.hpp"
+#include "p4/pipeline.hpp"
+#include "p4/register.hpp"
+#include "telemetry/types.hpp"
+
+namespace p4s::telemetry {
+
+class FlowTracker {
+ public:
+  struct Config {
+    /// Bytes a flow must accumulate (CMS estimate) before promotion.
+    std::uint64_t promotion_bytes = 100 * 1024;
+    std::size_t cms_depth = 3;
+    std::size_t cms_width = 4096;
+  };
+
+  explicit FlowTracker(Config config);
+  FlowTracker() : FlowTracker(Config{}) {}
+
+  /// Process a data-direction packet. Returns the flow's slot if it is
+  /// (or just became) tracked, nullopt while still below the threshold.
+  std::optional<std::uint16_t> on_data_packet(const net::FiveTuple& tuple,
+                                              std::uint32_t payload_bytes,
+                                              SimTime now);
+
+  /// Control-plane slot lookup: returns the slot if this exact flow
+  /// occupies it.
+  std::optional<std::uint16_t> slot_of(std::uint32_t flow_id) const;
+
+  /// Data-plane slot lookup (ACK path): same semantics, accounted as a
+  /// data-plane register read.
+  std::optional<std::uint16_t> dp_slot_of(std::uint32_t flow_id);
+
+  /// The identity stored in a slot (valid only for occupied slots).
+  const FlowIdentity& identity(std::uint16_t slot) const {
+    return identities_[slot];
+  }
+  bool occupied(std::uint16_t slot) const { return occupied_[slot]; }
+
+  /// Control plane: release a slot (flow terminated) so it can be
+  /// recycled.
+  void release(std::uint16_t slot);
+
+  p4::DigestQueue<NewFlowDigest>& new_flow_digests() { return digests_; }
+
+  std::uint64_t slot_collisions() const { return slot_collisions_; }
+  std::size_t active_flows() const { return active_; }
+
+ private:
+  Config config_;
+  p4::CountMinSketch cms_;
+  // flow_id occupying each slot; the occupied_ bit distinguishes an empty
+  // slot from flow_id 0.
+  p4::RegisterArray<std::uint32_t> slot_flow_id_;
+  std::array<bool, kFlowSlots> occupied_{};
+  std::array<FlowIdentity, kFlowSlots> identities_{};
+  p4::DigestQueue<NewFlowDigest> digests_;
+  std::uint64_t slot_collisions_ = 0;
+  std::size_t active_ = 0;
+};
+
+}  // namespace p4s::telemetry

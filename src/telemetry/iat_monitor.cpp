@@ -1,0 +1,63 @@
+#include "telemetry/iat_monitor.hpp"
+
+namespace p4s::telemetry {
+
+IatMonitor::IatMonitor(Config config)
+    : config_(config),
+      last_ts_(kFlowSlots, 0),
+      last_iat_(kFlowSlots, 0),
+      ewma_(kFlowSlots, 0),
+      samples_(kFlowSlots, 0),
+      gap_streak_(kFlowSlots, 0),
+      blocked_(kFlowSlots, 0),
+      digests_() {}
+
+std::optional<SimTime> IatMonitor::on_data(std::uint16_t slot, SimTime now) {
+  const SimTime last = last_ts_.read(slot);
+  last_ts_.write(slot, now);
+  if (last == 0 || now < last) return std::nullopt;
+
+  const SimTime iat = now - last;
+  last_iat_.write(slot, iat);
+
+  const SimTime ewma = ewma_.read(slot);
+  const std::uint32_t n =
+      samples_.execute(slot, [](std::uint32_t& v) { return ++v; });
+  const bool warm = n >= config_.warmup_samples && ewma > 0;
+  const bool excessive =
+      warm && iat >= config_.min_gap_ns &&
+      static_cast<double>(iat) >
+          config_.blockage_factor * static_cast<double>(ewma);
+
+  if (excessive) {
+    const std::uint32_t streak =
+        gap_streak_.execute(slot, [](std::uint32_t& v) { return ++v; });
+    if (streak >= config_.consecutive_gaps && blocked_.read(slot) == 0) {
+      blocked_.write(slot, 1);
+      digests_.emit(BlockageDigest{slot, now, iat, ewma});
+    }
+    // Freeze the EWMA while the gap streak runs: the baseline must
+    // describe the healthy link.
+    return iat;
+  }
+
+  gap_streak_.write(slot, 0);
+  if (blocked_.read(slot) != 0) blocked_.write(slot, 0);
+  if (ewma == 0) {
+    ewma_.write(slot, iat);
+  } else {
+    ewma_.write(slot, (7 * ewma + iat) / 8);
+  }
+  return iat;
+}
+
+void IatMonitor::clear_slot(std::uint16_t slot) {
+  last_ts_.cp_write(slot, 0);
+  last_iat_.cp_write(slot, 0);
+  ewma_.cp_write(slot, 0);
+  samples_.cp_write(slot, 0);
+  gap_streak_.cp_write(slot, 0);
+  blocked_.cp_write(slot, 0);
+}
+
+}  // namespace p4s::telemetry

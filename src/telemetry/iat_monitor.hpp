@@ -1,0 +1,68 @@
+// Packet inter-arrival-time monitoring (§5.4.3, Figs. 13-14).
+//
+// During a mmWave LOS blockage the IAT of a flow's packets jumps by
+// orders of magnitude before throughput metrics can react. The data
+// plane keeps an EWMA of each flow's IAT; a single IAT exceeding
+// `blockage_factor x EWMA` (after warm-up) raises the blockage flag and
+// emits a digest; an IAT back under the factor clears it. The EWMA is
+// frozen while the flag is up so the baseline is not polluted by the
+// blockage itself.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "p4/pipeline.hpp"
+#include "p4/register.hpp"
+#include "telemetry/types.hpp"
+
+namespace p4s::telemetry {
+
+class IatMonitor {
+ public:
+  struct Config {
+    double blockage_factor = 8.0;
+    /// Samples required before detection arms.
+    std::uint32_t warmup_samples = 32;
+    /// Absolute floor: an IAT must also exceed this to count as a
+    /// blockage. Keeps ordinary TCP recovery stalls (sub-millisecond to
+    /// a few ms at DTN rates) from flagging; a real LOS blockage inflates
+    /// IATs to tens of milliseconds (Fig. 13).
+    SimTime min_gap_ns = units::milliseconds(10);
+    /// Excessive gaps must occur on this many CONSECUTIVE packets before
+    /// the flag raises. A congestion stall produces one big gap followed
+    /// by a resumed burst; a blocked link trickles packets with big gap
+    /// after big gap — this is what separates the two.
+    std::uint32_t consecutive_gaps = 2;
+  };
+
+  explicit IatMonitor(Config config);
+  IatMonitor() : IatMonitor(Config{}) {}
+
+  /// Feed a data-packet arrival for a tracked flow. Returns the IAT if
+  /// this was not the first packet.
+  std::optional<SimTime> on_data(std::uint16_t slot, SimTime now);
+
+  // ---- Control-plane reads --------------------------------------------
+  SimTime last_iat(std::uint16_t slot) const { return last_iat_.cp_read(slot); }
+  SimTime ewma_iat(std::uint16_t slot) const { return ewma_.cp_read(slot); }
+  bool blocked(std::uint16_t slot) const {
+    return blocked_.cp_read(slot) != 0;
+  }
+
+  void clear_slot(std::uint16_t slot);
+
+  p4::DigestQueue<BlockageDigest>& blockage_digests() { return digests_; }
+
+ private:
+  Config config_;
+  p4::RegisterArray<SimTime> last_ts_;
+  p4::RegisterArray<SimTime> last_iat_;
+  p4::RegisterArray<SimTime> ewma_;
+  p4::RegisterArray<std::uint32_t> samples_;
+  p4::RegisterArray<std::uint32_t> gap_streak_;
+  p4::RegisterArray<std::uint8_t> blocked_;
+  p4::DigestQueue<BlockageDigest> digests_;
+};
+
+}  // namespace p4s::telemetry

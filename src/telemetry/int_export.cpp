@@ -1,0 +1,20 @@
+#include "telemetry/int_export.hpp"
+
+namespace p4s::telemetry {
+
+IntExporter::IntExporter(Config config)
+    : config_(config), counters_(kFlowSlots, 0), postcards_(16384) {}
+
+void IntExporter::on_egress(std::uint16_t slot, std::uint32_t flow_id,
+                            std::uint32_t seq, SimTime queue_delay,
+                            SimTime now) {
+  if (!config_.enabled) return;
+  ++packets_seen_;
+  const std::uint32_t count =
+      counters_.execute(slot, [](std::uint32_t& v) { return ++v; });
+  if (count % config_.sample_every != 0) return;
+  ++emitted_;
+  postcards_.emit(IntPostcard{flow_id, slot, now, queue_delay, seq});
+}
+
+}  // namespace p4s::telemetry

@@ -1,0 +1,56 @@
+// INT-style postcard export (after Bezerra et al.'s AmLight deployment,
+// the paper's §6): the data plane emits a sampled per-packet telemetry
+// record ("postcard") on the egress path — flow ID, egress timestamp,
+// queuing delay, sequence number — giving collectors packet-granular
+// visibility without mirroring every byte. Sampling is 1-in-N per flow
+// (N configurable), the standard way INT deployments bound collector
+// load.
+#pragma once
+
+#include <cstdint>
+
+#include "p4/pipeline.hpp"
+#include "p4/register.hpp"
+#include "telemetry/types.hpp"
+
+namespace p4s::telemetry {
+
+struct IntPostcard {
+  std::uint32_t flow_id = 0;
+  std::uint16_t slot = 0;
+  SimTime egress_ts = 0;
+  SimTime queue_delay_ns = 0;
+  std::uint32_t seq = 0;
+};
+
+class IntExporter {
+ public:
+  struct Config {
+    bool enabled = false;
+    /// Emit one postcard per this many egress packets per flow.
+    std::uint32_t sample_every = 128;
+  };
+
+  explicit IntExporter(Config config);
+  IntExporter() : IntExporter(Config{}) {}
+
+  /// Egress-path hook: count the packet and possibly emit a postcard.
+  void on_egress(std::uint16_t slot, std::uint32_t flow_id,
+                 std::uint32_t seq, SimTime queue_delay, SimTime now);
+
+  void clear_slot(std::uint16_t slot) { counters_.cp_write(slot, 0); }
+
+  p4::DigestQueue<IntPostcard>& postcards() { return postcards_; }
+  std::uint64_t packets_seen() const { return packets_seen_; }
+  std::uint64_t postcards_emitted() const { return emitted_; }
+  bool enabled() const { return config_.enabled; }
+
+ private:
+  Config config_;
+  p4::RegisterArray<std::uint32_t> counters_;
+  p4::DigestQueue<IntPostcard> postcards_;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace p4s::telemetry

@@ -1,0 +1,136 @@
+#include "telemetry/limit_classifier.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace p4s::telemetry {
+
+LimitClassifier::LimitClassifier(Config config)
+    : config_(config),
+      highest_seq_(kFlowSlots, 0),
+      seq_valid_(kFlowSlots, 0),
+      highest_ack_(kFlowSlots, 0),
+      ack_valid_(kFlowSlots, 0),
+      flight_(kFlowSlots, 0),
+      win_start_(kFlowSlots, 0),
+      win_losses_(kFlowSlots, 0),
+      win_flight_min_(kFlowSlots,
+                      std::numeric_limits<std::uint64_t>::max()),
+      win_flight_max_(kFlowSlots, 0),
+      win_queueing_(kFlowSlots, 0),
+      verdict_(kFlowSlots, 0),
+      network_memory_(kFlowSlots, 0) {}
+
+void LimitClassifier::on_data(std::uint16_t slot, std::uint32_t seq,
+                              std::uint32_t payload_bytes, SimTime now) {
+  const std::uint32_t end = seq + payload_bytes;
+  if (seq_valid_.read(slot) == 0 ||
+      tcp::seq_gt(end, highest_seq_.read(slot))) {
+    highest_seq_.write(slot, end);
+    seq_valid_.write(slot, 1);
+  }
+  update_flight(slot, now);
+  maybe_evaluate(slot, now);
+}
+
+void LimitClassifier::on_ack(std::uint16_t slot, std::uint32_t ack,
+                             SimTime now) {
+  if (ack_valid_.read(slot) == 0 ||
+      tcp::seq_gt(ack, highest_ack_.read(slot))) {
+    highest_ack_.write(slot, ack);
+    ack_valid_.write(slot, 1);
+  }
+  update_flight(slot, now);
+  maybe_evaluate(slot, now);
+}
+
+void LimitClassifier::on_loss(std::uint16_t slot) {
+  win_losses_.execute(slot, [](std::uint32_t& v) { return ++v; });
+}
+
+void LimitClassifier::on_queue_delay(std::uint16_t slot, SimTime delay) {
+  if (delay >= config_.queueing_delay_ns) win_queueing_.write(slot, 1);
+}
+
+void LimitClassifier::update_flight(std::uint16_t slot, SimTime now) {
+  (void)now;
+  if (seq_valid_.read(slot) == 0 || ack_valid_.read(slot) == 0) return;
+  const std::uint32_t hs = highest_seq_.read(slot);
+  const std::uint32_t ha = highest_ack_.read(slot);
+  // Flight can transiently look "negative" right after a retransmission's
+  // ACK races ahead; clamp to zero.
+  const std::uint64_t flight =
+      tcp::seq_ge(hs, ha) ? static_cast<std::uint32_t>(hs - ha) : 0;
+  flight_.write(slot, flight);
+  win_flight_min_.execute(slot, [&](std::uint64_t& v) {
+    v = std::min(v, flight);
+    return 0;
+  });
+  win_flight_max_.execute(slot, [&](std::uint64_t& v) {
+    v = std::max(v, flight);
+    return 0;
+  });
+}
+
+void LimitClassifier::maybe_evaluate(std::uint16_t slot, SimTime now) {
+  const SimTime start = win_start_.read(slot);
+  if (start == 0) {
+    win_start_.write(slot, now);
+    return;
+  }
+  if (now - start < config_.window_ns) return;
+
+  const std::uint64_t fmin = win_flight_min_.read(slot);
+  const std::uint64_t fmax = win_flight_max_.read(slot);
+  const std::uint32_t losses = win_losses_.read(slot);
+  const bool queueing = win_queueing_.read(slot) != 0;
+
+  LimitVerdict verdict = LimitVerdict::kUnknown;
+  if (fmax > 0 && fmin != std::numeric_limits<std::uint64_t>::max()) {
+    if (losses > 0 || queueing) {
+      verdict = LimitVerdict::kNetworkLimited;
+      network_memory_.write(slot, config_.network_memory_windows);
+    } else {
+      // Loss is sporadic even on a lossy path: keep the network verdict
+      // alive for a few loss-free windows before reconsidering.
+      const std::uint32_t memory = network_memory_.read(slot);
+      if (memory > 0) {
+        network_memory_.write(slot, memory - 1);
+        verdict = LimitVerdict::kNetworkLimited;
+      } else {
+        const std::uint64_t swing = fmax - fmin;
+        const auto tolerance = std::max<std::uint64_t>(
+            config_.stability_abs_bytes,
+            static_cast<std::uint64_t>(config_.stability_frac *
+                                       static_cast<double>(fmax)));
+        verdict = swing <= tolerance ? LimitVerdict::kEndpointLimited
+                                     : LimitVerdict::kUnknown;
+      }
+    }
+  }
+  verdict_.write(slot, static_cast<std::uint8_t>(verdict));
+
+  // Reset the window.
+  win_start_.write(slot, now);
+  win_losses_.write(slot, 0);
+  win_flight_min_.write(slot, std::numeric_limits<std::uint64_t>::max());
+  win_flight_max_.write(slot, 0);
+  win_queueing_.write(slot, 0);
+}
+
+void LimitClassifier::clear_slot(std::uint16_t slot) {
+  highest_seq_.cp_write(slot, 0);
+  seq_valid_.cp_write(slot, 0);
+  highest_ack_.cp_write(slot, 0);
+  ack_valid_.cp_write(slot, 0);
+  flight_.cp_write(slot, 0);
+  win_start_.cp_write(slot, 0);
+  win_losses_.cp_write(slot, 0);
+  win_flight_min_.cp_write(slot, std::numeric_limits<std::uint64_t>::max());
+  win_flight_max_.cp_write(slot, 0);
+  win_queueing_.cp_write(slot, 0);
+  verdict_.cp_write(slot, 0);
+  network_memory_.cp_write(slot, 0);
+}
+
+}  // namespace p4s::telemetry

@@ -1,0 +1,78 @@
+// Connection-limitation classification (§3.3.4, §4.4), after Ghasemi et
+// al.'s Dapper: the data plane watches each flow's flight size (bytes in
+// the air: highest sequence sent minus highest ACK seen) across fixed
+// evaluation windows.
+//
+//  * losses observed in the window, or sustained queuing at the
+//    bottleneck                         -> network-limited;
+//  * flight size stable and no losses   -> sender/receiver-limited;
+//  * flight growing without losses      -> indeterminate (the flow is
+//    still probing for bandwidth), reported as unknown.
+#pragma once
+
+#include <cstdint>
+
+#include "p4/register.hpp"
+#include "tcp/seq.hpp"
+#include "telemetry/types.hpp"
+
+namespace p4s::telemetry {
+
+class LimitClassifier {
+ public:
+  struct Config {
+    /// Evaluation window length.
+    SimTime window_ns = units::milliseconds(500);
+    /// Flight-size swing within a window below which the flow counts as
+    /// stable: max - min <= max(stability_abs_bytes,
+    /// stability_frac * max).
+    std::uint64_t stability_abs_bytes = 3 * 1460;
+    double stability_frac = 0.15;
+    /// Per-packet queuing delay above this marks the window as
+    /// "queuing at the bottleneck" (a network constraint).
+    SimTime queueing_delay_ns = units::milliseconds(1);
+    /// A network-limited verdict persists for this many subsequent
+    /// windows: random loss hits individual windows sporadically, but the
+    /// flow as a whole is network-limited (Fig. 12's DTN1 case).
+    std::uint32_t network_memory_windows = 6;
+  };
+
+  explicit LimitClassifier(Config config);
+  LimitClassifier() : LimitClassifier(Config{}) {}
+
+  void on_data(std::uint16_t slot, std::uint32_t seq,
+               std::uint32_t payload_bytes, SimTime now);
+  void on_ack(std::uint16_t slot, std::uint32_t ack, SimTime now);
+  void on_loss(std::uint16_t slot);
+  void on_queue_delay(std::uint16_t slot, SimTime delay);
+
+  // ---- Control-plane reads --------------------------------------------
+  LimitVerdict verdict(std::uint16_t slot) const {
+    return static_cast<LimitVerdict>(verdict_.cp_read(slot));
+  }
+  std::uint64_t flight_bytes(std::uint16_t slot) const {
+    return flight_.cp_read(slot);
+  }
+
+  void clear_slot(std::uint16_t slot);
+
+ private:
+  void update_flight(std::uint16_t slot, SimTime now);
+  void maybe_evaluate(std::uint16_t slot, SimTime now);
+
+  Config config_;
+  p4::RegisterArray<std::uint32_t> highest_seq_;
+  p4::RegisterArray<std::uint8_t> seq_valid_;
+  p4::RegisterArray<std::uint32_t> highest_ack_;
+  p4::RegisterArray<std::uint8_t> ack_valid_;
+  p4::RegisterArray<std::uint64_t> flight_;
+  p4::RegisterArray<SimTime> win_start_;
+  p4::RegisterArray<std::uint32_t> win_losses_;
+  p4::RegisterArray<std::uint64_t> win_flight_min_;
+  p4::RegisterArray<std::uint64_t> win_flight_max_;
+  p4::RegisterArray<std::uint8_t> win_queueing_;
+  p4::RegisterArray<std::uint8_t> verdict_;
+  p4::RegisterArray<std::uint32_t> network_memory_;
+};
+
+}  // namespace p4s::telemetry

@@ -1,0 +1,60 @@
+#include "telemetry/queue_monitor.hpp"
+
+namespace p4s::telemetry {
+
+QueueMonitor::QueueMonitor(Config config)
+    : config_(config),
+      pkt_ts_(kPacketSigSlots, SigEntry{}),
+      flow_delay_(kFlowSlots, 0) {}
+
+void QueueMonitor::on_ingress_copy(std::uint32_t pkt_sig, SimTime now) {
+  const std::uint32_t idx = pkt_sig & kPacketSigMask;
+  pkt_ts_.execute(idx, [&](SigEntry& e) {
+    e.check = pkt_sig;
+    e.ts = now;
+    return 0;
+  });
+}
+
+std::optional<SimTime> QueueMonitor::on_egress_copy(
+    std::uint32_t pkt_sig, std::optional<std::uint16_t> slot, SimTime now) {
+  const std::uint32_t idx = pkt_sig & kPacketSigMask;
+  std::optional<SimTime> delay;
+  pkt_ts_.execute(idx, [&](SigEntry& e) {
+    if (e.ts != 0 && e.check == pkt_sig && now >= e.ts) {
+      delay = now - e.ts;
+      e = SigEntry{};
+    }
+    return 0;
+  });
+  if (!delay.has_value()) {
+    ++unmatched_;
+    return std::nullopt;
+  }
+  ++matched_;
+  last_delay_ = *delay;
+  if (slot.has_value()) flow_delay_.write(*slot, *delay);
+
+  // Microburst state machine (runs on every matched packet).
+  if (!burst_active_) {
+    if (*delay >= config_.burst_threshold_ns) {
+      burst_active_ = true;
+      burst_start_ = now - *delay;  // burst began when this packet queued
+      burst_peak_delay_ = *delay;
+      burst_pkts_ = 1;
+    }
+  } else {
+    ++burst_pkts_;
+    if (*delay > burst_peak_delay_) burst_peak_delay_ = *delay;
+    if (*delay <= config_.burst_exit_ns) {
+      burst_active_ = false;
+      digests_.emit(MicroburstDigest{burst_start_, now - burst_start_,
+                                     burst_peak_delay_, burst_pkts_});
+      burst_peak_delay_ = 0;
+      burst_pkts_ = 0;
+    }
+  }
+  return delay;
+}
+
+}  // namespace p4s::telemetry

@@ -1,0 +1,89 @@
+// Queue-occupancy monitoring and microburst detection (§4.2, §3.3.3).
+//
+// The TAP pair duplicates every packet twice: once entering the core
+// switch, once leaving it. Both copies traverse equal-latency fibers to
+// the P4 switch, so the difference between their arrival timestamps IS
+// the time the packet spent inside the core switch (queuing + store-and-
+// forward serialization). The ingress copy's timestamp is parked in a
+// signature-indexed register; the egress copy retrieves it.
+//
+// The per-packet queuing delay feeds two consumers:
+//  * a per-flow queuing-delay register the control plane samples and
+//    converts to queue occupancy (delay / buffer drain time), and
+//  * the in-data-plane microburst detector: a delay excursion above the
+//    burst threshold opens a burst record (nanosecond start); dropping
+//    below the exit threshold (hysteresis) closes it and emits a digest
+//    with the start time and duration — sampling-free, as the paper
+//    requires for bursts of tens of microseconds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "p4/pipeline.hpp"
+#include "p4/register.hpp"
+#include "telemetry/types.hpp"
+
+namespace p4s::telemetry {
+
+class QueueMonitor {
+ public:
+  struct Config {
+    /// Queuing delay that opens a microburst record.
+    SimTime burst_threshold_ns = units::microseconds(500);
+    /// Delay below which an open burst closes (hysteresis).
+    SimTime burst_exit_ns = units::microseconds(250);
+  };
+
+  explicit QueueMonitor(Config config);
+  QueueMonitor() : QueueMonitor(Config{}) {}
+
+  /// Ingress-TAP copy observed. `pkt_sig` identifies this packet instance
+  /// (flow id + IP id + seq, hashed by the caller).
+  void on_ingress_copy(std::uint32_t pkt_sig, SimTime now);
+
+  /// Egress-TAP copy observed. Returns the queuing delay when the copy
+  /// pair matched. `slot` is the flow's register slot (or nullopt for
+  /// untracked flows — delay still feeds the switch-wide burst detector).
+  std::optional<SimTime> on_egress_copy(std::uint32_t pkt_sig,
+                                        std::optional<std::uint16_t> slot,
+                                        SimTime now);
+
+  // ---- Control-plane reads --------------------------------------------
+  SimTime last_queue_delay(std::uint16_t slot) const {
+    return flow_delay_.cp_read(slot);
+  }
+  /// Most recent per-packet delay regardless of flow (switch-wide view).
+  SimTime last_delay_any() const { return last_delay_; }
+
+  void clear_slot(std::uint16_t slot) { flow_delay_.cp_write(slot, 0); }
+
+  p4::DigestQueue<MicroburstDigest>& microburst_digests() {
+    return digests_;
+  }
+
+  bool burst_active() const { return burst_active_; }
+  std::uint64_t matched_pairs() const { return matched_; }
+  std::uint64_t unmatched_egress() const { return unmatched_; }
+
+ private:
+  struct SigEntry {
+    std::uint32_t check = 0;
+    SimTime ts = 0;
+  };
+
+  Config config_;
+  p4::RegisterArray<SigEntry> pkt_ts_;
+  p4::RegisterArray<SimTime> flow_delay_;
+  p4::DigestQueue<MicroburstDigest> digests_;
+
+  SimTime last_delay_ = 0;
+  bool burst_active_ = false;
+  SimTime burst_start_ = 0;
+  SimTime burst_peak_delay_ = 0;
+  std::uint64_t burst_pkts_ = 0;
+  std::uint64_t matched_ = 0;
+  std::uint64_t unmatched_ = 0;
+};
+
+}  // namespace p4s::telemetry

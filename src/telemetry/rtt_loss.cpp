@@ -1,0 +1,99 @@
+#include "telemetry/rtt_loss.hpp"
+
+#include <array>
+
+#include "p4/hash.hpp"
+
+namespace p4s::telemetry {
+
+RttLossEngine::RttLossEngine(std::size_t eack_slots)
+    : prev_seq_(kFlowSlots, 0),
+      prev_seq_valid_(kFlowSlots, 0),
+      pkt_loss_(kFlowSlots, 0),
+      rtt_(kFlowSlots, 0),
+      eack_(eack_slots, EackEntry{}),
+      eack_mask_(static_cast<std::uint32_t>(eack_slots - 1)) {
+  assert(eack_slots > 0 && (eack_slots & (eack_slots - 1)) == 0);
+}
+
+std::uint32_t RttLossEngine::signature(std::uint32_t flow_id,
+                                       std::uint32_t ackno) {
+  // CRC32 over the 8-byte (flow_id, ackno) pair, as a P4 hash extern
+  // would compute it.
+  std::array<std::uint8_t, 8> key{
+      static_cast<std::uint8_t>(flow_id >> 24),
+      static_cast<std::uint8_t>(flow_id >> 16),
+      static_cast<std::uint8_t>(flow_id >> 8),
+      static_cast<std::uint8_t>(flow_id),
+      static_cast<std::uint8_t>(ackno >> 24),
+      static_cast<std::uint8_t>(ackno >> 16),
+      static_cast<std::uint8_t>(ackno >> 8),
+      static_cast<std::uint8_t>(ackno),
+  };
+  return p4::Crc32{0x1EDC6F41u}(key);
+}
+
+bool RttLossEngine::on_data_packet(const DataPacketView& view, SimTime now) {
+  const std::uint16_t slot = view.slot;
+
+  // -- Packet-loss branch (sequence regression) -------------------------
+  // The paper's pseudocode compares raw sequence numbers; we use wrap-safe
+  // modular comparison so multi-GiB transfers (which wrap seq space) do
+  // not produce spurious "loss" at each wrap.
+  bool loss_counted = false;
+  const bool valid = prev_seq_valid_.read(slot) != 0;
+  const std::uint32_t prev = prev_seq_.read(slot);
+  if (valid && tcp::seq_lt(view.seq, prev)) {
+    pkt_loss_.execute(slot, [](std::uint64_t& v) { return ++v; });
+    loss_counted = true;
+  } else {
+    prev_seq_.write(slot, view.seq);
+    prev_seq_valid_.write(slot, 1);
+  }
+
+  // -- eACK store -------------------------------------------------------
+  if (view.payload_bytes == 0) return loss_counted;
+  const std::uint32_t eack = view.seq + view.payload_bytes;
+  const std::uint32_t sig = signature(view.rev_flow_id, eack);
+  const std::uint32_t idx = sig & eack_mask_;
+  const std::uint32_t check = view.rev_flow_id ^ (eack << 1) ^ (eack >> 31);
+  eack_.execute(idx, [&](EackEntry& e) {
+    if (e.ts != 0 && e.check != check) ++eack_evictions_;
+    e.check = check;
+    e.ts = now;
+    return 0;
+  });
+  return loss_counted;
+}
+
+std::optional<SimTime> RttLossEngine::on_ack_packet(const AckPacketView& view,
+                                                    SimTime now) {
+  const std::uint32_t sig = signature(view.ack_flow_id, view.ack);
+  const std::uint32_t idx = sig & eack_mask_;
+  const std::uint32_t check =
+      view.ack_flow_id ^ (view.ack << 1) ^ (view.ack >> 31);
+  std::optional<SimTime> rtt;
+  eack_.execute(idx, [&](EackEntry& e) {
+    if (e.ts != 0 && e.check == check) {
+      rtt = now - e.ts;
+      e = EackEntry{};  // consume the sample
+    }
+    return 0;
+  });
+  if (!rtt.has_value()) {
+    ++eack_misses_;
+    return std::nullopt;
+  }
+  ++eack_matches_;
+  rtt_.write(view.data_slot, *rtt);
+  return rtt;
+}
+
+void RttLossEngine::clear_slot(std::uint16_t slot) {
+  prev_seq_.cp_write(slot, 0);
+  prev_seq_valid_.cp_write(slot, 0);
+  pkt_loss_.cp_write(slot, 0);
+  rtt_.cp_write(slot, 0);
+}
+
+}  // namespace p4s::telemetry

@@ -1,0 +1,76 @@
+// Shared types of the data-plane telemetry program: register sizing,
+// digest message formats, and the per-flow identity record.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace p4s::telemetry {
+
+/// Number of per-flow register slots (§3.3.2: "the data plane can track
+/// 2048 active flows simultaneously"). Power of two so slot = id & mask.
+inline constexpr std::size_t kFlowSlots = 2048;
+inline constexpr std::uint32_t kFlowSlotMask = kFlowSlots - 1;
+
+/// eACK signature register size (Chen et al.'s design uses a large
+/// hash-indexed table; 2^16 entries keeps the collision rate low at the
+/// BDPs of the experiments).
+inline constexpr std::size_t kEackSlots = 1 << 16;
+inline constexpr std::uint32_t kEackSlotMask = kEackSlots - 1;
+
+/// Packet-signature register for matching ingress/egress TAP copies.
+inline constexpr std::size_t kPacketSigSlots = 1 << 16;
+inline constexpr std::uint32_t kPacketSigMask = kPacketSigSlots - 1;
+
+/// Flow identity as reported by the long-flow detector (§4: "the data
+/// plane reports the ID of the flow (i.e., the hash of the 5-tuple), its
+/// source and destination IP, and its reversed ID").
+struct FlowIdentity {
+  std::uint32_t flow_id = 0;      // hash(5-tuple)
+  std::uint32_t rev_flow_id = 0;  // hash(reversed 5-tuple)
+  net::FiveTuple tuple;
+};
+
+/// Digest: a new long flow was promoted to a register slot.
+struct NewFlowDigest {
+  FlowIdentity flow;
+  std::uint16_t slot = 0;
+  SimTime detected_at = 0;
+};
+
+/// Digest: a flow signalled FIN in the data direction.
+struct FlowFinDigest {
+  std::uint16_t slot = 0;
+  SimTime at = 0;
+};
+
+/// Digest: microburst detected in the data plane with nanosecond
+/// granularity (§3.3.3).
+struct MicroburstDigest {
+  SimTime start_ns = 0;
+  SimTime duration_ns = 0;
+  SimTime peak_queue_delay_ns = 0;
+  std::uint64_t packets_in_burst = 0;
+};
+
+/// Digest: a monitored flow's packet inter-arrival time jumped by orders
+/// of magnitude — the LOS-blockage signature (§5.4.3).
+struct BlockageDigest {
+  std::uint16_t slot = 0;
+  SimTime at = 0;
+  SimTime iat_ns = 0;
+  SimTime baseline_iat_ns = 0;
+};
+
+/// Connection-limitation verdict (§4.4, Dapper heuristic).
+enum class LimitVerdict : std::uint8_t {
+  kUnknown = 0,
+  kNetworkLimited = 1,
+  kEndpointLimited = 2,
+};
+
+const char* to_string(LimitVerdict verdict);
+
+}  // namespace p4s::telemetry

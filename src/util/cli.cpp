@@ -1,0 +1,55 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace p4s::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      errors_.push_back("unknown flag --" + name);
+      continue;
+    }
+    if (!has_inline_value && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    values_[name] = std::move(value);
+  }
+}
+
+double CliArgs::number_or(const std::string& flag, double fallback) const {
+  const auto v = get(flag);
+  if (!v || v->empty()) return fallback;
+  double out = 0.0;
+  auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc() || p != v->data() + v->size()) return fallback;
+  return out;
+}
+
+std::uint64_t CliArgs::uint_or(const std::string& flag,
+                               std::uint64_t fallback) const {
+  const auto v = get(flag);
+  if (!v || v->empty()) return fallback;
+  std::uint64_t out = 0;
+  auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc() || p != v->data() + v->size()) return fallback;
+  return out;
+}
+
+}  // namespace p4s::util

@@ -1,0 +1,82 @@
+// CSV writer for experiment time series (the repo's stand-in for the
+// paper's Grafana dashboards). Header-only; quoting follows RFC 4180.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p4s::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void header(std::initializer_list<std::string_view> cols) {
+    write_row_impl(cols.begin(), cols.end());
+  }
+
+  /// Start a row; call cell() repeatedly then end_row().
+  CsvWriter& cell(std::string_view v) {
+    if (col_ > 0) out_ << ',';
+    write_quoted(v);
+    ++col_;
+    return *this;
+  }
+  CsvWriter& cell(double v) {
+    if (col_ > 0) out_ << ',';
+    out_ << v;
+    ++col_;
+    return *this;
+  }
+  CsvWriter& cell(std::uint64_t v) {
+    if (col_ > 0) out_ << ',';
+    out_ << v;
+    ++col_;
+    return *this;
+  }
+  CsvWriter& cell(std::int64_t v) {
+    if (col_ > 0) out_ << ',';
+    out_ << v;
+    ++col_;
+    return *this;
+  }
+  void end_row() {
+    out_ << '\n';
+    col_ = 0;
+  }
+
+ private:
+  template <typename It>
+  void write_row_impl(It first, It last) {
+    bool lead = true;
+    for (; first != last; ++first) {
+      if (!lead) out_ << ',';
+      lead = false;
+      write_quoted(*first);
+    }
+    out_ << '\n';
+  }
+
+  void write_quoted(std::string_view v) {
+    const bool needs_quote =
+        v.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quote) {
+      out_ << v;
+      return;
+    }
+    out_ << '"';
+    for (char c : v) {
+      if (c == '"') out_ << '"';
+      out_ << c;
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  int col_ = 0;
+};
+
+}  // namespace p4s::util

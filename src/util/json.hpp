@@ -1,0 +1,114 @@
+// Minimal JSON value, writer and parser.
+//
+// perfSONAR's report path (control plane -> Logstash -> OpenSearch) is a
+// JSON document pipeline; the archiver stores and queries JSON documents.
+// We implement just enough of JSON (objects, arrays, strings, numbers,
+// bools, null) with strict parsing — no comments, no trailing commas.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace p4s::util {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+// std::map keeps keys ordered, which gives deterministic serialization —
+// handy for golden tests.
+using JsonObject = std::map<std::string, Json>;
+
+/// Thrown by Json::parse on malformed input and by typed accessors on
+/// type mismatch.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A JSON value. Numbers are stored as double when fractional and as
+/// int64 when integral, preserving exact 64-bit counters (byte counts,
+/// nanosecond timestamps) through the pipeline.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  static Json object() { return Json(JsonObject{}); }
+  static Json array() { return Json(JsonArray{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const JsonArray& as_array() const { return get<JsonArray>("array"); }
+  JsonArray& as_array() { return get<JsonArray>("array"); }
+  const JsonObject& as_object() const { return get<JsonObject>("object"); }
+  JsonObject& as_object() { return get<JsonObject>("object"); }
+
+  /// Object access; creates the key (as for std::map) on mutable access.
+  Json& operator[](const std::string& key);
+  /// Const object access; throws JsonError if the key is absent.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  /// Returns the value at `key` if this is an object holding it.
+  std::optional<Json> find(const std::string& key) const;
+
+  std::size_t size() const;
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse; throws JsonError on any malformed input.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  template <typename T>
+  const T& get(const char* what) const {
+    if (const T* p = std::get_if<T>(&value_)) return *p;
+    throw JsonError(std::string("Json: not a ") + what);
+  }
+  template <typename T>
+  T& get(const char* what) {
+    if (T* p = std::get_if<T>(&value_)) return *p;
+    throw JsonError(std::string("Json: not a ") + what);
+  }
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               JsonArray, JsonObject>
+      value_;
+};
+
+}  // namespace p4s::util

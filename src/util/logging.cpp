@@ -1,0 +1,38 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace p4s::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::function<void(LogLevel, const std::string&)> g_sink;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace p4s::util

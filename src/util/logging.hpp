@@ -1,0 +1,55 @@
+// Leveled logging to stderr. The simulator is single-threaded by design
+// (discrete-event), so no locking is needed; the sink is swappable so tests
+// can capture output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace p4s::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replace the sink (default writes to stderr). Pass nullptr to restore
+/// the default.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace p4s::util
+
+#define P4S_LOG(level)                                       \
+  if (static_cast<int>(level) <                              \
+      static_cast<int>(::p4s::util::log_level())) {          \
+  } else                                                     \
+    ::p4s::util::detail::LogLine(level)
+
+#define P4S_DEBUG() P4S_LOG(::p4s::util::LogLevel::kDebug)
+#define P4S_INFO() P4S_LOG(::p4s::util::LogLevel::kInfo)
+#define P4S_WARN() P4S_LOG(::p4s::util::LogLevel::kWarn)
+#define P4S_ERROR() P4S_LOG(::p4s::util::LogLevel::kError)

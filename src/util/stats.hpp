@@ -1,0 +1,47 @@
+// Small statistics helpers used by the control plane (Jain's fairness,
+// §5.3 eq. (1)), the experiment harness (series summaries) and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace p4s::util {
+
+/// Jain's fairness index over resource allocations x_i:
+///   F = (sum x_i)^2 / (N * sum x_i^2)
+/// Returns 1.0 for an empty set or an all-zero set (vacuously fair), and
+/// a value in (0, 1] otherwise.
+double jain_fairness(std::span<const double> allocations);
+
+/// Streaming mean/variance/min/max (Welford). Suitable for per-flow and
+/// per-series summaries without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  double cv() const;
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set using linear interpolation between closest
+/// ranks. `q` in [0,1]. Copies and sorts; intended for end-of-run summaries.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace p4s::util

@@ -1,0 +1,153 @@
+// Tests: command-line flag parsing and JSON experiment configuration.
+#include <gtest/gtest.h>
+
+#include "core/config_loader.hpp"
+#include "util/cli.hpp"
+
+namespace p4s {
+namespace {
+
+util::CliArgs parse(std::initializer_list<const char*> argv,
+                    const std::vector<std::string>& known) {
+  std::vector<const char*> full = {"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return util::CliArgs(static_cast<int>(full.size()), full.data(), known);
+}
+
+TEST(CliArgs, FlagWithSeparateValue) {
+  const auto args = parse({"--rate", "100"}, {"rate"});
+  EXPECT_TRUE(args.has("rate"));
+  EXPECT_EQ(args.get("rate").value(), "100");
+  EXPECT_DOUBLE_EQ(args.number_or("rate", 0), 100.0);
+  EXPECT_EQ(args.uint_or("rate", 0), 100u);
+  EXPECT_TRUE(args.errors().empty());
+}
+
+TEST(CliArgs, InlineEqualsValue) {
+  const auto args = parse({"--rate=42.5"}, {"rate"});
+  EXPECT_DOUBLE_EQ(args.number_or("rate", 0), 42.5);
+}
+
+TEST(CliArgs, BareSwitch) {
+  const auto args = parse({"--verbose", "--rate", "7"},
+                          {"verbose", "rate"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose").value(), "");
+  EXPECT_EQ(args.uint_or("rate", 0), 7u);
+}
+
+TEST(CliArgs, UnknownFlagIsError) {
+  const auto args = parse({"--tyop", "1"}, {"typo"});
+  ASSERT_EQ(args.errors().size(), 1u);
+  EXPECT_NE(args.errors()[0].find("--tyop"), std::string::npos);
+}
+
+TEST(CliArgs, PositionalCollected) {
+  const auto args = parse({"file1", "--rate", "1", "file2"}, {"rate"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(CliArgs, MissingAndMalformedNumbersFallBack) {
+  const auto args = parse({"--rate", "abc"}, {"rate", "other"});
+  EXPECT_DOUBLE_EQ(args.number_or("rate", 9.5), 9.5);
+  EXPECT_EQ(args.uint_or("other", 3), 3u);
+  EXPECT_EQ(args.get_or("other", "dflt"), "dflt");
+}
+
+TEST(CliArgs, SwitchFollowedByFlagDoesNotConsumeIt) {
+  const auto args = parse({"--verbose", "--rate", "5"},
+                          {"verbose", "rate"});
+  EXPECT_EQ(args.get("verbose").value(), "");
+  EXPECT_EQ(args.uint_or("rate", 0), 5u);
+}
+
+// ---------- config loader ----------
+
+TEST(ConfigLoader, FullDocument) {
+  const auto config = core::config_from_text(R"({
+    "seed": 7,
+    "tap_latency_us": 2,
+    "topology": {"bottleneck_mbps": 500, "access_mbps": 2000,
+                 "rtt_ms": [10, 20, 30],
+                 "core_buffer_bdp_of_rtt_ms": 10},
+    "program": {"promotion_kb": 50, "burst_threshold_us": 800,
+                "int_sample_every": 64, "iat_min_gap_ms": 5},
+    "control": {"flow_idle_timeout_s": 4, "digest_poll_ms": 20}
+  })");
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.tap_latency, units::microseconds(2));
+  EXPECT_EQ(config.topology.bottleneck_bps, units::mbps(500));
+  EXPECT_EQ(config.topology.access_bps, units::mbps(2000));
+  EXPECT_EQ(config.topology.rtt[0], units::milliseconds(10));
+  EXPECT_EQ(config.topology.rtt[2], units::milliseconds(30));
+  EXPECT_EQ(config.topology.core_buffer_bytes,
+            units::bdp_bytes(units::mbps(500), units::milliseconds(10)));
+  EXPECT_EQ(config.program.tracker.promotion_bytes, 50u * 1024);
+  EXPECT_EQ(config.program.queue.burst_threshold_ns,
+            units::microseconds(800));
+  EXPECT_EQ(config.program.queue.burst_exit_ns, units::microseconds(400));
+  EXPECT_TRUE(config.program.int_export.enabled);
+  EXPECT_EQ(config.program.int_export.sample_every, 64u);
+  EXPECT_EQ(config.program.iat.min_gap_ns, units::milliseconds(5));
+  EXPECT_EQ(config.control.flow_idle_timeout, units::seconds(4));
+  EXPECT_EQ(config.control.digest_poll_interval, units::milliseconds(20));
+}
+
+TEST(ConfigLoader, EmptyDocumentKeepsDefaults) {
+  const auto config = core::config_from_text("{}");
+  core::MonitoringSystemConfig defaults;
+  EXPECT_EQ(config.seed, defaults.seed);
+  EXPECT_EQ(config.topology.bottleneck_bps,
+            defaults.topology.bottleneck_bps);
+}
+
+TEST(ConfigLoader, IntSampleEveryZeroDisables) {
+  const auto config = core::config_from_text(
+      R"({"program": {"int_sample_every": 0}})");
+  EXPECT_FALSE(config.program.int_export.enabled);
+}
+
+TEST(ConfigLoader, RejectsUnknownKeys) {
+  EXPECT_THROW(core::config_from_text(R"({"sede": 1})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(
+                   R"({"topology": {"bottleneck_gbps": 1}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(R"({"program": {"bogus": 1}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(R"({"control": {"bogus": 1}})"),
+               std::invalid_argument);
+}
+
+TEST(ConfigLoader, RejectsIllTypedValues) {
+  EXPECT_THROW(core::config_from_text(R"({"seed": "seven"})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(
+                   R"({"topology": {"rtt_ms": [1, 2]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(R"({"topology": 5})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text("[]"), std::invalid_argument);
+}
+
+TEST(ConfigLoader, MalformedJsonThrowsJsonError) {
+  EXPECT_THROW(core::config_from_text("{nope"), util::JsonError);
+}
+
+TEST(ConfigLoader, LoadedConfigBuildsWorkingSystem) {
+  const auto config = core::config_from_text(R"({
+    "topology": {"bottleneck_mbps": 100},
+    "control": {"flow_idle_timeout_s": 1}
+  })");
+  core::MonitoringSystem system(config);
+  system.start();
+  auto& flow = system.add_transfer(0);
+  flow.start_at(units::milliseconds(100));
+  flow.stop_at(units::seconds(3));
+  system.run_until(units::seconds(6));
+  EXPECT_EQ(system.control_plane().final_reports().size(), 1u);
+}
+
+}  // namespace
+}  // namespace p4s

@@ -1,0 +1,281 @@
+// Tests: switch control plane — extraction timers at configured rates,
+// metric derivation from register deltas, alert thresholds with rate
+// boost, digest consumption, terminated-flow reports and aggregates.
+#include <gtest/gtest.h>
+
+#include "controlplane/control_plane.hpp"
+#include "p4/hash.hpp"
+#include "p4/p4_switch.hpp"
+#include "telemetry/dataplane_program.hpp"
+
+namespace p4s::cp {
+namespace {
+
+/// Sink collecting Report_v1 documents by kind.
+struct CollectingSink : ReportSink {
+  std::vector<util::Json> all;
+  void on_report(const util::Json& report) override {
+    all.push_back(report);
+  }
+  std::size_t count(const std::string& kind) const {
+    std::size_t n = 0;
+    for (const auto& doc : all) {
+      if (doc.at("report").as_string() == kind) ++n;
+    }
+    return n;
+  }
+  std::vector<util::Json> of(const std::string& kind) const {
+    std::vector<util::Json> out;
+    for (const auto& doc : all) {
+      if (doc.at("report").as_string() == kind) out.push_back(doc);
+    }
+    return out;
+  }
+};
+
+struct ControlPlaneFixture : ::testing::Test {
+  sim::Simulation sim;
+  telemetry::DataPlaneProgram::Config dp_config;
+  std::unique_ptr<telemetry::DataPlaneProgram> program;
+  std::unique_ptr<p4::P4Switch> sw;
+  ControlPlaneConfig cp_config;
+  std::unique_ptr<ControlPlane> cp;
+  CollectingSink sink;
+
+  const net::Ipv4Address src = net::ipv4(10, 0, 0, 10);
+  const net::Ipv4Address dst = net::ipv4(10, 1, 0, 10);
+  std::uint32_t seq = 1000;
+  std::uint16_t ip_id = 0;
+
+  void SetUp() override {
+    dp_config.tracker.promotion_bytes = 1;  // promote on first packet
+    program = std::make_unique<telemetry::DataPlaneProgram>(dp_config);
+    sw = std::make_unique<p4::P4Switch>(sim, "dut");
+    sw->load_program(*program);
+    cp_config.core_buffer_bytes = 1'000'000;
+    cp_config.bottleneck_bps = units::mbps(100);
+    cp_config.flow_idle_timeout = units::seconds(2);
+  }
+
+  void make_cp() {
+    cp = std::make_unique<ControlPlane>(sim, *program, cp_config);
+    cp->set_sink(&sink);
+  }
+
+  net::Packet data_pkt(std::uint32_t payload = 1460) {
+    net::Packet p =
+        net::make_tcp_packet(src, dst, 40000, 5201, seq, 0,
+                             net::tcpflags::kAck, payload, 1 << 16);
+    p.ip.id = ip_id++;
+    seq += payload;
+    return p;
+  }
+
+  /// Drive a steady packet stream (ingress+egress copies) at `pps` for
+  /// `duration`, starting now.
+  void stream(double pps, SimTime duration) {
+    const auto gap = static_cast<SimTime>(1e9 / pps);
+    sim.every(sim.now() + gap, gap, [this, until = sim.now() + duration]() {
+      net::Packet p = data_pkt();
+      sw->on_mirrored(p, net::MirrorPoint::kIngress);
+      sw->on_mirrored(p, net::MirrorPoint::kEgress);
+      return sim.now() < until;
+    });
+  }
+};
+
+TEST_F(ControlPlaneFixture, ThroughputExtractedAtConfiguredRate) {
+  cp_config.metrics[0].interval = units::milliseconds(500);  // t_N
+  make_cp();
+  cp->start();
+  stream(1000.0, units::seconds(5));
+  sim.run_until(units::seconds(5));
+  // ~10 throughput ticks in 5 s.
+  const auto reports = sink.of("throughput");
+  EXPECT_GE(reports.size(), 8u);
+  EXPECT_LE(reports.size(), 11u);
+  // 1000 pps x 1500 B = 12 Mbps; extraction uses IP total_len.
+  const double bps = reports.back().at("throughput_bps").as_double();
+  EXPECT_NEAR(bps, 1000.0 * 1500 * 8, 0.1 * 1000 * 1500 * 8);
+}
+
+TEST_F(ControlPlaneFixture, FlowDetectedReportEmitted) {
+  make_cp();
+  cp->start();
+  stream(500.0, units::seconds(1));
+  sim.run_until(units::seconds(1));
+  const auto detected = sink.of("flow_detected");
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_EQ(detected[0].at("flow").at("src_ip").as_string(), "10.0.0.10");
+  EXPECT_EQ(detected[0].at("flow").at("dst_ip").as_string(), "10.1.0.10");
+  EXPECT_EQ(cp->flows().size(), 1u);
+}
+
+TEST_F(ControlPlaneFixture, RttReportConvertsToMilliseconds) {
+  make_cp();
+  cp->start();
+  // Park a data packet; ACK arrives 40 ms later.
+  sim.at(units::milliseconds(10), [&]() {
+    sw->on_mirrored(data_pkt(), net::MirrorPoint::kIngress);
+  });
+  sim.at(units::milliseconds(50), [&]() {
+    net::Packet ack = net::make_tcp_packet(dst, src, 5201, 40000, 1, seq,
+                                           net::tcpflags::kAck, 0, 1 << 16);
+    sw->on_mirrored(ack, net::MirrorPoint::kIngress);
+  });
+  sim.run_until(units::seconds(3));
+  const auto reports = sink.of("rtt");
+  ASSERT_FALSE(reports.empty());
+  EXPECT_NEAR(reports.back().at("rtt_ms").as_double(), 40.0, 0.5);
+}
+
+TEST_F(ControlPlaneFixture, QueueOccupancyFromDelayAndDrainTime) {
+  make_cp();
+  cp->start();
+  // Queue delay 40 ms; drain time = 1 MB * 8 / 100 Mbps = 80 ms -> 50%.
+  const net::Packet p = data_pkt();
+  sim.at(units::milliseconds(10), [&]() {
+    sw->on_mirrored(p, net::MirrorPoint::kIngress);
+  });
+  sim.at(units::milliseconds(50), [&]() {
+    sw->on_mirrored(p, net::MirrorPoint::kEgress);
+  });
+  sim.run_until(units::seconds(2));
+  const auto reports = sink.of("queue_occupancy");
+  ASSERT_FALSE(reports.empty());
+  EXPECT_NEAR(reports.back().at("occupancy_pct").as_double(), 50.0, 1.0);
+}
+
+TEST_F(ControlPlaneFixture, AlertFiresAndBoostsRate) {
+  cp_config.metrics[static_cast<int>(MetricKind::kQueueOccupancy)] = {
+      units::seconds(1), /*threshold=*/30.0, /*enabled=*/true,
+      /*boosted=*/units::milliseconds(100)};
+  make_cp();
+  cp->start();
+  int alerts_seen = 0;
+  cp->set_on_alert([&](const ControlPlane::Alert& alert) {
+    EXPECT_EQ(alert.metric, MetricKind::kQueueOccupancy);
+    EXPECT_GE(alert.value, 30.0);
+    ++alerts_seen;
+  });
+  // Persistent 40 ms queue delay = 50% occupancy > 30% threshold.
+  sim.every(units::milliseconds(50), units::milliseconds(50), [this]() {
+    net::Packet p = data_pkt();
+    sw->on_mirrored(p, net::MirrorPoint::kIngress);
+    sim.after(units::milliseconds(40), [this, p]() {
+      sw->on_mirrored(p, net::MirrorPoint::kEgress);
+    });
+    return sim.now() < units::seconds(5);
+  });
+  sim.run_until(units::seconds(5));
+  EXPECT_GT(alerts_seen, 0);
+  EXPECT_FALSE(cp->alerts().empty());
+  // Boost: after the first alert (~1 s) the interval drops to 100 ms, so
+  // far more than 5 extractions happen in 5 s.
+  EXPECT_GT(sink.count("queue_occupancy"), 20u);
+  EXPECT_GT(sink.count("alert"), 0u);
+}
+
+TEST_F(ControlPlaneFixture, NoAlertWhenDisabled) {
+  make_cp();
+  cp->start();
+  stream(2000.0, units::seconds(2));
+  sim.run_until(units::seconds(2));
+  EXPECT_TRUE(cp->alerts().empty());
+}
+
+TEST_F(ControlPlaneFixture, IdleFlowFinalized) {
+  make_cp();
+  cp->start();
+  stream(1000.0, units::seconds(1));
+  sim.run_until(units::seconds(5));  // idle > 2 s after the stream ends
+  ASSERT_EQ(cp->final_reports().size(), 1u);
+  const auto& report = cp->final_reports()[0];
+  EXPECT_GT(report.packets, 900u);
+  EXPECT_EQ(report.bytes, report.packets * 1500);
+  EXPECT_GT(report.avg_throughput_bps, 0.0);
+  EXPECT_EQ(report.retransmissions, 0u);
+  EXPECT_EQ(cp->flows().size(), 0u);  // slot released
+  EXPECT_EQ(sink.count("flow_final"), 1u);
+}
+
+TEST_F(ControlPlaneFixture, FinFinalizesImmediately) {
+  make_cp();
+  cp->start();
+  sim.at(units::milliseconds(100), [&]() {
+    sw->on_mirrored(data_pkt(), net::MirrorPoint::kIngress);
+    net::Packet fin = net::make_tcp_packet(
+        src, dst, 40000, 5201, seq, 0,
+        net::tcpflags::kFin | net::tcpflags::kAck, 0, 1 << 16);
+    sw->on_mirrored(fin, net::MirrorPoint::kIngress);
+  });
+  sim.run_until(units::milliseconds(300));  // well before idle timeout
+  EXPECT_EQ(cp->final_reports().size(), 1u);
+}
+
+TEST_F(ControlPlaneFixture, AggregatesIncludeFairnessAndUtilization) {
+  make_cp();
+  cp->start();
+  // Two flows with a 3:1 packet-rate ratio.
+  std::uint32_t seq2 = 5000;
+  std::uint16_t id2 = 0;
+  stream(3000.0, units::seconds(3));
+  sim.every(units::milliseconds(1), units::milliseconds(1), [&]() {
+    net::Packet p = net::make_tcp_packet(src, net::ipv4(10, 2, 0, 10),
+                                         40001, 5201, seq2, 0,
+                                         net::tcpflags::kAck, 1460, 1 << 16);
+    p.ip.id = id2++;
+    seq2 += 1460;
+    sw->on_mirrored(p, net::MirrorPoint::kIngress);
+    return sim.now() < units::seconds(3);
+  });
+  sim.run_until(units::seconds(3));
+  const auto& agg = cp->aggregates();
+  EXPECT_EQ(agg.active_flows, 2u);
+  // Jain for rates {3,1}: 16/(2*10) = 0.8.
+  EXPECT_NEAR(agg.fairness, 0.8, 0.05);
+  // 3000 pps * 1500 B * 8 = 36 Mbps + 12 Mbps = 48 of 100 Mbps.
+  EXPECT_NEAR(agg.link_utilization, 0.48, 0.06);
+  EXPECT_GT(sink.count("aggregate"), 0u);
+}
+
+TEST_F(ControlPlaneFixture, SamplesPerSecondConfiguration) {
+  make_cp();
+  cp->set_samples_per_second(MetricKind::kRtt, 4.0);
+  EXPECT_EQ(cp->metric_config(MetricKind::kRtt).interval,
+            units::milliseconds(250));
+  cp->set_samples_per_second(MetricKind::kRtt, -1.0);  // ignored
+  EXPECT_EQ(cp->metric_config(MetricKind::kRtt).interval,
+            units::milliseconds(250));
+}
+
+TEST_F(ControlPlaneFixture, SetAlertConfiguresThresholdAndBoost) {
+  make_cp();
+  cp->set_alert(MetricKind::kQueueOccupancy, 30.0, 10.0);
+  const auto& mc = cp->metric_config(MetricKind::kQueueOccupancy);
+  EXPECT_TRUE(mc.alert_enabled);
+  EXPECT_DOUBLE_EQ(mc.alert_threshold, 30.0);
+  EXPECT_EQ(mc.boosted_interval, units::milliseconds(100));
+  cp->clear_alert(MetricKind::kQueueOccupancy);
+  EXPECT_FALSE(cp->metric_config(MetricKind::kQueueOccupancy).alert_enabled);
+}
+
+TEST_F(ControlPlaneFixture, LimitationReportsPiggybackOnThroughput) {
+  make_cp();
+  cp->start();
+  stream(1000.0, units::seconds(2));
+  sim.run_until(units::seconds(2));
+  EXPECT_GT(sink.count("limitation"), 0u);
+}
+
+TEST(MetricKindNames, RoundTrip) {
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const auto kind = static_cast<MetricKind>(i);
+    EXPECT_EQ(metric_from_name(metric_name(kind)), kind);
+  }
+  EXPECT_EQ(metric_from_name("RTT"), MetricKind::kRtt);
+  EXPECT_THROW(metric_from_name("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p4s::cp

@@ -1,0 +1,193 @@
+// Integration tests of the composed data-plane program: synthetic mirror
+// streams through the P4 switch target exercising the full ingress
+// pipeline (flow promotion, byte/packet counters, Algorithm 1 on the ACK
+// path, queue-delay attribution, FIN digests, slot release).
+#include <gtest/gtest.h>
+
+#include "p4/hash.hpp"
+#include "p4/p4_switch.hpp"
+#include "telemetry/dataplane_program.hpp"
+
+namespace p4s::telemetry {
+namespace {
+
+struct ProgramFixture : ::testing::Test {
+  sim::Simulation sim;
+  DataPlaneProgram::Config config;
+  std::unique_ptr<DataPlaneProgram> program;
+  std::unique_ptr<p4::P4Switch> sw;
+
+  const net::Ipv4Address src = net::ipv4(10, 0, 0, 10);
+  const net::Ipv4Address dst = net::ipv4(10, 1, 0, 10);
+  std::uint32_t seq = 1'000'000;
+  std::uint16_t ip_id = 0;
+
+  void SetUp() override {
+    config.tracker.promotion_bytes = 10'000;
+    program = std::make_unique<DataPlaneProgram>(config);
+    sw = std::make_unique<p4::P4Switch>(sim, "dut");
+    sw->load_program(*program);
+  }
+
+  net::FiveTuple flow_tuple() const {
+    return net::FiveTuple{src, dst, 40000, 5201, 6};
+  }
+  std::uint16_t expected_slot() const {
+    return static_cast<std::uint16_t>(p4::flow_hash(flow_tuple()) &
+                                      kFlowSlotMask);
+  }
+
+  net::Packet data_pkt(std::uint32_t payload = 1460,
+                       std::uint8_t extra_flags = 0) {
+    net::Packet p = net::make_tcp_packet(
+        src, dst, 40000, 5201, seq, 0,
+        static_cast<std::uint8_t>(net::tcpflags::kAck | extra_flags),
+        payload, 1 << 16);
+    p.ip.id = ip_id++;
+    seq += payload;
+    return p;
+  }
+
+  net::Packet ack_pkt(std::uint32_t ackno) {
+    return net::make_tcp_packet(dst, src, 5201, 40000, 777, ackno,
+                                net::tcpflags::kAck, 0, 1 << 16);
+  }
+
+  /// Push enough data (ingress copies) to promote the flow. Advances the
+  /// clock past 0 first (timestamp 0 is the empty-register sentinel).
+  void promote() {
+    sim.run_until(units::milliseconds(1));
+    for (int i = 0; i < 10; ++i) {
+      sw->on_mirrored(data_pkt(), net::MirrorPoint::kIngress);
+    }
+  }
+};
+
+TEST_F(ProgramFixture, PromotesAndCounts) {
+  promote();
+  const auto digests = program->tracker().new_flow_digests().drain();
+  ASSERT_EQ(digests.size(), 1u);
+  const std::uint16_t slot = digests[0].slot;
+  EXPECT_EQ(slot, expected_slot());
+  // Counters start at promotion (packet 7 of 10 crossed 10 kB).
+  EXPECT_EQ(program->packets(slot), 4u);
+  EXPECT_EQ(program->bytes(slot), 4u * (40 + 1460));
+  EXPECT_GT(program->last_seen(slot), 0u);
+  EXPECT_EQ(program->first_seen(slot), program->last_seen(slot));
+}
+
+TEST_F(ProgramFixture, IgnoresNonIpv4AndCountsCopies) {
+  promote();
+  const std::uint64_t before = program->ingress_copies();
+  sw->on_mirrored(data_pkt(), net::MirrorPoint::kIngress);
+  sw->on_mirrored(data_pkt(), net::MirrorPoint::kEgress);
+  EXPECT_EQ(program->ingress_copies(), before + 1);
+  EXPECT_EQ(program->egress_copies(), 1u);
+}
+
+TEST_F(ProgramFixture, AckPathMeasuresRtt) {
+  promote();
+  const std::uint16_t slot = expected_slot();
+  sim.run_until(units::milliseconds(10));
+  const std::uint32_t data_seq = seq;
+  sim.at(units::milliseconds(10), [&]() {
+    sw->on_mirrored(data_pkt(), net::MirrorPoint::kIngress);
+  });
+  sim.at(units::milliseconds(60), [&]() {
+    sw->on_mirrored(ack_pkt(data_seq + 1460), net::MirrorPoint::kIngress);
+  });
+  sim.run();
+  EXPECT_EQ(program->rtt_loss().last_rtt(slot), units::milliseconds(50));
+}
+
+TEST_F(ProgramFixture, RetransmissionCountsLossAndFeedsClassifier) {
+  promote();
+  const std::uint16_t slot = expected_slot();
+  net::Packet first = data_pkt();
+  sw->on_mirrored(first, net::MirrorPoint::kIngress);
+  sw->on_mirrored(data_pkt(), net::MirrorPoint::kIngress);
+  // Replay the older packet (sequence regression).
+  sw->on_mirrored(first, net::MirrorPoint::kIngress);
+  EXPECT_EQ(program->rtt_loss().losses(slot), 1u);
+}
+
+TEST_F(ProgramFixture, QueueDelayAttributedViaTapPair) {
+  promote();
+  const std::uint16_t slot = expected_slot();
+  const net::Packet pkt = data_pkt();
+  sim.at(units::milliseconds(2), [&]() {
+    sw->on_mirrored(pkt, net::MirrorPoint::kIngress);
+  });
+  sim.at(units::milliseconds(2) + units::microseconds(250), [&]() {
+    sw->on_mirrored(pkt, net::MirrorPoint::kEgress);
+  });
+  sim.run();
+  EXPECT_EQ(program->queue_monitor().last_queue_delay(slot),
+            units::microseconds(250));
+}
+
+TEST_F(ProgramFixture, FinEmitsDigest) {
+  promote();
+  sw->on_mirrored(data_pkt(1460, net::tcpflags::kFin),
+                  net::MirrorPoint::kIngress);
+  const auto fins = program->fin_digests().drain();
+  ASSERT_EQ(fins.size(), 1u);
+  EXPECT_EQ(fins[0].slot, expected_slot());
+}
+
+TEST_F(ProgramFixture, PureAcksNotTrackedAsFlows) {
+  promote();
+  program->tracker().new_flow_digests().drain();
+  for (int i = 0; i < 200; ++i) {
+    sw->on_mirrored(ack_pkt(1'000'000 + i), net::MirrorPoint::kIngress);
+  }
+  // The ACK stream (reverse tuple, zero payload) must not claim a slot.
+  EXPECT_TRUE(program->tracker().new_flow_digests().drain().empty());
+  EXPECT_EQ(program->tracker().active_flows(), 1u);
+}
+
+TEST_F(ProgramFixture, SynPacketsCarryNoMeasurement) {
+  net::Packet syn = net::make_tcp_packet(src, dst, 40000, 5201, 1, 0,
+                                         net::tcpflags::kSyn, 0, 1 << 16);
+  sw->on_mirrored(syn, net::MirrorPoint::kIngress);
+  EXPECT_EQ(program->tracker().active_flows(), 0u);
+}
+
+TEST_F(ProgramFixture, UdpFlowsTracked) {
+  for (int i = 0; i < 10; ++i) {
+    net::Packet p = net::make_udp_packet(src, dst, 9000, 9001, 1400);
+    p.ip.id = ip_id++;
+    sw->on_mirrored(p, net::MirrorPoint::kIngress);
+  }
+  EXPECT_EQ(program->tracker().active_flows(), 1u);
+}
+
+TEST_F(ProgramFixture, ReleaseSlotClearsEverything) {
+  promote();
+  const std::uint16_t slot = expected_slot();
+  sw->on_mirrored(data_pkt(), net::MirrorPoint::kIngress);
+  program->release_slot(slot);
+  EXPECT_EQ(program->bytes(slot), 0u);
+  EXPECT_EQ(program->packets(slot), 0u);
+  EXPECT_EQ(program->first_seen(slot), 0u);
+  EXPECT_EQ(program->rtt_loss().losses(slot), 0u);
+  EXPECT_FALSE(program->tracker().occupied(slot));
+}
+
+TEST_F(ProgramFixture, IatMeasuredOnEgressCopies) {
+  promote();
+  const std::uint16_t slot = expected_slot();
+  const net::Packet a = data_pkt();
+  const net::Packet b = data_pkt();
+  sim.at(units::milliseconds(1), [&]() {
+    sw->on_mirrored(a, net::MirrorPoint::kEgress);
+  });
+  sim.at(units::milliseconds(3), [&]() {
+    sw->on_mirrored(b, net::MirrorPoint::kEgress);
+  });
+  sim.run();
+  EXPECT_EQ(program->iat_monitor().last_iat(slot), units::milliseconds(2));
+}
+
+}  // namespace
+}  // namespace p4s::telemetry

@@ -1,0 +1,222 @@
+// Unit tests: discrete-event engine (event queue, periodic scheduling,
+// deterministic PRNG).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace p4s::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&]() { order.push_back(3); });
+  q.schedule_at(10, [&]() { order.push_back(1); });
+  q.schedule_at(20, [&]() { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, FifoForSimultaneousEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i]() { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, SchedulingIntoPastThrows) {
+  EventQueue q;
+  q.schedule_at(10, []() {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5, []() {}), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule_at(10, [&]() { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  q.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  int runs = 0;
+  EventHandle h = q.schedule_at(1, [&]() { ++runs; });
+  q.run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // after fire: no effect
+  h.cancel();
+  EventHandle inert;
+  inert.cancel();  // default-constructed: no effect
+  EXPECT_FALSE(inert.pending());
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.schedule_at(10, [&]() { fired.push_back(10); });
+  q.schedule_at(20, [&]() { fired.push_back(20); });
+  q.schedule_at(30, [&]() { fired.push_back(30); });
+  q.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));  // inclusive horizon
+  EXPECT_EQ(q.now(), 20u);
+  q.run_until(25);
+  EXPECT_EQ(q.now(), 25u);  // clock advances even with no events
+  q.run();
+  EXPECT_EQ(fired.back(), 30u);
+}
+
+TEST(EventQueue, EventsScheduledDuringExecutionRun) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&]() {
+    order.push_back(1);
+    q.schedule_in(5, [&]() { order.push_back(2); });
+  });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 15u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne) {
+  EventQueue q;
+  int runs = 0;
+  q.schedule_at(1, [&]() { ++runs; });
+  q.schedule_at(2, [&]() { ++runs; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueue, CountersTrackLiveAndExecuted) {
+  EventQueue q;
+  auto h = q.schedule_at(1, []() {});
+  q.schedule_at(2, []() {});
+  EXPECT_EQ(q.pending_events(), 2u);
+  h.cancel();
+  // Cancellation is lazy: the slot still occupies the heap until popped.
+  EXPECT_EQ(q.pending_events(), 2u);
+  q.run();
+  EXPECT_EQ(q.executed_events(), 1u);
+  EXPECT_EQ(q.pending_events(), 0u);
+}
+
+TEST(Simulation, EveryRepeatsUntilFalse) {
+  Simulation sim;
+  int ticks = 0;
+  sim.every(10, 5, [&]() { return ++ticks < 4; });
+  sim.run();
+  EXPECT_EQ(ticks, 4);
+  EXPECT_EQ(sim.now(), 25u);  // 10, 15, 20, 25
+}
+
+TEST(Simulation, AfterIsRelative) {
+  Simulation sim;
+  sim.at(100, [&sim]() {
+    sim.after(50, []() {});
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), 150u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_in(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, UniformityChiSquaredCoarse) {
+  Rng rng(9);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[rng.next_below(10)];
+  }
+  for (int b : buckets) {
+    EXPECT_NEAR(static_cast<double>(b), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace p4s::sim

@@ -1,0 +1,112 @@
+// Tests: Figure-8 topology construction — addressing, routing, RTT
+// calibration (verified with real ICMP echoes through the built network)
+// and buffer defaults.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace p4s::net {
+namespace {
+
+struct TopologyFixture : ::testing::Test {
+  sim::Simulation sim;
+  Network network{sim};
+  PaperTopology topo;
+
+  void SetUp() override {
+    PaperTopologyConfig config;
+    config.bottleneck_bps = units::mbps(500);
+    topo = make_paper_topology(network, config);
+  }
+
+  /// Measure ping RTT between two hosts using the kernel echo responder.
+  SimTime ping(Host& from, Host& to) {
+    SimTime rtt = 0;
+    SimTime sent = 0;
+    from.bind(Protocol::kIcmp, 99, [&](const Packet&) {
+      rtt = sim.now() - sent;
+    });
+    sim.after(0, [&]() {
+      sent = sim.now();
+      from.send(make_icmp_packet(from.ip(), to.ip(), 8, 99, 0, 56));
+    });
+    sim.run();
+    from.unbind(Protocol::kIcmp, 99);
+    return rtt;
+  }
+};
+
+TEST_F(TopologyFixture, AllHostsPresent) {
+  EXPECT_EQ(topo.dtn_internal->ip(), addrs::kDtnInternal);
+  EXPECT_EQ(topo.psonar_internal->ip(), addrs::kPsonarInternal);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(topo.dtn_ext[static_cast<std::size_t>(i)]->ip(),
+              addrs::kDtnExt[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(topo.psonar_ext[static_cast<std::size_t>(i)]->ip(),
+              addrs::kPsonarExt[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(TopologyFixture, RttMatchesConfiguredValues) {
+  // Paper §5.1: RTTs 50 / 75 / 100 ms between the internal DTN and the
+  // three external DTNs. Echo payload serialization adds microseconds.
+  const SimTime targets[3] = {units::milliseconds(50),
+                              units::milliseconds(75),
+                              units::milliseconds(100)};
+  for (int i = 0; i < 3; ++i) {
+    const SimTime rtt =
+        ping(*topo.dtn_internal, *topo.dtn_ext[static_cast<std::size_t>(i)]);
+    EXPECT_GT(rtt, 0u);
+    EXPECT_NEAR(static_cast<double>(rtt),
+                static_cast<double>(targets[i]),
+                static_cast<double>(units::microseconds(100)))
+        << "external network " << i;
+  }
+}
+
+TEST_F(TopologyFixture, PsonarNodesReachable) {
+  const SimTime rtt = ping(*topo.psonar_internal, *topo.psonar_ext[0]);
+  EXPECT_NEAR(static_cast<double>(rtt),
+              static_cast<double>(units::milliseconds(50)),
+              static_cast<double>(units::microseconds(100)));
+}
+
+TEST_F(TopologyFixture, ReverseDirectionWorks) {
+  const SimTime rtt = ping(*topo.dtn_ext[2], *topo.dtn_internal);
+  EXPECT_NEAR(static_cast<double>(rtt),
+              static_cast<double>(units::milliseconds(100)),
+              static_cast<double>(units::microseconds(100)));
+}
+
+TEST_F(TopologyFixture, BottleneckBufferDefaultsToBdpAtMaxRtt) {
+  EXPECT_EQ(topo.bottleneck_port->queue().capacity_bytes(),
+            units::bdp_bytes(units::mbps(500), units::milliseconds(100)));
+}
+
+TEST_F(TopologyFixture, ExtLinksExposedForImpairment) {
+  for (const auto& duplex : topo.ext_dtn_links) {
+    EXPECT_NE(duplex.forward_link, nullptr);
+    EXPECT_NE(duplex.reverse_link, nullptr);
+  }
+}
+
+TEST(Topology, ExplicitBufferOverrideHonoured) {
+  sim::Simulation sim;
+  Network network(sim);
+  PaperTopologyConfig config;
+  config.core_buffer_bytes = 12345678;
+  const PaperTopology topo = make_paper_topology(network, config);
+  EXPECT_EQ(topo.bottleneck_port->queue().capacity_bytes(), 12345678u);
+}
+
+TEST(Topology, RejectsImpossiblySmallRtt) {
+  sim::Simulation sim;
+  Network network(sim);
+  PaperTopologyConfig config;
+  config.rtt[0] = units::microseconds(100);  // below the fixed hop delays
+  EXPECT_THROW(make_paper_topology(network, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p4s::net
