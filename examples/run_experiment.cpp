@@ -116,6 +116,27 @@ int main(int argc, char** argv) {
                 r.rtt_p50_ms, r.rtt_p95_ms, r.rtt_p99_ms);
   }
 
+  if (system.resilient_transport()) {
+    // Configs with "transport": {"resilient": true, "faults": [...]} run
+    // the report path over the fault-injectable channel; show what the
+    // wire went through and that no report was lost.
+    const auto& h = system.report_sink().health();
+    std::printf(
+        "\nreport transport: emitted=%llu sent=%llu retried=%llu "
+        "acked=%llu dropped=%llu reconnects=%llu (resets=%llu "
+        "stalls=%llu injected)\n",
+        static_cast<unsigned long long>(h.emitted),
+        static_cast<unsigned long long>(h.sent),
+        static_cast<unsigned long long>(h.retried),
+        static_cast<unsigned long long>(h.acked),
+        static_cast<unsigned long long>(h.dropped_overflow),
+        static_cast<unsigned long long>(system.report_sink().reconnects()),
+        static_cast<unsigned long long>(
+            system.fault_injector().resets_injected()),
+        static_cast<unsigned long long>(
+            system.fault_injector().stalls_injected()));
+  }
+
   if (const auto path = args.get("csv")) {
     std::ofstream out(*path);
     recorder.write_csv(out);

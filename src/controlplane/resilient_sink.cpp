@@ -1,0 +1,154 @@
+#include "controlplane/resilient_sink.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace p4s::cp {
+
+ResilientReportSink::ResilientReportSink(sim::Simulation& sim,
+                                         net::ReportChannel& channel)
+    : ResilientReportSink(sim, channel, Config{}) {}
+
+ResilientReportSink::ResilientReportSink(sim::Simulation& sim,
+                                         net::ReportChannel& channel,
+                                         Config config)
+    : sim_(sim),
+      channel_(channel),
+      config_(config),
+      rng_(config.seed),
+      send_backoff_(config.backoff),
+      reconnect_backoff_(config.backoff) {
+  channel_.on_disconnect([this]() { schedule_reconnect(); });
+  channel_.connect();
+  if (config_.health_interval > 0) {
+    sim_.every(sim_.now() + config_.health_interval, config_.health_interval,
+               [this]() {
+                 emit_health();
+                 return true;
+               });
+  }
+}
+
+void ResilientReportSink::on_report(const util::Json& report) {
+  ++health_.emitted;
+  const std::uint64_t seq = next_seq_++;
+  util::Json framed = report;
+  if (framed.is_object()) {
+    framed["@xmit_seq"] = static_cast<std::int64_t>(seq);
+  }
+  if (outbound_.size() >= config_.queue_capacity && !outbound_.empty()) {
+    // Graceful degradation: shed the OLDEST frame — stale telemetry is
+    // worth the least, and newer reports supersede it on dashboards.
+    auto oldest = outbound_.begin();
+    dropped_.insert(oldest->first);
+    ++health_.dropped_overflow;
+    outbound_.erase(oldest);
+  }
+  outbound_.emplace(seq, Frame{framed.dump() + "\n", 0, 0});
+  health_.queued = outbound_.size();
+  pump();
+}
+
+void ResilientReportSink::on_ack(std::uint64_t seq) {
+  auto it = outbound_.find(seq);
+  if (it != outbound_.end()) {
+    outbound_.erase(it);
+    ++health_.acked;
+    health_.queued = outbound_.size();
+    send_backoff_.reset();
+    return;
+  }
+  if (dropped_.erase(seq) > 0) {
+    // The frame was overflow-dropped after transmission but arrived
+    // anyway: it was delivered, not lost.
+    --health_.dropped_overflow;
+    ++health_.acked;
+  }
+  // Otherwise: duplicate ack for an already-acked frame; ignore.
+}
+
+void ResilientReportSink::pump() {
+  if (outbound_.empty()) return;
+  if (!channel_.connected()) {
+    schedule_reconnect();
+    return;
+  }
+  const SimTime now = sim_.now();
+  SimTime next_deadline = std::numeric_limits<SimTime>::max();
+  bool progress = false;
+  for (auto& [seq, frame] : outbound_) {
+    if (frame.tx_count > 0 && now - frame.last_tx < config_.ack_timeout) {
+      next_deadline = std::min(next_deadline,
+                               frame.last_tx + config_.ack_timeout);
+      continue;
+    }
+    if (!channel_.send(frame.line)) {
+      ++health_.send_failures;
+      schedule_pump(send_backoff_.next(rng_.next_double()));
+      return;
+    }
+    if (frame.tx_count == 0) {
+      ++health_.sent;
+    } else {
+      ++health_.retried;
+    }
+    ++frame.tx_count;
+    frame.last_tx = now;
+    next_deadline = std::min(next_deadline, now + config_.ack_timeout);
+    progress = true;
+  }
+  if (progress) send_backoff_.reset();
+  if (next_deadline != std::numeric_limits<SimTime>::max()) {
+    schedule_pump(next_deadline - now);
+  }
+}
+
+void ResilientReportSink::schedule_pump(SimTime delay) {
+  const SimTime target = sim_.now() + delay;
+  if (pump_scheduled_ && pump_at_ <= target) return;
+  pump_scheduled_ = true;
+  pump_at_ = target;
+  sim_.at(target, [this, target]() {
+    if (pump_at_ == target) pump_scheduled_ = false;
+    pump();
+  });
+}
+
+void ResilientReportSink::schedule_reconnect() {
+  if (reconnect_scheduled_) return;
+  if (channel_.connected()) {
+    pump();
+    return;
+  }
+  reconnect_scheduled_ = true;
+  sim_.after(reconnect_backoff_.next(rng_.next_double()), [this]() {
+    reconnect_scheduled_ = false;
+    if (!channel_.connected()) {
+      channel_.connect();
+      reconnect_backoff_.reset();
+    }
+    pump();
+  });
+}
+
+util::Json ResilientReportSink::make_health_report() const {
+  util::Json doc = util::Json::object();
+  doc["report"] = "transport_health";
+  doc["ts_ns"] = static_cast<std::int64_t>(sim_.now());
+  doc["emitted"] = static_cast<std::int64_t>(health_.emitted);
+  doc["sent"] = static_cast<std::int64_t>(health_.sent);
+  doc["retried"] = static_cast<std::int64_t>(health_.retried);
+  doc["acked"] = static_cast<std::int64_t>(health_.acked);
+  doc["dropped"] = static_cast<std::int64_t>(health_.dropped_overflow);
+  doc["send_failures"] = static_cast<std::int64_t>(health_.send_failures);
+  doc["reconnects"] = static_cast<std::int64_t>(reconnects());
+  doc["queued"] = static_cast<std::int64_t>(health_.queued);
+  return doc;
+}
+
+void ResilientReportSink::emit_health() {
+  ++health_.health_reports;
+  on_report(make_health_report());
+}
+
+}  // namespace p4s::cp

@@ -1,0 +1,120 @@
+// ResilientReportSink: the hardened control-plane end of the Report_v1
+// path. Where LogstashTcpSink calls straight into Logstash and therefore
+// can never fail, this sink ships reports over a net::ReportChannel that
+// can chunk, stall, reset and push back — and survives all of it:
+//
+//   * every report gets a monotonically increasing "@xmit_seq" and is
+//     framed as one JSON line (the real wire format);
+//   * frames wait in a bounded outbound queue; on overflow the OLDEST
+//     unacknowledged frame is dropped (graceful degradation — stale
+//     telemetry is the least valuable, and the drop is counted);
+//   * delivery is at-least-once: a frame is retransmitted after
+//     ack_timeout until the receiver acknowledges its sequence number
+//     (Logstash dedups by "@xmit_seq", so the archive sees each report
+//     exactly once);
+//   * send failures and reconnects back off exponentially with jitter
+//     (util::ExponentialBackoff), resetting on progress;
+//   * a channel disconnect triggers automatic reconnection;
+//   * health counters (sent/retried/dropped/reconnects/...) are emitted
+//     periodically THROUGH the same path as a "transport_health" report,
+//     so degradation of the report wire is itself visible in the
+//     archiver, next to the measurements it degraded.
+//
+// Acknowledgements arrive via on_ack(seq) — in the integrated system the
+// Logstash side acks every sequence number it receives (dup or not) over
+// a reliable return path; only the forward data path is fault-injected.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "controlplane/report.hpp"
+#include "net/report_channel.hpp"
+#include "sim/simulation.hpp"
+#include "util/backoff.hpp"
+#include "util/units.hpp"
+
+namespace p4s::cp {
+
+class ResilientReportSink : public ReportSink {
+ public:
+  struct Config {
+    /// Outbound queue bound (frames); oldest dropped on overflow.
+    std::size_t queue_capacity = 4096;
+    /// A transmitted-but-unacked frame is retransmitted after this long.
+    SimTime ack_timeout = units::milliseconds(200);
+    /// Backoff policy for send failures and reconnect attempts.
+    util::ExponentialBackoff::Config backoff;
+    /// Health-report emission period; 0 disables health reports.
+    SimTime health_interval = units::seconds(5);
+    /// Seed for the jitter PRNG stream.
+    std::uint64_t seed = 0xbacc0ff;
+  };
+
+  ResilientReportSink(sim::Simulation& sim, net::ReportChannel& channel,
+                      Config config);
+  /// Default configuration.
+  ResilientReportSink(sim::Simulation& sim, net::ReportChannel& channel);
+
+  ResilientReportSink(const ResilientReportSink&) = delete;
+  ResilientReportSink& operator=(const ResilientReportSink&) = delete;
+
+  /// Frame, sequence and enqueue one report (ReportSink interface).
+  void on_report(const util::Json& report) override;
+
+  /// Receiver acknowledgement for one "@xmit_seq". Idempotent; an ack
+  /// for a frame we already gave up on (overflow-dropped) reclassifies
+  /// it from dropped to delivered, keeping the conservation invariant
+  /// dropped + archived == emitted exact.
+  void on_ack(std::uint64_t seq);
+
+  struct Health {
+    std::uint64_t emitted = 0;        // reports handed to on_report
+    std::uint64_t sent = 0;           // first transmissions accepted
+    std::uint64_t retried = 0;        // re-transmissions accepted
+    std::uint64_t acked = 0;          // frames confirmed delivered
+    std::uint64_t dropped_overflow = 0;  // dropped oldest, never delivered
+    std::uint64_t send_failures = 0;  // channel refused a frame
+    std::uint64_t health_reports = 0; // self-reports emitted
+    std::uint64_t queued = 0;         // currently waiting or unacked
+  };
+  const Health& health() const { return health_; }
+  std::uint64_t reconnects() const { return channel_.reconnects(); }
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// The health counters as a Report_v1 document (also emitted on the
+  /// health_interval timer).
+  util::Json make_health_report() const;
+
+ private:
+  struct Frame {
+    std::string line;          // JSON + '\n'
+    SimTime last_tx = 0;       // 0 = never transmitted
+    std::uint32_t tx_count = 0;
+  };
+
+  void pump();
+  void schedule_pump(SimTime delay);
+  void schedule_reconnect();
+  void emit_health();
+
+  sim::Simulation& sim_;
+  net::ReportChannel& channel_;
+  Config config_;
+  sim::Rng rng_;
+  util::ExponentialBackoff send_backoff_;
+  util::ExponentialBackoff reconnect_backoff_;
+
+  std::map<std::uint64_t, Frame> outbound_;  // seq -> frame, ack-pruned
+  std::set<std::uint64_t> dropped_;          // overflow victims by seq
+  std::uint64_t next_seq_ = 0;
+  Health health_;
+
+  bool pump_scheduled_ = false;
+  SimTime pump_at_ = 0;
+  bool reconnect_scheduled_ = false;
+};
+
+}  // namespace p4s::cp

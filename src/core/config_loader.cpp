@@ -15,6 +15,47 @@ double require_number(const util::Json& v, const std::string& key) {
   return v.as_double();
 }
 
+bool require_bool(const util::Json& v, const std::string& key) {
+  if (!v.is_bool()) fail("'" + key + "' must be a boolean");
+  return v.as_bool();
+}
+
+net::FaultInjector::ScheduledFault parse_fault(const util::Json& entry,
+                                               std::size_t index) {
+  const std::string where =
+      "transport.faults[" + std::to_string(index) + "]";
+  if (!entry.is_object()) fail("'" + where + "' must be an object");
+  net::FaultInjector::ScheduledFault fault;
+  bool has_at = false;
+  for (const auto& [k, v] : entry.as_object()) {
+    if (k == "at_s") {
+      fault.at = units::seconds_f(require_number(v, where + ".at_s"));
+      has_at = true;
+    } else if (k == "kind") {
+      if (!v.is_string()) fail("'" + where + ".kind' must be a string");
+      const std::string& kind = v.as_string();
+      if (kind == "reset") {
+        fault.kind = net::FaultInjector::FaultKind::kReset;
+      } else if (kind == "stall") {
+        fault.kind = net::FaultInjector::FaultKind::kStall;
+      } else {
+        fail("'" + where + ".kind' must be 'reset' or 'stall'");
+      }
+    } else if (k == "duration_s") {
+      fault.duration =
+          units::seconds_f(require_number(v, where + ".duration_s"));
+    } else {
+      fail("unknown key '" + where + "." + k + "'");
+    }
+  }
+  if (!has_at) fail("'" + where + "' needs 'at_s'");
+  if (fault.kind == net::FaultInjector::FaultKind::kStall &&
+      fault.duration == 0) {
+    fail("'" + where + "' stall needs a 'duration_s' > 0");
+  }
+  return fault;
+}
+
 /// Walk an object's keys, dispatching each to `apply`; unknown keys fail.
 template <typename Apply>
 void walk(const util::Json& obj, const std::string& section, Apply&& apply) {
@@ -94,6 +135,51 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
         }
         return true;
       });
+    } else if (key == "transport") {
+      walk(value, "transport", [&](const std::string& k,
+                                   const util::Json& v) {
+        auto& t = config.transport;
+        if (k == "resilient") {
+          t.resilient = require_bool(v, k);
+        } else if (k == "latency_us") {
+          t.channel.latency = units::seconds_f(require_number(v, k) / 1e6);
+        } else if (k == "send_buffer_kb") {
+          t.channel.send_buffer_bytes =
+              static_cast<std::uint64_t>(require_number(v, k) * 1024);
+        } else if (k == "drain_kbps") {
+          t.channel.drain_bps =
+              static_cast<std::uint64_t>(require_number(v, k) * 1000);
+        } else if (k == "max_chunk_bytes") {
+          t.channel.max_chunk_bytes =
+              static_cast<std::uint64_t>(require_number(v, k));
+        } else if (k == "random_chunking") {
+          t.channel.random_chunking = require_bool(v, k);
+        } else if (k == "queue_capacity") {
+          t.sink.queue_capacity =
+              static_cast<std::size_t>(require_number(v, k));
+        } else if (k == "ack_timeout_ms") {
+          t.sink.ack_timeout = units::seconds_f(require_number(v, k) / 1e3);
+        } else if (k == "retry_base_ms") {
+          t.sink.backoff.base = units::seconds_f(require_number(v, k) / 1e3);
+        } else if (k == "retry_max_ms") {
+          t.sink.backoff.max = units::seconds_f(require_number(v, k) / 1e3);
+        } else if (k == "health_interval_s") {
+          t.sink.health_interval = units::seconds_f(require_number(v, k));
+        } else if (k == "faults") {
+          if (!v.is_array()) fail("'transport.faults' must be an array");
+          const auto& entries = v.as_array();
+          for (std::size_t i = 0; i < entries.size(); ++i) {
+            t.faults.push_back(parse_fault(entries[i], i));
+          }
+        } else {
+          return false;
+        }
+        return true;
+      });
+      if (!config.transport.faults.empty() && !config.transport.resilient) {
+        fail("'transport.faults' requires 'transport.resilient': true "
+             "(the legacy direct wire has no fault surface)");
+      }
     } else if (key == "control") {
       walk(value, "control", [&](const std::string& k,
                                  const util::Json& v) {

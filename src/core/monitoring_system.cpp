@@ -32,10 +32,34 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
   psonar_ =
       std::make_unique<ps::PerfSonarNode>(sim_, *topology_.psonar_internal);
   psonar_->psconfig().attach(*control_plane_);
-  control_plane_->set_sink(&psonar_->report_sink());
+
+  if (config_.transport.resilient) {
+    // Fault-injectable wire: control plane -> ResilientReportSink ->
+    // ReportChannel -> Logstash TCP input; acks flow back per "@xmit_seq".
+    channel_ =
+        std::make_unique<net::ReportChannel>(sim_, config_.transport.channel);
+    auto& logstash = psonar_->logstash();
+    channel_->set_receiver(
+        [&logstash](std::string_view chunk) { logstash.tcp_input(chunk); });
+    channel_->on_disconnect([&logstash]() { logstash.tcp_reset(); });
+    fault_injector_ = std::make_unique<net::FaultInjector>(sim_, *channel_);
+    for (const auto& fault : config_.transport.faults) {
+      fault_injector_->add(fault);
+    }
+    resilient_sink_ = std::make_unique<cp::ResilientReportSink>(
+        sim_, *channel_, config_.transport.sink);
+    logstash.set_transport_ack(
+        [this](std::uint64_t seq) { resilient_sink_->on_ack(seq); });
+    control_plane_->set_sink(resilient_sink_.get());
+  } else {
+    control_plane_->set_sink(&psonar_->report_sink());
+  }
 }
 
-void MonitoringSystem::start() { control_plane_->start(); }
+void MonitoringSystem::start() {
+  if (fault_injector_) fault_injector_->arm();
+  control_plane_->start();
+}
 
 tcp::TcpFlow& MonitoringSystem::add_transfer(
     int ext_index, tcp::TcpFlow::Config flow_config) {

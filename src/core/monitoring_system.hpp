@@ -25,6 +25,9 @@
 #include <vector>
 
 #include "controlplane/control_plane.hpp"
+#include "controlplane/resilient_sink.hpp"
+#include "net/fault_injector.hpp"
+#include "net/report_channel.hpp"
 #include "net/topology.hpp"
 #include "p4/p4_switch.hpp"
 #include "psonar/node.hpp"
@@ -34,12 +37,26 @@
 
 namespace p4s::core {
 
+/// Configuration of the control-plane -> Logstash report transport.
+/// Default is the legacy perfect wire (direct call into Logstash); with
+/// `resilient` set, reports travel a fault-injectable net::ReportChannel
+/// through a cp::ResilientReportSink, and `faults` (plus any scripted or
+/// random faults added via MonitoringSystem::fault_injector() before
+/// start()) are armed against it.
+struct ReportTransportConfig {
+  bool resilient = false;
+  net::ReportChannel::Config channel;
+  cp::ResilientReportSink::Config sink;
+  std::vector<net::FaultInjector::ScheduledFault> faults;
+};
+
 struct MonitoringSystemConfig {
   net::PaperTopologyConfig topology;
   telemetry::DataPlaneProgram::Config program;
   /// Control-plane config; core_buffer_bytes / bottleneck_bps are filled
   /// from the topology when left 0.
   cp::ControlPlaneConfig control;
+  ReportTransportConfig transport;
   SimTime tap_latency = units::microseconds(1);
   std::uint64_t seed = 1;
 };
@@ -77,6 +94,16 @@ class MonitoringSystem {
   ps::PerfSonarNode& psonar() { return *psonar_; }
   const MonitoringSystemConfig& config() const { return config_; }
 
+  /// Whether the resilient report transport is active.
+  bool resilient_transport() const { return channel_ != nullptr; }
+  /// The simulated report wire (only with transport.resilient).
+  net::ReportChannel& report_channel() { return *channel_; }
+  /// Fault scheduler for the report wire (only with transport.resilient).
+  /// Add scripted/random faults before start(); start() arms it.
+  net::FaultInjector& fault_injector() { return *fault_injector_; }
+  /// The hardened sink (only with transport.resilient).
+  cp::ResilientReportSink& report_sink() { return *resilient_sink_; }
+
   const std::vector<std::unique_ptr<tcp::TcpFlow>>& flows() const {
     return flows_;
   }
@@ -91,6 +118,9 @@ class MonitoringSystem {
   std::unique_ptr<net::OpticalTapPair> taps_;
   std::unique_ptr<cp::ControlPlane> control_plane_;
   std::unique_ptr<ps::PerfSonarNode> psonar_;
+  std::unique_ptr<net::ReportChannel> channel_;
+  std::unique_ptr<net::FaultInjector> fault_injector_;
+  std::unique_ptr<cp::ResilientReportSink> resilient_sink_;
   std::vector<std::unique_ptr<tcp::TcpFlow>> flows_;
 };
 

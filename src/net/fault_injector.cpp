@@ -1,0 +1,58 @@
+#include "net/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace p4s::net {
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const auto& fault : script_) {
+    sim_.at(fault.at, [this, fault]() { inject(fault); });
+  }
+  if (random_enabled_) {
+    rng_.reseed(random_.seed);
+    if (random_.resets_per_second > 0.0) schedule_next_random_reset();
+    if (random_.stalls_per_second > 0.0) schedule_next_random_stall();
+  }
+}
+
+void FaultInjector::inject(const ScheduledFault& fault) {
+  switch (fault.kind) {
+    case FaultKind::kReset:
+      ++resets_injected_;
+      channel_.reset();
+      break;
+    case FaultKind::kStall:
+      ++stalls_injected_;
+      channel_.stall(fault.duration);
+      break;
+  }
+}
+
+void FaultInjector::schedule_next_random_reset() {
+  const SimTime gap = units::seconds_f(
+      rng_.next_exponential(1.0 / random_.resets_per_second));
+  const SimTime at = sim_.now() + std::max<SimTime>(1, gap);
+  if (at >= random_.until) return;
+  sim_.at(at, [this]() {
+    inject({sim_.now(), FaultKind::kReset, 0});
+    schedule_next_random_reset();
+  });
+}
+
+void FaultInjector::schedule_next_random_stall() {
+  const SimTime gap = units::seconds_f(
+      rng_.next_exponential(1.0 / random_.stalls_per_second));
+  const SimTime at = sim_.now() + std::max<SimTime>(1, gap);
+  if (at >= random_.until) return;
+  sim_.at(at, [this]() {
+    const SimTime duration =
+        random_.stall_min +
+        rng_.next_below(random_.stall_max - random_.stall_min + 1);
+    inject({sim_.now(), FaultKind::kStall, duration});
+    schedule_next_random_stall();
+  });
+}
+
+}  // namespace p4s::net

@@ -1,0 +1,99 @@
+#include "net/report_channel.hpp"
+
+#include <algorithm>
+
+namespace p4s::net {
+
+ReportChannel::ReportChannel(sim::Simulation& sim, Config config)
+    : sim_(sim), config_(config), rng_(config.seed) {
+  if (config_.max_chunk_bytes == 0) config_.max_chunk_bytes = 1;
+}
+
+void ReportChannel::connect() {
+  if (connected_) return;
+  connected_ = true;
+  ++stats_.connects;
+  if (!buffer_.empty()) schedule_pump(0);
+}
+
+bool ReportChannel::send(std::string_view bytes) {
+  if (!connected_ || bytes.empty() ||
+      buffered_bytes_ + bytes.size() > config_.send_buffer_bytes) {
+    ++stats_.sends_rejected;
+    return false;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  buffered_bytes_ += bytes.size();
+  stats_.bytes_accepted += bytes.size();
+  schedule_pump(0);
+  return true;
+}
+
+void ReportChannel::reset() {
+  ++stats_.resets;
+  stats_.bytes_lost += buffered_bytes_;
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  // In-flight deliveries from this connection are now stale; they account
+  // their own bytes as lost when they fire and see the new epoch.
+  ++epoch_;
+  if (!connected_) return;
+  connected_ = false;
+  for (const auto& handler : disconnect_handlers_) handler();
+}
+
+void ReportChannel::stall(SimTime duration) {
+  ++stats_.stalls;
+  stalled_until_ = std::max(stalled_until_, sim_.now() + duration);
+}
+
+void ReportChannel::schedule_pump(SimTime delay) {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  sim_.after(delay, [this]() {
+    pump_scheduled_ = false;
+    pump();
+  });
+}
+
+void ReportChannel::pump() {
+  // The pump re-validates state each firing instead of carrying stale
+  // assumptions across resets: a reset empties the buffer, so a pump
+  // scheduled before it simply finds nothing to do.
+  while (connected_ && !buffer_.empty()) {
+    const SimTime now = sim_.now();
+    if (now < stalled_until_) {
+      schedule_pump(stalled_until_ - now);
+      return;
+    }
+    if (config_.drain_bps > 0 && now < next_tx_at_) {
+      schedule_pump(next_tx_at_ - now);
+      return;
+    }
+    std::uint64_t size = config_.random_chunking
+                             ? 1 + rng_.next_below(config_.max_chunk_bytes)
+                             : config_.max_chunk_bytes;
+    size = std::min<std::uint64_t>(size, buffered_bytes_);
+    std::string chunk(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(size));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(size));
+    buffered_bytes_ -= size;
+    sim_.after(config_.latency,
+               [this, chunk = std::move(chunk), e = epoch_]() {
+                 if (e != epoch_) {  // connection was reset mid-flight
+                   stats_.bytes_lost += chunk.size();
+                   return;
+                 }
+                 stats_.bytes_delivered += chunk.size();
+                 ++stats_.chunks_delivered;
+                 if (receiver_) receiver_(chunk);
+               });
+    if (config_.drain_bps > 0) {
+      next_tx_at_ = std::max(next_tx_at_, now) +
+                    units::transmission_time(size, config_.drain_bps);
+    }
+  }
+}
+
+}  // namespace p4s::net

@@ -21,6 +21,17 @@ std::string Logstash::index_for(const util::Json& doc) {
 
 void Logstash::event(util::Json doc) {
   ++events_in_;
+  if (doc.is_object() && doc.contains("@xmit_seq") &&
+      doc.at("@xmit_seq").is_int()) {
+    const auto seq = static_cast<std::uint64_t>(doc.at("@xmit_seq").as_int());
+    // Ack every occurrence (the sender retires the frame on the first);
+    // archive only the first — at-least-once + dedup == exactly-once.
+    if (transport_ack_) transport_ack_(seq);
+    if (!seen_xmit_seqs_.insert(seq).second) {
+      ++duplicates_dropped_;
+      return;
+    }
+  }
   for (const auto& [name, filter] : filters_) {
     auto next = filter(std::move(doc));
     if (!next.has_value()) {
@@ -32,13 +43,16 @@ void Logstash::event(util::Json doc) {
   output(std::move(doc));
 }
 
-void Logstash::tcp_input(const std::string& payload) {
+void Logstash::tcp_input(std::string_view payload) {
+  bytes_in_ += payload.size();
+  partial_.append(payload);
   std::size_t start = 0;
-  while (start < payload.size()) {
-    std::size_t end = payload.find('\n', start);
-    if (end == std::string::npos) end = payload.size();
+  while (true) {
+    const std::size_t end = partial_.find('\n', start);
+    if (end == std::string::npos) break;  // no full line yet; keep tail
     if (end > start) {
-      const std::string_view line(payload.data() + start, end - start);
+      ++lines_in_;
+      const std::string_view line(partial_.data() + start, end - start);
       try {
         event(util::Json::parse(line));
       } catch (const util::JsonError&) {
@@ -47,6 +61,12 @@ void Logstash::tcp_input(const std::string& payload) {
     }
     start = end + 1;
   }
+  partial_.erase(0, start);
+}
+
+void Logstash::tcp_reset() {
+  ++tcp_resets_;
+  partial_.clear();
 }
 
 void Logstash::output(util::Json doc) {

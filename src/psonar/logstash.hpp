@@ -10,12 +10,34 @@
 //             (@timestamp, event ordinal, pipeline tag) producing
 //             Report_v2 and writes it to the archiver, one index per
 //             report kind ("p4sonar-throughput", "pscheduler-...", ...).
+//
+// The TCP input is a byte-stream consumer: a payload may end mid-line, so
+// a trailing partial line is buffered until the next chunk completes it
+// (the seed version parsed the fragment and mis-counted it as a
+// _jsonparsefailure). When the upstream connection resets, tcp_reset()
+// discards the partial buffer — the fragment's remainder will never
+// arrive on the new connection; the resilient sink retransmits the whole
+// line instead.
+//
+// Transport integration: events carrying an "@xmit_seq" field (assigned
+// by cp::ResilientReportSink) are deduplicated — at-least-once delivery
+// upstream plus dedup here yields exactly-once in the archive — and every
+// received sequence number is acknowledged through the ack callback.
+//
+// Counter model (end-to-end conservation, asserted by tests):
+//   bytes_in                      raw bytes accepted by tcp_input
+//   lines_in                      complete lines extracted from the stream
+//   lines_in == parse_failures + tcp_events
+//   events_in == tcp_events + direct event() calls
+//   events_in == duplicates_dropped + events_dropped + events_out
+//   events_out == documents handed to the archiver
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "controlplane/report.hpp"
@@ -34,38 +56,64 @@ class Logstash {
   /// Append a filter to the chain (applied in order).
   void add_filter(std::string name, Filter filter);
 
-  /// Feed one event through filters and the output plugin.
+  /// Feed one event through dedup, filters and the output plugin.
   void event(util::Json doc);
 
-  /// The TCP input plugin: accepts one newline-delimited JSON payload
-  /// (possibly several lines). Malformed lines are counted and dropped,
-  /// as the real plugin does with a _jsonparsefailure tag.
-  void tcp_input(const std::string& payload);
+  /// The TCP input plugin: accepts one chunk of the newline-delimited
+  /// JSON byte stream (any framing — several lines, half a line, one
+  /// byte). Complete lines are parsed; a trailing fragment is buffered.
+  /// Malformed lines are counted and dropped, as the real plugin does
+  /// with a _jsonparsefailure tag.
+  void tcp_input(std::string_view payload);
+
+  /// Upstream connection reset: drop the buffered partial line.
+  void tcp_reset();
+
+  /// Ack sink for transport sequence numbers ("@xmit_seq"); invoked for
+  /// every received occurrence, duplicates included.
+  void set_transport_ack(std::function<void(std::uint64_t)> ack) {
+    transport_ack_ = std::move(ack);
+  }
 
   /// Index name for a document (index_prefix + report kind).
   static std::string index_for(const util::Json& doc);
 
+  // ---- Counters (see conservation model above) -----------------------
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t lines_in() const { return lines_in_; }
   std::uint64_t events_in() const { return events_in_; }
   std::uint64_t events_out() const { return events_out_; }
   std::uint64_t events_dropped() const { return events_dropped_; }
   std::uint64_t parse_failures() const { return parse_failures_; }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  std::uint64_t tcp_resets() const { return tcp_resets_; }
+  std::size_t pending_partial_bytes() const { return partial_.size(); }
 
  private:
   void output(util::Json doc);
 
   Archiver& archiver_;
   std::vector<std::pair<std::string, Filter>> filters_;
+  std::function<void(std::uint64_t)> transport_ack_;
+  std::string partial_;  // trailing unterminated line of the TCP stream
+  std::unordered_set<std::uint64_t> seen_xmit_seqs_;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t lines_in_ = 0;
   std::uint64_t events_in_ = 0;
   std::uint64_t events_out_ = 0;
   std::uint64_t events_dropped_ = 0;
   std::uint64_t parse_failures_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t tcp_resets_ = 0;
   std::uint64_t sequence_ = 0;
 };
 
 /// Adapter: lets the switch control plane use Logstash's TCP input as a
 /// ReportSink — this is the wire between the two systems in Figure 7.
 /// Serializes each Report_v1 to a JSON line, exactly what travels the TCP
-/// connection in the real deployment.
+/// connection in the real deployment. This direct adapter models a
+/// perfect wire; net::ReportChannel + cp::ResilientReportSink model the
+/// same wire with faults.
 class LogstashTcpSink : public cp::ReportSink {
  public:
   explicit LogstashTcpSink(Logstash& logstash) : logstash_(logstash) {}

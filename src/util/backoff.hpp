@@ -1,0 +1,58 @@
+// Exponential backoff with decorrelating jitter, used by the resilient
+// report transport (retry pacing, reconnect pacing). Kept in util so any
+// component that retries over the simulated clock can share the policy.
+//
+// The delay for attempt n is
+//
+//     base * factor^n, capped at max,
+//
+// then scaled by a jitter factor in [1 - jitter, 1]: the caller supplies
+// one uniform [0,1) draw per call (from the simulation's seeded Rng), so
+// the class itself stays deterministic and PRNG-agnostic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace p4s::util {
+
+class ExponentialBackoff {
+ public:
+  struct Config {
+    SimTime base = units::milliseconds(10);
+    SimTime max = units::seconds(5);
+    double factor = 2.0;
+    /// Fraction of the delay randomized away: 0 = none, 0.5 = delays
+    /// land in [d/2, d]. Keeps simultaneous retriers from synchronizing.
+    double jitter = 0.5;
+  };
+
+  ExponentialBackoff() = default;
+  explicit ExponentialBackoff(Config config) : config_(config) {}
+
+  /// Delay before the next attempt; `u` is a uniform draw in [0, 1).
+  SimTime next(double u) {
+    double d = static_cast<double>(config_.base);
+    for (std::uint32_t i = 0; i < attempts_ && d < static_cast<double>(config_.max); ++i) {
+      d *= config_.factor;
+    }
+    d = std::min(d, static_cast<double>(config_.max));
+    d *= 1.0 - config_.jitter * u;
+    ++attempts_;
+    return std::max<SimTime>(1, static_cast<SimTime>(d));
+  }
+
+  /// Call on success: the next failure starts from `base` again.
+  void reset() { attempts_ = 0; }
+
+  std::uint32_t attempts() const { return attempts_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::uint32_t attempts_ = 0;
+};
+
+}  // namespace p4s::util

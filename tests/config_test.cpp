@@ -135,6 +135,94 @@ TEST(ConfigLoader, MalformedJsonThrowsJsonError) {
   EXPECT_THROW(core::config_from_text("{nope"), util::JsonError);
 }
 
+TEST(ConfigLoader, TransportSection) {
+  const auto config = core::config_from_text(R"({
+    "transport": {
+      "resilient": true,
+      "latency_us": 250,
+      "send_buffer_kb": 64,
+      "drain_kbps": 800,
+      "max_chunk_bytes": 512,
+      "random_chunking": false,
+      "queue_capacity": 100,
+      "ack_timeout_ms": 150,
+      "retry_base_ms": 5,
+      "retry_max_ms": 2000,
+      "health_interval_s": 2,
+      "faults": [
+        {"at_s": 3, "kind": "reset"},
+        {"at_s": 5, "kind": "stall", "duration_s": 0.8}
+      ]
+    }
+  })");
+  EXPECT_TRUE(config.transport.resilient);
+  EXPECT_EQ(config.transport.channel.latency, units::microseconds(250));
+  EXPECT_EQ(config.transport.channel.send_buffer_bytes, 64u * 1024);
+  EXPECT_EQ(config.transport.channel.drain_bps, 800'000u);
+  EXPECT_EQ(config.transport.channel.max_chunk_bytes, 512u);
+  EXPECT_FALSE(config.transport.channel.random_chunking);
+  EXPECT_EQ(config.transport.sink.queue_capacity, 100u);
+  EXPECT_EQ(config.transport.sink.ack_timeout, units::milliseconds(150));
+  EXPECT_EQ(config.transport.sink.backoff.base, units::milliseconds(5));
+  EXPECT_EQ(config.transport.sink.backoff.max, units::seconds(2));
+  EXPECT_EQ(config.transport.sink.health_interval, units::seconds(2));
+  ASSERT_EQ(config.transport.faults.size(), 2u);
+  EXPECT_EQ(config.transport.faults[0].at, units::seconds(3));
+  EXPECT_EQ(config.transport.faults[0].kind,
+            net::FaultInjector::FaultKind::kReset);
+  EXPECT_EQ(config.transport.faults[1].kind,
+            net::FaultInjector::FaultKind::kStall);
+  EXPECT_EQ(config.transport.faults[1].duration,
+            units::milliseconds(800));
+}
+
+TEST(ConfigLoader, TransportRejectsBadFaults) {
+  // Faults without the resilient wire have nothing to act on.
+  EXPECT_THROW(core::config_from_text(
+                   R"({"transport": {"faults": [{"at_s": 1}]}})"),
+               std::invalid_argument);
+  // A stall needs a positive duration.
+  EXPECT_THROW(core::config_from_text(
+                   R"({"transport": {"resilient": true, "faults":
+                       [{"at_s": 1, "kind": "stall"}]}})"),
+               std::invalid_argument);
+  // Unknown fault kind / key / missing at_s all fail.
+  EXPECT_THROW(core::config_from_text(
+                   R"({"transport": {"resilient": true, "faults":
+                       [{"at_s": 1, "kind": "flood"}]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(
+                   R"({"transport": {"resilient": true, "faults":
+                       [{"kind": "reset"}]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(
+                   R"({"transport": {"resilient": "yes"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(R"({"transport": {"bogus": 1}})"),
+               std::invalid_argument);
+}
+
+TEST(ConfigLoader, TransportConfigBuildsResilientSystem) {
+  const auto config = core::config_from_text(R"({
+    "topology": {"bottleneck_mbps": 100},
+    "control": {"flow_idle_timeout_s": 1},
+    "transport": {"resilient": true,
+                  "faults": [{"at_s": 2, "kind": "reset"}]}
+  })");
+  core::MonitoringSystem system(config);
+  system.psonar().psconfig().execute(
+      "psconfig config-P4 --samples_per_second 1");
+  system.start();
+  auto& flow = system.add_transfer(0);
+  flow.start_at(units::milliseconds(100));
+  flow.stop_at(units::seconds(3));
+  system.run_until(units::seconds(6));
+  EXPECT_TRUE(system.resilient_transport());
+  EXPECT_EQ(system.fault_injector().resets_injected(), 1u);
+  EXPECT_EQ(system.report_sink().reconnects(), 1u);
+  EXPECT_GT(system.psonar().archiver().total_docs(), 0u);
+}
+
 TEST(ConfigLoader, LoadedConfigBuildsWorkingSystem) {
   const auto config = core::config_from_text(R"({
     "topology": {"bottleneck_mbps": 100},

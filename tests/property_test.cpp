@@ -4,8 +4,15 @@
 
 #include <array>
 #include <map>
+#include <set>
+#include <string>
 
+#include "controlplane/resilient_sink.hpp"
+#include "net/fault_injector.hpp"
 #include "net/queue.hpp"
+#include "net/report_channel.hpp"
+#include "psonar/archiver.hpp"
+#include "psonar/logstash.hpp"
 #include "net/topology.hpp"
 #include "net/wire.hpp"
 #include "p4/cms.hpp"
@@ -316,6 +323,129 @@ INSTANTIATE_TEST_SUITE_P(
                       LossCase{6, 0.03, 0.01, true},
                       LossCase{7, 0.01, 0.0, false},
                       LossCase{8, 0.005, 0.005, false}));
+
+// ---------- report transport delivery invariants ----------
+
+// For random seeded fault schedules crossed with random report streams,
+// the resilient transport must uphold:
+//   1. no sequence number is archived twice (dedup works);
+//   2. dropped + archived == emitted (exact conservation);
+//   3. under a fault-free schedule, reports archive in emission order.
+class TransportProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransportProperty, ConservationAndUniquenessUnderRandomFaults) {
+  const std::uint64_t seed = GetParam();
+  sim::Simulation sim(seed);
+  sim::Rng rng(seed * 7919 + 1);
+  ps::Archiver archiver;
+  ps::Logstash logstash(archiver);
+
+  net::ReportChannel::Config cc;
+  cc.latency = units::microseconds(100 + rng.next_below(2000));
+  cc.max_chunk_bytes = 1 + rng.next_below(500);
+  cc.send_buffer_bytes = 4096 + rng.next_below(64 * 1024);
+  cc.seed = seed;
+  net::ReportChannel channel(sim, cc);
+  channel.set_receiver(
+      [&logstash](std::string_view chunk) { logstash.tcp_input(chunk); });
+  channel.on_disconnect([&logstash]() { logstash.tcp_reset(); });
+
+  cp::ResilientReportSink::Config sc;
+  sc.health_interval = 0;  // the archive holds only this test's stream
+  sc.ack_timeout = units::milliseconds(20 + rng.next_below(100));
+  sc.backoff.base = units::milliseconds(5);
+  sc.backoff.max = units::milliseconds(250);
+  sc.queue_capacity = 16 + rng.next_below(200);
+  sc.seed = seed;
+  cp::ResilientReportSink sink(sim, channel, sc);
+  logstash.set_transport_ack(
+      [&sink](std::uint64_t seq) { sink.on_ack(seq); });
+
+  net::FaultInjector injector(sim, channel);
+  net::FaultInjector::RandomProfile profile;
+  profile.resets_per_second = rng.next_double() * 2.0;
+  profile.stalls_per_second = rng.next_double() * 2.0;
+  profile.until = units::seconds(8);  // leave time to drain
+  profile.seed = seed;
+  injector.enable_random(profile);
+  injector.arm();
+
+  // Random report stream: bursty arrivals with varying payload sizes.
+  const int n_reports = 100 + static_cast<int>(rng.next_below(300));
+  SimTime at = 0;
+  for (int i = 0; i < n_reports; ++i) {
+    at += rng.next_below(units::milliseconds(60));
+    sim.at(at, [&sink, &rng, i]() {
+      util::Json j = util::Json::object();
+      j["report"] = "prop";
+      j["ts_ns"] = i;
+      j["pad"] = std::string(rng.next_below(200), 'p');
+      sink.on_report(j);
+    });
+  }
+  // Run far past the fault horizon and last emission so retries drain.
+  sim.run_until(units::seconds(60));
+
+  const auto docs = archiver.search("p4sonar-prop");
+  std::set<std::int64_t> seqs;
+  for (const auto& d : docs) {
+    ASSERT_TRUE(d.contains("@xmit_seq"));
+    EXPECT_TRUE(seqs.insert(d.at("@xmit_seq").as_int()).second)
+        << "duplicate @xmit_seq " << d.at("@xmit_seq").as_int();
+  }
+  const auto& h = sink.health();
+  EXPECT_EQ(h.emitted, static_cast<std::uint64_t>(n_reports));
+  EXPECT_EQ(h.queued, 0u) << "transport failed to drain";
+  EXPECT_EQ(h.dropped_overflow + docs.size(), h.emitted)
+      << "conservation violated: dropped + archived != emitted";
+  EXPECT_EQ(h.acked, docs.size());
+}
+
+TEST_P(TransportProperty, FaultFreeArchivesInEmissionOrder) {
+  const std::uint64_t seed = GetParam();
+  sim::Simulation sim(seed);
+  sim::Rng rng(seed * 104729 + 3);
+  ps::Archiver archiver;
+  ps::Logstash logstash(archiver);
+  net::ReportChannel::Config cc;
+  cc.max_chunk_bytes = 1 + rng.next_below(64);  // brutal chunking, no faults
+  cc.seed = seed;
+  net::ReportChannel channel(sim, cc);
+  channel.set_receiver(
+      [&logstash](std::string_view chunk) { logstash.tcp_input(chunk); });
+  cp::ResilientReportSink::Config sc;
+  sc.health_interval = 0;
+  cp::ResilientReportSink sink(sim, channel, sc);
+  logstash.set_transport_ack(
+      [&sink](std::uint64_t seq) { sink.on_ack(seq); });
+
+  const int n_reports = 50 + static_cast<int>(rng.next_below(100));
+  SimTime at = 0;
+  for (int i = 0; i < n_reports; ++i) {
+    at += rng.next_below(units::milliseconds(10));
+    sim.at(at, [&sink, i]() {
+      util::Json j = util::Json::object();
+      j["report"] = "ordered";
+      j["ts_ns"] = i;
+      sink.on_report(j);
+    });
+  }
+  sim.run_until(units::seconds(30));
+
+  const auto docs = archiver.search("p4sonar-ordered");
+  ASSERT_EQ(docs.size(), static_cast<std::size_t>(n_reports));
+  std::int64_t prev = -1;
+  for (const auto& d : docs) {
+    const std::int64_t s = d.at("@xmit_seq").as_int();
+    EXPECT_GT(s, prev) << "out of order on a fault-free wire";
+    prev = s;
+  }
+  EXPECT_EQ(sink.health().retried, 0u);
+  EXPECT_EQ(sink.health().dropped_overflow, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
 // ---------- flow hash slot distribution ----------
 

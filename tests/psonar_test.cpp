@@ -183,6 +183,107 @@ TEST(Logstash, TcpInputCountsParseFailures) {
   EXPECT_EQ(archiver.doc_count("p4sonar-ok"), 1u);
 }
 
+TEST(Logstash, TcpInputBuffersPartialLineAtEveryByteOffset) {
+  // Regression: the seed parsed a trailing fragment immediately and
+  // mis-counted it as a _jsonparsefailure. A Report_v1 line split at ANY
+  // byte offset must still produce exactly one document.
+  const util::Json report = doc("throughput", 123456789, 94.2);
+  const std::string line = report.dump() + "\n";
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    Archiver archiver;
+    Logstash logstash(archiver);
+    logstash.tcp_input(std::string_view(line).substr(0, i));
+    logstash.tcp_input(std::string_view(line).substr(i));
+    EXPECT_EQ(archiver.doc_count("p4sonar-throughput"), 1u)
+        << "split at byte " << i;
+    EXPECT_EQ(logstash.parse_failures(), 0u) << "split at byte " << i;
+    EXPECT_EQ(logstash.lines_in(), 1u) << "split at byte " << i;
+    EXPECT_EQ(logstash.pending_partial_bytes(), 0u)
+        << "split at byte " << i;
+  }
+}
+
+TEST(Logstash, TcpInputReassemblesByteAtATime) {
+  Archiver archiver;
+  Logstash logstash(archiver);
+  const std::string payload = doc("a", 1, 1.0).dump() + "\n" +
+                              doc("b", 2, 2.0).dump() + "\n";
+  for (char c : payload) logstash.tcp_input(std::string_view(&c, 1));
+  EXPECT_EQ(archiver.doc_count("p4sonar-a"), 1u);
+  EXPECT_EQ(archiver.doc_count("p4sonar-b"), 1u);
+  EXPECT_EQ(logstash.parse_failures(), 0u);
+  EXPECT_EQ(logstash.bytes_in(), payload.size());
+  EXPECT_EQ(logstash.lines_in(), 2u);
+  EXPECT_EQ(logstash.pending_partial_bytes(), 0u);
+}
+
+TEST(Logstash, TcpResetDiscardsPartialLine) {
+  Archiver archiver;
+  Logstash logstash(archiver);
+  logstash.tcp_input("{\"report\":\"half");  // fragment, then reset
+  EXPECT_GT(logstash.pending_partial_bytes(), 0u);
+  logstash.tcp_reset();
+  EXPECT_EQ(logstash.pending_partial_bytes(), 0u);
+  EXPECT_EQ(logstash.tcp_resets(), 1u);
+  // The new connection retransmits the whole line; no corruption.
+  logstash.tcp_input("{\"report\":\"half\",\"ts_ns\":1}\n");
+  EXPECT_EQ(archiver.doc_count("p4sonar-half"), 1u);
+  EXPECT_EQ(logstash.parse_failures(), 0u);
+}
+
+TEST(Logstash, DedupsByXmitSeqAndAcksEveryOccurrence) {
+  Archiver archiver;
+  Logstash logstash(archiver);
+  std::vector<std::uint64_t> acks;
+  logstash.set_transport_ack([&](std::uint64_t seq) { acks.push_back(seq); });
+  util::Json framed = doc("throughput", 1, 5.0);
+  framed["@xmit_seq"] = 7;
+  const std::string line = framed.dump() + "\n";
+  logstash.tcp_input(line);
+  logstash.tcp_input(line);  // at-least-once duplicate
+  logstash.tcp_input(line);
+  EXPECT_EQ(archiver.doc_count("p4sonar-throughput"), 1u);
+  EXPECT_EQ(logstash.duplicates_dropped(), 2u);
+  // Every occurrence is acked, duplicates included, so the sender can
+  // retire the frame even when the first ack's ship was the duplicate.
+  EXPECT_EQ(acks, (std::vector<std::uint64_t>{7, 7, 7}));
+}
+
+TEST(Logstash, CountersConserveEndToEnd) {
+  Archiver archiver;
+  Logstash logstash(archiver);
+  logstash.add_filter("drop-rtt", [](util::Json d) -> std::optional<util::Json> {
+    if (d.at("report").as_string() == "rtt") return std::nullopt;
+    return d;
+  });
+  util::Json dup = doc("throughput", 1, 1.0);
+  dup["@xmit_seq"] = 0;
+  const std::string dup_line = dup.dump() + "\n";
+  std::string payload;
+  payload += doc("throughput", 2, 2.0).dump() + "\n";  // archived
+  payload += "garbage line\n";                          // parse failure
+  payload += dup_line;                                  // archived
+  payload += dup_line;                                  // duplicate
+  payload += doc("rtt", 3, 3.0).dump() + "\n";          // filter-dropped
+  logstash.tcp_input(payload);
+  logstash.event(doc("loss", 4, 4.0));  // direct Tools-layer entry
+
+  EXPECT_EQ(logstash.bytes_in(), payload.size());
+  EXPECT_EQ(logstash.lines_in(), 5u);
+  EXPECT_EQ(logstash.parse_failures(), 1u);
+  // lines_in == parse_failures + tcp events; +1 direct event.
+  EXPECT_EQ(logstash.events_in(), logstash.lines_in() -
+                                      logstash.parse_failures() + 1);
+  // events_in == duplicates + filter-dropped + archived.
+  EXPECT_EQ(logstash.events_in(), logstash.duplicates_dropped() +
+                                      logstash.events_dropped() +
+                                      logstash.events_out());
+  EXPECT_EQ(logstash.duplicates_dropped(), 1u);
+  EXPECT_EQ(logstash.events_dropped(), 1u);
+  EXPECT_EQ(logstash.events_out(), archiver.total_docs());
+  EXPECT_EQ(archiver.total_docs(), 3u);
+}
+
 TEST(LogstashTcpSink, BridgesReportSink) {
   Archiver archiver;
   Logstash logstash(archiver);

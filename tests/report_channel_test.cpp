@@ -1,0 +1,390 @@
+// Unit and behaviour tests for the fault-injectable report transport:
+// net::ReportChannel (byte-stream semantics, bounded buffering, resets,
+// stalls, slow-consumer pacing), net::FaultInjector (scripted + random
+// schedules), util::ExponentialBackoff, and cp::ResilientReportSink
+// (sequencing, retransmission, drop-oldest degradation, reconnects,
+// health self-reports).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "controlplane/resilient_sink.hpp"
+#include "net/fault_injector.hpp"
+#include "net/report_channel.hpp"
+#include "psonar/archiver.hpp"
+#include "psonar/logstash.hpp"
+#include "sim/simulation.hpp"
+#include "util/backoff.hpp"
+#include "util/json.hpp"
+
+namespace p4s {
+namespace {
+
+util::Json report_doc(const char* kind, std::int64_t ts, double value) {
+  util::Json j = util::Json::object();
+  j["report"] = kind;
+  j["ts_ns"] = ts;
+  j["value"] = value;
+  return j;
+}
+
+// ---------- ReportChannel ----------
+
+TEST(ReportChannel, DeliversBytesInOrderAcrossArbitraryChunking) {
+  sim::Simulation sim(1);
+  net::ReportChannel::Config config;
+  config.max_chunk_bytes = 7;  // force many small, randomly sized chunks
+  net::ReportChannel channel(sim, config);
+  std::string received;
+  std::size_t max_chunk_seen = 0;
+  channel.set_receiver([&](std::string_view chunk) {
+    received.append(chunk);
+    max_chunk_seen = std::max(max_chunk_seen, chunk.size());
+  });
+  channel.connect();
+  std::string sent;
+  for (int i = 0; i < 40; ++i) {
+    const std::string msg =
+        "message-" + std::to_string(i) + std::string(i % 13, 'x') + "\n";
+    ASSERT_TRUE(channel.send(msg));
+    sent += msg;
+  }
+  sim.run_until(units::seconds(1));
+  EXPECT_EQ(received, sent);
+  EXPECT_LE(max_chunk_seen, 7u);
+  EXPECT_GT(channel.stats().chunks_delivered, sent.size() / 7);
+  EXPECT_EQ(channel.stats().bytes_delivered, sent.size());
+  EXPECT_EQ(channel.stats().bytes_accepted, sent.size());
+}
+
+TEST(ReportChannel, RejectsWhenDisconnectedOrFull) {
+  sim::Simulation sim(1);
+  net::ReportChannel::Config config;
+  config.send_buffer_bytes = 10;
+  net::ReportChannel channel(sim, config);
+  EXPECT_FALSE(channel.send("hello"));  // not connected yet
+  channel.connect();
+  EXPECT_TRUE(channel.send("12345678"));
+  EXPECT_FALSE(channel.send("abc"));  // 8 + 3 > 10
+  EXPECT_EQ(channel.stats().sends_rejected, 2u);
+  EXPECT_EQ(channel.stats().bytes_accepted, 8u);
+}
+
+TEST(ReportChannel, ResetLosesBufferedAndInFlightBytes) {
+  sim::Simulation sim(1);
+  net::ReportChannel::Config config;
+  config.latency = units::milliseconds(1);
+  config.random_chunking = false;
+  net::ReportChannel channel(sim, config);
+  std::string received;
+  int disconnects = 0;
+  channel.set_receiver([&](std::string_view c) { received.append(c); });
+  channel.on_disconnect([&]() { ++disconnects; });
+  channel.connect();
+
+  sim.at(0, [&]() { ASSERT_TRUE(channel.send(std::string(100, 'a'))); });
+  // At 0.5 ms the pump has moved the bytes in flight (delivery due at
+  // 1 ms); the reset must kill them there too.
+  sim.at(units::microseconds(500), [&]() { channel.reset(); });
+  sim.run_until(units::seconds(1));
+
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(channel.stats().bytes_lost, 100u);
+  EXPECT_EQ(channel.stats().resets, 1u);
+  EXPECT_EQ(disconnects, 1);
+  EXPECT_FALSE(channel.connected());
+
+  // Reconnecting gives a clean stream again.
+  channel.connect();
+  EXPECT_TRUE(channel.send("fresh"));
+  sim.run_until(units::seconds(2));
+  EXPECT_EQ(received, "fresh");
+  EXPECT_EQ(channel.reconnects(), 1u);
+}
+
+TEST(ReportChannel, StallFreezesDeliveryButKeepsBytes) {
+  sim::Simulation sim(1);
+  net::ReportChannel::Config config;
+  config.latency = units::microseconds(10);
+  net::ReportChannel channel(sim, config);
+  std::string received;
+  std::vector<SimTime> delivery_times;
+  channel.set_receiver([&](std::string_view c) {
+    received.append(c);
+    delivery_times.push_back(sim.now());
+  });
+  channel.connect();
+  channel.stall(units::milliseconds(50));
+  sim.at(0, [&]() { ASSERT_TRUE(channel.send("delayed payload")); });
+  sim.run_until(units::seconds(1));
+  EXPECT_EQ(received, "delayed payload");
+  ASSERT_FALSE(delivery_times.empty());
+  EXPECT_GE(delivery_times.front(), units::milliseconds(50));
+  EXPECT_EQ(channel.stats().stalls, 1u);
+  EXPECT_EQ(channel.stats().bytes_lost, 0u);
+}
+
+TEST(ReportChannel, DrainRatePacesSlowConsumer) {
+  sim::Simulation sim(1);
+  net::ReportChannel::Config config;
+  config.drain_bps = 80'000;  // 10 KB/s
+  config.latency = 0;
+  config.random_chunking = false;
+  config.max_chunk_bytes = 1000;
+  net::ReportChannel channel(sim, config);
+  SimTime last_delivery = 0;
+  std::uint64_t received_bytes = 0;
+  channel.set_receiver([&](std::string_view c) {
+    received_bytes += c.size();
+    last_delivery = sim.now();
+  });
+  channel.connect();
+  sim.at(0, [&]() { ASSERT_TRUE(channel.send(std::string(10'000, 'z'))); });
+  sim.run_until(units::seconds(5));
+  EXPECT_EQ(received_bytes, 10'000u);
+  // 10 KB at 10 KB/s: the tail must land around t = 1 s, not instantly.
+  EXPECT_GE(last_delivery, units::milliseconds(900));
+  EXPECT_LE(last_delivery, units::milliseconds(1100));
+}
+
+// ---------- FaultInjector ----------
+
+TEST(FaultInjector, ScriptedFaultsFireAndAreCounted) {
+  sim::Simulation sim(1);
+  net::ReportChannel channel(sim, {});
+  channel.connect();
+  net::FaultInjector injector(sim, channel);
+  injector.reset_at(units::seconds(1));
+  injector.stall_at(units::seconds(2), units::milliseconds(100));
+  injector.reset_at(units::seconds(3));
+  injector.arm();
+  sim.at(units::milliseconds(1500), [&]() { channel.connect(); });
+  sim.run_until(units::seconds(5));
+  EXPECT_EQ(injector.resets_injected(), 2u);
+  EXPECT_EQ(injector.stalls_injected(), 1u);
+  EXPECT_EQ(channel.stats().resets, 2u);
+  EXPECT_EQ(channel.stats().stalls, 1u);
+}
+
+TEST(FaultInjector, RandomScheduleIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulation sim(1);
+    net::ReportChannel channel(sim, {});
+    channel.connect();
+    net::FaultInjector injector(sim, channel);
+    net::FaultInjector::RandomProfile profile;
+    profile.resets_per_second = 5.0;
+    profile.stalls_per_second = 3.0;
+    profile.until = units::seconds(10);
+    profile.seed = seed;
+    injector.enable_random(profile);
+    injector.arm();
+    sim.run_until(units::seconds(20));
+    return std::pair(injector.resets_injected(), injector.stalls_injected());
+  };
+  const auto a = run(42);
+  EXPECT_EQ(a, run(42));
+  EXPECT_NE(a, run(43));
+  EXPECT_GT(a.first, 0u);
+  EXPECT_GT(a.second, 0u);
+}
+
+TEST(FaultInjector, RandomFaultsRespectHorizon) {
+  sim::Simulation sim(1);
+  net::ReportChannel channel(sim, {});
+  channel.connect();
+  net::FaultInjector injector(sim, channel);
+  net::FaultInjector::RandomProfile profile;
+  profile.resets_per_second = 50.0;
+  profile.until = units::seconds(1);
+  profile.seed = 7;
+  injector.enable_random(profile);
+  injector.arm();
+  sim.run_until(units::seconds(1));
+  const auto at_horizon = injector.resets_injected();
+  EXPECT_GT(at_horizon, 0u);
+  sim.run_until(units::seconds(30));
+  EXPECT_EQ(injector.resets_injected(), at_horizon);
+}
+
+// ---------- ExponentialBackoff ----------
+
+TEST(ExponentialBackoff, GrowsGeometricallyAndCaps) {
+  util::ExponentialBackoff::Config config;
+  config.base = units::milliseconds(10);
+  config.max = units::milliseconds(100);
+  config.factor = 2.0;
+  config.jitter = 0.0;
+  util::ExponentialBackoff backoff(config);
+  EXPECT_EQ(backoff.next(0.0), units::milliseconds(10));
+  EXPECT_EQ(backoff.next(0.0), units::milliseconds(20));
+  EXPECT_EQ(backoff.next(0.0), units::milliseconds(40));
+  EXPECT_EQ(backoff.next(0.0), units::milliseconds(80));
+  EXPECT_EQ(backoff.next(0.0), units::milliseconds(100));  // capped
+  EXPECT_EQ(backoff.next(0.0), units::milliseconds(100));
+  backoff.reset();
+  EXPECT_EQ(backoff.next(0.0), units::milliseconds(10));
+}
+
+TEST(ExponentialBackoff, JitterShortensWithinBound) {
+  util::ExponentialBackoff::Config config;
+  config.base = units::milliseconds(100);
+  config.jitter = 0.5;
+  util::ExponentialBackoff backoff(config);
+  const SimTime d = backoff.next(0.999);  // maximal jitter draw
+  EXPECT_GE(d, units::milliseconds(50));
+  EXPECT_LT(d, units::milliseconds(100));
+}
+
+// ---------- ResilientReportSink ----------
+
+struct SinkHarness {
+  sim::Simulation sim;
+  ps::Archiver archiver;
+  ps::Logstash logstash{archiver};
+  net::ReportChannel channel;
+  cp::ResilientReportSink sink;
+
+  SinkHarness(std::uint64_t seed, net::ReportChannel::Config cc,
+              cp::ResilientReportSink::Config sc)
+      : sim(seed), channel(sim, cc), sink(sim, channel, sc) {
+    channel.set_receiver(
+        [this](std::string_view chunk) { logstash.tcp_input(chunk); });
+    channel.on_disconnect([this]() { logstash.tcp_reset(); });
+    logstash.set_transport_ack(
+        [this](std::uint64_t seq) { sink.on_ack(seq); });
+  }
+};
+
+cp::ResilientReportSink::Config quiet_sink_config() {
+  cp::ResilientReportSink::Config sc;
+  sc.health_interval = 0;  // keep the archive to just the test's reports
+  sc.ack_timeout = units::milliseconds(50);
+  sc.backoff.base = units::milliseconds(5);
+  sc.backoff.max = units::milliseconds(200);
+  return sc;
+}
+
+TEST(ResilientReportSink, ExactlyOnceThroughResetsAndStalls) {
+  net::ReportChannel::Config cc;
+  cc.latency = units::microseconds(200);
+  SinkHarness h(7, cc, quiet_sink_config());
+
+  constexpr int kReports = 200;
+  for (int i = 0; i < kReports; ++i) {
+    h.sim.at(units::milliseconds(static_cast<std::uint64_t>(i)),
+             [&h, i]() {
+               h.sink.on_report(report_doc("metric", i, i * 0.5));
+             });
+  }
+  net::FaultInjector injector(h.sim, h.channel);
+  injector.reset_at(units::milliseconds(50));
+  injector.stall_at(units::milliseconds(80), units::milliseconds(30));
+  injector.reset_at(units::milliseconds(120));
+  injector.arm();
+  h.sim.run_until(units::seconds(5));
+
+  // Every report archived exactly once despite the faults.
+  const auto docs = h.archiver.search("p4sonar-metric");
+  ASSERT_EQ(docs.size(), static_cast<std::size_t>(kReports));
+  std::set<std::int64_t> seqs;
+  for (const auto& d : docs) {
+    seqs.insert(d.at("@xmit_seq").as_int());
+  }
+  EXPECT_EQ(seqs.size(), static_cast<std::size_t>(kReports));
+
+  const auto& health = h.sink.health();
+  EXPECT_EQ(health.emitted, static_cast<std::uint64_t>(kReports));
+  EXPECT_EQ(health.acked, static_cast<std::uint64_t>(kReports));
+  EXPECT_EQ(health.queued, 0u);
+  EXPECT_EQ(health.dropped_overflow, 0u);
+  EXPECT_GT(health.retried, 0u);  // the faults really cost retransmissions
+  EXPECT_EQ(h.sink.reconnects(), 2u);
+  EXPECT_GT(h.logstash.duplicates_dropped() + health.retried, 0u);
+}
+
+TEST(ResilientReportSink, DropsOldestWhenQueueOverflows) {
+  net::ReportChannel::Config cc;
+  cc.send_buffer_bytes = 0;  // wire never accepts a byte
+  auto sc = quiet_sink_config();
+  sc.queue_capacity = 4;
+  SinkHarness h(1, cc, sc);
+
+  for (int i = 0; i < 10; ++i) {
+    h.sink.on_report(report_doc("metric", i, 1.0));
+  }
+  const auto& health = h.sink.health();
+  EXPECT_EQ(health.emitted, 10u);
+  EXPECT_EQ(health.dropped_overflow, 6u);
+  EXPECT_EQ(health.queued, 4u);
+  EXPECT_GT(health.send_failures, 0u);
+  EXPECT_EQ(h.archiver.total_docs(), 0u);
+  // Conservation even in degradation: everything is accounted for.
+  EXPECT_EQ(health.emitted,
+            health.dropped_overflow + health.queued + health.acked);
+}
+
+TEST(ResilientReportSink, RetransmitsUntilAcked) {
+  net::ReportChannel::Config cc;
+  cc.latency = units::microseconds(100);
+  auto sc = quiet_sink_config();
+  sc.ack_timeout = units::milliseconds(10);
+  // Receiver that swallows bytes without ever acking.
+  sim::Simulation sim(1);
+  net::ReportChannel channel(sim, cc);
+  channel.set_receiver([](std::string_view) {});
+  cp::ResilientReportSink sink(sim, channel, sc);
+  sink.on_report(report_doc("metric", 1, 1.0));
+  sim.run_until(units::milliseconds(200));
+  const auto& health = sink.health();
+  EXPECT_EQ(health.sent, 1u);
+  EXPECT_GT(health.retried, 5u);  // kept trying every ack_timeout
+  EXPECT_EQ(health.acked, 0u);
+  EXPECT_EQ(health.queued, 1u);
+}
+
+TEST(ResilientReportSink, EmitsHealthReportsThroughOwnChannel) {
+  net::ReportChannel::Config cc;
+  auto sc = quiet_sink_config();
+  sc.health_interval = units::milliseconds(100);
+  SinkHarness h(1, cc, sc);
+  h.sim.run_until(units::seconds(1));
+  const auto docs = h.archiver.search("p4sonar-transport_health");
+  ASSERT_GE(docs.size(), 9u);
+  for (const char* field :
+       {"emitted", "sent", "retried", "acked", "dropped", "reconnects",
+        "queued", "send_failures"}) {
+    EXPECT_TRUE(docs.back().contains(field)) << field;
+  }
+  // The health stream observes itself being delivered.
+  EXPECT_GT(docs.back().at("acked").as_int(), 0);
+}
+
+TEST(ResilientReportSink, HealthCountsLateDeliveredDropAsAcked) {
+  // A frame dropped from the queue after its bytes entered the wire can
+  // still arrive; the ack must reclassify it from dropped to delivered so
+  // dropped + archived == emitted stays exact.
+  net::ReportChannel::Config cc;
+  cc.latency = units::milliseconds(10);  // slow enough to race the drop
+  cc.random_chunking = false;
+  auto sc = quiet_sink_config();
+  sc.queue_capacity = 1;
+  SinkHarness h(1, cc, sc);
+  h.sim.at(0, [&]() { h.sink.on_report(report_doc("metric", 0, 0.0)); });
+  // Before the first frame's delivery at ~10 ms, overflow the queue.
+  h.sim.at(units::milliseconds(1),
+           [&]() { h.sink.on_report(report_doc("metric", 1, 1.0)); });
+  h.sim.run_until(units::seconds(2));
+  const auto& health = h.sink.health();
+  const std::uint64_t archived = h.archiver.total_docs();
+  EXPECT_EQ(health.emitted, 2u);
+  EXPECT_EQ(archived + health.dropped_overflow, health.emitted);
+  EXPECT_EQ(health.acked, archived);
+}
+
+}  // namespace
+}  // namespace p4s

@@ -1,0 +1,179 @@
+// Fault-schedule integration tests (Figure 9 scenario, faulty wire):
+// the full MonitoringSystem runs a multi-flow transfer while scripted
+// resets and stalls hit the report transport mid-run. The archiver must
+// end up with exactly the documents a fault-free run produces — every
+// report delivered exactly once — and the transport health counters must
+// match the schedule that was injected.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/monitoring_system.hpp"
+
+namespace p4s {
+namespace {
+
+using core::MonitoringSystem;
+using core::MonitoringSystemConfig;
+
+MonitoringSystemConfig fig9_config(bool resilient) {
+  MonitoringSystemConfig config;
+  config.topology.bottleneck_bps = units::mbps(100);
+  config.seed = 99;
+  config.transport.resilient = resilient;
+  // Tight retry policy so the run drains quickly after the last fault.
+  config.transport.sink.ack_timeout = units::milliseconds(100);
+  config.transport.sink.backoff.base = units::milliseconds(20);
+  config.transport.sink.backoff.max = units::milliseconds(500);
+  config.transport.sink.health_interval = 0;  // compare measurement docs
+  return config;
+}
+
+struct RunResult {
+  std::uint64_t archived = 0;
+  std::uint64_t emitted = 0;
+  std::set<std::int64_t> xmit_seqs;
+  std::vector<std::string> indices;
+  cp::ResilientReportSink::Health health;
+  std::uint64_t reconnects = 0;
+  std::uint64_t duplicates_dropped = 0;
+};
+
+// Run the Figure-9-style scenario (two staggered flows over the 100 Mbps
+// bottleneck, second joins mid-run) with an optional fault schedule.
+RunResult run_fig9(bool inject_faults) {
+  MonitoringSystem system(fig9_config(/*resilient=*/true));
+  system.psonar().psconfig().execute(
+      "psconfig config-P4 --samples_per_second 2");
+  if (inject_faults) {
+    auto& injector = system.fault_injector();
+    injector.reset_at(units::seconds(3));
+    injector.stall_at(units::seconds(5), units::milliseconds(800));
+    injector.reset_at(units::seconds(7));
+  }
+  system.start();
+  auto& flow0 = system.add_transfer(0);
+  flow0.start_at(units::seconds(1));
+  flow0.stop_at(units::seconds(8));
+  auto& flow1 = system.add_transfer(1);
+  flow1.start_at(units::seconds(4));  // joins while faults are active
+  flow1.stop_at(units::seconds(8));
+  // The aggregate report ticks forever, so at any horizon one report
+  // would still be mid-wire. Quiesce the report stream near the end
+  // (interval -> 100 s) and run well past the last fault so the wire and
+  // retry queues drain completely before we measure.
+  system.simulation().at(units::seconds(11), [&system]() {
+    system.psonar().psconfig().execute(
+        "psconfig config-P4 --samples_per_second 0.01");
+  });
+  system.run_until(units::seconds(14));
+
+  RunResult r;
+  auto& archiver = system.psonar().archiver();
+  r.archived = archiver.total_docs();
+  r.indices = archiver.indices();
+  for (const auto& index : r.indices) {
+    for (const auto& doc : archiver.search(index)) {
+      if (doc.contains("@xmit_seq")) {
+        r.xmit_seqs.insert(doc.at("@xmit_seq").as_int());
+      }
+    }
+  }
+  r.health = system.report_sink().health();
+  r.emitted = r.health.emitted;
+  r.reconnects = system.report_sink().reconnects();
+  r.duplicates_dropped = system.psonar().logstash().duplicates_dropped();
+  return r;
+}
+
+TEST(TransportFault, Fig9ScheduleLosesNothing) {
+  const RunResult clean = run_fig9(/*inject_faults=*/false);
+  const RunResult faulty = run_fig9(/*inject_faults=*/true);
+
+  // Same seed, same workload: the control plane emits the same reports.
+  ASSERT_GT(clean.emitted, 0u);
+  EXPECT_EQ(faulty.emitted, clean.emitted);
+
+  // The faulty wire delivered every one of them exactly once.
+  EXPECT_EQ(faulty.archived, clean.archived);
+  EXPECT_EQ(faulty.xmit_seqs, clean.xmit_seqs);
+  EXPECT_EQ(faulty.xmit_seqs.size(),
+            static_cast<std::size_t>(faulty.emitted));
+  EXPECT_EQ(faulty.indices, clean.indices);
+
+  // Exactly-once end to end: nothing dropped, everything acked.
+  EXPECT_EQ(faulty.health.dropped_overflow, 0u);
+  EXPECT_EQ(faulty.health.acked, faulty.emitted);
+  EXPECT_EQ(faulty.health.queued, 0u);
+
+  // ...and it genuinely went through the faults, not around them.
+  EXPECT_EQ(faulty.reconnects, 2u);
+  EXPECT_GT(faulty.health.retried, 0u);
+  EXPECT_GT(faulty.health.retried + faulty.duplicates_dropped, 0u);
+
+  // The clean run saw a perfect wire.
+  EXPECT_EQ(clean.reconnects, 0u);
+  EXPECT_EQ(clean.health.retried, 0u);
+  EXPECT_EQ(clean.health.dropped_overflow, 0u);
+}
+
+TEST(TransportFault, InjectorCountersMatchSchedule) {
+  MonitoringSystem system(fig9_config(/*resilient=*/true));
+  system.psonar().psconfig().execute(
+      "psconfig config-P4 --samples_per_second 1");
+  auto& injector = system.fault_injector();
+  injector.reset_at(units::seconds(2));
+  injector.reset_at(units::seconds(4));
+  injector.stall_at(units::seconds(5), units::milliseconds(200));
+  system.start();
+  auto& flow = system.add_transfer(0);
+  flow.start_at(units::seconds(1));
+  flow.stop_at(units::seconds(6));
+  system.simulation().at(units::seconds(8), [&system]() {
+    system.psonar().psconfig().execute(
+        "psconfig config-P4 --samples_per_second 0.01");
+  });
+  system.run_until(units::seconds(12));
+
+  EXPECT_EQ(injector.resets_injected(), 2u);
+  EXPECT_EQ(injector.stalls_injected(), 1u);
+  EXPECT_EQ(system.report_channel().stats().resets, 2u);
+  EXPECT_EQ(system.report_channel().stats().stalls, 1u);
+  EXPECT_EQ(system.report_sink().reconnects(), 2u);
+  // Conservation: every emitted report is archived or still accounted.
+  const auto& h = system.report_sink().health();
+  EXPECT_EQ(h.acked + h.dropped_overflow + h.queued, h.emitted);
+  EXPECT_EQ(h.queued, 0u);
+}
+
+TEST(TransportFault, ResilientMatchesLegacyWireWhenFaultFree) {
+  // With no faults, the resilient path must archive exactly what the
+  // legacy direct wire archives for the same seeded workload.
+  auto run = [](bool resilient) {
+    MonitoringSystem system(fig9_config(resilient));
+    system.psonar().psconfig().execute(
+        "psconfig config-P4 --samples_per_second 2");
+    system.start();
+    auto& flow = system.add_transfer(0);
+    flow.start_at(units::seconds(1));
+    flow.stop_at(units::seconds(6));
+    system.simulation().at(units::seconds(8), [&system]() {
+      system.psonar().psconfig().execute(
+          "psconfig config-P4 --samples_per_second 0.01");
+    });
+    system.run_until(units::seconds(12));
+    return std::pair(system.psonar().archiver().total_docs(),
+                     system.psonar().archiver().indices());
+  };
+  const auto legacy = run(false);
+  const auto resilient = run(true);
+  EXPECT_GT(legacy.first, 0u);
+  EXPECT_EQ(resilient.first, legacy.first);
+  EXPECT_EQ(resilient.second, legacy.second);
+}
+
+}  // namespace
+}  // namespace p4s
