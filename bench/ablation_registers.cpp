@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "sim/random.hpp"
 #include "telemetry/flow_tracker.hpp"
 #include "telemetry/rtt_loss.hpp"
@@ -130,8 +131,11 @@ void cms_sizing() {
 }  // namespace
 
 int main() {
+  bench::WallTimer wall;
   std::printf("Register-sizing ablation (DESIGN.md design decision *)\n\n");
   eack_sizing();
   cms_sizing();
-  return 0;
+  bench::BenchReport report("ablation_registers");
+  report.wall_time_s(wall.elapsed_s());
+  return report.write() ? 0 : 1;
 }

@@ -47,10 +47,11 @@ void cc_convergence(const std::string& cc) {
   std::size_t n = 0;
   for (const auto& s : recorder.samples()) {
     if (s.t_s < 31.0) continue;
-    min_fairness = std::min(min_fairness, s.fairness);
     mean_util += s.link_utilization;
     ++n;
-    if (recover_t < 0 && s.fairness >= 0.9 && s.t_s > 34.0) {
+    if (!s.fairness.has_value()) continue;  // idle: index undefined
+    min_fairness = std::min(min_fairness, *s.fairness);
+    if (recover_t < 0 && *s.fairness >= 0.9 && s.t_s > 34.0) {
       recover_t = s.t_s;
     }
   }
@@ -107,6 +108,7 @@ void recovery_ablation(bool sack) {
 }  // namespace
 
 int main() {
+  bench::WallTimer wall;
   bench::print_header(
       "TCP ablation — congestion control and loss recovery",
       "DESIGN.md §5 design decisions",
@@ -122,5 +124,7 @@ int main() {
   std::printf("\n== loss recovery under a burst-loss episode ==\n");
   recovery_ablation(true);
   recovery_ablation(false);
-  return 0;
+  bench::BenchReport report("ablation_tcp");
+  report.wall_time_s(wall.elapsed_s());
+  return report.write() ? 0 : 1;
 }

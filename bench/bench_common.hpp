@@ -12,8 +12,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <utility>
 
+#include "bench_json.hpp"
 #include "core/experiment.hpp"
 #include "core/monitoring_system.hpp"
 #include "util/units.hpp"
@@ -80,6 +83,39 @@ inline void print_metric(const core::Recorder& recorder,
     }
     std::printf("\n");
   }
+}
+
+/// Standard BENCH_<name>.json for a MonitoringSystem experiment: the
+/// simulator's events/sec and TAP mirror packets/sec over the measured
+/// wall time, plus the event heap's high-water mark. Returns the bench's
+/// exit code (non-zero when the JSON failed to write or re-parse).
+inline int write_experiment_json(
+    const std::string& name, core::MonitoringSystem& system, double wall_s,
+    std::initializer_list<std::pair<const char*, double>> extra = {}) {
+  auto& events = system.simulation().events();
+  BenchReport report(name);
+  report.wall_time_s(wall_s);
+  report.metric("executed_events", events.executed_events());
+  report.metric("events_per_sec",
+                wall_s > 0.0
+                    ? static_cast<double>(events.executed_events()) / wall_s
+                    : 0.0);
+  report.metric("mirrored_pkts", system.taps().mirrored_pkts());
+  report.metric("mirrored_pkts_per_sec",
+                wall_s > 0.0
+                    ? static_cast<double>(system.taps().mirrored_pkts()) /
+                          wall_s
+                    : 0.0);
+  report.metric("peak_heap_events",
+                static_cast<std::uint64_t>(events.peak_pending_events()));
+  report.metric("sim_time_s", units::to_seconds(system.simulation().now()));
+  for (const auto& [key, value] : extra) report.metric(key, value);
+  report.meta("seed", util::Json(static_cast<std::int64_t>(
+                          system.config().seed)));
+  report.meta("bottleneck_bps",
+              util::Json(static_cast<std::int64_t>(
+                  system.config().topology.bottleneck_bps)));
+  return report.write() ? 0 : 1;
 }
 
 }  // namespace p4s::bench

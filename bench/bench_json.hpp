@@ -1,0 +1,153 @@
+// Machine-readable bench output (the BENCH_*.json trajectory).
+//
+// Every bench binary writes one BENCH_<name>.json next to its working
+// directory (override with P4S_BENCH_JSON_DIR) so CI can archive a
+// performance trajectory across commits. The schema is deliberately
+// small and flat (see DESIGN.md "Performance"):
+//
+//   {
+//     "schema": "p4s-bench-v1",
+//     "name": "<bench name>",
+//     "wall_time_s": <float>,
+//     "metrics": {              // machine-comparable numbers
+//       "events_per_sec": ...,
+//       "mirrored_pkts_per_sec": ...,
+//       "peak_heap_events": ...,
+//       ...bench-specific keys...
+//     },
+//     "meta": { "seed": ..., ... }  // inputs, for apples-to-apples checks
+//   }
+//
+// The writer re-parses its own output before returning, so a bench exits
+// non-zero on malformed JSON — CI gates on well-formedness, never on
+// absolute numbers (those are machine-dependent).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace p4s::bench {
+
+/// Monotonic stopwatch for hot loops (wall time, not CPU time: the
+/// simulator is single-threaded, and wall time is what a CI budget sees).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates one bench run's numbers and writes BENCH_<name>.json.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  BenchReport& metric(const std::string& key, double value) {
+    metrics_[key] = util::Json(value);
+    return *this;
+  }
+  BenchReport& metric(const std::string& key, std::uint64_t value) {
+    metrics_[key] = util::Json(static_cast<std::int64_t>(value));
+    return *this;
+  }
+  BenchReport& meta(const std::string& key, util::Json value) {
+    meta_[key] = std::move(value);
+    return *this;
+  }
+  BenchReport& wall_time_s(double s) {
+    wall_time_s_ = s;
+    return *this;
+  }
+
+  /// Output directory: $P4S_BENCH_JSON_DIR if set, else the CWD.
+  static std::string output_dir() {
+    if (const char* env = std::getenv("P4S_BENCH_JSON_DIR")) return env;
+    return ".";
+  }
+
+  std::string path() const {
+    return output_dir() + "/BENCH_" + name_ + ".json";
+  }
+
+  /// Write the file and verify it parses back. Returns true on success;
+  /// on failure prints the reason and returns false (benches return the
+  /// inverse as their exit code).
+  bool write() const {
+    util::Json doc = util::Json::object();
+    doc["schema"] = "p4s-bench-v1";
+    doc["name"] = name_;
+    doc["wall_time_s"] = wall_time_s_;
+    doc["metrics"] = util::Json(metrics_);
+    doc["meta"] = util::Json(meta_);
+    const std::string file = path();
+    {
+      std::ofstream out(file);
+      if (!out) {
+        std::fprintf(stderr, "bench_json: cannot open %s\n", file.c_str());
+        return false;
+      }
+      out << doc.dump(2) << "\n";
+    }
+    if (!validate_file(file)) return false;
+    std::printf("\nbench json: %s\n", file.c_str());
+    return true;
+  }
+
+  /// Parse `file` and check the p4s-bench-v1 invariants (used by the
+  /// perf-smoke CI gate: shape, not numbers).
+  static bool validate_file(const std::string& file) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "bench_json: cannot read %s\n", file.c_str());
+      return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+      const util::Json doc = util::Json::parse(text);
+      if (doc.at("schema").as_string() != "p4s-bench-v1") {
+        std::fprintf(stderr, "bench_json: %s: bad schema\n", file.c_str());
+        return false;
+      }
+      (void)doc.at("name").as_string();
+      (void)doc.at("wall_time_s").as_double();
+      if (!doc.at("metrics").is_object()) {
+        std::fprintf(stderr, "bench_json: %s: metrics not an object\n",
+                     file.c_str());
+        return false;
+      }
+      for (const auto& [key, value] : doc.at("metrics").as_object()) {
+        if (!value.is_number()) {
+          std::fprintf(stderr, "bench_json: %s: metric %s not a number\n",
+                       file.c_str(), key.c_str());
+          return false;
+        }
+      }
+    } catch (const util::JsonError& e) {
+      std::fprintf(stderr, "bench_json: %s: %s\n", file.c_str(), e.what());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string name_;
+  double wall_time_s_ = 0.0;
+  util::JsonObject metrics_;
+  util::JsonObject meta_;
+};
+
+}  // namespace p4s::bench

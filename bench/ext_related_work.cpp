@@ -123,6 +123,7 @@ void int_sampling() {
 }  // namespace
 
 int main() {
+  bench::WallTimer wall;
   bench::print_header(
       "Related-work extensions — P4CCI, BBR queueing, INT postcards",
       "§6 (Kfoury et al. P4CCI; Gomez et al. BBRv2; Bezerra et al. "
@@ -132,5 +133,7 @@ int main() {
   cca_identification();
   bbr_vs_cubic_queues();
   int_sampling();
-  return 0;
+  bench::BenchReport report("ext_related_work");
+  report.wall_time_s(wall.elapsed_s());
+  return report.write() ? 0 : 1;
 }

@@ -13,6 +13,7 @@ using namespace p4s;
 using units::seconds;
 
 int main() {
+  bench::WallTimer wall;
   bench::print_header(
       "Figure 10 — link utilization and Jain's fairness index",
       "§5.3, Fig. 10 + eq. (1)",
@@ -42,8 +43,12 @@ int main() {
   std::printf("\n%-7s %16s %10s %13s %18s\n", "t_s", "utilization",
               "fairness", "active_flows", "total_Mbps");
   for (const auto& s : core::thin(recorder.samples(), 46)) {
-    std::printf("%-7.1f %16.3f %10.3f %13zu %18.1f\n", s.t_s,
-                s.link_utilization, s.fairness, s.active_flows,
+    char fairness[16] = "-";  // undefined while the link is idle
+    if (s.fairness.has_value()) {
+      std::snprintf(fairness, sizeof fairness, "%.3f", *s.fairness);
+    }
+    std::printf("%-7.1f %16.3f %10s %13zu %18.1f\n", s.t_s,
+                s.link_utilization, fairness, s.active_flows,
                 s.total_throughput_mbps);
   }
 
@@ -55,17 +60,17 @@ int main() {
   double recover_t = -1.0;
   double min_fairness = 1.0;
   for (const auto& s : recorder.samples()) {
-    if (s.t_s > 35.0 && s.t_s < join_t) {
-      pre_join += s.fairness;
+    if (s.fairness.has_value() && s.t_s > 35.0 && s.t_s < join_t) {
+      pre_join += *s.fairness;
       ++pre_n;
     }
   }
   if (pre_n > 0) pre_join /= pre_n;
   for (const auto& s : recorder.samples()) {
-    if (s.t_s <= join_t + 1.0) continue;
-    min_fairness = std::min(min_fairness, s.fairness);
+    if (s.t_s <= join_t + 1.0 || !s.fairness.has_value()) continue;
+    min_fairness = std::min(min_fairness, *s.fairness);
     if (recover_t < 0 && s.t_s > join_t + 3.0 &&
-        s.fairness >= 0.95 * pre_join) {
+        *s.fairness >= 0.95 * pre_join) {
       recover_t = s.t_s;
     }
   }
@@ -80,5 +85,7 @@ int main() {
   } else {
     std::printf("  fairness did not recover within the run\n");
   }
-  return 0;
+  return bench::write_experiment_json(
+      "fig10_util_fairness", system, wall.elapsed_s(),
+      {{"min_fairness_after_join", min_fairness}});
 }

@@ -17,6 +17,7 @@ using namespace p4s;
 using units::seconds;
 
 int main() {
+  bench::WallTimer wall;
   const std::uint64_t bps = bench::scaled_bottleneck_bps();
   bench::print_header(
       "Figure 11 — microburst detection with a BDP/4 buffer",
@@ -120,5 +121,8 @@ int main() {
   std::printf("  (paper: peaks exceed 0.05%% / 0.15%%; ~25 s recovery)\n");
   std::printf("  microbursts reported: %zu (with ns start/duration)\n",
               system.control_plane().microbursts().size());
-  return 0;
+  return bench::write_experiment_json(
+      "fig11_microburst", system, wall.elapsed_s(),
+      {{"microbursts_reported",
+        static_cast<double>(system.control_plane().microbursts().size())}});
 }

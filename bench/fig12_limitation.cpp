@@ -19,6 +19,7 @@ using namespace p4s;
 using units::seconds;
 
 int main() {
+  bench::WallTimer wall;
   const std::uint64_t bps = bench::scaled_bottleneck_bps();
   bench::print_header(
       "Figure 12 — network-limited vs sender/receiver-limited flows",
@@ -95,5 +96,6 @@ int main() {
               "here ~%.1f and ~%.1f Mbps)\n",
               static_cast<double>(bps) / 40e6,
               static_cast<double>(bps) / 20e6);
-  return 0;
+  return bench::write_experiment_json("fig12_limitation", system,
+                                      wall.elapsed_s());
 }

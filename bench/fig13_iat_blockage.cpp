@@ -109,6 +109,7 @@ void print_series(const char* title, const IatRun& r) {
 }  // namespace
 
 int main() {
+  bench::WallTimer wall;
   bench::print_header(
       "Figure 13 — packet IAT under mmWave LOS blockage",
       "§5.4.3, Fig. 13 (a) no blockage, (b) blockage at t=7 s",
@@ -143,5 +144,7 @@ int main() {
               "%zu (expected >= 1)\n",
               clear.blockage_digests_at.size(),
               blocked.blockage_digests_at.size());
-  return 0;
+  bench::BenchReport report("fig13_iat_blockage");
+  report.wall_time_s(wall.elapsed_s());
+  return report.write() ? 0 : 1;
 }

@@ -160,6 +160,7 @@ RunResult run(Detector detector) {
 }  // namespace
 
 int main() {
+  bench::WallTimer wall;
   bench::print_header(
       "Figure 14 — blockage reaction: P4 vs throughput vs RSSI",
       "§5.4.3, Fig. 14 (2 s blockage, gray rectangle)",
@@ -196,5 +197,7 @@ int main() {
   }
   std::printf("(paper: the P4-based system detects the blockage before "
               "throughput degrades and outperforms both baselines)\n");
-  return 0;
+  bench::BenchReport report("fig14_blockage_recovery");
+  report.wall_time_s(wall.elapsed_s());
+  return report.write() ? 0 : 1;
 }

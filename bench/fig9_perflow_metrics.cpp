@@ -23,6 +23,7 @@ using namespace p4s;
 using units::seconds;
 
 int main() {
+  bench::WallTimer wall;
   bench::print_header(
       "Figure 9 — per-flow measurements, third flow joining",
       "§5.2, Fig. 9: throughput / RTT / queue occupancy / loss% per flow",
@@ -97,5 +98,7 @@ int main() {
               mean_lo > 0 ? mean_hi / mean_lo : 0.0);
   std::printf("  loss%% peak within 6 s of the join: %.3f%% "
               "(paper: visible spike)\n", join_loss_peak);
-  return 0;
+  return bench::write_experiment_json(
+      "fig9_perflow_metrics", system, wall.elapsed_s(),
+      {{"join_loss_peak_pct", join_loss_peak}});
 }

@@ -8,6 +8,7 @@
 
 #include <array>
 
+#include "bench_json.hpp"
 #include "net/wire.hpp"
 #include "p4/cms.hpp"
 #include "p4/hash.hpp"
@@ -184,6 +185,90 @@ void BM_LogstashToArchiver(benchmark::State& state) {
 }
 BENCHMARK(BM_LogstashToArchiver);
 
+// ---- Measured hot loops feeding BENCH_micro_pipeline.json -------------
+//
+// These run outside google-benchmark so the numbers land in the
+// machine-readable trajectory (google-benchmark's own timings stay on
+// stdout for humans). Loop sizes are fixed so runs are comparable.
+
+// Steady-state scheduling: schedule + fire, the simulator's innermost
+// loop. This is the "events_per_sec" figure the perf trajectory ratchets.
+double measured_events_per_sec(sim::EventQueue& q) {
+  constexpr int kEvents = 4'000'000;
+  bench::WallTimer timer;
+  for (int i = 0; i < kEvents; ++i) {
+    q.schedule_in(1, []() {});
+    q.step();
+  }
+  return kEvents / timer.elapsed_s();
+}
+
+// The TCP RTO pattern: every "ACK" cancels the pending timer and arms a
+// new one; only occasionally does a timer actually fire. Exercises
+// cancel() and the lazy reclamation path.
+double measured_rto_churn_per_sec(sim::EventQueue& q) {
+  constexpr int kOps = 2'000'000;
+  bench::WallTimer timer;
+  sim::EventHandle rto;
+  for (int i = 0; i < kOps; ++i) {
+    rto.cancel();
+    rto = q.schedule_in(100, []() {});
+    if (i % 64 == 63) q.step();
+  }
+  q.run();
+  return kOps / timer.elapsed_s();
+}
+
+// Full per-copy telemetry cost through the P4 switch (serialize + parse +
+// program), alternating ingress/egress copies of a promoted flow.
+double measured_mirrored_pkts_per_sec(sim::Simulation& sim) {
+  constexpr int kPairs = 500'000;
+  telemetry::DataPlaneProgram program;
+  p4::P4Switch p4sw(sim, "bench");
+  p4sw.load_program(program);
+  std::uint32_t seq = 1;
+  for (int i = 0; i < 100; ++i) {  // promote the flow past the CMS gate
+    p4sw.on_mirrored(sample_packet(seq), net::MirrorPoint::kIngress);
+    seq += 1460;
+  }
+  bench::WallTimer timer;
+  for (int i = 0; i < kPairs; ++i) {
+    net::Packet pkt = sample_packet(seq);
+    seq += 1460;
+    p4sw.on_mirrored(pkt, net::MirrorPoint::kIngress);
+    p4sw.on_mirrored(pkt, net::MirrorPoint::kEgress);
+  }
+  return 2.0 * kPairs / timer.elapsed_s();
+}
+
+int write_bench_json() {
+  bench::WallTimer wall;
+  sim::EventQueue q;
+  const double events_per_sec = measured_events_per_sec(q);
+  const double churn_per_sec = measured_rto_churn_per_sec(q);
+  sim::Simulation sim(1);
+  const double pkts_per_sec = measured_mirrored_pkts_per_sec(sim);
+
+  bench::BenchReport report("micro_pipeline");
+  report.wall_time_s(wall.elapsed_s());
+  report.metric("events_per_sec", events_per_sec);
+  report.metric("rto_churn_ops_per_sec", churn_per_sec);
+  report.metric("mirrored_pkts_per_sec", pkts_per_sec);
+  report.metric("peak_heap_events",
+                static_cast<std::uint64_t>(q.peak_pending_events()));
+  report.meta("seed", util::Json(1));
+  std::printf("measured: %.3gM events/s, %.3gM rto-churn ops/s, "
+              "%.3gM mirrored pkts/s\n",
+              events_per_sec / 1e6, churn_per_sec / 1e6, pkts_per_sec / 1e6);
+  return report.write() ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_bench_json();
+}

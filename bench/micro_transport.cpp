@@ -9,6 +9,8 @@
 #include <string>
 #include <string_view>
 
+#include "bench_json.hpp"
+
 #include "controlplane/resilient_sink.hpp"
 #include "net/fault_injector.hpp"
 #include "net/report_channel.hpp"
@@ -132,4 +134,13 @@ BENCHMARK(BM_ResilientSinkUnderResets);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  p4s::bench::WallTimer wall;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  p4s::bench::BenchReport report("micro_transport");
+  report.wall_time_s(wall.elapsed_s());
+  return report.write() ? 0 : 1;
+}

@@ -16,6 +16,7 @@ using namespace p4s;
 using units::seconds;
 
 int main() {
+  bench::WallTimer wall;
   bench::print_header(
       "Table 1 — regular perfSONAR vs P4-perfSONAR capability matrix",
       "§3.3, Table 1",
@@ -155,5 +156,6 @@ int main() {
                 static_cast<unsigned long long>(rep.retransmissions),
                 rep.retransmission_pct);
   }
-  return 0;
+  return bench::write_experiment_json("table1_capability_matrix", system,
+                                      wall.elapsed_s());
 }

@@ -111,7 +111,9 @@ class ControlPlane {
   struct Aggregates {
     SimTime at = 0;
     double link_utilization = 0.0;  // fraction of bottleneck capacity
-    double fairness = 1.0;          // Jain's index over flow throughputs
+    /// Jain's index over flow throughputs; nullopt while the link is
+    /// idle (no tracked flows / all rates zero) — undefined, not 1.0.
+    std::optional<double> fairness;
     std::size_t active_flows = 0;
     std::uint64_t total_bytes = 0;
     std::uint64_t total_packets = 0;

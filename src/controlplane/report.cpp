@@ -108,13 +108,17 @@ util::Json make_limitation_report(const telemetry::FlowIdentity& flow,
 }
 
 util::Json make_aggregate_report(SimTime ts, double link_utilization,
-                                 double fairness, std::size_t active_flows,
+                                 std::optional<double> fairness,
+                                 std::size_t active_flows,
                                  std::uint64_t total_bytes,
                                  std::uint64_t total_packets,
                                  double total_throughput_bps) {
   util::Json j = base("aggregate", ts);
   j["link_utilization"] = link_utilization;
-  j["fairness"] = fairness;
+  // JSON null while the link is idle: the index is undefined, and a
+  // dashboard must not plot it as perfect fairness.
+  j["fairness"] = fairness.has_value() ? util::Json(*fairness)
+                                       : util::Json(nullptr);
   j["active_flows"] = static_cast<std::int64_t>(active_flows);
   j["total_bytes"] = static_cast<std::int64_t>(total_bytes);
   j["total_packets"] = static_cast<std::int64_t>(total_packets);

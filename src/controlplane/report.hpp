@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "telemetry/types.hpp"
@@ -59,7 +60,8 @@ util::Json make_limitation_report(const telemetry::FlowIdentity& flow,
                                   SimTime ts, telemetry::LimitVerdict v,
                                   std::uint64_t flight_bytes);
 util::Json make_aggregate_report(SimTime ts, double link_utilization,
-                                 double fairness, std::size_t active_flows,
+                                 std::optional<double> fairness,
+                                 std::size_t active_flows,
                                  std::uint64_t total_bytes,
                                  std::uint64_t total_packets,
                                  double total_throughput_bps);

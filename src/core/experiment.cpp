@@ -103,9 +103,14 @@ void Recorder::write_csv(std::ostream& out) const {
           .cell(f.queue_occupancy_pct)
           .cell(f.flight_kb)
           .cell(f.verdict)
-          .cell(s.link_utilization)
-          .cell(s.fairness)
-          .cell(static_cast<std::uint64_t>(s.active_flows));
+          .cell(s.link_utilization);
+      // Empty cell while the index is undefined (idle link).
+      if (s.fairness.has_value()) {
+        csv.cell(*s.fairness);
+      } else {
+        csv.cell("");
+      }
+      csv.cell(static_cast<std::uint64_t>(s.active_flows));
       csv.end_row();
     }
   }

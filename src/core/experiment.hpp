@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -32,7 +33,8 @@ struct TimeSample {
   double t_s = 0.0;
   std::vector<FlowSample> flows;  // sorted by label
   double link_utilization = 0.0;
-  double fairness = 1.0;
+  /// Jain's index; nullopt while no flow is active (undefined, not 1.0).
+  std::optional<double> fairness;
   std::size_t active_flows = 0;
   double total_throughput_mbps = 0.0;
 };

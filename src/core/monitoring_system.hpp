@@ -89,6 +89,7 @@ class MonitoringSystem {
   net::Network& network() { return network_; }
   net::PaperTopology& topology() { return topology_; }
   p4::P4Switch& p4_switch() { return *p4_switch_; }
+  net::OpticalTapPair& taps() { return *taps_; }
   telemetry::DataPlaneProgram& program() { return *program_; }
   cp::ControlPlane& control_plane() { return *control_plane_; }
   ps::PerfSonarNode& psonar() { return *psonar_; }

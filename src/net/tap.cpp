@@ -1,5 +1,7 @@
 #include "net/tap.hpp"
 
+#include <cassert>
+
 namespace p4s::net {
 
 void OpticalTapPair::attach(LegacySwitch& sw, OutputPort& monitored_port) {
@@ -13,9 +15,67 @@ void OpticalTapPair::attach(LegacySwitch& sw, OutputPort& monitored_port) {
 
 void OpticalTapPair::mirror(const Packet& pkt, MirrorPoint point) {
   ++mirrored_pkts_;
-  sim_.after(tap_latency_, [this, pkt, point]() {
-    sink_.on_mirrored(pkt, point);
-  });
+  PendingMirror& slot = ring_push();
+  slot.pkt = pkt;
+  slot.point = point;
+  slot.len = serialize_shared(pkt, slot.bytes);
+  // The delay is the same for every copy, so deliveries pop in FIFO
+  // order; the event captures only `this` (fits std::function's inline
+  // storage — no per-copy closure allocation).
+  sim_.after(tap_latency_, [this]() { deliver_front(); });
+}
+
+void OpticalTapPair::deliver_front() {
+  assert(ring_count_ > 0);
+  PendingMirror& front = ring_[ring_head_];
+  ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+  --ring_count_;
+  // `front` stays valid during delivery: pushes from inside the sink go
+  // to other slots (the ring only grows when full, and we just freed one).
+  sink_.on_mirrored_wire(
+      front.pkt, std::span<const std::uint8_t>(front.bytes.data(), front.len),
+      front.point);
+}
+
+std::uint8_t OpticalTapPair::serialize_shared(
+    const Packet& pkt, std::array<std::uint8_t, kMaxHeaderBytes>& out) {
+  if (pkt.uid == 0) {
+    // No identity to share under (synthetic/test packets): serialize.
+    return static_cast<std::uint8_t>(serialize_headers(pkt, out));
+  }
+  CacheEntry& entry = cache_[pkt.uid & (kCacheSlots - 1)];
+  if (entry.uid == pkt.uid) {
+    // Same packet seen at the other TAP. The core switch only ever
+    // decremented the TTL in between; patch it instead of re-serializing.
+    if (entry.ttl != pkt.ip.ttl) {
+      patch_ttl(std::span<std::uint8_t>(entry.bytes.data(), entry.len),
+                pkt.ip.ttl);
+      entry.ttl = pkt.ip.ttl;
+    }
+    ++cache_hits_;
+  } else {
+    entry.uid = pkt.uid;
+    entry.ttl = pkt.ip.ttl;
+    entry.len = static_cast<std::uint8_t>(serialize_headers(pkt, entry.bytes));
+  }
+  std::copy_n(entry.bytes.data(), entry.len, out.data());
+  return entry.len;
+}
+
+OpticalTapPair::PendingMirror& OpticalTapPair::ring_push() {
+  if (ring_count_ == ring_.size()) ring_grow();
+  PendingMirror& slot = ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)];
+  ++ring_count_;
+  return slot;
+}
+
+void OpticalTapPair::ring_grow() {
+  std::vector<PendingMirror> bigger(ring_.empty() ? 64 : ring_.size() * 2);
+  for (std::size_t i = 0; i < ring_count_; ++i) {
+    bigger[i] = ring_[(ring_head_ + i) & (ring_.size() - 1)];
+  }
+  ring_ = std::move(bigger);
+  ring_head_ = 0;
 }
 
 }  // namespace p4s::net

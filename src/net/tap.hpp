@@ -7,14 +7,27 @@
 // delivers it to the monitor after a fixed (equal) TAP-to-switch latency —
 // equal latencies are what let the P4 program recover the queuing delay
 // from the two copies' arrival-time difference.
+//
+// Hot-path design: a mirror copy is written into a reusable ring of
+// pending deliveries (no per-copy closure capturing the packet) and the
+// delivery event captures only `this` — the constant TAP latency makes
+// deliveries strictly FIFO. Each packet's wire bytes are serialized once
+// and shared between its ingress and egress copies through a small
+// uid-keyed cache; the copies differ only in the TTL the core switch
+// decremented, which is patched in place with an incremental checksum
+// update instead of re-serializing.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/switch.hpp"
+#include "net/wire.hpp"
 #include "sim/simulation.hpp"
 
 namespace p4s::net {
@@ -29,6 +42,16 @@ class MirrorSink {
  public:
   virtual ~MirrorSink() = default;
   virtual void on_mirrored(const Packet& pkt, MirrorPoint point) = 0;
+  /// Wire-level delivery: the packet plus its already-serialized header
+  /// bytes (valid only for the duration of the call). Overridden by sinks
+  /// that parse bytes (the P4 switch) to skip re-serialization; the
+  /// default forwards to the packet-level hook.
+  virtual void on_mirrored_wire(const Packet& pkt,
+                                std::span<const std::uint8_t> bytes,
+                                MirrorPoint point) {
+    (void)bytes;
+    on_mirrored(pkt, point);
+  }
 };
 
 class OpticalTapPair {
@@ -45,14 +68,48 @@ class OpticalTapPair {
   void attach(LegacySwitch& sw, OutputPort& monitored_port);
 
   std::uint64_t mirrored_pkts() const { return mirrored_pkts_; }
+  /// Copies whose wire bytes were reused from the serialize-once cache
+  /// (the egress copy of every packet both TAPs saw).
+  std::uint64_t serialize_cache_hits() const { return cache_hits_; }
 
  private:
+  struct PendingMirror {
+    Packet pkt;
+    std::array<std::uint8_t, kMaxHeaderBytes> bytes;
+    std::uint8_t len = 0;
+    MirrorPoint point = MirrorPoint::kIngress;
+  };
+  struct CacheEntry {
+    std::uint64_t uid = 0;  // 0 = empty (real packets have uid > 0)
+    std::array<std::uint8_t, kMaxHeaderBytes> bytes;
+    std::uint8_t len = 0;
+    std::uint8_t ttl = 0;
+  };
+  // Direct-mapped: must comfortably cover the packets in flight between
+  // a packet's two mirror points (bounded by the core switch's queue).
+  static constexpr std::size_t kCacheSlots = 1024;
+
   void mirror(const Packet& pkt, MirrorPoint point);
+  void deliver_front();
+  std::uint8_t serialize_shared(const Packet& pkt,
+                                std::array<std::uint8_t, kMaxHeaderBytes>& out);
+
+  PendingMirror& ring_push();
+  void ring_grow();
 
   sim::Simulation& sim_;
   MirrorSink& sink_;
   SimTime tap_latency_;
   std::uint64_t mirrored_pkts_ = 0;
+  std::uint64_t cache_hits_ = 0;
+
+  // Growable power-of-two ring of pending deliveries; slots (and their
+  // byte buffers) are reused, so steady state allocates nothing.
+  std::vector<PendingMirror> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_count_ = 0;
+
+  std::vector<CacheEntry> cache_ = std::vector<CacheEntry>(kCacheSlots);
 };
 
 }  // namespace p4s::net

@@ -80,4 +80,13 @@ std::uint32_t flow_hash(const net::FiveTuple& t, std::uint32_t seed) {
   return Crc32{seed}(key);
 }
 
+FlowKey FlowKey::from(const net::FiveTuple& t) {
+  FlowKey fk;
+  fk.tuple = t;
+  fk.key = five_tuple_key(t);
+  fk.flow_id = Crc32{0}(fk.key);
+  fk.rev_flow_id = flow_hash(t.reversed());
+  return fk;
+}
+
 }  // namespace p4s::p4

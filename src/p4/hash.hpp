@@ -45,4 +45,17 @@ std::array<std::uint8_t, 13> five_tuple_key(const net::FiveTuple& t);
 /// indexes its 2048-slot register arrays with (id % slots).
 std::uint32_t flow_hash(const net::FiveTuple& t, std::uint32_t seed = 0);
 
+/// Precomputed per-tuple hash inputs: the canonical key bytes plus the
+/// forward and reverse flow IDs. Computed once per packet on the TAP hot
+/// path and shared by every engine that would otherwise rebuild the key
+/// and re-run the CRC (flow tracking, ACK matching, packet signatures).
+struct FlowKey {
+  net::FiveTuple tuple;
+  std::array<std::uint8_t, 13> key{};
+  std::uint32_t flow_id = 0;
+  std::uint32_t rev_flow_id = 0;
+
+  static FlowKey from(const net::FiveTuple& t);
+};
+
 }  // namespace p4s::p4

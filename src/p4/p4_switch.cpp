@@ -7,11 +7,25 @@
 namespace p4s::p4 {
 
 void P4Switch::on_mirrored(const net::Packet& pkt, net::MirrorPoint point) {
+  // Packet-level entry (tests, benches): serialize here, then take the
+  // common byte path.
   std::array<std::uint8_t, net::kMaxHeaderBytes> buf{};
   const std::size_t len = net::serialize_headers(pkt, buf);
+  process_wire(std::span<const std::uint8_t>(buf.data(), len), point);
+}
 
+void P4Switch::on_mirrored_wire(const net::Packet& /*pkt*/,
+                                std::span<const std::uint8_t> bytes,
+                                net::MirrorPoint point) {
+  // Wire-level entry (the TAP): the bytes were serialized once at the
+  // mirror point and shared across copies — no re-serialization here.
+  process_wire(bytes, point);
+}
+
+void P4Switch::process_wire(std::span<const std::uint8_t> bytes,
+                            net::MirrorPoint point) {
   PacketContext ctx;
-  ctx.data = std::span<const std::uint8_t>(buf.data(), len);
+  ctx.data = bytes;
   ctx.meta.ingress_port = point == net::MirrorPoint::kIngress
                               ? kIngressTapPort
                               : kEgressTapPort;

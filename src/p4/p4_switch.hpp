@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "net/tap.hpp"
@@ -28,6 +29,9 @@ class P4Switch : public net::MirrorSink {
   void load_program(P4Program& program) { program_ = &program; }
 
   void on_mirrored(const net::Packet& pkt, net::MirrorPoint point) override;
+  void on_mirrored_wire(const net::Packet& pkt,
+                        std::span<const std::uint8_t> bytes,
+                        net::MirrorPoint point) override;
 
   const Parser& parser() const { return parser_; }
   std::uint64_t processed_pkts() const { return processed_; }
@@ -35,6 +39,9 @@ class P4Switch : public net::MirrorSink {
   const std::string& name() const { return name_; }
 
  private:
+  void process_wire(std::span<const std::uint8_t> bytes,
+                    net::MirrorPoint point);
+
   sim::Simulation& sim_;
   std::string name_;
   Parser parser_;

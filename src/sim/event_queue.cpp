@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace p4s::sim {
 
@@ -9,28 +10,83 @@ EventHandle EventQueue::schedule_at(SimTime at, EventFn fn) {
   if (at < now_) {
     throw std::invalid_argument("EventQueue: scheduling into the past");
   }
-  auto cancelled = std::make_shared<bool>(false);
-  EventHandle handle{std::weak_ptr<bool>(cancelled)};
-  heap_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
-  ++live_;
-  return handle;
+  std::uint32_t slot_index;
+  if (!free_slots_.empty()) {
+    slot_index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot_index = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Slot& slot = slab_[slot_index];
+  slot.fn = std::move(fn);
+  slot.cancelled = false;
+  slot.pending = true;
+
+  heap_.push_back(HeapEntry{at, next_seq_++, slot_index});
+  sift_up(heap_.size() - 1);
+  if (heap_.size() > peak_live_) peak_live_ = heap_.size();
+  return EventHandle{this, alive_, slot_index, slot.generation};
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry entry = heap_[i];
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], entry)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::pop_entry() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::reclaim(std::uint32_t slot_index) {
+  Slot& slot = slab_[slot_index];
+  slot.fn = nullptr;  // release captures promptly
+  slot.pending = false;
+  slot.cancelled = false;
+  ++slot.generation;  // stale handles become inert
+  free_slots_.push_back(slot_index);
 }
 
 bool EventQueue::pop_and_run() {
   while (!heap_.empty()) {
-    // priority_queue::top is const; the event is moved out via const_cast,
-    // which is safe because pop() immediately removes the slot.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    --live_;
-    if (*ev.cancelled) {
+    const HeapEntry top = heap_.front();
+    pop_entry();
+    Slot& slot = slab_[top.slot];
+    if (slot.cancelled) {
+      reclaim(top.slot);
       continue;  // lazily dropped
     }
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    *ev.cancelled = true;  // mark fired so handles report !pending
+    assert(top.time >= now_);
+    now_ = top.time;
+    // Move the callback out and reclaim before running: handles report
+    // !pending() while the event executes, and the callback may schedule
+    // into (and reuse) the slot it just vacated.
+    EventFn fn = std::move(slot.fn);
+    reclaim(top.slot);
     ++executed_;
-    ev.fn();
+    fn();
     return true;
   }
   return false;
@@ -40,15 +96,19 @@ bool EventQueue::step() { return pop_and_run(); }
 
 void EventQueue::run_until(SimTime until) {
   while (!heap_.empty()) {
-    // Skip cancelled events without advancing time.
-    if (*heap_.top().cancelled) {
-      heap_.pop();
-      --live_;
+    // Reclaim cancelled events without advancing time, even past the
+    // horizon — cancelled entries carry no semantics, only storage.
+    const HeapEntry top = heap_.front();
+    if (slab_[top.slot].cancelled) {
+      pop_entry();
+      reclaim(top.slot);
       continue;
     }
-    if (heap_.top().time > until) break;
+    if (top.time > until) break;
     pop_and_run();
   }
+  // Advance to the horizon even when the queue drained early: see the
+  // contract on the declaration.
   if (now_ < until) now_ = until;
 }
 

@@ -1,17 +1,27 @@
 // Discrete-event scheduler.
 //
-// A binary heap keyed by (time, sequence) gives O(log n) schedule/pop with
-// deterministic FIFO ordering for simultaneous events — determinism matters
-// because every experiment in EXPERIMENTS.md must be exactly reproducible.
-// Cancellation is lazy: a cancelled event stays in the heap but is skipped
-// when popped, which keeps cancel() O(1) (TCP cancels its RTO timer on
-// every ACK, so this path is hot).
+// An explicit vector-backed binary min-heap keyed by (time, sequence)
+// gives O(log n) schedule/pop with deterministic FIFO ordering for
+// simultaneous events — determinism matters because every experiment in
+// EXPERIMENTS.md must be exactly reproducible.
+//
+// Event records live in a slab (a vector of slots recycled through a free
+// list), so steady-state scheduling performs no heap allocation: no
+// shared_ptr control block per event, and the slot's std::function reuses
+// its small-object storage across events (hot-path callbacks capture a
+// pointer or two and fit inline). Handles address their slot by index
+// plus a generation counter, which makes stale handles (slot since
+// recycled) inert without any per-event ownership.
+//
+// Cancellation is lazy: a cancelled event's heap entry stays put and is
+// skipped when popped, keeping cancel() O(1) (TCP cancels its RTO timer
+// on every ACK, so this path is hot). The slot itself is reclaimed when
+// its heap entry surfaces.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/units.hpp"
@@ -20,37 +30,50 @@ namespace p4s::sim {
 
 using EventFn = std::function<void()>;
 
+class EventQueue;
+
 /// Handle to a scheduled event; allows cancellation. Default-constructed
-/// handles are inert. Copies share the same underlying event.
+/// handles are inert. Copies refer to the same underlying event. Handles
+/// remain safe to use after the event fired, after cancel(), and after
+/// the queue itself was destroyed (they simply report !pending()).
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancel the event if it has not fired yet. Safe to call repeatedly and
-  /// on inert handles.
-  void cancel() {
-    if (auto p = state_.lock()) *p = true;
-  }
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly
+  /// and on inert handles.
+  inline void cancel();
 
   /// True if the handle refers to an event that is still pending.
-  bool pending() const {
-    auto p = state_.lock();
-    return p && !*p;
-  }
+  inline bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<bool> state) : state_(std::move(state)) {}
-  std::weak_ptr<bool> state_;  // *state == true -> cancelled
+  EventHandle(EventQueue* queue, std::weak_ptr<void> alive,
+              std::uint32_t slot, std::uint32_t generation)
+      : queue_(queue),
+        alive_(std::move(alive)),
+        slot_(slot),
+        generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  std::weak_ptr<void> alive_;  // expires with the queue
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class EventQueue {
  public:
+  EventQueue() = default;
+  // Handles capture the queue's address, so the queue must not move.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Current simulated time. Monotonically non-decreasing.
   SimTime now() const { return now_; }
 
-  /// Schedule `fn` to run at absolute time `at` (>= now()). Events at equal
-  /// times fire in scheduling order.
+  /// Schedule `fn` to run at absolute time `at` (>= now()). Events at
+  /// equal times fire in scheduling order.
   EventHandle schedule_at(SimTime at, EventFn fn);
 
   /// Schedule `fn` to run `delay` ns from now.
@@ -59,8 +82,11 @@ class EventQueue {
   }
 
   /// Run events until the queue is empty or `until` is reached. Events
-  /// scheduled exactly at `until` DO run; afterwards now() == until if the
-  /// horizon was hit, else the time of the last event.
+  /// scheduled exactly at `until` DO run. Afterwards now() == until
+  /// whenever until > now() on entry — the clock advances to the horizon
+  /// even if the queue drained early (callers treat run_until(t) as
+  /// "simulate up to t", so wall-clock-style periods keep their length
+  /// regardless of event density; pinned by EventQueue.RunUntil* tests).
   void run_until(SimTime until);
 
   /// Run until the queue drains completely.
@@ -69,32 +95,73 @@ class EventQueue {
   /// Execute at most one event; returns false if none were pending.
   bool step();
 
-  /// Heap entries not yet collected. Cancellation is lazy, so a cancelled
-  /// event still counts until its slot is popped.
-  std::size_t pending_events() const { return live_; }
+  /// Heap entries not yet reclaimed. Cancellation is lazy, so a
+  /// cancelled event still counts until its entry is popped.
+  std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t executed_events() const { return executed_; }
+  /// High-water mark of pending_events() over the queue's lifetime (the
+  /// "peak heap events" figure in BENCH_*.json).
+  std::size_t peak_pending_events() const { return peak_live_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 0;  // bumped on reclaim; stale handles miss
+    bool cancelled = false;
+    bool pending = false;
+  };
+  // Key fields are denormalized into the heap entry so sift compares
+  // touch one contiguous array instead of chasing slot indices.
+  struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    EventFn fn;
-    std::shared_ptr<bool> cancelled;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_entry();           // remove heap_[0], restore heap order
+  void reclaim(std::uint32_t slot_index);
   bool pop_and_run();
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  bool handle_pending(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < slab_.size() && slab_[slot].generation == generation &&
+           slab_[slot].pending && !slab_[slot].cancelled;
+  }
+  void handle_cancel(std::uint32_t slot, std::uint32_t generation) {
+    if (slot < slab_.size() && slab_[slot].generation == generation &&
+        slab_[slot].pending) {
+      slab_[slot].cancelled = true;
+    }
+  }
+
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;
+  // Liveness token handed to handles (one allocation per queue, not per
+  // event); expires when the queue is destroyed.
+  std::shared_ptr<void> alive_ = std::make_shared<int>(0);
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::size_t live_ = 0;  // heap entries not yet popped
+  std::size_t peak_live_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (queue_ == nullptr || alive_.expired()) return;
+  queue_->handle_cancel(slot_, generation_);
+}
+
+inline bool EventHandle::pending() const {
+  if (queue_ == nullptr || alive_.expired()) return false;
+  return queue_->handle_pending(slot_, generation_);
+}
 
 }  // namespace p4s::sim

@@ -37,14 +37,14 @@ net::FiveTuple DataPlaneProgram::tuple_from(const p4::ParsedHeaders& hdr) {
 }
 
 std::uint32_t DataPlaneProgram::packet_signature(
-    const net::FiveTuple& tuple, const p4::ParsedHeaders& hdr) {
+    const std::array<std::uint8_t, 13>& tuple_key,
+    const p4::ParsedHeaders& hdr) {
   // Identify a packet *instance* so the two TAP copies can be matched:
   // 5-tuple + IPv4 identification + (for TCP) sequence number. The IP id
   // alone cycles every 64k packets per host; adding the sequence number
   // pushes collisions out beyond any realistic in-switch dwell time.
   std::array<std::uint8_t, 19> key{};
-  const auto base = p4::five_tuple_key(tuple);
-  std::copy(base.begin(), base.end(), key.begin());
+  std::copy(tuple_key.begin(), tuple_key.end(), key.begin());
   key[13] = static_cast<std::uint8_t>(hdr.ipv4.id >> 8);
   key[14] = static_cast<std::uint8_t>(hdr.ipv4.id);
   std::uint32_t seq = 0;
@@ -56,10 +56,21 @@ std::uint32_t DataPlaneProgram::packet_signature(
   return p4::Crc32{0x04C11DB7u}(key);
 }
 
+const p4::FlowKey& DataPlaneProgram::flow_key_for(
+    const net::FiveTuple& tuple) {
+  if (memo_valid_ && memo_.tuple == tuple) {
+    ++memo_hits_;
+    return memo_;
+  }
+  memo_ = p4::FlowKey::from(tuple);
+  memo_valid_ = true;
+  return memo_;
+}
+
 void DataPlaneProgram::ingress(p4::PacketContext& ctx) {
   if (!ctx.hdr.ipv4_valid) return;
-  const net::FiveTuple tuple = tuple_from(ctx.hdr);
-  const std::uint32_t pkt_sig = packet_signature(tuple, ctx.hdr);
+  const p4::FlowKey& fk = flow_key_for(tuple_from(ctx.hdr));
+  const std::uint32_t pkt_sig = packet_signature(fk.key, ctx.hdr);
   const SimTime now = ctx.meta.ingress_ts;
 
   const std::uint32_t hdr_bytes =
@@ -76,7 +87,7 @@ void DataPlaneProgram::ingress(p4::PacketContext& ctx) {
   if (ctx.meta.ingress_port == p4::P4Switch::kIngressTapPort) {
     ++ingress_copies_;
     queue_.on_ingress_copy(pkt_sig, now);
-    process_measurement_path(ctx, tuple, payload);
+    process_measurement_path(ctx, fk, payload);
     return;
   }
 
@@ -86,7 +97,7 @@ void DataPlaneProgram::ingress(p4::PacketContext& ctx) {
   // signal that collapses instantly under an LOS blockage (§5.4.3),
   // whereas arrivals keep flowing until TCP itself stalls.
   ++egress_copies_;
-  const std::uint32_t flow_id = p4::flow_hash(tuple);
+  const std::uint32_t flow_id = fk.flow_id;
   std::optional<std::uint16_t> slot = tracker_.dp_slot_of(flow_id);
   const std::optional<SimTime> delay =
       queue_.on_egress_copy(pkt_sig, slot, now);
@@ -102,7 +113,7 @@ void DataPlaneProgram::ingress(p4::PacketContext& ctx) {
 }
 
 void DataPlaneProgram::process_measurement_path(
-    const p4::PacketContext& ctx, const net::FiveTuple& tuple,
+    const p4::PacketContext& ctx, const p4::FlowKey& fk,
     std::uint32_t payload) {
   const SimTime now = ctx.meta.ingress_ts;
   const bool is_tcp = ctx.hdr.tcp_valid;
@@ -115,8 +126,8 @@ void DataPlaneProgram::process_measurement_path(
   if (pure_ack) {
     // ACK branch of Algorithm 1: this packet travels the reverse
     // direction; hash of its reversed tuple is the data flow's ID.
-    const std::uint32_t ack_flow_id = p4::flow_hash(tuple);
-    const std::uint32_t data_flow_id = p4::flow_hash(tuple.reversed());
+    const std::uint32_t ack_flow_id = fk.flow_id;
+    const std::uint32_t data_flow_id = fk.rev_flow_id;
     if (auto slot = tracker_.dp_slot_of(data_flow_id)) {
       rtt_loss_.on_ack_packet(
           RttLossEngine::AckPacketView{ack_flow_id, *slot,
@@ -129,7 +140,7 @@ void DataPlaneProgram::process_measurement_path(
 
   if (payload == 0 && !fin) return;  // SYN/SYN-ACK/etc: no measurements
 
-  const auto slot = tracker_.on_data_packet(tuple, payload, now);
+  const auto slot = tracker_.on_data_packet(fk, payload, now);
   if (!slot.has_value()) return;
 
   // Byte/packet counters (§4.1: the data plane uses the IPv4 total
@@ -143,7 +154,7 @@ void DataPlaneProgram::process_measurement_path(
   last_seen_.write(*slot, now);
 
   if (is_tcp) {
-    const std::uint32_t rev_flow_id = p4::flow_hash(tuple.reversed());
+    const std::uint32_t rev_flow_id = fk.rev_flow_id;
     const bool loss = rtt_loss_.on_data_packet(
         RttLossEngine::DataPacketView{*slot, rev_flow_id, ctx.hdr.tcp.seq,
                                       payload, false},

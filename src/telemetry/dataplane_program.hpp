@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "p4/hash.hpp"
 #include "p4/p4_switch.hpp"
 #include "p4/pipeline.hpp"
 #include "p4/register.hpp"
@@ -81,14 +82,25 @@ class DataPlaneProgram : public p4::P4Program {
   std::uint64_t ingress_copies() const { return ingress_copies_; }
   std::uint64_t egress_copies() const { return egress_copies_; }
 
+  /// Packets whose 5-tuple hash inputs were served from the one-entry
+  /// memo instead of recomputed (the egress-TAP copy of a packet always
+  /// follows its ingress copy through the pipeline).
+  std::uint64_t flow_key_memo_hits() const { return memo_hits_; }
+
  private:
   void process_measurement_path(const p4::PacketContext& ctx,
-                                const net::FiveTuple& tuple,
+                                const p4::FlowKey& fk,
                                 std::uint32_t payload_bytes);
 
   static net::FiveTuple tuple_from(const p4::ParsedHeaders& hdr);
-  static std::uint32_t packet_signature(const net::FiveTuple& tuple,
-                                        const p4::ParsedHeaders& hdr);
+  static std::uint32_t packet_signature(
+      const std::array<std::uint8_t, 13>& tuple_key,
+      const p4::ParsedHeaders& hdr);
+
+  /// Hash inputs for the current packet's tuple, memoized across copies:
+  /// the ingress-TAP and egress-TAP copies of the same packet arrive
+  /// back-to-back, so the second copy reuses the key bytes and both CRCs.
+  const p4::FlowKey& flow_key_for(const net::FiveTuple& tuple);
 
   FlowTracker tracker_;
   RttLossEngine rtt_loss_;
@@ -102,6 +114,10 @@ class DataPlaneProgram : public p4::P4Program {
   p4::RegisterArray<SimTime> first_seen_;
   p4::RegisterArray<SimTime> last_seen_;
   p4::DigestQueue<FlowFinDigest> fin_digests_;
+
+  p4::FlowKey memo_{};
+  bool memo_valid_ = false;
+  std::uint64_t memo_hits_ = 0;
 
   std::uint64_t ingress_copies_ = 0;
   std::uint64_t egress_copies_ = 0;

@@ -20,27 +20,30 @@ FlowTracker::FlowTracker(Config config)
 
 std::optional<std::uint16_t> FlowTracker::on_data_packet(
     const net::FiveTuple& tuple, std::uint32_t payload_bytes, SimTime now) {
-  const std::uint32_t flow_id = p4::flow_hash(tuple);
-  const auto slot = static_cast<std::uint16_t>(flow_id & kFlowSlotMask);
+  return on_data_packet(p4::FlowKey::from(tuple), payload_bytes, now);
+}
+
+std::optional<std::uint16_t> FlowTracker::on_data_packet(
+    const p4::FlowKey& fk, std::uint32_t payload_bytes, SimTime now) {
+  const auto slot = static_cast<std::uint16_t>(fk.flow_id & kFlowSlotMask);
 
   if (occupied_[slot]) {
-    if (slot_flow_id_.read(slot) == flow_id) return slot;
+    if (slot_flow_id_.read(slot) == fk.flow_id) return slot;
     ++slot_collisions_;
     return std::nullopt;
   }
 
-  const auto key = p4::five_tuple_key(tuple);
-  const std::uint64_t estimate = cms_.update(key, payload_bytes);
+  const std::uint64_t estimate = cms_.update(fk.key, payload_bytes);
   if (estimate < config_.promotion_bytes) return std::nullopt;
 
   // Promote: claim the slot and report the flow to the control plane.
   occupied_[slot] = true;
   ++active_;
-  slot_flow_id_.write(slot, flow_id);
+  slot_flow_id_.write(slot, fk.flow_id);
   FlowIdentity ident;
-  ident.flow_id = flow_id;
-  ident.rev_flow_id = p4::flow_hash(tuple.reversed());
-  ident.tuple = tuple;
+  ident.flow_id = fk.flow_id;
+  ident.rev_flow_id = fk.rev_flow_id;
+  ident.tuple = fk.tuple;
   identities_[slot] = ident;
   digests_.emit(NewFlowDigest{ident, slot, now});
   return slot;

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "p4/cms.hpp"
+#include "p4/hash.hpp"
 #include "p4/pipeline.hpp"
 #include "p4/register.hpp"
 #include "telemetry/types.hpp"
@@ -38,6 +39,12 @@ class FlowTracker {
   /// Process a data-direction packet. Returns the flow's slot if it is
   /// (or just became) tracked, nullopt while still below the threshold.
   std::optional<std::uint16_t> on_data_packet(const net::FiveTuple& tuple,
+                                              std::uint32_t payload_bytes,
+                                              SimTime now);
+
+  /// Same, with the hash inputs already computed (hot path: the pipeline
+  /// builds one FlowKey per packet and every engine shares it).
+  std::optional<std::uint16_t> on_data_packet(const p4::FlowKey& fk,
                                               std::uint32_t payload_bytes,
                                               SimTime now);
 

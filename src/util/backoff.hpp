@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 
 #include "util/units.hpp"
 
@@ -29,23 +30,28 @@ class ExponentialBackoff {
     double jitter = 0.5;
   };
 
-  ExponentialBackoff() = default;
-  explicit ExponentialBackoff(Config config) : config_(config) {}
+  ExponentialBackoff() : ExponentialBackoff(Config{}) {}
+  explicit ExponentialBackoff(Config config)
+      : config_(config), delay_(static_cast<double>(config_.base)) {}
 
   /// Delay before the next attempt; `u` is a uniform draw in [0, 1).
+  /// O(1): the undithered delay is carried between calls instead of being
+  /// rebuilt with an O(attempts) multiply loop, and it saturates at `max`
+  /// so arbitrarily long outages can neither overflow the delay nor make
+  /// each retry more expensive than the last.
   SimTime next(double u) {
-    double d = static_cast<double>(config_.base);
-    for (std::uint32_t i = 0; i < attempts_ && d < static_cast<double>(config_.max); ++i) {
-      d *= config_.factor;
-    }
-    d = std::min(d, static_cast<double>(config_.max));
+    double d = std::min(delay_, static_cast<double>(config_.max));
     d *= 1.0 - config_.jitter * u;
-    ++attempts_;
+    if (delay_ < static_cast<double>(config_.max)) delay_ *= config_.factor;
+    if (attempts_ < std::numeric_limits<std::uint32_t>::max()) ++attempts_;
     return std::max<SimTime>(1, static_cast<SimTime>(d));
   }
 
   /// Call on success: the next failure starts from `base` again.
-  void reset() { attempts_ = 0; }
+  void reset() {
+    attempts_ = 0;
+    delay_ = static_cast<double>(config_.base);
+  }
 
   std::uint32_t attempts() const { return attempts_; }
   const Config& config() const { return config_; }
@@ -53,6 +59,10 @@ class ExponentialBackoff {
  private:
   Config config_;
   std::uint32_t attempts_ = 0;
+  /// base * factor^min(attempts_, saturation point), pre-jitter. Matches
+  /// the closed form bit-for-bit because the multiply sequence is the
+  /// same — existing seeded-transport traces are unchanged.
+  double delay_ = 0.0;
 };
 
 }  // namespace p4s::util

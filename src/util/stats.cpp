@@ -5,15 +5,15 @@
 
 namespace p4s::util {
 
-double jain_fairness(std::span<const double> allocations) {
-  if (allocations.empty()) return 1.0;
+std::optional<double> jain_fairness(std::span<const double> allocations) {
+  if (allocations.empty()) return std::nullopt;
   double sum = 0.0;
   double sum_sq = 0.0;
   for (double x : allocations) {
     sum += x;
     sum_sq += x * x;
   }
-  if (sum_sq == 0.0) return 1.0;
+  if (sum_sq == 0.0) return std::nullopt;  // idle: nothing is being shared
   const double n = static_cast<double>(allocations.size());
   return (sum * sum) / (n * sum_sq);
 }

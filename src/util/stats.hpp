@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -10,9 +11,12 @@ namespace p4s::util {
 
 /// Jain's fairness index over resource allocations x_i:
 ///   F = (sum x_i)^2 / (N * sum x_i^2)
-/// Returns 1.0 for an empty set or an all-zero set (vacuously fair), and
+/// The index is only defined while something is actually being shared:
+/// for an empty set or an all-zero set (idle link, no active flows) it
+/// returns nullopt rather than claiming perfect fairness — the paper's
+/// Fig. 10 likewise plots fairness only while flows are active. Returns
 /// a value in (0, 1] otherwise.
-double jain_fairness(std::span<const double> allocations);
+std::optional<double> jain_fairness(std::span<const double> allocations);
 
 /// Streaming mean/variance/min/max (Welford). Suitable for per-flow and
 /// per-series summaries without storing samples.

@@ -233,10 +233,23 @@ TEST_F(ControlPlaneFixture, AggregatesIncludeFairnessAndUtilization) {
   const auto& agg = cp->aggregates();
   EXPECT_EQ(agg.active_flows, 2u);
   // Jain for rates {3,1}: 16/(2*10) = 0.8.
-  EXPECT_NEAR(agg.fairness, 0.8, 0.05);
+  ASSERT_TRUE(agg.fairness.has_value());
+  EXPECT_NEAR(*agg.fairness, 0.8, 0.05);
   // 3000 pps * 1500 B * 8 = 36 Mbps + 12 Mbps = 48 of 100 Mbps.
   EXPECT_NEAR(agg.link_utilization, 0.48, 0.06);
   EXPECT_GT(sink.count("aggregate"), 0u);
+}
+
+TEST_F(ControlPlaneFixture, IdleLinkFairnessIsUndefined) {
+  make_cp();
+  cp->start();
+  // No traffic at all: extraction ticks happen, but there is nothing to
+  // share, so the fairness index must be undefined — not 1.0.
+  sim.run_until(units::seconds(3));
+  EXPECT_FALSE(cp->aggregates().fairness.has_value());
+  const auto reports = sink.of("aggregate");
+  ASSERT_FALSE(reports.empty());
+  EXPECT_TRUE(reports.back().at("fairness").is_null());
 }
 
 TEST_F(ControlPlaneFixture, SamplesPerSecondConfiguration) {

@@ -127,6 +127,47 @@ TEST(Wire, TcpRoundTrip) {
   EXPECT_EQ(parsed->tcp().dst_port, 5201);
 }
 
+TEST(Wire, PatchTtlMatchesFreshSerialization) {
+  // The TAP reuses one serialization across the ingress/egress mirror
+  // copies by patching the TTL in place; the result must be bit-identical
+  // to serializing the decremented packet from scratch (including the
+  // incrementally-updated IPv4 checksum, across carry boundaries).
+  Packet p = make_tcp_packet(ipv4(10, 0, 0, 1), ipv4(10, 0, 0, 2), 40000,
+                             5201, 1000, 0, tcpflags::kAck, 1460, 1 << 16);
+  p.ip.id = 4242;
+  for (std::uint8_t ttl : {std::uint8_t{64}, std::uint8_t{255},
+                           std::uint8_t{1}, std::uint8_t{0x80}}) {
+    p.ip.ttl = ttl;
+    std::size_t len = 0;
+    auto patched = serialize(p, len);
+    for (std::uint8_t new_ttl :
+         {std::uint8_t(ttl - 1), std::uint8_t{0}, std::uint8_t{255}}) {
+      patch_ttl({patched.data(), len}, new_ttl);
+      Packet q = p;
+      q.ip.ttl = new_ttl;
+      std::size_t qlen = 0;
+      const auto fresh = serialize(q, qlen);
+      ASSERT_EQ(len, qlen);
+      EXPECT_EQ(patched, fresh) << "ttl " << int(ttl) << " -> "
+                                << int(new_ttl);
+      // And the patched checksum still validates end-to-end.
+      const auto parsed = parse_headers({patched.data(), len});
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(parsed->ip.ttl, new_ttl);
+    }
+  }
+}
+
+TEST(Wire, PatchTtlSameValueIsNoOp) {
+  Packet p = make_udp_packet(ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8), 9, 10, 64);
+  p.ip.ttl = 33;
+  std::size_t len = 0;
+  auto buf = serialize(p, len);
+  const auto before = buf;
+  patch_ttl({buf.data(), len}, 33);
+  EXPECT_EQ(buf, before);
+}
+
 TEST(Wire, WindowScalingQuantization) {
   // The codec carries window >> kWindowShift in 16 bits; values round
   // down to the scale granule.

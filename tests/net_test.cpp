@@ -1,6 +1,9 @@
 // Unit tests: queues, links, ports, switches, hosts, TAPs, impairments.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <span>
 #include <vector>
 
 #include "net/host.hpp"
@@ -458,6 +461,49 @@ TEST(OpticalTapPair, MirrorsIngressAndEgressWithEqualLatency) {
                                               units::mbps(100));
   EXPECT_EQ(mirror.events[1].second - mirror.events[0].second, tx);
   EXPECT_EQ(taps.mirrored_pkts(), 2u);
+}
+
+TEST(OpticalTapPair, WireBytesMatchFreshSerializationOfEachCopy) {
+  // The TAP serializes each packet once and patches the TTL for the
+  // egress copy (the core switch decremented it in between). Every
+  // delivered byte buffer must equal a from-scratch serialization of the
+  // packet as delivered — i.e. the cache + patch path is invisible.
+  sim::Simulation sim;
+  struct WireMirror : MirrorSink {
+    std::size_t wire_deliveries = 0;
+    void on_mirrored(const Packet&, MirrorPoint) override {}
+    void on_mirrored_wire(const Packet& pkt,
+                          std::span<const std::uint8_t> bytes,
+                          MirrorPoint) override {
+      ++wire_deliveries;
+      std::array<std::uint8_t, kMaxHeaderBytes> fresh{};
+      const std::size_t len = serialize_headers(pkt, fresh);
+      ASSERT_EQ(bytes.size(), len);
+      EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), fresh.begin()));
+    }
+  } mirror;
+
+  Collector sink(sim);
+  Link link(sim, units::mbps(100), 0);
+  link.set_sink(sink);
+  OutputPort port(sim, 1 << 20, link);
+  LegacySwitch sw("core");
+  sw.add_port(port);
+  sw.route(ipv4(10, 0, 0, 2), 0);
+
+  OpticalTapPair taps(sim, mirror, units::microseconds(3));
+  taps.attach(sw, port);
+
+  constexpr int kPackets = 50;
+  for (int i = 0; i < kPackets; ++i) {
+    sim.at(static_cast<SimTime>(i) * units::microseconds(200),
+           [&sw, p = data_packet()]() { sw.on_packet(p); });
+  }
+  sim.run();
+
+  EXPECT_EQ(mirror.wire_deliveries, 2u * kPackets);
+  // Every egress copy reuses the ingress copy's serialization.
+  EXPECT_EQ(taps.serialize_cache_hits(), static_cast<std::uint64_t>(kPackets));
 }
 
 // ---------- Impairments ----------

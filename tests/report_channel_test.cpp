@@ -230,6 +230,26 @@ TEST(ExponentialBackoff, GrowsGeometricallyAndCaps) {
   EXPECT_EQ(backoff.next(0.0), units::milliseconds(10));
 }
 
+TEST(ExponentialBackoff, SaturatesInConstantTimeAndResetsAttempts) {
+  util::ExponentialBackoff::Config config;
+  config.base = units::milliseconds(10);
+  config.max = units::seconds(5);
+  config.factor = 2.0;
+  config.jitter = 0.0;
+  util::ExponentialBackoff backoff(config);
+  // A long outage: thousands of consecutive failures. With the O(n)
+  // rebuild this loop was quadratic; it must stay flat at `max` (and the
+  // carried delay must not overflow into inf/garbage).
+  SimTime last = 0;
+  for (int i = 0; i < 100'000; ++i) last = backoff.next(0.0);
+  EXPECT_EQ(last, config.max);
+  EXPECT_EQ(backoff.attempts(), 100'000u);
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_EQ(backoff.next(0.0), config.base);
+  EXPECT_EQ(backoff.attempts(), 1u);
+}
+
 TEST(ExponentialBackoff, JitterShortensWithinBound) {
   util::ExponentialBackoff::Config config;
   config.base = units::milliseconds(100);

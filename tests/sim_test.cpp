@@ -2,11 +2,29 @@
 // deterministic PRNG).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
+
+// Global allocation counter backing the steady-state no-allocation
+// assertion below. Replacing operator new is per-binary, so only this
+// test executable pays for the bookkeeping.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace p4s::sim {
 namespace {
@@ -114,6 +132,110 @@ TEST(EventQueue, CountersTrackLiveAndExecuted) {
   q.run();
   EXPECT_EQ(q.executed_events(), 1u);
   EXPECT_EQ(q.pending_events(), 0u);
+}
+
+TEST(EventQueue, RunUntilAdvancesToHorizonWhenDrainedEarly) {
+  // Regression for the run_until contract: the clock advances to the
+  // horizon even when the last event fires well before it (callers treat
+  // run_until(t) as "simulate up to t").
+  EventQueue q;
+  q.schedule_at(3, []() {});
+  q.run_until(50);
+  EXPECT_EQ(q.now(), 50u);
+  q.run_until(50);  // at the horizon already: no-op
+  EXPECT_EQ(q.now(), 50u);
+  q.run_until(10);  // horizon in the past: clock never goes backwards
+  EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, CancelledEventBeyondHorizonDoesNotAdvanceClock) {
+  EventQueue q;
+  auto h = q.schedule_at(100, []() {});
+  h.cancel();
+  q.run_until(50);
+  // The cancelled entry may be reclaimed, but its (beyond-horizon) time
+  // must not leak into the clock.
+  EXPECT_EQ(q.now(), 50u);
+  EXPECT_EQ(q.executed_events(), 0u);
+}
+
+TEST(EventQueue, HandleOutlivesQueue) {
+  EventHandle h;
+  {
+    EventQueue q;
+    h = q.schedule_at(5, []() {});
+    EXPECT_TRUE(h.pending());
+  }
+  // The queue is gone; the handle must degrade to inert, not dangle.
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(EventQueue, StaleHandleDoesNotTouchRecycledSlot) {
+  EventQueue q;
+  bool second_ran = false;
+  EventHandle stale = q.schedule_at(1, []() {});
+  q.run();  // slot reclaimed onto the free list
+  // The next event reuses the slot; the stale handle's generation no
+  // longer matches, so cancelling it must not kill the new occupant.
+  EventHandle fresh = q.schedule_at(2, [&]() { second_ran = true; });
+  EXPECT_FALSE(stale.pending());
+  stale.cancel();
+  EXPECT_TRUE(fresh.pending());
+  q.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueue, RtoStyleCancelRescheduleChurn) {
+  // TCP's RTO pattern: every ACK cancels the pending timer and re-arms
+  // it further out. Only the final arm may fire, and the slab must
+  // recycle slots rather than grow with the churn count.
+  EventQueue q;
+  int fires = 0;
+  EventHandle rto;
+  for (int i = 0; i < 10000; ++i) {
+    rto.cancel();
+    rto = q.schedule_at(static_cast<SimTime>(100 + i),
+                        [&fires]() { ++fires; });
+  }
+  q.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(q.executed_events(), 1u);
+  EXPECT_EQ(q.now(), 100u + 9999u);
+  EXPECT_EQ(q.pending_events(), 0u);
+}
+
+TEST(EventQueue, PeakPendingTracksHighWaterMark) {
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) q.schedule_at(static_cast<SimTime>(i), []() {});
+  EXPECT_EQ(q.peak_pending_events(), 64u);
+  q.run();
+  q.schedule_at(1000, []() {});
+  q.run();
+  EXPECT_EQ(q.peak_pending_events(), 64u);  // high-water mark persists
+}
+
+TEST(EventQueue, NoPerEventHeapAllocationInSteadyState) {
+  // The tentpole guarantee: once the slab/heap vectors have grown to the
+  // workload's footprint, scheduling and firing events performs zero heap
+  // allocation — no shared_ptr control block per event, and small
+  // captures stay in std::function's inline storage.
+  EventQueue q;
+  std::uint64_t fired = 0;
+  // Warm-up: grow the slab/heap past anything the measured phase needs.
+  for (int i = 0; i < 1024; ++i) {
+    q.schedule_in(1, [&fired]() { ++fired; });
+  }
+  q.run();
+  const std::uint64_t before = g_heap_allocs.load();
+  for (int round = 0; round < 16; ++round) {
+    for (int i = 0; i < 512; ++i) {
+      q.schedule_in(1, [&fired]() { ++fired; });
+    }
+    q.run();
+  }
+  EXPECT_EQ(g_heap_allocs.load(), before);
+  EXPECT_EQ(fired, 1024u + 16u * 512u);
 }
 
 TEST(Simulation, EveryRepeatsUntilFalse) {

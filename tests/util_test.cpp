@@ -191,30 +191,32 @@ TEST(JsonParse, DeepNesting) {
 
 TEST(Stats, JainAllEqualIsOne) {
   const double xs[] = {5.0, 5.0, 5.0, 5.0};
-  EXPECT_DOUBLE_EQ(jain_fairness(xs), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(xs).value(), 1.0);
 }
 
 TEST(Stats, JainSingleFlowIsOne) {
   const double xs[] = {123.0};
-  EXPECT_DOUBLE_EQ(jain_fairness(xs), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(xs).value(), 1.0);
 }
 
 TEST(Stats, JainWorstCase) {
   // One flow hogging everything among N: F = 1/N.
   const double xs[] = {10.0, 0.0, 0.0, 0.0};
-  EXPECT_DOUBLE_EQ(jain_fairness(xs), 0.25);
+  EXPECT_DOUBLE_EQ(jain_fairness(xs).value(), 0.25);
 }
 
 TEST(Stats, JainKnownValue) {
   // F = (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
   const double xs[] = {1.0, 2.0, 3.0};
-  EXPECT_NEAR(jain_fairness(xs), 36.0 / 42.0, 1e-12);
+  EXPECT_NEAR(jain_fairness(xs).value(), 36.0 / 42.0, 1e-12);
 }
 
-TEST(Stats, JainEdgeCases) {
-  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+TEST(Stats, JainUndefinedWhenIdle) {
+  // No allocations, or nothing actually flowing: the index is undefined
+  // (an idle link must not report "perfectly fair").
+  EXPECT_FALSE(jain_fairness({}).has_value());
   const double zeros[] = {0.0, 0.0};
-  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+  EXPECT_FALSE(jain_fairness(zeros).has_value());
 }
 
 TEST(Stats, RunningBasics) {
@@ -258,6 +260,17 @@ TEST(Stats, PercentileClampsQ) {
   std::vector<double> xs = {1, 2, 3};
   EXPECT_DOUBLE_EQ(percentile(xs, -1.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 2.0), 3.0);
+}
+
+TEST(Stats, PercentileDuplicatesAndUnsortedInput) {
+  // Sorted: {1, 2, 5, 5, 5}.
+  std::vector<double> xs = {5, 1, 5, 5, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  // Interpolating between equal ranks stays exact.
+  EXPECT_DOUBLE_EQ(percentile({4.0, 4.0}, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 4.0, 8.0}, 0.25), 4.0);
 }
 
 // ---------- CSV ----------
