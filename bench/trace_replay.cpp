@@ -1,0 +1,95 @@
+// Max-speed replay of the committed golden trace (tests/data/fig9.*):
+// how fast the P4 switch + telemetry program + control plane chew
+// through real captured wire bytes when the pacing is removed. This is
+// the trace subsystem's throughput number — the simulator's ceiling for
+// pcap-driven workloads — written to BENCH_trace_replay.json.
+//
+//   trace_replay [trace_base]
+//
+// trace_base defaults to the committed golden capture; pass a different
+// base (expects <base>.ingress.pcap / <base>.egress.pcap) to measure an
+// arbitrary capture.
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hpp"
+#include "core/monitoring_system.hpp"
+#include "trace/trace_replayer.hpp"
+
+using namespace p4s;
+
+namespace {
+
+// Same scenario the golden trace was captured under (see
+// tests/trace_golden_test.cpp): the replay control plane gets the
+// topology-derived configuration from a live system instance.
+cp::ControlPlaneConfig golden_control_config() {
+  core::MonitoringSystemConfig config;
+  config.topology.bottleneck_bps = units::mbps(2);
+  config.seed = 1;
+  core::MonitoringSystem reference(config);
+  reference.psonar().psconfig().execute(
+      "psconfig config-P4 --samples_per_second 2");
+  return reference.control_plane().config();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string base =
+      argc > 1 ? argv[1] : std::string(P4S_TRACE_DATA_DIR) + "/fig9";
+
+  auto trace = trace::TraceReplayer::from_files(
+      trace::TraceCapture::port_path(base, net::MirrorPoint::kIngress),
+      trace::TraceCapture::port_path(base, net::MirrorPoint::kEgress));
+  const auto stats = trace.analyze();
+  if (stats.frames == 0) {
+    std::fprintf(stderr, "trace_replay: %s: empty trace\n", base.c_str());
+    return 1;
+  }
+
+  trace::ReplayPipeline::Config config;
+  config.control = golden_control_config();
+  config.seed = 1;
+
+  bench::WallTimer wall;
+  // Repeat through fresh pipelines until enough wall time accumulates
+  // for a stable rate; only the replay loop itself is timed.
+  std::uint64_t frames = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t parse_errors = 0;
+  int reps = 0;
+  double replay_s = 0.0;
+  while (reps < 3 || replay_s < 0.5) {
+    trace::ReplayPipeline pipeline(config);
+    pipeline.control_plane().start();
+    bench::WallTimer timer;
+    trace.replay_now(pipeline.simulation(), pipeline.p4_switch());
+    replay_s += timer.elapsed_s();
+    frames += pipeline.p4_switch().processed_pkts();
+    parse_errors += pipeline.p4_switch().parse_errors();
+    reports += pipeline.report_lines().size();
+    ++reps;
+  }
+  const double frames_per_sec = static_cast<double>(frames) / replay_s;
+  const double bytes_per_sec =
+      static_cast<double>(stats.wire_bytes) * reps / replay_s;
+
+  bench::BenchReport report("trace_replay");
+  report.wall_time_s(wall.elapsed_s());
+  report.metric("frames_per_sec", frames_per_sec);
+  report.metric("wire_bytes_per_sec", bytes_per_sec);
+  report.metric("trace_frames", stats.frames);
+  report.metric("trace_wire_bytes", stats.wire_bytes);
+  report.metric("replay_reps", static_cast<std::uint64_t>(reps));
+  report.metric("parse_errors_total", parse_errors);
+  report.metric("reports_per_rep",
+                static_cast<std::uint64_t>(reports / reps));
+  report.meta("trace_base", util::Json(base));
+  report.meta("seed", util::Json(1));
+  std::printf("trace replay: %llu frames x%d reps, %.3gM frames/s, "
+              "%.3g MB/s wire\n",
+              static_cast<unsigned long long>(stats.frames), reps,
+              frames_per_sec / 1e6, bytes_per_sec / 1e6);
+  return report.write() ? 0 : 1;
+}

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   const util::CliArgs args(
       argc, argv,
       {"config", "flows", "duration", "bottleneck-mbps", "cc", "join-at",
-       "buffer-bdp-ms", "seed", "csv", "svg", "report-sps", "help"});
+       "buffer-bdp-ms", "seed", "csv", "svg", "report-sps"},
+      {"help"});
   if (!args.errors().empty() || args.has("help")) {
     for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n",
                                                      e.c_str());

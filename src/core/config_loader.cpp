@@ -180,6 +180,21 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
         fail("'transport.faults' requires 'transport.resilient': true "
              "(the legacy direct wire has no fault surface)");
       }
+    } else if (key == "trace") {
+      walk(value, "trace", [&](const std::string& k, const util::Json& v) {
+        if (k == "capture") {
+          config.trace.capture = require_bool(v, k);
+        } else if (k == "path_base") {
+          if (!v.is_string()) fail("'trace.path_base' must be a string");
+          config.trace.path_base = v.as_string();
+        } else if (k == "snaplen") {
+          config.trace.snaplen =
+              static_cast<std::uint32_t>(require_number(v, k));
+        } else {
+          return false;
+        }
+        return true;
+      });
     } else if (key == "control") {
       walk(value, "control", [&](const std::string& k,
                                  const util::Json& v) {

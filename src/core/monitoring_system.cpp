@@ -12,7 +12,16 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
   program_ = std::make_unique<telemetry::DataPlaneProgram>(config_.program);
   p4_switch_ = std::make_unique<p4::P4Switch>(sim_, "tofino-monitor");
   p4_switch_->load_program(*program_);
-  taps_ = std::make_unique<net::OpticalTapPair>(sim_, *p4_switch_,
+  // With capture enabled the TAPs feed a pcap-writing tee that forwards
+  // every mirrored frame to the P4 switch unchanged.
+  net::MirrorSink* mirror_sink = p4_switch_.get();
+  if (config_.trace.capture) {
+    trace_capture_ = std::make_unique<trace::TraceCapture>(
+        sim_, *p4_switch_, config_.trace.path_base,
+        trace::TraceCapture::Config{config_.trace.snaplen});
+    mirror_sink = trace_capture_.get();
+  }
+  taps_ = std::make_unique<net::OpticalTapPair>(sim_, *mirror_sink,
                                                 config_.tap_latency);
   taps_->attach(*topology_.core_switch, *topology_.bottleneck_port);
 

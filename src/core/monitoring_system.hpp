@@ -34,6 +34,7 @@
 #include "sim/simulation.hpp"
 #include "tcp/flow.hpp"
 #include "telemetry/dataplane_program.hpp"
+#include "trace/trace_capture.hpp"
 
 namespace p4s::core {
 
@@ -50,6 +51,16 @@ struct ReportTransportConfig {
   std::vector<net::FaultInjector::ScheduledFault> faults;
 };
 
+/// Pcap capture of the TAP mirror streams (src/trace). When enabled, a
+/// trace::TraceCapture tee is inserted between the optical TAP pair and
+/// the P4 switch, writing `<path_base>.ingress.pcap` and
+/// `<path_base>.egress.pcap` as the run executes.
+struct TraceCaptureConfig {
+  bool capture = false;
+  std::string path_base = "p4s-trace";
+  std::uint32_t snaplen = trace::kDefaultSnaplen;
+};
+
 struct MonitoringSystemConfig {
   net::PaperTopologyConfig topology;
   telemetry::DataPlaneProgram::Config program;
@@ -57,6 +68,7 @@ struct MonitoringSystemConfig {
   /// from the topology when left 0.
   cp::ControlPlaneConfig control;
   ReportTransportConfig transport;
+  TraceCaptureConfig trace;
   SimTime tap_latency = units::microseconds(1);
   std::uint64_t seed = 1;
 };
@@ -105,6 +117,11 @@ class MonitoringSystem {
   /// The hardened sink (only with transport.resilient).
   cp::ResilientReportSink& report_sink() { return *resilient_sink_; }
 
+  /// Whether pcap capture of the mirror streams is active.
+  bool capturing() const { return trace_capture_ != nullptr; }
+  /// The capture tee (only with trace.capture).
+  trace::TraceCapture& trace_capture() { return *trace_capture_; }
+
   const std::vector<std::unique_ptr<tcp::TcpFlow>>& flows() const {
     return flows_;
   }
@@ -116,6 +133,7 @@ class MonitoringSystem {
   net::PaperTopology topology_;
   std::unique_ptr<telemetry::DataPlaneProgram> program_;
   std::unique_ptr<p4::P4Switch> p4_switch_;
+  std::unique_ptr<trace::TraceCapture> trace_capture_;
   std::unique_ptr<net::OpticalTapPair> taps_;
   std::unique_ptr<cp::ControlPlane> control_plane_;
   std::unique_ptr<ps::PerfSonarNode> psonar_;

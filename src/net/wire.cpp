@@ -107,6 +107,11 @@ std::size_t serialize_headers(const Packet& pkt,
   put_u16(out, pos, 0);  // checksum placeholder
   put_u32(out, pos, ip.src);
   put_u32(out, pos, ip.dst);
+  // Options region (IHL > 5, only for packets parsed from real-world
+  // captures): option *contents* are not modelled, so pad with
+  // End-of-Option-List zeros. Written before the checksum, which covers
+  // the full IHL.
+  for (std::size_t i = 20; i < ip.header_bytes(); ++i) put_u8(out, pos, 0);
   const std::uint16_t csum =
       internet_checksum(out.subspan(ip_start, ip.header_bytes()));
   out[checksum_pos] = static_cast<std::uint8_t>(csum >> 8);

@@ -22,9 +22,11 @@ inline constexpr std::size_t kEthernetHeaderBytes = 14;
 inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
 
 /// Maximum serialized header size we ever produce (Ethernet II + IPv4
-/// without options + largest L4 header).
+/// at its maximum IHL of 15 words + largest L4 header). The simulator's
+/// own packets carry no options (IHL 5), but packets parsed from
+/// real-world captures may, and those must survive a re-serialization.
 inline constexpr std::size_t kMaxHeaderBytes =
-    kEthernetHeaderBytes + 20 + 20;
+    kEthernetHeaderBytes + 60 + 20;
 
 /// Deterministic MAC for an IPv4 address (02:00:aa:bb:cc:dd), written
 /// into `out` (6 bytes).
@@ -37,7 +39,11 @@ std::size_t serialize_headers(const Packet& pkt, std::span<std::uint8_t> out);
 
 /// Inverse of serialize_headers. Returns nullopt if the buffer is
 /// truncated, the version is not 4, the checksum fails, or the protocol is
-/// unknown. The result has uid == 0 (uids are simulator metadata, not wire
+/// unknown. IPv4 headers with options (IHL > 5) are accepted: the checksum
+/// is verified over the full IHL and the option bytes are skipped (their
+/// contents are not retained — the value type records only the IHL, and a
+/// re-serialization pads the options region with End-of-Option-List
+/// zeros). The result has uid == 0 (uids are simulator metadata, not wire
 /// data).
 std::optional<Packet> parse_headers(std::span<const std::uint8_t> in);
 

@@ -43,14 +43,37 @@ bool Archiver::matches(const util::Json& doc, const Query& query) {
   return true;
 }
 
+void Archiver::for_each(
+    const std::string& index_name, const Query& query,
+    const std::function<bool(const util::Json&)>& visit) const {
+  auto it = indices_.find(index_name);
+  if (it == indices_.end()) return;
+  const auto& docs = it->second;
+  std::size_t matched = 0;
+  const auto consider = [&](const util::Json& doc) {
+    if (!matches(doc, query)) return true;
+    ++matched;
+    if (!visit(doc)) return false;
+    return query.limit == 0 || matched < query.limit;
+  };
+  if (query.newest_first) {
+    for (auto d = docs.rbegin(); d != docs.rend(); ++d) {
+      if (!consider(*d)) return;
+    }
+  } else {
+    for (const auto& doc : docs) {
+      if (!consider(doc)) return;
+    }
+  }
+}
+
 std::vector<util::Json> Archiver::search(const std::string& index_name,
                                          const Query& query) const {
   std::vector<util::Json> out;
-  auto it = indices_.find(index_name);
-  if (it == indices_.end()) return out;
-  for (const auto& doc : it->second) {
-    if (matches(doc, query)) out.push_back(doc);
-  }
+  for_each(index_name, query, [&](const util::Json& doc) {
+    out.push_back(doc);
+    return true;
+  });
   return out;
 }
 
@@ -58,12 +81,9 @@ Archiver::Aggregation Archiver::aggregate(const std::string& index_name,
                                           const std::string& field,
                                           const Query& query) const {
   Aggregation agg;
-  auto it = indices_.find(index_name);
-  if (it == indices_.end()) return agg;
-  for (const auto& doc : it->second) {
-    if (!matches(doc, query)) continue;
+  for_each(index_name, query, [&](const util::Json& doc) {
     auto value = field_at(doc, field);
-    if (!value.has_value() || !value->is_number()) continue;
+    if (!value.has_value() || !value->is_number()) return true;
     const double v = value->as_double();
     if (agg.count == 0) {
       agg.min = agg.max = v;
@@ -73,7 +93,8 @@ Archiver::Aggregation Archiver::aggregate(const std::string& index_name,
     }
     agg.sum += v;
     ++agg.count;
-  }
+    return true;
+  });
   if (agg.count > 0) agg.avg = agg.sum / static_cast<double>(agg.count);
   return agg;
 }

@@ -18,25 +18,43 @@
 
 namespace p4s::ps {
 
+/// Search parameters. (Namespace-scope so its defaulted members can be
+/// used in Archiver's own default arguments.)
+struct ArchiverQuery {
+  /// Exact-match terms: dotted paths -> required value
+  /// (e.g. {"flow.dst_ip": "10.1.0.10"}).
+  std::map<std::string, util::Json> terms;
+  /// Optional range filter on a numeric field.
+  std::string range_field;
+  std::optional<double> range_min;
+  std::optional<double> range_max;
+  /// Stop after this many matches (0 = unlimited). With newest_first,
+  /// this is OpenSearch's latest-value idiom: size N, sorted descending.
+  std::size_t limit = 0;
+  /// Visit documents in reverse insertion order (newest first) instead
+  /// of insertion order.
+  bool newest_first = false;
+};
+
 class Archiver {
  public:
   /// Store a document. Returns the document's sequence id within the
   /// index.
   std::uint64_t index(const std::string& index_name, util::Json doc);
 
-  struct Query {
-    /// Exact-match terms: dotted paths -> required value
-    /// (e.g. {"flow.dst_ip": "10.1.0.10"}).
-    std::map<std::string, util::Json> terms;
-    /// Optional range filter on a numeric field.
-    std::string range_field;
-    std::optional<double> range_min;
-    std::optional<double> range_max;
-  };
+  using Query = ArchiverQuery;
 
-  /// All documents of an index matching the query, in insertion order.
+  /// Matching documents of an index, in the query's order (insertion
+  /// order, or newest first), at most `query.limit` of them.
   std::vector<util::Json> search(const std::string& index_name,
                                  const Query& query = {}) const;
+
+  /// Visit matching documents without copying them; the visitor returns
+  /// false to stop early. Order and limit follow the query. This is what
+  /// dashboard-style consumers should use instead of materializing a
+  /// search() result they immediately reduce.
+  void for_each(const std::string& index_name, const Query& query,
+                const std::function<bool(const util::Json&)>& visit) const;
 
   struct Aggregation {
     std::uint64_t count = 0;

@@ -25,20 +25,27 @@ MadDash::Grid MadDash::build(const std::string& index,
   grid.title = title;
   grid.unit = unit;
   std::set<std::string> rows, cols;
-  for (const auto& doc : archiver_.search(index)) {
+  // Newest first, without copying the index: the first doc seen for a
+  // pair is its latest value; older docs only bump the sample count.
+  Archiver::Query newest;
+  newest.newest_first = true;
+  archiver_.for_each(index, newest, [&](const util::Json& doc) {
     const auto src = Archiver::field_at(doc, "source");
     const auto dst = Archiver::field_at(doc, "destination");
     const auto value = Archiver::field_at(doc, field);
-    if (!src || !dst || !value || !value->is_number()) continue;
+    if (!src || !dst || !value || !value->is_number()) return true;
     const std::string s = src->as_string();
     const std::string d = dst->as_string();
     rows.insert(s);
     cols.insert(d);
     Cell& cell = grid.cells[{s, d}];
-    cell.value = value->as_double();  // docs arrive in time order: latest
+    if (cell.samples == 0) {
+      cell.value = value->as_double();
+      cell.status = classify(cell.value);
+    }
     ++cell.samples;
-    cell.status = classify(cell.value);
-  }
+    return true;
+  });
   grid.rows.assign(rows.begin(), rows.end());
   grid.cols.assign(cols.begin(), cols.end());
   return grid;
@@ -63,27 +70,32 @@ MadDash::Grid MadDash::loss_grid(double warn_above_pct,
   grid.title = "echo loss (ping)";
   grid.unit = "%";
   std::set<std::string> rows, cols;
-  for (const auto& doc : archiver_.search("pscheduler-latency")) {
+  Archiver::Query newest;
+  newest.newest_first = true;
+  archiver_.for_each("pscheduler-latency", newest, [&](const util::Json& doc) {
     const auto src = Archiver::field_at(doc, "source");
     const auto dst = Archiver::field_at(doc, "destination");
     const auto sent = Archiver::field_at(doc, "sent");
     const auto received = Archiver::field_at(doc, "received");
-    if (!src || !dst || !sent || !received) continue;
+    if (!src || !dst || !sent || !received) return true;
     const double total = sent->as_double();
-    if (total <= 0) continue;
-    const double loss_pct =
-        100.0 * (total - received->as_double()) / total;
+    if (total <= 0) return true;
     const std::string s = src->as_string();
     const std::string d = dst->as_string();
     rows.insert(s);
     cols.insert(d);
     Cell& cell = grid.cells[{s, d}];
-    cell.value = loss_pct;
+    if (cell.samples == 0) {
+      const double loss_pct =
+          100.0 * (total - received->as_double()) / total;
+      cell.value = loss_pct;
+      cell.status = loss_pct > crit_above_pct   ? Status::kCritical
+                    : loss_pct > warn_above_pct ? Status::kWarn
+                                                : Status::kOk;
+    }
     ++cell.samples;
-    cell.status = loss_pct > crit_above_pct  ? Status::kCritical
-                  : loss_pct > warn_above_pct ? Status::kWarn
-                                              : Status::kOk;
-  }
+    return true;
+  });
   grid.rows.assign(rows.begin(), rows.end());
   grid.cols.assign(cols.begin(), cols.end());
   return grid;

@@ -1,0 +1,64 @@
+#include "trace/trace_capture.hpp"
+
+#include "net/wire.hpp"
+
+namespace p4s::trace {
+
+TraceCapture::TraceCapture(sim::Simulation& sim, net::MirrorSink& next,
+                           std::ostream& ingress_out,
+                           std::ostream& egress_out, Config config)
+    : sim_(sim),
+      next_(next),
+      ingress_(std::make_unique<PcapWriter>(ingress_out, config.snaplen)),
+      egress_(std::make_unique<PcapWriter>(egress_out, config.snaplen)) {}
+
+TraceCapture::TraceCapture(sim::Simulation& sim, net::MirrorSink& next,
+                           const std::string& path_base, Config config)
+    : sim_(sim),
+      next_(next),
+      ingress_(std::make_unique<PcapWriter>(
+          port_path(path_base, net::MirrorPoint::kIngress), config.snaplen)),
+      egress_(std::make_unique<PcapWriter>(
+          port_path(path_base, net::MirrorPoint::kEgress), config.snaplen)) {}
+
+std::string TraceCapture::port_path(const std::string& base,
+                                    net::MirrorPoint point) {
+  return base + (point == net::MirrorPoint::kIngress ? ".ingress.pcap"
+                                                     : ".egress.pcap");
+}
+
+void TraceCapture::on_mirrored(const net::Packet& pkt,
+                               net::MirrorPoint point) {
+  // Packet-level entry: serialize here so the record carries real bytes.
+  std::array<std::uint8_t, net::kMaxHeaderBytes> buf{};
+  const std::size_t len = net::serialize_headers(pkt, buf);
+  record(pkt, std::span<const std::uint8_t>(buf.data(), len), point);
+  next_.on_mirrored(pkt, point);
+}
+
+void TraceCapture::on_mirrored_wire(const net::Packet& pkt,
+                                    std::span<const std::uint8_t> bytes,
+                                    net::MirrorPoint point) {
+  record(pkt, bytes, point);
+  next_.on_mirrored_wire(pkt, bytes, point);
+}
+
+void TraceCapture::record(const net::Packet& pkt,
+                          std::span<const std::uint8_t> bytes,
+                          net::MirrorPoint point) {
+  // On the wire this frame was Ethernet + the IP total length; we only
+  // captured the serialized headers (payloads are virtual).
+  const std::uint32_t orig_len = static_cast<std::uint32_t>(
+      net::kEthernetHeaderBytes + pkt.ip.total_len);
+  writer(point).write(sim_.now(), bytes,
+                      orig_len >= bytes.size()
+                          ? orig_len
+                          : static_cast<std::uint32_t>(bytes.size()));
+}
+
+void TraceCapture::flush() {
+  ingress_->flush();
+  egress_->flush();
+}
+
+}  // namespace p4s::trace

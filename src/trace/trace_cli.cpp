@@ -1,0 +1,199 @@
+#include "trace/trace_cli.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/pcap.hpp"
+#include "trace/trace_replayer.hpp"
+#include "util/cli.hpp"
+#include "util/units.hpp"
+
+namespace p4s::trace {
+
+namespace {
+
+void usage(std::ostream& err) {
+  err << "usage: p4s-trace <command> [args]\n"
+         "\n"
+         "commands:\n"
+         "  info   <file.pcap>...            print file header + record "
+         "summary\n"
+         "  stats  <ingress.pcap> [<egress.pcap>]\n"
+         "                                   analyze the merged trace\n"
+         "  replay <ingress.pcap> [<egress.pcap>] [--max-speed]\n"
+         "         [--samples-per-second N] [--seed N] [--runout-seconds S]\n"
+         "         [--buffer-bytes B] [--bottleneck-bps R] "
+         "[--print-reports]\n"
+         "                                   replay through the P4 "
+         "pipeline\n";
+}
+
+std::string fmt_seconds(SimTime ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", units::to_seconds(ns));
+  return buf;
+}
+
+int cmd_info(const std::vector<std::string>& files, std::ostream& out) {
+  for (const auto& path : files) {
+    PcapReader reader(path);
+    const auto& info = reader.info();
+    std::uint64_t records = 0;
+    std::uint64_t captured = 0;
+    std::uint64_t wire = 0;
+    SimTime first = 0;
+    SimTime last = 0;
+    while (auto rec = reader.next()) {
+      if (records == 0) first = rec->ts;
+      last = rec->ts;
+      captured += rec->bytes.size();
+      wire += rec->orig_len;
+      ++records;
+    }
+    out << path << ":\n"
+        << "  format: pcap " << info.version_major << "."
+        << info.version_minor << ", "
+        << (info.nanosecond ? "nanosecond" : "microsecond")
+        << " timestamps, "
+        << (info.swapped ? "swapped" : "native") << " byte order\n"
+        << "  linktype: " << info.linktype
+        << (info.linktype == kLinktypeEthernet ? " (Ethernet)" : "")
+        << ", snaplen: " << info.snaplen << "\n"
+        << "  records: " << records << " (" << captured
+        << " captured bytes, " << wire << " on the wire)\n";
+    if (records > 0) {
+      out << "  time span: " << fmt_seconds(first) << "s .. "
+          << fmt_seconds(last) << "s (duration "
+          << fmt_seconds(last - first) << "s)\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& files, std::ostream& out) {
+  const TraceReplayer trace = TraceReplayer::from_files(
+      files[0], files.size() > 1 ? files[1] : "");
+  const auto s = trace.analyze();
+  out << "frames: " << s.frames << " (ingress " << s.ingress_frames
+      << ", egress " << s.egress_frames << ")\n"
+      << "bytes: " << s.captured_bytes << " captured, " << s.wire_bytes
+      << " on the wire\n";
+  if (s.frames > 0) {
+    out << "time span: " << fmt_seconds(s.first_ts) << "s .. "
+        << fmt_seconds(s.last_ts) << "s\n";
+  }
+  out << "ipv4: " << s.ipv4 << " (tcp " << s.tcp << ", udp " << s.udp
+      << ", icmp " << s.icmp << ", other " << s.other_l4 << ")\n"
+      << "tolerated: non-ipv4 " << s.non_ipv4 << ", ipv4-options "
+      << s.ipv4_options << ", with-payload " << s.with_payload
+      << ", undecodable " << s.undecodable << "\n"
+      << "ethertypes:\n";
+  for (const auto& [ethertype, count] : s.ethertypes) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%04x", ethertype);
+    out << "  " << buf << ": " << count << "\n";
+  }
+  return 0;
+}
+
+int cmd_replay(const util::CliArgs& args,
+               const std::vector<std::string>& files, std::ostream& out) {
+  const TraceReplayer trace = TraceReplayer::from_files(
+      files[0], files.size() > 1 ? files[1] : "");
+  const auto stats = trace.analyze();
+
+  ReplayPipeline::Config config;
+  config.seed = args.uint_or("seed", 1);
+  config.control.core_buffer_bytes = args.uint_or("buffer-bytes", 0);
+  config.control.bottleneck_bps = args.uint_or("bottleneck-bps", 0);
+  ReplayPipeline pipeline(config);
+  const double sps = args.number_or("samples-per-second", 1.0);
+  for (std::size_t i = 0; i < cp::kMetricCount; ++i) {
+    pipeline.control_plane().set_samples_per_second(
+        static_cast<cp::MetricKind>(i), sps);
+  }
+
+  const SimTime until =
+      stats.last_ts +
+      units::seconds(args.uint_or("runout-seconds", 3));
+  const auto t0 = std::chrono::steady_clock::now();
+  if (args.has("max-speed")) {
+    pipeline.control_plane().start();
+    trace.replay_now(pipeline.simulation(), pipeline.p4_switch(),
+                     /*advance_clock=*/true);
+    pipeline.simulation().run_until(until);
+  } else {
+    pipeline.run(trace, until);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  out << "replayed " << stats.frames << " frames ("
+      << (args.has("max-speed") ? "max-speed" : "paced") << ")\n"
+      << "processed: " << pipeline.p4_switch().processed_pkts()
+      << ", parse errors: " << pipeline.p4_switch().parse_errors() << "\n"
+      << "reports emitted: " << pipeline.control_plane().reports_emitted()
+      << "\n";
+  if (args.has("max-speed") && elapsed > 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f",
+                  static_cast<double>(stats.frames) / elapsed);
+    out << "throughput: " << buf << " frames/s\n";
+  }
+  if (args.has("print-reports")) {
+    for (const auto& line : pipeline.report_lines()) out << line << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int trace_cli(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  const util::CliArgs args(
+      argc, argv,
+      {"samples-per-second", "seed", "runout-seconds", "buffer-bytes",
+       "bottleneck-bps"},
+      {"max-speed", "print-reports"});
+  if (!args.errors().empty()) {
+    for (const auto& e : args.errors()) err << "p4s-trace: " << e << "\n";
+    usage(err);
+    return 2;
+  }
+  const auto& pos = args.positional();
+  if (pos.empty()) {
+    usage(err);
+    return 2;
+  }
+  const std::string& command = pos[0];
+  const std::vector<std::string> files(pos.begin() + 1, pos.end());
+  try {
+    if (command == "info") {
+      if (files.empty()) {
+        err << "p4s-trace info: at least one file required\n";
+        return 2;
+      }
+      return cmd_info(files, out);
+    }
+    if (command == "stats" || command == "replay") {
+      if (files.empty() || files.size() > 2) {
+        err << "p4s-trace " << command
+            << ": expects <ingress.pcap> [<egress.pcap>]\n";
+        return 2;
+      }
+      return command == "stats" ? cmd_stats(files, out)
+                                : cmd_replay(args, files, out);
+    }
+  } catch (const PcapError& e) {
+    err << "p4s-trace: " << e.what() << "\n";
+    return 2;
+  }
+  err << "p4s-trace: unknown command '" << command << "'\n";
+  usage(err);
+  return 2;
+}
+
+}  // namespace p4s::trace

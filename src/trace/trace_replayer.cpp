@@ -1,0 +1,192 @@
+#include "trace/trace_replayer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "net/wire.hpp"
+
+namespace p4s::trace {
+
+namespace {
+
+std::vector<TraceFrame> load_port(const std::string& path,
+                                  net::MirrorPoint point) {
+  std::vector<TraceFrame> frames;
+  PcapReader reader(path);
+  while (auto rec = reader.next()) {
+    TraceFrame f;
+    f.ts = rec->ts;
+    f.point = point;
+    f.orig_len = rec->orig_len;
+    f.bytes = std::move(rec->bytes);
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+std::uint16_t ethertype_of(const std::vector<std::uint8_t>& b) {
+  return static_cast<std::uint16_t>((b[12] << 8) | b[13]);
+}
+
+}  // namespace
+
+TraceReplayer TraceReplayer::from_files(const std::string& ingress_path,
+                                        const std::string& egress_path) {
+  std::vector<TraceFrame> in = load_port(ingress_path,
+                                         net::MirrorPoint::kIngress);
+  std::vector<TraceFrame> eg;
+  if (!egress_path.empty()) {
+    eg = load_port(egress_path, net::MirrorPoint::kEgress);
+  }
+  // Two-pointer merge of the (per-file chronological) streams. On equal
+  // timestamps the ingress frame goes first — <= keeps the merge stable
+  // in the ingress stream's favor, reproducing the live TAP pair's order.
+  std::vector<TraceFrame> merged;
+  merged.reserve(in.size() + eg.size());
+  std::size_t i = 0;
+  std::size_t e = 0;
+  while (i < in.size() && e < eg.size()) {
+    if (in[i].ts <= eg[e].ts) {
+      merged.push_back(std::move(in[i++]));
+    } else {
+      merged.push_back(std::move(eg[e++]));
+    }
+  }
+  while (i < in.size()) merged.push_back(std::move(in[i++]));
+  while (e < eg.size()) merged.push_back(std::move(eg[e++]));
+  return from_frames(std::move(merged));
+}
+
+TraceReplayer TraceReplayer::from_frames(std::vector<TraceFrame> frames) {
+  TraceReplayer r;
+  r.frames_ = std::move(frames);
+  return r;
+}
+
+TraceReplayer::Stats TraceReplayer::analyze() const {
+  Stats s;
+  for (const TraceFrame& f : frames_) {
+    ++s.frames;
+    if (f.point == net::MirrorPoint::kIngress) {
+      ++s.ingress_frames;
+    } else {
+      ++s.egress_frames;
+    }
+    s.captured_bytes += f.bytes.size();
+    s.wire_bytes += f.orig_len;
+    if (s.frames == 1) s.first_ts = f.ts;
+    s.last_ts = f.ts;
+
+    if (f.bytes.size() < net::kEthernetHeaderBytes) {
+      ++s.undecodable;
+      continue;
+    }
+    const std::uint16_t ethertype = ethertype_of(f.bytes);
+    ++s.ethertypes[ethertype];
+    if (ethertype != net::kEtherTypeIpv4) {
+      ++s.non_ipv4;
+      continue;
+    }
+    const std::uint8_t* ip = f.bytes.data() + net::kEthernetHeaderBytes;
+    const std::size_t ip_avail = f.bytes.size() - net::kEthernetHeaderBytes;
+    if (ip_avail < 20 || (ip[0] >> 4) != 4) {
+      ++s.undecodable;
+      continue;
+    }
+    ++s.ipv4;
+    const std::size_t ihl_bytes = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
+    if (ihl_bytes > 20) ++s.ipv4_options;
+    const std::uint16_t total_len =
+        static_cast<std::uint16_t>((ip[2] << 8) | ip[3]);
+    switch (ip[9]) {
+      case 6:
+        ++s.tcp;
+        // Captured payload bytes start after the TCP header (data offset).
+        if (ip_avail >= ihl_bytes + 13) {
+          const std::size_t l4 =
+              static_cast<std::size_t>(ip[ihl_bytes + 12] >> 4) * 4;
+          if (total_len > ihl_bytes + l4) ++s.with_payload;
+        }
+        break;
+      case 17:
+        ++s.udp;
+        if (total_len > ihl_bytes + 8) ++s.with_payload;
+        break;
+      case 1:
+        ++s.icmp;
+        if (total_len > ihl_bytes + 8) ++s.with_payload;
+        break;
+      default:
+        ++s.other_l4;
+        break;
+    }
+  }
+  return s;
+}
+
+// Streaming scheduler: one event in flight at a time. The event for frame
+// i delivers it and schedules frame i+1, so N frames never sit on the
+// queue at once and the merged file order survives even when many frames
+// share a nanosecond (the queue's FIFO tie-break sees them arrive in
+// sequence).
+struct TraceReplayer::Cursor {
+  const std::vector<TraceFrame>* frames = nullptr;
+  std::size_t next = 0;
+  sim::Simulation* sim = nullptr;
+  net::MirrorSink* sink = nullptr;
+
+  static void step(const std::shared_ptr<Cursor>& self) {
+    const TraceFrame& f = (*self->frames)[self->next++];
+    self->sink->on_mirrored_wire(net::Packet{}, f.bytes, f.point);
+    if (self->next >= self->frames->size()) return;
+    const SimTime at =
+        std::max((*self->frames)[self->next].ts, self->sim->now());
+    self->sim->at(at, [self]() { step(self); });
+  }
+};
+
+void TraceReplayer::schedule(sim::Simulation& sim,
+                             net::MirrorSink& sink) const {
+  if (frames_.empty()) return;
+  // Each event lambda captures the shared cursor, so the state lives
+  // until the last frame is delivered. The frames themselves are read
+  // through a pointer: the replayer must outlive the run.
+  auto cursor = std::make_shared<Cursor>();
+  cursor->frames = &frames_;
+  cursor->sim = &sim;
+  cursor->sink = &sink;
+  sim.at(std::max(frames_.front().ts, sim.now()),
+         [cursor]() { Cursor::step(cursor); });
+}
+
+void TraceReplayer::replay_now(sim::Simulation& sim, net::MirrorSink& sink,
+                               bool advance_clock) const {
+  for (const TraceFrame& f : frames_) {
+    if (advance_clock && f.ts > sim.now()) sim.run_until(f.ts);
+    sink.on_mirrored_wire(net::Packet{}, f.bytes, f.point);
+  }
+}
+
+// ------------------------------------------------------------- pipeline
+
+ReplayPipeline::ReplayPipeline(Config config)
+    : sim_(config.seed),
+      program_(config.program),
+      p4_switch_(sim_, "replay-p4"),
+      control_plane_(sim_, program_, config.control) {
+  p4_switch_.load_program(program_);
+  control_plane_.set_sink(this);
+}
+
+void ReplayPipeline::on_report(const util::Json& report) {
+  reports_.push_back(report.dump());
+}
+
+void ReplayPipeline::run(const TraceReplayer& trace, SimTime until) {
+  control_plane_.start();
+  trace.schedule(sim_, p4_switch_);
+  sim_.run_until(until);
+}
+
+}  // namespace p4s::trace

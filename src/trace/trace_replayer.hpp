@@ -1,0 +1,153 @@
+// TraceReplayer — feeds a recorded (or foreign) pcap trace straight into
+// the P4 monitoring pipeline, with no TCP simulator behind it.
+//
+// A trace is the merged stream of the two capture ports (ingress TAP,
+// egress TAP). Replay has two speeds:
+//
+//   * paced   — schedule(): every frame becomes an event on the
+//     simulation's queue at its recorded nanosecond timestamp, so the
+//     P4 switch's intrinsic ingress timestamps, the control plane's
+//     extraction timers and the digest polls interleave exactly as they
+//     did in the live run. This is what makes a captured run a
+//     deterministic regression artifact.
+//   * max speed — replay_now(): frames are pushed through the pipeline
+//     back to back with no event-queue round trip, for pure
+//     parse+pipeline throughput benchmarking.
+//
+// Real-world captures are first-class inputs: frames with payload bytes,
+// IPv4 options or EtherTypes we never produce are counted by analyze()
+// and flow through the parser's tolerant paths — never a crash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controlplane/control_plane.hpp"
+#include "net/tap.hpp"
+#include "p4/p4_switch.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/dataplane_program.hpp"
+#include "trace/pcap.hpp"
+
+namespace p4s::trace {
+
+/// One frame of a merged trace: wire bytes plus capture metadata.
+struct TraceFrame {
+  SimTime ts = 0;
+  net::MirrorPoint point = net::MirrorPoint::kIngress;
+  std::uint32_t orig_len = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+class TraceReplayer {
+ public:
+  /// What a trace contains, by the categories the pipeline cares about.
+  /// "Tolerated" frame classes (foreign EtherTypes, IPv4 options, payload
+  /// bytes, undecodable headers) are counted here and simply flow through
+  /// the parser's accept/reject paths during replay.
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t ingress_frames = 0;
+    std::uint64_t egress_frames = 0;
+    std::uint64_t captured_bytes = 0;  // bytes stored in the trace
+    std::uint64_t wire_bytes = 0;      // original on-wire bytes (orig_len)
+    std::uint64_t ipv4 = 0;
+    std::uint64_t non_ipv4 = 0;       // unknown EtherType: counted, skipped
+    std::uint64_t ipv4_options = 0;   // IHL > 5: options skipped by parsers
+    std::uint64_t with_payload = 0;   // captured bytes beyond the headers
+    std::uint64_t tcp = 0;
+    std::uint64_t udp = 0;
+    std::uint64_t icmp = 0;
+    std::uint64_t other_l4 = 0;       // unknown IP protocol
+    std::uint64_t undecodable = 0;    // too short for Ethernet+IPv4 headers
+    std::map<std::uint16_t, std::uint64_t> ethertypes;
+    SimTime first_ts = 0;
+    SimTime last_ts = 0;
+  };
+
+  /// Load the ingress-port capture and (optionally) the egress-port
+  /// capture and merge them into one stream ordered by timestamp; ties
+  /// deliver the ingress-TAP frame first, matching the live TAP pair
+  /// (the ingress mirror of a packet always precedes its egress mirror,
+  /// and cross-packet same-nanosecond order is ingress-arrival first).
+  /// Throws PcapError on unreadable or malformed files.
+  static TraceReplayer from_files(const std::string& ingress_path,
+                                  const std::string& egress_path = "");
+
+  /// Build from frames already in memory (tests, synthetic workloads).
+  /// Frames are used in the given order; call with a timestamp-sorted
+  /// sequence for paced replay.
+  static TraceReplayer from_frames(std::vector<TraceFrame> frames);
+
+  const std::vector<TraceFrame>& frames() const { return frames_; }
+
+  Stats analyze() const;
+
+  /// Paced replay: stream the frames through `sim`'s event queue, each
+  /// delivered to `sink` at its recorded timestamp (frames whose ts is
+  /// already in the past fire at now()). Delivery uses the wire-level
+  /// mirror hook, so byte-parsing sinks (the P4 switch) are the intended
+  /// target. Returns immediately; run the simulation to execute. The
+  /// replayer must outlive the run (frames are not copied into events).
+  void schedule(sim::Simulation& sim, net::MirrorSink& sink) const;
+
+  /// Max-speed replay: deliver every frame back to back. With
+  /// `advance_clock`, the simulation clock is advanced to each frame's
+  /// timestamp first (running any due events — e.g. control-plane
+  /// timers), so telemetry still sees real inter-arrival times; without
+  /// it, all frames land at now() (pure pipeline throughput).
+  void replay_now(sim::Simulation& sim, net::MirrorSink& sink,
+                  bool advance_clock = true) const;
+
+ private:
+  // Streaming scheduler state shared by the per-frame events.
+  struct Cursor;
+
+  std::vector<TraceFrame> frames_;
+};
+
+/// ReplayPipeline — the monitoring stack without the network: a fresh
+/// simulation, the telemetry data-plane program loaded into a P4 switch,
+/// and a control plane whose Report_v1 documents are collected as dumped
+/// JSON lines (in emission order, so two runs compare byte for byte).
+class ReplayPipeline : public cp::ReportSink {
+ public:
+  struct Config {
+    telemetry::DataPlaneProgram::Config program;
+    cp::ControlPlaneConfig control;
+    std::uint64_t seed = 1;
+  };
+
+  explicit ReplayPipeline(Config config);
+
+  ReplayPipeline(const ReplayPipeline&) = delete;
+  ReplayPipeline& operator=(const ReplayPipeline&) = delete;
+
+  sim::Simulation& simulation() { return sim_; }
+  telemetry::DataPlaneProgram& program() { return program_; }
+  p4::P4Switch& p4_switch() { return p4_switch_; }
+  cp::ControlPlane& control_plane() { return control_plane_; }
+
+  /// Report_v1 documents in emission order, one dumped JSON line each.
+  const std::vector<std::string>& report_lines() const { return reports_; }
+
+  /// Start the control-plane timers (configure sample rates first),
+  /// schedule the trace paced by its timestamps, and run the simulation
+  /// until `until` (pick a horizon past the trace's last timestamp so
+  /// idle-flow finalization fires like it did live).
+  void run(const TraceReplayer& trace, SimTime until);
+
+  void on_report(const util::Json& report) override;
+
+ private:
+  sim::Simulation sim_;
+  telemetry::DataPlaneProgram program_;
+  p4::P4Switch p4_switch_;
+  cp::ControlPlane control_plane_;
+  std::vector<std::string> reports_;
+};
+
+}  // namespace p4s::trace

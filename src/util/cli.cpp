@@ -6,7 +6,12 @@
 namespace p4s::util {
 
 CliArgs::CliArgs(int argc, const char* const* argv,
-                 const std::vector<std::string>& known) {
+                 const std::vector<std::string>& known,
+                 const std::vector<std::string>& switches) {
+  const auto contains = [](const std::vector<std::string>& list,
+                           const std::string& name) {
+    return std::find(list.begin(), list.end(), name) != list.end();
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -21,11 +26,12 @@ CliArgs::CliArgs(int argc, const char* const* argv,
       name = name.substr(0, eq);
       has_inline_value = true;
     }
-    if (std::find(known.begin(), known.end(), name) == known.end()) {
+    const bool is_switch = contains(switches, name);
+    if (!is_switch && !contains(known, name)) {
       errors_.push_back("unknown flag --" + name);
       continue;
     }
-    if (!has_inline_value && i + 1 < argc &&
+    if (!is_switch && !has_inline_value && i + 1 < argc &&
         std::string(argv[i + 1]).rfind("--", 0) != 0) {
       value = argv[++i];
     }

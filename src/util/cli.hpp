@@ -14,10 +14,13 @@ namespace p4s::util {
 
 class CliArgs {
  public:
-  /// Parse argv. `known` lists accepted flag names (without "--");
-  /// anything else lands in errors().
+  /// Parse argv. `known` lists accepted value-taking flag names (without
+  /// "--"); `switches` lists accepted bare switches, which never consume
+  /// the following token (so `--max-speed file.pcap` leaves file.pcap
+  /// positional). Anything else lands in errors().
   CliArgs(int argc, const char* const* argv,
-          const std::vector<std::string>& known);
+          const std::vector<std::string>& known,
+          const std::vector<std::string>& switches = {});
 
   bool has(const std::string& flag) const { return values_.count(flag) > 0; }
 

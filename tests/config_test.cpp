@@ -8,10 +8,12 @@ namespace p4s {
 namespace {
 
 util::CliArgs parse(std::initializer_list<const char*> argv,
-                    const std::vector<std::string>& known) {
+                    const std::vector<std::string>& known,
+                    const std::vector<std::string>& switches = {}) {
   std::vector<const char*> full = {"prog"};
   full.insert(full.end(), argv.begin(), argv.end());
-  return util::CliArgs(static_cast<int>(full.size()), full.data(), known);
+  return util::CliArgs(static_cast<int>(full.size()), full.data(), known,
+                       switches);
 }
 
 TEST(CliArgs, FlagWithSeparateValue) {
@@ -34,6 +36,19 @@ TEST(CliArgs, BareSwitch) {
   EXPECT_TRUE(args.has("verbose"));
   EXPECT_EQ(args.get("verbose").value(), "");
   EXPECT_EQ(args.uint_or("rate", 0), 7u);
+}
+
+TEST(CliArgs, DeclaredSwitchNeverConsumesThePositionalAfterIt) {
+  // `p4s-trace replay --max-speed in.pcap` regression: a declared
+  // switch must leave the following token positional.
+  const auto args =
+      parse({"replay", "--max-speed", "in.pcap", "eg.pcap"}, {"rate"},
+            {"max-speed"});
+  EXPECT_TRUE(args.has("max-speed"));
+  EXPECT_EQ(args.get("max-speed").value(), "");
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"replay", "in.pcap", "eg.pcap"}));
+  EXPECT_TRUE(args.errors().empty());
 }
 
 TEST(CliArgs, UnknownFlagIsError) {
@@ -174,6 +189,34 @@ TEST(ConfigLoader, TransportSection) {
             net::FaultInjector::FaultKind::kStall);
   EXPECT_EQ(config.transport.faults[1].duration,
             units::milliseconds(800));
+}
+
+TEST(ConfigLoader, TraceSection) {
+  const auto config = core::config_from_text(R"({
+    "trace": {
+      "capture": true,
+      "path_base": "/tmp/run1",
+      "snaplen": 256
+    }
+  })");
+  EXPECT_TRUE(config.trace.capture);
+  EXPECT_EQ(config.trace.path_base, "/tmp/run1");
+  EXPECT_EQ(config.trace.snaplen, 256u);
+  // Defaults: capture off, full snaplen.
+  const auto defaults = core::config_from_text("{}");
+  EXPECT_FALSE(defaults.trace.capture);
+  EXPECT_EQ(defaults.trace.snaplen, trace::kDefaultSnaplen);
+}
+
+TEST(ConfigLoader, TraceRejectsBadValues) {
+  EXPECT_THROW(core::config_from_text(R"({"trace": {"capture": 1}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(R"({"trace": {"path_base": 3}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(R"({"trace": {"snaplen": "big"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(R"({"trace": {"nope": true}})"),
+               std::invalid_argument);
 }
 
 TEST(ConfigLoader, TransportRejectsBadFaults) {

@@ -94,6 +94,59 @@ TEST(Archiver, AggregationRespectsQuery) {
   EXPECT_DOUBLE_EQ(archiver.aggregate("idx", "value", q).avg, 5.0);
 }
 
+TEST(Archiver, LimitAndNewestFirst) {
+  Archiver archiver;
+  for (int i = 0; i < 5; ++i) archiver.index("idx", doc("a", i, i));
+  Archiver::Query q;
+  q.limit = 2;
+  auto hits = archiver.search("idx", q);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].at("ts_ns").as_int(), 0);
+  EXPECT_EQ(hits[1].at("ts_ns").as_int(), 1);
+  // The latest-value idiom: size N sorted descending.
+  q.newest_first = true;
+  hits = archiver.search("idx", q);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].at("ts_ns").as_int(), 4);
+  EXPECT_EQ(hits[1].at("ts_ns").as_int(), 3);
+}
+
+TEST(Archiver, LimitCountsMatchesNotVisits) {
+  Archiver archiver;
+  archiver.index("idx", doc("x", 0, 0.0));
+  archiver.index("idx", doc("y", 1, 1.0));
+  archiver.index("idx", doc("x", 2, 2.0));
+  archiver.index("idx", doc("x", 3, 3.0));
+  Archiver::Query q;
+  q.terms["report"] = util::Json("x");
+  q.limit = 2;
+  q.newest_first = true;
+  const auto hits = archiver.search("idx", q);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].at("ts_ns").as_int(), 3);
+  EXPECT_EQ(hits[1].at("ts_ns").as_int(), 2);
+}
+
+TEST(Archiver, ForEachStopsWhenVisitorReturnsFalse) {
+  Archiver archiver;
+  for (int i = 0; i < 100; ++i) archiver.index("idx", doc("a", i, i));
+  int visited = 0;
+  archiver.for_each("idx", {},
+                    [&](const util::Json&) { return ++visited < 3; });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(Archiver, AggregateOverLatestValueOnly) {
+  Archiver archiver;
+  for (double v : {1.0, 2.0, 9.0}) archiver.index("idx", doc("a", 0, v));
+  Archiver::Query q;
+  q.limit = 1;
+  q.newest_first = true;
+  const auto agg = archiver.aggregate("idx", "value", q);
+  EXPECT_EQ(agg.count, 1u);
+  EXPECT_DOUBLE_EQ(agg.avg, 9.0);
+}
+
 TEST(Archiver, FieldAtResolvesPaths) {
   util::Json nested = util::Json::object();
   nested["a"] = util::JsonObject{{"b", util::Json(7)}};

@@ -257,6 +257,29 @@ TEST(MadDash, EmptyArchiverRendersNoData) {
   EXPECT_EQ(grid.cell("a", "b"), nullptr);
 }
 
+TEST(MadDash, LatestDocWinsPerPair) {
+  // The grid shows each pair's newest archived result; older documents
+  // only bump the sample count.
+  auto latency_doc = [](int sent, int received) {
+    util::Json j = util::Json::object();
+    j["source"] = util::Json("a");
+    j["destination"] = util::Json("b");
+    j["sent"] = util::Json(sent);
+    j["received"] = util::Json(received);
+    return j;
+  };
+  Archiver archiver;
+  archiver.index("pscheduler-latency", latency_doc(10, 5));   // 50% loss
+  archiver.index("pscheduler-latency", latency_doc(10, 10));  // newest: 0%
+  MadDash maddash(archiver);
+  const auto grid = maddash.loss_grid(1.0, 5.0);
+  const auto* cell = grid.cell("a", "b");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_DOUBLE_EQ(cell->value, 0.0);
+  EXPECT_EQ(cell->status, MadDash::Status::kOk);
+  EXPECT_EQ(cell->samples, 2u);
+}
+
 TEST(MadDash, StatusNames) {
   EXPECT_STREQ(MadDash::status_name(MadDash::Status::kOk), "OK");
   EXPECT_STREQ(MadDash::status_name(MadDash::Status::kWarn), "WARN");

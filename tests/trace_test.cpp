@@ -1,0 +1,548 @@
+// Trace subsystem: pcap format round trips, capture tee, replay merge /
+// stats / pacing, foreign-frame tolerance, and the p4s-trace CLI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/wire.hpp"
+#include "p4/p4_switch.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/dataplane_program.hpp"
+#include "trace/pcap.hpp"
+#include "trace/trace_capture.hpp"
+#include "trace/trace_cli.hpp"
+#include "trace/trace_replayer.hpp"
+
+using namespace p4s;
+
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+std::vector<std::uint8_t> serialized(const net::Packet& pkt) {
+  std::vector<std::uint8_t> buf(net::kMaxHeaderBytes);
+  buf.resize(net::serialize_headers(pkt, buf));
+  return buf;
+}
+
+// ------------------------------------------------------------- pcap layout
+
+TEST(Pcap, GlobalAndRecordHeaderLayout) {
+  std::ostringstream out;
+  trace::PcapWriter writer(out, /*snaplen=*/4096);
+  const auto frame = bytes_of("abcd");
+  writer.write(/*ts=*/3'000'000'007ULL, frame, /*orig_len=*/60);
+  const std::string data = out.str();
+  ASSERT_EQ(data.size(), trace::kPcapGlobalHeaderBytes +
+                             trace::kPcapRecordHeaderBytes + 4);
+  const auto* b = reinterpret_cast<const std::uint8_t*>(data.data());
+  // Global header, little-endian: nanosecond magic, version 2.4,
+  // thiszone 0, sigfigs 0, snaplen, linktype Ethernet.
+  const std::uint8_t expected_global[24] = {
+      0x4d, 0x3c, 0xb2, 0xa1, 0x02, 0x00, 0x04, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10, 0x00, 0x00, 0x01, 0x00,
+      0x00, 0x00};
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(b[i], expected_global[i]) << "global header byte " << i;
+  }
+  // Record header: ts_sec=3, ts_nsec=7, incl_len=4, orig_len=60.
+  const std::uint8_t expected_record[16] = {
+      0x03, 0x00, 0x00, 0x00, 0x07, 0x00, 0x00, 0x00, 0x04, 0x00, 0x00,
+      0x00, 0x3c, 0x00, 0x00, 0x00};
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(b[24 + i], expected_record[i]) << "record header byte " << i;
+  }
+  EXPECT_EQ(data.substr(40), "abcd");
+}
+
+TEST(Pcap, RoundTripWithSnaplenTruncation) {
+  std::stringstream io;
+  trace::PcapWriter writer(io, /*snaplen=*/8);
+  writer.write(1, bytes_of("short"));
+  writer.write(2'500'000'123ULL, bytes_of("longer than snaplen"));
+  writer.write(3, bytes_of("padded"), /*orig_len=*/1500);
+
+  trace::PcapReader reader(io);
+  EXPECT_TRUE(reader.info().nanosecond);
+  EXPECT_FALSE(reader.info().swapped);
+  EXPECT_EQ(reader.info().version_major, trace::kPcapVersionMajor);
+  EXPECT_EQ(reader.info().version_minor, trace::kPcapVersionMinor);
+  EXPECT_EQ(reader.info().snaplen, 8u);
+  EXPECT_EQ(reader.info().linktype, trace::kLinktypeEthernet);
+
+  auto r1 = reader.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->ts, 1u);
+  EXPECT_EQ(r1->orig_len, 5u);
+  EXPECT_EQ(r1->bytes, bytes_of("short"));
+
+  auto r2 = reader.next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->ts, 2'500'000'123ULL);
+  EXPECT_EQ(r2->orig_len, 19u);  // full wire length preserved
+  EXPECT_EQ(r2->bytes, bytes_of("longer t"));  // truncated to snaplen
+
+  auto r3 = reader.next();
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->orig_len, 1500u);
+  EXPECT_EQ(r3->bytes, bytes_of("padded"));
+
+  EXPECT_FALSE(reader.next().has_value());  // clean EOF
+  EXPECT_EQ(reader.records_read(), 3u);
+}
+
+namespace layout {
+// Hand-built foreign files: microsecond resolution and big-endian byte
+// order, which our writer never produces but the reader must accept.
+std::string micro_le_file() {
+  std::string d;
+  auto le32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) d.push_back(char((v >> (8 * i)) & 0xFF));
+  };
+  auto le16 = [&](std::uint16_t v) {
+    d.push_back(char(v & 0xFF));
+    d.push_back(char(v >> 8));
+  };
+  le32(trace::kPcapMagicMicro);
+  le16(2); le16(4); le32(0); le32(0); le32(65535); le32(1);
+  le32(5); le32(250);  // ts = 5 s + 250 us
+  le32(3); le32(3);
+  d += "xyz";
+  return d;
+}
+
+std::string nano_be_file() {
+  std::string d;
+  auto be32 = [&](std::uint32_t v) {
+    for (int i = 3; i >= 0; --i) d.push_back(char((v >> (8 * i)) & 0xFF));
+  };
+  auto be16 = [&](std::uint16_t v) {
+    d.push_back(char(v >> 8));
+    d.push_back(char(v & 0xFF));
+  };
+  be32(trace::kPcapMagicNano);
+  be16(2); be16(4); be32(0); be32(0); be32(262144); be32(1);
+  be32(1); be32(42);  // ts = 1 s + 42 ns
+  be32(2); be32(2);
+  d += "hi";
+  return d;
+}
+}  // namespace layout
+
+TEST(Pcap, ReadsMicrosecondFiles) {
+  std::istringstream in(layout::micro_le_file());
+  trace::PcapReader reader(in);
+  EXPECT_FALSE(reader.info().nanosecond);
+  EXPECT_FALSE(reader.info().swapped);
+  auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->ts, 5'000'250'000ULL);  // scaled to nanoseconds
+  EXPECT_EQ(rec->bytes, bytes_of("xyz"));
+}
+
+TEST(Pcap, ReadsSwappedByteOrder) {
+  std::istringstream in(layout::nano_be_file());
+  trace::PcapReader reader(in);
+  EXPECT_TRUE(reader.info().nanosecond);
+  EXPECT_TRUE(reader.info().swapped);
+  EXPECT_EQ(reader.info().snaplen, 262144u);
+  EXPECT_EQ(reader.info().linktype, 1u);
+  auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->ts, 1'000'000'042ULL);
+  EXPECT_EQ(rec->orig_len, 2u);
+  EXPECT_EQ(rec->bytes, bytes_of("hi"));
+}
+
+TEST(Pcap, MalformedFilesThrowCleanly) {
+  {  // not a pcap at all
+    std::istringstream in("this is definitely not a capture file....");
+    EXPECT_THROW(trace::PcapReader r(in), trace::PcapError);
+  }
+  {  // shorter than the global header
+    std::istringstream in("\x4d\x3c\xb2\xa1 tiny");
+    EXPECT_THROW(trace::PcapReader r(in), trace::PcapError);
+  }
+  {  // truncated record header
+    std::string d = layout::nano_be_file();
+    d.resize(trace::kPcapGlobalHeaderBytes + 7);
+    std::istringstream in(d);
+    trace::PcapReader reader(in);
+    EXPECT_THROW(reader.next(), trace::PcapError);
+  }
+  {  // truncated mid-frame
+    std::string d = layout::nano_be_file();
+    d.resize(d.size() - 1);
+    std::istringstream in(d);
+    trace::PcapReader reader(in);
+    EXPECT_THROW(reader.next(), trace::PcapError);
+  }
+  {  // incl_len beyond snaplen (corrupt length field)
+    std::ostringstream out;
+    trace::PcapWriter writer(out, 65535);
+    writer.write(1, bytes_of("ok"));
+    std::string d = out.str();
+    d[trace::kPcapGlobalHeaderBytes + 8] = '\xff';  // incl_len low byte
+    d[trace::kPcapGlobalHeaderBytes + 11] = '\x7f';  // incl_len high byte
+    std::istringstream in(d);
+    trace::PcapReader reader(in);
+    EXPECT_THROW(reader.next(), trace::PcapError);
+  }
+  {  // nonexistent file
+    EXPECT_THROW(trace::PcapReader r(temp_path("no-such-file.pcap")),
+                 trace::PcapError);
+  }
+}
+
+// ------------------------------------------------------------- capture tee
+
+struct RecordingSink : net::MirrorSink {
+  std::vector<std::pair<net::MirrorPoint, std::size_t>> calls;
+  void on_mirrored(const net::Packet&, net::MirrorPoint point) override {
+    calls.emplace_back(point, 0);
+  }
+  void on_mirrored_wire(const net::Packet&,
+                        std::span<const std::uint8_t> bytes,
+                        net::MirrorPoint point) override {
+    calls.emplace_back(point, bytes.size());
+  }
+};
+
+TEST(TraceCapture, TeesToPerPortFilesAndForwards) {
+  sim::Simulation sim;
+  RecordingSink next;
+  std::stringstream ingress_io, egress_io;
+  trace::TraceCapture capture(sim, next, ingress_io, egress_io);
+
+  const net::Packet data = net::make_tcp_packet(
+      net::ipv4(10, 0, 0, 10), net::ipv4(10, 1, 0, 10), 5001, 5201, 1, 0,
+      net::tcpflags::kAck, 1000, 65535);
+  const auto wire = serialized(data);
+
+  sim.at(100, [&]() {
+    capture.on_mirrored_wire(data, wire, net::MirrorPoint::kIngress);
+  });
+  sim.at(250, [&]() {
+    capture.on_mirrored_wire(data, wire, net::MirrorPoint::kEgress);
+  });
+  sim.at(300, [&]() {
+    capture.on_mirrored(data, net::MirrorPoint::kIngress);
+  });
+  sim.run();
+  capture.flush();
+
+  ASSERT_EQ(next.calls.size(), 3u);  // everything forwarded
+  EXPECT_EQ(capture.captured(net::MirrorPoint::kIngress), 2u);
+  EXPECT_EQ(capture.captured(net::MirrorPoint::kEgress), 1u);
+  EXPECT_EQ(capture.captured_total(), 3u);
+
+  trace::PcapReader ingress(ingress_io);
+  auto r1 = ingress.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->ts, 100u);  // recorded at simulation delivery time
+  EXPECT_EQ(r1->bytes, wire);
+  // On the wire the frame was Ethernet + ip.total_len; we captured only
+  // the serialized headers.
+  EXPECT_EQ(r1->orig_len, net::kEthernetHeaderBytes + data.ip.total_len);
+  EXPECT_GT(r1->orig_len, r1->bytes.size());
+  auto r2 = ingress.next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->ts, 300u);
+  EXPECT_EQ(r2->bytes, wire);  // packet-level entry serializes identically
+
+  trace::PcapReader egress(egress_io);
+  auto e1 = egress.next();
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->ts, 250u);
+  EXPECT_FALSE(egress.next().has_value());
+}
+
+TEST(TraceCapture, PortPathNaming) {
+  EXPECT_EQ(trace::TraceCapture::port_path("run1",
+                                           net::MirrorPoint::kIngress),
+            "run1.ingress.pcap");
+  EXPECT_EQ(trace::TraceCapture::port_path("run1",
+                                           net::MirrorPoint::kEgress),
+            "run1.egress.pcap");
+}
+
+// ---------------------------------------------------------------- replayer
+
+// Writes a two-port capture: ingress frames at 100/200/300 ns, egress at
+// 150/200 ns — the 200 ns tie must replay ingress first.
+struct TwoPortFixture {
+  std::string ingress_path = temp_path("replay_test.ingress.pcap");
+  std::string egress_path = temp_path("replay_test.egress.pcap");
+  std::vector<std::uint8_t> wire;
+
+  TwoPortFixture() {
+    const net::Packet pkt = net::make_tcp_packet(
+        net::ipv4(10, 0, 0, 10), net::ipv4(10, 1, 0, 10), 5001, 5201, 1, 0,
+        net::tcpflags::kAck, 1000, 65535);
+    wire = serialized(pkt);
+    trace::PcapWriter ingress(ingress_path);
+    ingress.write(100, wire);
+    ingress.write(200, wire);
+    ingress.write(300, wire);
+    trace::PcapWriter egress(egress_path);
+    egress.write(150, wire);
+    egress.write(200, wire);
+  }
+};
+
+TEST(TraceReplayer, MergesPortsTimestampOrderedIngressFirstOnTies) {
+  TwoPortFixture fx;
+  auto trace = trace::TraceReplayer::from_files(fx.ingress_path,
+                                                fx.egress_path);
+  ASSERT_EQ(trace.frames().size(), 5u);
+  const std::vector<std::pair<SimTime, net::MirrorPoint>> expected = {
+      {100, net::MirrorPoint::kIngress}, {150, net::MirrorPoint::kEgress},
+      {200, net::MirrorPoint::kIngress}, {200, net::MirrorPoint::kEgress},
+      {300, net::MirrorPoint::kIngress}};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(trace.frames()[i].ts, expected[i].first) << i;
+    EXPECT_EQ(trace.frames()[i].point, expected[i].second) << i;
+  }
+}
+
+TEST(TraceReplayer, PacedReplayDeliversAtRecordedTimestamps) {
+  TwoPortFixture fx;
+  auto trace = trace::TraceReplayer::from_files(fx.ingress_path,
+                                                fx.egress_path);
+  sim::Simulation sim;
+  struct TimedSink : net::MirrorSink {
+    sim::Simulation& sim;
+    std::vector<std::pair<SimTime, net::MirrorPoint>> seen;
+    explicit TimedSink(sim::Simulation& s) : sim(s) {}
+    void on_mirrored(const net::Packet&, net::MirrorPoint) override {}
+    void on_mirrored_wire(const net::Packet&, std::span<const std::uint8_t>,
+                          net::MirrorPoint point) override {
+      seen.emplace_back(sim.now(), point);
+    }
+  } sink(sim);
+  trace.schedule(sim, sink);
+  sim.run();
+  ASSERT_EQ(sink.seen.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sink.seen[i].first, trace.frames()[i].ts) << i;
+    EXPECT_EQ(sink.seen[i].second, trace.frames()[i].point) << i;
+  }
+}
+
+TEST(TraceReplayer, MaxSpeedReplayPreservesOrder) {
+  TwoPortFixture fx;
+  auto trace = trace::TraceReplayer::from_files(fx.ingress_path,
+                                                fx.egress_path);
+  sim::Simulation sim;
+  RecordingSink sink;
+  trace.replay_now(sim, sink, /*advance_clock=*/false);
+  ASSERT_EQ(sink.calls.size(), 5u);
+  EXPECT_EQ(sim.now(), 0u);  // clock untouched
+  trace.replay_now(sim, sink, /*advance_clock=*/true);
+  EXPECT_EQ(sim.now(), 300u);  // advanced to the last frame's timestamp
+}
+
+TEST(TraceReplayer, AnalyzeCategorizesForeignFrames) {
+  std::vector<trace::TraceFrame> frames;
+  auto add = [&](SimTime ts, std::vector<std::uint8_t> bytes,
+                 std::uint32_t orig_len = 0) {
+    trace::TraceFrame f;
+    f.ts = ts;
+    f.point = net::MirrorPoint::kIngress;
+    f.bytes = std::move(bytes);
+    f.orig_len = orig_len != 0 ? orig_len
+                               : static_cast<std::uint32_t>(f.bytes.size());
+    frames.push_back(std::move(f));
+  };
+
+  // Plain TCP ACK, header-only.
+  const net::Packet tcp_pkt = net::make_tcp_packet(
+      net::ipv4(1, 2, 3, 4), net::ipv4(5, 6, 7, 8), 1, 2, 0, 0,
+      net::tcpflags::kAck, 0, 1000);
+  add(10, serialized(tcp_pkt));
+  // TCP data packet (payload bytes beyond the headers on the wire).
+  const net::Packet data_pkt = net::make_tcp_packet(
+      net::ipv4(1, 2, 3, 4), net::ipv4(5, 6, 7, 8), 1, 2, 0, 0,
+      net::tcpflags::kAck, 1200, 1000);
+  add(20, serialized(data_pkt));
+  // UDP with payload.
+  add(30, serialized(net::make_udp_packet(net::ipv4(1, 2, 3, 4),
+                                          net::ipv4(5, 6, 7, 8), 1, 2, 64)));
+  // IPv4 with options (IHL 6).
+  net::Packet opt_pkt = tcp_pkt;
+  opt_pkt.ip.ihl = 6;
+  opt_pkt.ip.total_len += 4;
+  add(40, serialized(opt_pkt));
+  // ARP frame (unknown EtherType).
+  std::vector<std::uint8_t> arp(42, 0);
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  add(50, arp);
+  // Truncated runt (shorter than an Ethernet header).
+  add(60, std::vector<std::uint8_t>{0xde, 0xad});
+
+  auto trace = trace::TraceReplayer::from_frames(std::move(frames));
+  const auto s = trace.analyze();
+  EXPECT_EQ(s.frames, 6u);
+  EXPECT_EQ(s.ingress_frames, 6u);
+  EXPECT_EQ(s.ipv4, 4u);
+  EXPECT_EQ(s.tcp, 3u);
+  EXPECT_EQ(s.udp, 1u);
+  EXPECT_EQ(s.non_ipv4, 1u);
+  EXPECT_EQ(s.ipv4_options, 1u);
+  EXPECT_EQ(s.with_payload, 2u);
+  EXPECT_EQ(s.undecodable, 1u);
+  EXPECT_EQ(s.first_ts, 10u);
+  EXPECT_EQ(s.last_ts, 60u);
+  EXPECT_EQ(s.ethertypes.at(0x0800), 4u);
+  EXPECT_EQ(s.ethertypes.at(0x0806), 1u);
+}
+
+TEST(TraceReplayer, ForeignFramesFlowThroughP4SwitchWithoutCrashing) {
+  // The same foreign mix, pushed through the real parser + program.
+  std::vector<trace::TraceFrame> frames;
+  auto add = [&](SimTime ts, std::vector<std::uint8_t> bytes) {
+    trace::TraceFrame f;
+    f.ts = ts;
+    f.bytes = std::move(bytes);
+    f.orig_len = static_cast<std::uint32_t>(f.bytes.size());
+    frames.push_back(std::move(f));
+  };
+  const net::Packet tcp_pkt = net::make_tcp_packet(
+      net::ipv4(1, 2, 3, 4), net::ipv4(5, 6, 7, 8), 1, 2, 100, 0,
+      net::tcpflags::kAck, 1200, 1000);
+  add(10, serialized(tcp_pkt));
+  net::Packet opt_pkt = tcp_pkt;
+  opt_pkt.ip.ihl = 7;
+  opt_pkt.ip.total_len += 8;
+  add(20, serialized(opt_pkt));
+  std::vector<std::uint8_t> arp(42, 0);
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  add(30, arp);
+  add(40, {0x01, 0x02, 0x03});
+  // A frame with trailing payload bytes actually present (real captures
+  // include them; our parser must skip past the headers).
+  auto padded = serialized(tcp_pkt);
+  padded.resize(padded.size() + 32, 0xAB);
+  add(50, padded);
+
+  sim::Simulation sim;
+  telemetry::DataPlaneProgram program;
+  p4::P4Switch sw(sim, "test");
+  sw.load_program(program);
+  auto trace = trace::TraceReplayer::from_frames(std::move(frames));
+  trace.schedule(sim, sw);
+  sim.run();
+  // TCP frames (plain, options, padded) parse fully; the ARP frame
+  // accepts with only Ethernet extracted; the runt is rejected.
+  EXPECT_EQ(sw.processed_pkts(), 4u);
+  EXPECT_EQ(sw.parse_errors(), 1u);
+}
+
+// --------------------------------------------------------------------- CLI
+
+int run_cli(std::vector<std::string> argv_strings, std::string* out_text,
+            std::string* err_text) {
+  std::vector<const char*> argv;
+  argv.push_back("p4s-trace");
+  for (const auto& s : argv_strings) argv.push_back(s.c_str());
+  std::ostringstream out, err;
+  const int rc = trace::trace_cli(static_cast<int>(argv.size()),
+                                  argv.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return rc;
+}
+
+TEST(TraceCli, InfoPrintsHeaderAndRecordSummary) {
+  TwoPortFixture fx;
+  std::string out, err;
+  ASSERT_EQ(run_cli({"info", fx.ingress_path}, &out, &err), 0) << err;
+  EXPECT_NE(out.find("pcap 2.4"), std::string::npos) << out;
+  EXPECT_NE(out.find("nanosecond"), std::string::npos);
+  EXPECT_NE(out.find("linktype: 1 (Ethernet)"), std::string::npos);
+  EXPECT_NE(out.find("records: 3"), std::string::npos);
+}
+
+TEST(TraceCli, StatsAnalyzesMergedTrace) {
+  TwoPortFixture fx;
+  std::string out, err;
+  ASSERT_EQ(run_cli({"stats", fx.ingress_path, fx.egress_path}, &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("frames: 5 (ingress 3, egress 2)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("0x0800: 5"), std::string::npos);
+}
+
+TEST(TraceCli, ReplayRunsThePipeline) {
+  TwoPortFixture fx;
+  std::string out, err;
+  ASSERT_EQ(run_cli({"replay", fx.ingress_path, fx.egress_path,
+                     "--runout-seconds", "1"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("replayed 5 frames (paced)"), std::string::npos) << out;
+  EXPECT_NE(out.find("processed: 5, parse errors: 0"), std::string::npos);
+  std::string out2;
+  ASSERT_EQ(run_cli({"replay", fx.ingress_path, "--max-speed",
+                     "--runout-seconds", "1"},
+                    &out2, &err),
+            0)
+      << err;
+  EXPECT_NE(out2.find("(max-speed)"), std::string::npos) << out2;
+  // Switches before the file arguments must not swallow them.
+  std::string out3;
+  ASSERT_EQ(run_cli({"replay", "--max-speed", fx.ingress_path,
+                     fx.egress_path},
+                    &out3, &err),
+            0)
+      << err;
+  EXPECT_NE(out3.find("replayed 5 frames (max-speed)"), std::string::npos)
+      << out3;
+}
+
+TEST(TraceCli, MalformedInputsFailCleanly) {
+  const std::string bad = temp_path("not_a_capture.pcap");
+  write_file(bad, "garbage bytes, not a pcap file at all......");
+  std::string out, err;
+  EXPECT_EQ(run_cli({"info", bad}, &out, &err), 2);
+  EXPECT_NE(err.find("unrecognized magic"), std::string::npos) << err;
+
+  // Truncated mid-record: valid header, then a cut-off record.
+  std::ostringstream cap;
+  {
+    trace::PcapWriter writer(cap);
+    writer.write(1, std::vector<std::uint8_t>(40, 0));
+  }
+  const std::string trunc = temp_path("truncated.pcap");
+  write_file(trunc, cap.str().substr(0, cap.str().size() - 10));
+  EXPECT_EQ(run_cli({"stats", trunc}, &out, &err), 2);
+  EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+
+  EXPECT_EQ(run_cli({"info", temp_path("missing.pcap")}, &out, &err), 2);
+  EXPECT_EQ(run_cli({"frobnicate"}, &out, &err), 2);
+  EXPECT_EQ(run_cli({}, &out, &err), 2);
+  EXPECT_EQ(run_cli({"replay"}, &out, &err), 2);
+  EXPECT_EQ(run_cli({"info", "--bogus-flag", "x.pcap"}, &out, &err), 2);
+}
+
+}  // namespace

@@ -1,0 +1,9 @@
+// p4s-trace: inspect and replay the capture subsystem's pcap traces.
+// All logic lives in trace::trace_cli so tests can drive it in-process.
+#include <iostream>
+
+#include "trace/trace_cli.hpp"
+
+int main(int argc, char** argv) {
+  return p4s::trace::trace_cli(argc, argv, std::cout, std::cerr);
+}
