@@ -1,0 +1,112 @@
+// fabric_scaling — aggregate monitoring throughput as the fabric grows.
+//
+// Runs the same fixed TCP workload with N = 1, 2, 4 monitored switches
+// sharing one simulation and measures aggregate processed mirror copies
+// per wall second (sum over switches). The workload is a multi-site mix:
+// DTN transfers through the core bottleneck (seen by every site) plus
+// inter-site transfers between external DTNs, which the WAN switch
+// routes directly — a single core-bottleneck monitor never sees them.
+// The shared TCP/topology simulation cost is paid once regardless of N
+// and each added site observes traffic the core site misses, so
+// aggregate throughput should grow >= 2x from N=1 to N=4 — the
+// refactor's scaling claim.
+//
+// Writes BENCH_fabric_scaling.json; absolute numbers are archived, not
+// asserted (machine-dependent).
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/monitoring_system.hpp"
+
+using namespace p4s;
+using core::MonitoredSwitchConfig;
+using core::TapPoint;
+
+namespace {
+
+struct RunStats {
+  double wall_s = 0.0;
+  std::uint64_t processed = 0;  // mirror copies across all P4 switches
+  double aggregate_per_sec = 0.0;
+};
+
+RunStats run_fabric(std::size_t n_switches) {
+  static constexpr TapPoint kTaps[] = {
+      TapPoint::kCoreBottleneck, TapPoint::kWanExt0, TapPoint::kWanExt1,
+      TapPoint::kWanExt2};
+  core::MonitoringSystemConfig config;
+  config.topology.bottleneck_bps = units::mbps(200);
+  config.topology.access_bps = units::mbps(200);
+  config.seed = 1;
+  for (std::size_t i = 0; i < n_switches; ++i) {
+    MonitoredSwitchConfig sw;
+    sw.id = "site-" + std::to_string(i);
+    sw.tap = kTaps[i % 4];
+    config.switches.push_back(sw);
+  }
+
+  bench::WallTimer timer;
+  core::MonitoringSystem system(config);
+  system.psonar().psconfig().execute(
+      "psconfig config-P4 --samples_per_second 4");
+  system.start();
+  // Core-bottleneck transfers: internal DTN -> each external site.
+  for (int ext = 0; ext < 3; ++ext) {
+    auto& flow = system.add_transfer(ext);
+    flow.start_at(units::seconds(1) + units::milliseconds(200 * ext));
+    flow.stop_at(units::seconds(7));
+  }
+  // Inter-site transfers: routed ext <-> ext by the WAN switch, never
+  // crossing the core bottleneck.
+  auto& topology = system.topology();
+  const std::pair<int, int> site_pairs[] = {{0, 1}, {1, 2}, {2, 0}};
+  for (const auto& [src, dst] : site_pairs) {
+    auto& flow =
+        system.add_flow(*topology.dtn_ext[static_cast<std::size_t>(src)],
+                        *topology.dtn_ext[static_cast<std::size_t>(dst)]);
+    flow.start_at(units::seconds(1) + units::milliseconds(100 * src));
+    flow.stop_at(units::seconds(7));
+  }
+  system.run_until(units::seconds(8));
+
+  RunStats stats;
+  stats.wall_s = timer.elapsed_s();
+  for (const auto& sw : system.monitored_switches()) {
+    stats.processed += sw->p4_switch().processed_pkts();
+  }
+  stats.aggregate_per_sec = stats.processed / stats.wall_s;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::WallTimer wall;
+  const std::size_t sizes[] = {1, 2, 4};
+  std::vector<RunStats> runs;
+  for (const std::size_t n : sizes) {
+    runs.push_back(run_fabric(n));
+    std::printf("fabric N=%zu: %llu mirror copies in %.3f s "
+                "(%.3gM aggregate copies/s)\n",
+                n, static_cast<unsigned long long>(runs.back().processed),
+                runs.back().wall_s, runs.back().aggregate_per_sec / 1e6);
+  }
+
+  const double speedup =
+      runs[2].aggregate_per_sec / runs[0].aggregate_per_sec;
+  std::printf("aggregate scaling 1 -> 4 switches: %.2fx\n", speedup);
+
+  bench::BenchReport report("fabric_scaling");
+  report.wall_time_s(wall.elapsed_s());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const std::string prefix = "n" + std::to_string(sizes[i]);
+    report.metric(prefix + "_processed_copies", runs[i].processed);
+    report.metric(prefix + "_wall_s", runs[i].wall_s);
+    report.metric(prefix + "_aggregate_copies_per_sec",
+                  runs[i].aggregate_per_sec);
+  }
+  report.metric("speedup_4v1", speedup);
+  report.meta("seed", util::Json(1));
+  return report.write() ? 0 : 1;
+}

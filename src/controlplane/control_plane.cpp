@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/logging.hpp"
 
@@ -10,156 +11,44 @@ namespace p4s::cp {
 ControlPlane::ControlPlane(sim::Simulation& sim,
                            telemetry::DataPlaneProgram& program,
                            ControlPlaneConfig config)
-    : sim_(sim), program_(program), config_(config) {}
-
-void ControlPlane::start() {
-  if (started_) return;
-  started_ = true;
-  for (std::size_t i = 0; i < kMetricCount; ++i) {
-    schedule_metric(static_cast<MetricKind>(i));
-  }
-  sim_.every(sim_.now() + config_.digest_poll_interval,
-             config_.digest_poll_interval, [this]() {
-               poll_digests();
-               scan_idle_flows();
-               return true;
-             });
+    : sim_(sim), program_(program), config_(std::move(config)) {
+  register_builtins();
 }
 
-void ControlPlane::set_samples_per_second(MetricKind kind, double sps) {
-  if (sps <= 0.0) return;
-  metric_config(kind).interval = units::seconds_f(1.0 / sps);
-}
-
-void ControlPlane::set_alert(MetricKind kind, double threshold,
-                             std::optional<double> boosted_sps) {
-  MetricConfig& mc = metric_config(kind);
-  mc.alert_enabled = true;
-  mc.alert_threshold = threshold;
-  if (boosted_sps.has_value() && *boosted_sps > 0.0) {
-    mc.boosted_interval = units::seconds_f(1.0 / *boosted_sps);
-  }
-}
-
-void ControlPlane::clear_alert(MetricKind kind) {
-  metric_config(kind).alert_enabled = false;
-  runtime_[static_cast<std::size_t>(kind)].boosted = false;
-}
-
-SimTime ControlPlane::current_interval(MetricKind kind) const {
-  const auto& mc = config_.metrics[static_cast<std::size_t>(kind)];
-  const auto& rt = runtime_[static_cast<std::size_t>(kind)];
-  const SimTime interval = rt.boosted ? mc.boosted_interval : mc.interval;
-  return std::max<SimTime>(interval, units::microseconds(100));
-}
-
-void ControlPlane::schedule_metric(MetricKind kind) {
-  sim_.after(current_interval(kind), [this, kind]() {
-    extract_metric(kind);
-    schedule_metric(kind);  // re-arm with the (possibly boosted) interval
-  });
-}
-
-double ControlPlane::occupancy_pct(SimTime queue_delay) const {
-  if (config_.core_buffer_bytes == 0 || config_.bottleneck_bps == 0) {
-    return 0.0;
-  }
-  const double drain_ns = static_cast<double>(config_.core_buffer_bytes) *
-                          8.0 * 1e9 /
-                          static_cast<double>(config_.bottleneck_bps);
-  return 100.0 * static_cast<double>(queue_delay) / drain_ns;
-}
-
-void ControlPlane::extract_metric(MetricKind kind) {
-  const SimTime now = sim_.now();
-  double worst = 0.0;  // per-tick max, drives the boost hysteresis
-
-  for (auto& [slot, state] : flows_) {
-    switch (kind) {
-      case MetricKind::kThroughput: {
-        const std::uint64_t bytes = program_.bytes(slot);
-        state.total_bytes = bytes;
-        state.total_packets = program_.packets(slot);
-        const SimTime prev_at = state.prev_bytes_at
-                                    ? state.prev_bytes_at
-                                    : state.detected_at;
-        const double dt = units::to_seconds(now - prev_at);
-        if (dt > 0.0) {
-          state.throughput_bps =
-              static_cast<double>(bytes - state.prev_bytes) * 8.0 / dt;
-        }
-        state.prev_bytes = bytes;
-        state.prev_bytes_at = now;
-        emit(make_metric_report(kind, state.flow, now,
-                                state.throughput_bps, "throughput_bps"));
-        check_alert(kind, state.flow, state.throughput_bps);
-        worst = std::max(worst, state.throughput_bps);
-        break;
-      }
-      case MetricKind::kPacketLoss: {
-        const std::uint64_t losses = program_.rtt_loss().losses(slot);
-        const std::uint64_t packets = program_.packets(slot);
-        state.total_losses = losses;
-        const std::uint64_t dl = losses - state.prev_losses;
-        const std::uint64_t dp = packets - state.prev_packets;
-        state.loss_delta = dl;
-        state.loss_pct =
-            dp > 0 ? 100.0 * static_cast<double>(dl) /
-                         static_cast<double>(dp)
-                   : 0.0;
-        state.prev_losses = losses;
-        state.prev_packets = packets;
-        emit(make_metric_report(kind, state.flow, now, state.loss_pct,
-                                "loss_pct"));
-        check_alert(kind, state.flow, state.loss_pct);
-        worst = std::max(worst, state.loss_pct);
-        break;
-      }
-      case MetricKind::kRtt: {
-        state.rtt_ns = program_.rtt_loss().last_rtt(slot);
-        const double rtt_ms = units::to_milliseconds(state.rtt_ns);
-        if (state.rtt_ns > 0 &&
-            state.rtt_samples_ms.size() < kMaxLifetimeSamples) {
-          state.rtt_samples_ms.push_back(rtt_ms);
-        }
-        emit(make_metric_report(kind, state.flow, now, rtt_ms, "rtt_ms"));
-        check_alert(kind, state.flow, rtt_ms);
-        worst = std::max(worst, rtt_ms);
-        break;
-      }
-      case MetricKind::kQueueOccupancy: {
-        state.queue_delay_ns = program_.queue_monitor().last_queue_delay(slot);
-        state.queue_occupancy_pct = occupancy_pct(state.queue_delay_ns);
-        if (state.occupancy_samples_pct.size() < kMaxLifetimeSamples) {
-          state.occupancy_samples_pct.push_back(state.queue_occupancy_pct);
-        }
-        emit(make_metric_report(kind, state.flow, now,
-                                state.queue_occupancy_pct,
-                                "occupancy_pct"));
-        check_alert(kind, state.flow, state.queue_occupancy_pct);
-        worst = std::max(worst, state.queue_occupancy_pct);
-        break;
-      }
+// The four paper metrics (§3.2) expressed as extractor-table rows. Each
+// reader reproduces the original t_N/t_P/t_R/t_Q body exactly; the
+// generic extract() loop supplies the shared report/alert/boost logic
+// those four timers used to duplicate.
+void ControlPlane::register_builtins() {
+  MetricExtractor throughput;
+  throughput.name = metric_name(MetricKind::kThroughput);
+  throughput.value_key = "throughput_bps";
+  throughput.read = [this](std::uint16_t slot, FlowState& state,
+                           SimTime now) {
+    const std::uint64_t bytes = program_.bytes(slot);
+    state.total_bytes = bytes;
+    state.total_packets = program_.packets(slot);
+    const SimTime prev_at =
+        state.prev_bytes_at ? state.prev_bytes_at : state.detected_at;
+    const double dt = units::to_seconds(now - prev_at);
+    if (dt > 0.0) {
+      state.throughput_bps =
+          static_cast<double>(bytes - state.prev_bytes) * 8.0 / dt;
     }
-    // Limitation verdict piggybacks on the throughput extraction.
-    if (kind == MetricKind::kThroughput) {
-      state.verdict = program_.limit_classifier().verdict(slot);
-      state.flight_bytes = program_.limit_classifier().flight_bytes(slot);
-      emit(make_limitation_report(state.flow, now, state.verdict,
-                                  state.flight_bytes));
-    }
-  }
-
-  // Boost hysteresis: drop back to the normal rate once the worst value
-  // across flows is below the threshold again.
-  auto& rt = runtime_[static_cast<std::size_t>(kind)];
-  const auto& mc = config_.metrics[static_cast<std::size_t>(kind)];
-  if (rt.boosted && (!mc.alert_enabled || worst < mc.alert_threshold)) {
-    rt.boosted = false;
-  }
-
+    state.prev_bytes = bytes;
+    state.prev_bytes_at = now;
+    return state.throughput_bps;
+  };
+  // Limitation verdict piggybacks on the throughput extraction.
+  throughput.per_flow = [this](std::uint16_t slot, FlowState& state,
+                               SimTime now) {
+    state.verdict = program_.limit_classifier().verdict(slot);
+    state.flight_bytes = program_.limit_classifier().flight_bytes(slot);
+    emit(make_limitation_report(state.flow, now, state.verdict,
+                                state.flight_bytes));
+  };
   // Aggregate traffic statistics (§5.3) on every throughput tick.
-  if (kind == MetricKind::kThroughput) {
+  throughput.per_tick = [this](SimTime now) {
     Aggregates agg;
     agg.at = now;
     std::vector<double> rates;
@@ -182,22 +71,233 @@ void ControlPlane::extract_metric(MetricKind kind) {
                                agg.active_flows, agg.total_bytes,
                                agg.total_packets,
                                agg.total_throughput_bps));
+  };
+
+  MetricExtractor loss;
+  loss.name = metric_name(MetricKind::kPacketLoss);
+  loss.value_key = "loss_pct";
+  loss.read = [this](std::uint16_t slot, FlowState& state, SimTime) {
+    const std::uint64_t losses = program_.rtt_loss().losses(slot);
+    const std::uint64_t packets = program_.packets(slot);
+    state.total_losses = losses;
+    const std::uint64_t dl = losses - state.prev_losses;
+    const std::uint64_t dp = packets - state.prev_packets;
+    state.loss_delta = dl;
+    state.loss_pct =
+        dp > 0
+            ? 100.0 * static_cast<double>(dl) / static_cast<double>(dp)
+            : 0.0;
+    state.prev_losses = losses;
+    state.prev_packets = packets;
+    return state.loss_pct;
+  };
+
+  MetricExtractor rtt;
+  rtt.name = metric_name(MetricKind::kRtt);
+  rtt.value_key = "rtt_ms";
+  rtt.read = [this](std::uint16_t slot, FlowState& state, SimTime) {
+    state.rtt_ns = program_.rtt_loss().last_rtt(slot);
+    const double rtt_ms = units::to_milliseconds(state.rtt_ns);
+    if (state.rtt_ns > 0 &&
+        state.rtt_samples_ms.size() < kMaxLifetimeSamples) {
+      state.rtt_samples_ms.push_back(rtt_ms);
+    }
+    return rtt_ms;
+  };
+
+  MetricExtractor occupancy;
+  occupancy.name = metric_name(MetricKind::kQueueOccupancy);
+  occupancy.value_key = "occupancy_pct";
+  occupancy.read = [this](std::uint16_t slot, FlowState& state, SimTime) {
+    state.queue_delay_ns = program_.queue_monitor().last_queue_delay(slot);
+    state.queue_occupancy_pct = occupancy_pct(state.queue_delay_ns);
+    if (state.occupancy_samples_pct.size() < kMaxLifetimeSamples) {
+      state.occupancy_samples_pct.push_back(state.queue_occupancy_pct);
+    }
+    return state.queue_occupancy_pct;
+  };
+
+  // Table order == MetricKind order: entry index IS the builtin kind for
+  // the first kMetricCount rows, so the MetricKind-based configuration
+  // API maps straight onto the table.
+  MetricExtractor builtins[kMetricCount] = {std::move(throughput),
+                                            std::move(loss), std::move(rtt),
+                                            std::move(occupancy)};
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    ExtractorEntry entry;
+    entry.desc = std::move(builtins[i]);
+    entry.builtin = static_cast<int>(i);
+    extractors_.push_back(std::move(entry));
   }
 }
 
-void ControlPlane::check_alert(MetricKind kind,
+void ControlPlane::register_extractor(MetricExtractor extractor,
+                                      MetricConfig config) {
+  if (extractor.name.empty() || !extractor.read) {
+    throw std::invalid_argument(
+        "extractor needs a name and a read callback");
+  }
+  for (const auto& entry : extractors_) {
+    if (entry.desc.name == extractor.name) {
+      throw std::invalid_argument("duplicate extractor: " + extractor.name);
+    }
+  }
+  ExtractorEntry entry;
+  entry.desc = std::move(extractor);
+  entry.extension_config = config;
+  extractors_.push_back(std::move(entry));
+  if (started_) schedule_extractor(extractors_.size() - 1);
+}
+
+void ControlPlane::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::size_t i = 0; i < extractors_.size(); ++i) {
+    schedule_extractor(i);
+  }
+  sim_.every(sim_.now() + config_.digest_poll_interval,
+             config_.digest_poll_interval, [this]() {
+               poll_digests();
+               scan_idle_flows();
+               return true;
+             });
+}
+
+void ControlPlane::validate_sps(double sps) {
+  if (!std::isfinite(sps) || sps <= 0.0) {
+    throw std::invalid_argument(
+        "samples_per_second must be a finite value > 0");
+  }
+}
+
+void ControlPlane::validate_threshold(double threshold) {
+  if (!std::isfinite(threshold) || threshold < 0.0) {
+    throw std::invalid_argument(
+        "alert threshold must be a finite value >= 0");
+  }
+}
+
+ControlPlane::ExtractorEntry& ControlPlane::entry_of(
+    std::string_view metric) {
+  for (auto& entry : extractors_) {
+    if (entry.desc.name == metric) return entry;
+  }
+  throw std::invalid_argument("unknown metric: " + std::string(metric));
+}
+
+void ControlPlane::set_samples_per_second(MetricKind kind, double sps) {
+  validate_sps(sps);
+  metric_config(kind).interval = units::seconds_f(1.0 / sps);
+}
+
+void ControlPlane::set_samples_per_second(std::string_view metric,
+                                          double sps) {
+  validate_sps(sps);
+  config_of(entry_of(metric)).interval = units::seconds_f(1.0 / sps);
+}
+
+void ControlPlane::set_alert(MetricKind kind, double threshold,
+                             std::optional<double> boosted_sps) {
+  validate_threshold(threshold);
+  if (boosted_sps.has_value()) validate_sps(*boosted_sps);
+  MetricConfig& mc = metric_config(kind);
+  mc.alert_enabled = true;
+  mc.alert_threshold = threshold;
+  if (boosted_sps.has_value()) {
+    mc.boosted_interval = units::seconds_f(1.0 / *boosted_sps);
+  }
+}
+
+void ControlPlane::set_alert(std::string_view metric, double threshold,
+                             std::optional<double> boosted_sps) {
+  validate_threshold(threshold);
+  if (boosted_sps.has_value()) validate_sps(*boosted_sps);
+  MetricConfig& mc = config_of(entry_of(metric));
+  mc.alert_enabled = true;
+  mc.alert_threshold = threshold;
+  if (boosted_sps.has_value()) {
+    mc.boosted_interval = units::seconds_f(1.0 / *boosted_sps);
+  }
+}
+
+void ControlPlane::clear_alert(MetricKind kind) {
+  metric_config(kind).alert_enabled = false;
+  extractors_[static_cast<std::size_t>(kind)].boosted = false;
+}
+
+MetricConfig& ControlPlane::extractor_config(std::string_view metric) {
+  return config_of(entry_of(metric));
+}
+
+SimTime ControlPlane::current_interval(const ExtractorEntry& entry) const {
+  const MetricConfig& mc = config_of(entry);
+  const SimTime interval =
+      entry.boosted ? mc.boosted_interval : mc.interval;
+  return std::max<SimTime>(interval, units::microseconds(100));
+}
+
+void ControlPlane::schedule_extractor(std::size_t index) {
+  sim_.after(current_interval(extractors_[index]), [this, index]() {
+    extract(index);
+    schedule_extractor(index);  // re-arm with the (possibly boosted) interval
+  });
+}
+
+double ControlPlane::occupancy_pct(SimTime queue_delay) const {
+  if (config_.core_buffer_bytes == 0 || config_.bottleneck_bps == 0) {
+    return 0.0;
+  }
+  const double drain_ns = static_cast<double>(config_.core_buffer_bytes) *
+                          8.0 * 1e9 /
+                          static_cast<double>(config_.bottleneck_bps);
+  return 100.0 * static_cast<double>(queue_delay) / drain_ns;
+}
+
+// The one extraction body all timers share: read each flow's value, emit
+// the metric report, run the alert/boost logic, then the entry's hooks.
+void ControlPlane::extract(std::size_t index) {
+  ExtractorEntry& entry = extractors_[index];
+  const SimTime now = sim_.now();
+  double worst = 0.0;  // per-tick max, drives the boost hysteresis
+
+  for (auto& [slot, state] : flows_) {
+    const double value = entry.desc.read(slot, state, now);
+    emit(make_metric_report(entry.desc.name.c_str(), state.flow, now, value,
+                            entry.desc.value_key.c_str()));
+    check_alert(entry, state.flow, value);
+    worst = std::max(worst, value);
+    if (entry.desc.per_flow) entry.desc.per_flow(slot, state, now);
+  }
+
+  // Boost hysteresis: drop back to the normal rate once the worst value
+  // across flows is below the threshold again.
+  const MetricConfig& mc = config_of(entry);
+  if (entry.boosted && (!mc.alert_enabled || worst < mc.alert_threshold)) {
+    entry.boosted = false;
+  }
+
+  if (entry.desc.per_tick) entry.desc.per_tick(now);
+}
+
+void ControlPlane::check_alert(ExtractorEntry& entry,
                                const telemetry::FlowIdentity& flow,
                                double value) {
-  const auto& mc = config_.metrics[static_cast<std::size_t>(kind)];
+  const MetricConfig& mc = config_of(entry);
   if (!mc.alert_enabled || value < mc.alert_threshold) return;
-  auto& rt = runtime_[static_cast<std::size_t>(kind)];
   const SimTime now = sim_.now();
-  Alert alert{kind, flow, now, value, mc.alert_threshold};
+  Alert alert;
+  if (entry.builtin >= 0) alert.metric = static_cast<MetricKind>(entry.builtin);
+  alert.metric_name = entry.desc.name;
+  alert.flow = flow;
+  alert.at = now;
+  alert.value = value;
+  alert.threshold = mc.alert_threshold;
   alerts_.push_back(alert);
-  emit(make_alert_report(kind, flow, now, value, mc.alert_threshold));
+  emit(make_alert_report(entry.desc.name.c_str(), flow, now, value,
+                         mc.alert_threshold));
   if (on_alert_) on_alert_(alert);
   // §3.2: exceeding the threshold increases the collection rate.
-  rt.boosted = true;
+  entry.boosted = true;
 }
 
 void ControlPlane::poll_digests() {
@@ -288,7 +388,8 @@ void ControlPlane::finalize_flow(std::uint16_t slot, SimTime end_ts) {
   flows_.erase(it);
 }
 
-void ControlPlane::emit(const util::Json& report) {
+void ControlPlane::emit(util::Json report) {
+  if (!config_.switch_id.empty()) report["switch_id"] = config_.switch_id;
   ++reports_emitted_;
   if (sink_ != nullptr) sink_->on_report(report);
 }

@@ -1,14 +1,18 @@
 // The switch control plane (§3.2, Figure 5b).
 //
-// Four independent extraction timers — t_N (bytes), t_P (losses), t_R
-// (RTT), t_Q (queue occupancy) — read the data plane's registers through
-// the driver API, convert raw values to metrics (throughput from byte
-// deltas, loss percentage, occupancy from queuing delay vs. buffer drain
-// time) and emit Report_v1 documents to the configured sink. Each metric
-// has an optional alert threshold (a_N..a_Q): a breach emits an alert
-// report, invokes the alert callback, and boosts that metric's extraction
-// rate to its boosted interval until the value falls back below the
-// threshold (§3.2).
+// The paper's four extraction timers — t_N (bytes), t_P (losses), t_R
+// (RTT), t_Q (queue occupancy) — are instances of one generic
+// MetricExtractor: a descriptor holding the report name, the value key,
+// a register-reader callback and (optionally) per-flow / per-tick hooks.
+// Each extractor runs on its own timer, reads the data plane's registers
+// through the driver API, converts raw values to metrics (throughput
+// from byte deltas, loss percentage, occupancy from queuing delay vs.
+// buffer drain time) and emits Report_v1 documents to the configured
+// sink. Each extractor has an optional alert threshold (a_N..a_Q): a
+// breach emits an alert report, invokes the alert callback, and boosts
+// that extractor's rate to its boosted interval until the value falls
+// back below the threshold (§3.2). Adding a fifth metric is one
+// register_extractor() call — no fork of the timer logic.
 //
 // A digest poll loop consumes data-plane digests (new long flow, FIN,
 // microburst, blockage) and an idle scan finalizes flows that stopped
@@ -22,6 +26,8 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +58,10 @@ struct ControlPlaneConfig {
   /// into occupancy: occupancy = delay / (buffer_bytes * 8 / rate).
   std::uint64_t core_buffer_bytes = 0;
   std::uint64_t bottleneck_bps = 0;
+  /// Site / monitored-switch identity stamped into every emitted report
+  /// as "switch_id". Empty = untagged (the single-switch legacy format,
+  /// byte-identical to pre-fabric reports).
+  std::string switch_id;
 };
 
 class ControlPlane {
@@ -68,13 +78,23 @@ class ControlPlane {
   void start();
 
   // ---- Run-time configuration (driven by pSConfig's config-P4) --------
+  // Validation: a sample rate must be finite and > 0, a threshold finite
+  // and >= 0, or std::invalid_argument is thrown — a malformed value must
+  // not silently arm a broken timer.
   void set_samples_per_second(MetricKind kind, double sps);
   void set_alert(MetricKind kind, double threshold,
                  std::optional<double> boosted_sps = std::nullopt);
   void clear_alert(MetricKind kind);
+  /// Name-based variants covering registered extension extractors too;
+  /// throw std::invalid_argument on unknown names.
+  void set_samples_per_second(std::string_view metric, double sps);
+  void set_alert(std::string_view metric, double threshold,
+                 std::optional<double> boosted_sps = std::nullopt);
   MetricConfig& metric_config(MetricKind kind) {
     return config_.metrics[static_cast<std::size_t>(kind)];
   }
+  /// Timer/alert configuration of any extractor, builtin or registered.
+  MetricConfig& extractor_config(std::string_view metric);
   const ControlPlaneConfig& config() const { return config_; }
 
   // ---- Observability for experiments and tests ------------------------
@@ -108,6 +128,37 @@ class ControlPlane {
   /// that is over an hour of flow lifetime).
   static constexpr std::size_t kMaxLifetimeSamples = 4096;
 
+  // ---- Extractor table ------------------------------------------------
+  /// One extraction timer: name + value key + register reader, plus
+  /// optional hooks. The four paper metrics are registered in the
+  /// constructor; a fifth metric is one register_extractor() call.
+  struct MetricExtractor {
+    /// Report kind ("throughput", ...) and the alert's "metric" value.
+    std::string name;
+    /// JSON key carrying the value ("throughput_bps", ...).
+    std::string value_key;
+    /// Read the metric for a slot from the data plane, updating any
+    /// rolling per-flow state. Called once per flow per tick.
+    std::function<double(std::uint16_t slot, FlowState& state, SimTime now)>
+        read;
+    /// Optional: emitted-after hook per flow (the limitation report
+    /// piggybacks on the throughput extraction this way).
+    std::function<void(std::uint16_t slot, FlowState& state, SimTime now)>
+        per_flow;
+    /// Optional: once per tick after all flows (aggregate statistics).
+    std::function<void(SimTime now)> per_tick;
+  };
+
+  /// Register an additional extraction timer. If the control plane is
+  /// already started the timer arms immediately. The four builtin
+  /// entries' configs live in config().metrics; extension configs are
+  /// reachable via extractor_config(name).
+  void register_extractor(MetricExtractor extractor,
+                          MetricConfig config = {});
+
+  /// Number of extraction timers (builtins + registered extensions).
+  std::size_t extractor_count() const { return extractors_.size(); }
+
   struct Aggregates {
     SimTime at = 0;
     double link_utilization = 0.0;  // fraction of bottleneck capacity
@@ -137,7 +188,10 @@ class ControlPlane {
   };
 
   struct Alert {
-    MetricKind metric;
+    /// Builtin kind; nullopt for alerts raised by registered extension
+    /// extractors (identified by metric_name alone).
+    std::optional<MetricKind> metric;
+    std::string metric_name;
     telemetry::FlowIdentity flow;
     SimTime at = 0;
     double value = 0.0;
@@ -172,20 +226,39 @@ class ControlPlane {
   std::uint64_t reports_emitted() const { return reports_emitted_; }
 
  private:
-  struct MetricRuntime {
+  /// One row of the extractor table: the descriptor plus its timer/alert
+  /// configuration and boost state. Builtin rows alias config_.metrics
+  /// (so config() snapshots stay authoritative for replay); extension
+  /// rows carry their own config.
+  struct ExtractorEntry {
+    MetricExtractor desc;
+    MetricConfig extension_config{};
+    int builtin = -1;  // index into config_.metrics, or -1 for extensions
     bool boosted = false;
   };
 
-  void schedule_metric(MetricKind kind);
-  void extract_metric(MetricKind kind);
+  void register_builtins();
+  MetricConfig& config_of(ExtractorEntry& entry) {
+    return entry.builtin >= 0 ? config_.metrics[entry.builtin]
+                              : entry.extension_config;
+  }
+  const MetricConfig& config_of(const ExtractorEntry& entry) const {
+    return entry.builtin >= 0 ? config_.metrics[entry.builtin]
+                              : entry.extension_config;
+  }
+  ExtractorEntry& entry_of(std::string_view metric);
+  void schedule_extractor(std::size_t index);
+  void extract(std::size_t index);
   void poll_digests();
   void scan_idle_flows();
   void finalize_flow(std::uint16_t slot, SimTime end_ts);
-  void emit(const util::Json& report);
-  void check_alert(MetricKind kind, const telemetry::FlowIdentity& flow,
-                   double value);
-  SimTime current_interval(MetricKind kind) const;
+  void emit(util::Json report);
+  void check_alert(ExtractorEntry& entry,
+                   const telemetry::FlowIdentity& flow, double value);
+  SimTime current_interval(const ExtractorEntry& entry) const;
   double occupancy_pct(SimTime queue_delay) const;
+  static void validate_sps(double sps);
+  static void validate_threshold(double threshold);
 
   sim::Simulation& sim_;
   telemetry::DataPlaneProgram& program_;
@@ -198,7 +271,7 @@ class ControlPlane {
   std::vector<FlowFinalReport> final_reports_;
   std::vector<Alert> alerts_;
   std::vector<telemetry::MicroburstDigest> microbursts_;
-  std::array<MetricRuntime, kMetricCount> runtime_{};
+  std::vector<ExtractorEntry> extractors_;
 
   std::function<void(const Alert&)> on_alert_;
   std::function<void(const telemetry::BlockageDigest&)> on_blockage_;

@@ -47,7 +47,14 @@ util::Json make_metric_report(MetricKind kind,
                               const telemetry::FlowIdentity& flow,
                               SimTime ts, double value,
                               const char* value_key) {
-  util::Json j = base(metric_name(kind), ts);
+  return make_metric_report(metric_name(kind), flow, ts, value, value_key);
+}
+
+util::Json make_metric_report(const char* metric,
+                              const telemetry::FlowIdentity& flow,
+                              SimTime ts, double value,
+                              const char* value_key) {
+  util::Json j = base(metric, ts);
   j["flow"] = flow_json(flow);
   j[value_key] = value;
   return j;
@@ -129,8 +136,14 @@ util::Json make_aggregate_report(SimTime ts, double link_utilization,
 util::Json make_alert_report(MetricKind kind,
                              const telemetry::FlowIdentity& flow, SimTime ts,
                              double value, double threshold) {
+  return make_alert_report(metric_name(kind), flow, ts, value, threshold);
+}
+
+util::Json make_alert_report(const char* metric,
+                             const telemetry::FlowIdentity& flow, SimTime ts,
+                             double value, double threshold) {
   util::Json j = base("alert", ts);
-  j["metric"] = metric_name(kind);
+  j["metric"] = metric;
   j["flow"] = flow_json(flow);
   j["value"] = value;
   j["threshold"] = threshold;

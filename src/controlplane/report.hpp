@@ -45,6 +45,12 @@ util::Json make_metric_report(MetricKind kind,
                               const telemetry::FlowIdentity& flow,
                               SimTime ts, double value,
                               const char* value_key);
+/// Name-based variant for registered extension extractors (the MetricKind
+/// overload delegates here).
+util::Json make_metric_report(const char* metric,
+                              const telemetry::FlowIdentity& flow,
+                              SimTime ts, double value,
+                              const char* value_key);
 util::Json make_flow_detected_report(const telemetry::FlowIdentity& flow,
                                      SimTime ts);
 util::Json make_flow_final_report(const telemetry::FlowIdentity& flow,
@@ -66,6 +72,9 @@ util::Json make_aggregate_report(SimTime ts, double link_utilization,
                                  std::uint64_t total_packets,
                                  double total_throughput_bps);
 util::Json make_alert_report(MetricKind kind,
+                             const telemetry::FlowIdentity& flow, SimTime ts,
+                             double value, double threshold);
+util::Json make_alert_report(const char* metric,
                              const telemetry::FlowIdentity& flow, SimTime ts,
                              double value, double threshold);
 

@@ -195,6 +195,31 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
         }
         return true;
       });
+    } else if (key == "switches") {
+      if (!value.is_array()) fail("'switches' must be an array");
+      const auto& entries = value.as_array();
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const std::string where = "switches[" + std::to_string(i) + "]";
+        MonitoredSwitchConfig sw;
+        walk(entries[i], where, [&](const std::string& k,
+                                    const util::Json& v) {
+          if (k == "id") {
+            if (!v.is_string()) fail("'" + where + ".id' must be a string");
+            sw.id = v.as_string();
+          } else if (k == "tap") {
+            if (!v.is_string()) fail("'" + where + ".tap' must be a string");
+            try {
+              sw.tap = tap_point_from_name(v.as_string());
+            } catch (const std::invalid_argument& e) {
+              fail("'" + where + ".tap': " + e.what());
+            }
+          } else {
+            return false;
+          }
+          return true;
+        });
+        config.switches.push_back(std::move(sw));
+      }
     } else if (key == "control") {
       walk(value, "control", [&](const std::string& k,
                                  const util::Json& v) {

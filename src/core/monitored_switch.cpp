@@ -1,0 +1,103 @@
+#include "core/monitored_switch.hpp"
+
+#include <stdexcept>
+
+namespace p4s::core {
+
+const char* to_string(TapPoint point) {
+  switch (point) {
+    case TapPoint::kCoreBottleneck: return "core";
+    case TapPoint::kWanExt0: return "wan_ext0";
+    case TapPoint::kWanExt1: return "wan_ext1";
+    case TapPoint::kWanExt2: return "wan_ext2";
+  }
+  return "?";
+}
+
+TapPoint tap_point_from_name(const std::string& name) {
+  if (name == "core") return TapPoint::kCoreBottleneck;
+  if (name == "wan_ext0") return TapPoint::kWanExt0;
+  if (name == "wan_ext1") return TapPoint::kWanExt1;
+  if (name == "wan_ext2") return TapPoint::kWanExt2;
+  throw std::invalid_argument("unknown tap point: " + name);
+}
+
+namespace {
+
+struct TapTarget {
+  net::LegacySwitch* sw = nullptr;
+  net::OutputPort* port = nullptr;
+  std::uint64_t rate_bps = 0;
+};
+
+TapTarget resolve_tap(net::PaperTopology& topology, TapPoint tap) {
+  switch (tap) {
+    case TapPoint::kCoreBottleneck:
+      return {topology.core_switch, topology.bottleneck_port,
+              topology.config.bottleneck_bps};
+    case TapPoint::kWanExt0:
+      return {topology.wan_switch, topology.ext_dtn_links[0].forward,
+              topology.config.access_bps};
+    case TapPoint::kWanExt1:
+      return {topology.wan_switch, topology.ext_dtn_links[1].forward,
+              topology.config.access_bps};
+    case TapPoint::kWanExt2:
+      return {topology.wan_switch, topology.ext_dtn_links[2].forward,
+              topology.config.access_bps};
+  }
+  throw std::invalid_argument("unknown tap point");
+}
+
+}  // namespace
+
+MonitoredSwitch::MonitoredSwitch(
+    sim::Simulation& sim, net::PaperTopology& topology,
+    const MonitoredSwitchConfig& config,
+    const telemetry::DataPlaneProgram::Config& program_config,
+    cp::ControlPlaneConfig control_config,
+    const TraceCaptureConfig& trace_config, SimTime tap_latency,
+    std::size_t index)
+    : config_(config) {
+  const TapTarget target = resolve_tap(topology, config_.tap);
+
+  program_ = std::make_unique<telemetry::DataPlaneProgram>(program_config);
+  const std::string name =
+      config_.id.empty() ? "tofino-monitor" : "tofino-" + config_.id;
+  p4_switch_ = std::make_unique<p4::P4Switch>(sim, name);
+  p4_switch_->load_program(*program_);
+
+  // With capture enabled the TAPs feed a pcap-writing tee that forwards
+  // every mirrored frame to the P4 switch unchanged. Switch 0 keeps the
+  // configured path_base (so existing captures stay byte-identical);
+  // further switches get a per-site suffix.
+  net::MirrorSink* mirror_sink = p4_switch_.get();
+  if (trace_config.capture) {
+    std::string path_base = trace_config.path_base;
+    if (index > 0) {
+      path_base +=
+          "." + (config_.id.empty() ? std::to_string(index) : config_.id);
+    }
+    trace_capture_ = std::make_unique<trace::TraceCapture>(
+        sim, *p4_switch_, path_base,
+        trace::TraceCapture::Config{trace_config.snaplen});
+    mirror_sink = trace_capture_.get();
+  }
+
+  taps_ = std::make_unique<net::OpticalTapPair>(sim, *mirror_sink,
+                                                tap_latency);
+  taps_->attach(*target.sw, *target.port);
+
+  // Fill control-plane knowledge of the monitored switch from the tapped
+  // port unless the caller overrode it.
+  if (control_config.core_buffer_bytes == 0) {
+    control_config.core_buffer_bytes = target.port->queue().capacity_bytes();
+  }
+  if (control_config.bottleneck_bps == 0) {
+    control_config.bottleneck_bps = target.rate_bps;
+  }
+  control_config.switch_id = config_.id;
+  control_plane_ = std::make_unique<cp::ControlPlane>(
+      sim, *program_, std::move(control_config));
+}
+
+}  // namespace p4s::core

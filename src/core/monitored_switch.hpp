@@ -1,0 +1,90 @@
+// MonitoredSwitch — one monitored site of the fabric: a passive TAP pair
+// on a chosen switch/port of the shared topology, the P4 switch running
+// the telemetry data-plane program, its control plane, and (optionally)
+// a pcap capture tee. MonitoringSystem owns N of these over one
+// simulation and one report transport; the paper's single-switch
+// deployment (Figures 3-5) is the N=1 case.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "controlplane/control_plane.hpp"
+#include "net/tap.hpp"
+#include "net/topology.hpp"
+#include "p4/p4_switch.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/dataplane_program.hpp"
+#include "trace/trace_capture.hpp"
+
+namespace p4s::core {
+
+/// Pcap capture of the TAP mirror streams (src/trace). When enabled, a
+/// trace::TraceCapture tee is inserted between the optical TAP pair and
+/// the P4 switch, writing `<path_base>.ingress.pcap` and
+/// `<path_base>.egress.pcap` as the run executes. Additional monitored
+/// switches capture to `<path_base>.<id>.{ingress,egress}.pcap`.
+struct TraceCaptureConfig {
+  bool capture = false;
+  std::string path_base = "p4s-trace";
+  std::uint32_t snaplen = trace::kDefaultSnaplen;
+};
+
+/// Where a monitored switch's TAP pair attaches in the Figure-8 topology.
+enum class TapPoint {
+  kCoreBottleneck = 0,  // core switch, bottleneck port (the paper's site)
+  kWanExt0 = 1,         // WAN switch, access port toward external DTN 1
+  kWanExt1 = 2,
+  kWanExt2 = 3,
+};
+
+const char* to_string(TapPoint point);
+/// Inverse of to_string ("core", "wan_ext0".."wan_ext2"); throws
+/// std::invalid_argument on unknown names.
+TapPoint tap_point_from_name(const std::string& name);
+
+struct MonitoredSwitchConfig {
+  /// Site identity stamped into the switch's Report_v1 stream as
+  /// "switch_id". Empty = untagged (the legacy single-switch format).
+  std::string id;
+  TapPoint tap = TapPoint::kCoreBottleneck;
+};
+
+class MonitoredSwitch {
+ public:
+  /// `control_config`'s core_buffer_bytes / bottleneck_bps are filled
+  /// from the tapped port when left 0; its switch_id is taken from
+  /// `config.id`. `index` is the switch's position in the fabric (used
+  /// for default capture paths and --switch indexing).
+  MonitoredSwitch(sim::Simulation& sim, net::PaperTopology& topology,
+                  const MonitoredSwitchConfig& config,
+                  const telemetry::DataPlaneProgram::Config& program_config,
+                  cp::ControlPlaneConfig control_config,
+                  const TraceCaptureConfig& trace_config, SimTime tap_latency,
+                  std::size_t index);
+
+  MonitoredSwitch(const MonitoredSwitch&) = delete;
+  MonitoredSwitch& operator=(const MonitoredSwitch&) = delete;
+
+  const std::string& id() const { return config_.id; }
+  TapPoint tap_point() const { return config_.tap; }
+
+  telemetry::DataPlaneProgram& program() { return *program_; }
+  p4::P4Switch& p4_switch() { return *p4_switch_; }
+  net::OpticalTapPair& taps() { return *taps_; }
+  cp::ControlPlane& control_plane() { return *control_plane_; }
+
+  bool capturing() const { return trace_capture_ != nullptr; }
+  trace::TraceCapture& trace_capture() { return *trace_capture_; }
+
+ private:
+  MonitoredSwitchConfig config_;
+  std::unique_ptr<telemetry::DataPlaneProgram> program_;
+  std::unique_ptr<p4::P4Switch> p4_switch_;
+  std::unique_ptr<trace::TraceCapture> trace_capture_;
+  std::unique_ptr<net::OpticalTapPair> taps_;
+  std::unique_ptr<cp::ControlPlane> control_plane_;
+};
+
+}  // namespace p4s::core

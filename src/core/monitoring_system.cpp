@@ -9,41 +9,29 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
       sim_(config_.seed),
       network_(sim_),
       topology_(net::make_paper_topology(network_, config_.topology)) {
-  program_ = std::make_unique<telemetry::DataPlaneProgram>(config_.program);
-  p4_switch_ = std::make_unique<p4::P4Switch>(sim_, "tofino-monitor");
-  p4_switch_->load_program(*program_);
-  // With capture enabled the TAPs feed a pcap-writing tee that forwards
-  // every mirrored frame to the P4 switch unchanged.
-  net::MirrorSink* mirror_sink = p4_switch_.get();
-  if (config_.trace.capture) {
-    trace_capture_ = std::make_unique<trace::TraceCapture>(
-        sim_, *p4_switch_, config_.trace.path_base,
-        trace::TraceCapture::Config{config_.trace.snaplen});
-    mirror_sink = trace_capture_.get();
+  // Build the monitoring fabric: one MonitoredSwitch per configured
+  // entry, defaulting to the paper's single untagged switch on the core
+  // bottleneck. All instances share the one simulation and topology.
+  std::vector<MonitoredSwitchConfig> switch_configs = config_.switches;
+  if (switch_configs.empty()) switch_configs.push_back({});
+  for (std::size_t i = 0; i < switch_configs.size(); ++i) {
+    switches_.push_back(std::make_unique<MonitoredSwitch>(
+        sim_, topology_, switch_configs[i], config_.program, config_.control,
+        config_.trace, config_.tap_latency, i));
   }
-  taps_ = std::make_unique<net::OpticalTapPair>(sim_, *mirror_sink,
-                                                config_.tap_latency);
-  taps_->attach(*topology_.core_switch, *topology_.bottleneck_port);
-
-  // Fill control-plane knowledge of the monitored switch from the
-  // topology unless the caller overrode it.
-  cp::ControlPlaneConfig cp_config = config_.control;
-  if (cp_config.core_buffer_bytes == 0) {
-    cp_config.core_buffer_bytes =
-        topology_.bottleneck_port->queue().capacity_bytes();
-  }
-  if (cp_config.bottleneck_bps == 0) {
-    cp_config.bottleneck_bps = config_.topology.bottleneck_bps;
-  }
-  control_plane_ =
-      std::make_unique<cp::ControlPlane>(sim_, *program_, cp_config);
 
   psonar_ =
       std::make_unique<ps::PerfSonarNode>(sim_, *topology_.psonar_internal);
-  psonar_->psconfig().attach(*control_plane_);
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    psonar_->psconfig().add_control_plane(switches_[i]->control_plane(),
+                                          switches_[i]->id());
+  }
 
+  // One shared report transport: every control plane feeds the same sink
+  // (reports are distinguished by their "switch_id" tag).
+  cp::ReportSink* shared_sink = &psonar_->report_sink();
   if (config_.transport.resilient) {
-    // Fault-injectable wire: control plane -> ResilientReportSink ->
+    // Fault-injectable wire: control planes -> ResilientReportSink ->
     // ReportChannel -> Logstash TCP input; acks flow back per "@xmit_seq".
     channel_ =
         std::make_unique<net::ReportChannel>(sim_, config_.transport.channel);
@@ -59,15 +47,16 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
         sim_, *channel_, config_.transport.sink);
     logstash.set_transport_ack(
         [this](std::uint64_t seq) { resilient_sink_->on_ack(seq); });
-    control_plane_->set_sink(resilient_sink_.get());
-  } else {
-    control_plane_->set_sink(&psonar_->report_sink());
+    shared_sink = resilient_sink_.get();
+  }
+  for (auto& monitored : switches_) {
+    monitored->control_plane().set_sink(shared_sink);
   }
 }
 
 void MonitoringSystem::start() {
   if (fault_injector_) fault_injector_->arm();
-  control_plane_->start();
+  for (auto& monitored : switches_) monitored->control_plane().start();
 }
 
 tcp::TcpFlow& MonitoringSystem::add_transfer(

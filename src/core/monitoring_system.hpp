@@ -3,11 +3,13 @@
 //
 //   * the Figure-8 topology (internal DTN + perfSONAR node, monitored
 //     core switch, bottleneck link, WAN switch, three external networks),
-//   * the passive TAP pair on the core switch,
-//   * the P4 switch running the telemetry data-plane program,
-//   * the switch control plane with its extraction timers,
-//   * a perfSONAR node whose Logstash/archiver receive the control
-//     plane's reports and whose pSConfig (config-P4) configures it.
+//   * N MonitoredSwitch instances (TAP pair + P4 switch + data-plane
+//     program + control plane each) sharing the one simulation — the
+//     monitoring fabric; the default is the paper's single switch on the
+//     core bottleneck,
+//   * a perfSONAR node whose Logstash/archiver receive every control
+//     plane's reports over one shared transport and whose pSConfig
+//     (config-P4, optionally --switch <id>) configures them.
 //
 // Typical use (see examples/quickstart.cpp):
 //
@@ -26,6 +28,7 @@
 
 #include "controlplane/control_plane.hpp"
 #include "controlplane/resilient_sink.hpp"
+#include "core/monitored_switch.hpp"
 #include "net/fault_injector.hpp"
 #include "net/report_channel.hpp"
 #include "net/topology.hpp"
@@ -51,24 +54,22 @@ struct ReportTransportConfig {
   std::vector<net::FaultInjector::ScheduledFault> faults;
 };
 
-/// Pcap capture of the TAP mirror streams (src/trace). When enabled, a
-/// trace::TraceCapture tee is inserted between the optical TAP pair and
-/// the P4 switch, writing `<path_base>.ingress.pcap` and
-/// `<path_base>.egress.pcap` as the run executes.
-struct TraceCaptureConfig {
-  bool capture = false;
-  std::string path_base = "p4s-trace";
-  std::uint32_t snaplen = trace::kDefaultSnaplen;
-};
+// TraceCaptureConfig lives in core/monitored_switch.hpp (each monitored
+// switch owns its capture tee); it is re-exported here unchanged.
 
 struct MonitoringSystemConfig {
   net::PaperTopologyConfig topology;
   telemetry::DataPlaneProgram::Config program;
-  /// Control-plane config; core_buffer_bytes / bottleneck_bps are filled
-  /// from the topology when left 0.
+  /// Control-plane config template applied to every monitored switch;
+  /// core_buffer_bytes / bottleneck_bps are filled from each switch's
+  /// tapped port when left 0.
   cp::ControlPlaneConfig control;
   ReportTransportConfig transport;
   TraceCaptureConfig trace;
+  /// The monitored switches of the fabric. Empty = one untagged switch on
+  /// the core bottleneck (the paper's deployment, and the legacy
+  /// single-switch behavior).
+  std::vector<MonitoredSwitchConfig> switches;
   SimTime tap_latency = units::microseconds(1);
   std::uint64_t seed = 1;
 };
@@ -100,12 +101,27 @@ class MonitoringSystem {
   sim::Simulation& simulation() { return sim_; }
   net::Network& network() { return network_; }
   net::PaperTopology& topology() { return topology_; }
-  p4::P4Switch& p4_switch() { return *p4_switch_; }
-  net::OpticalTapPair& taps() { return *taps_; }
-  telemetry::DataPlaneProgram& program() { return *program_; }
-  cp::ControlPlane& control_plane() { return *control_plane_; }
   ps::PerfSonarNode& psonar() { return *psonar_; }
   const MonitoringSystemConfig& config() const { return config_; }
+
+  // ---- The monitoring fabric ------------------------------------------
+  std::size_t switch_count() const { return switches_.size(); }
+  MonitoredSwitch& monitored_switch(std::size_t index) {
+    return *switches_.at(index);
+  }
+  const std::vector<std::unique_ptr<MonitoredSwitch>>& monitored_switches()
+      const {
+    return switches_;
+  }
+
+  // Single-switch accessors (the N=1 legacy API): delegate to switch 0,
+  // which always exists.
+  p4::P4Switch& p4_switch() { return switches_[0]->p4_switch(); }
+  net::OpticalTapPair& taps() { return switches_[0]->taps(); }
+  telemetry::DataPlaneProgram& program() { return switches_[0]->program(); }
+  cp::ControlPlane& control_plane() {
+    return switches_[0]->control_plane();
+  }
 
   /// Whether the resilient report transport is active.
   bool resilient_transport() const { return channel_ != nullptr; }
@@ -117,10 +133,12 @@ class MonitoringSystem {
   /// The hardened sink (only with transport.resilient).
   cp::ResilientReportSink& report_sink() { return *resilient_sink_; }
 
-  /// Whether pcap capture of the mirror streams is active.
-  bool capturing() const { return trace_capture_ != nullptr; }
-  /// The capture tee (only with trace.capture).
-  trace::TraceCapture& trace_capture() { return *trace_capture_; }
+  /// Whether pcap capture of the mirror streams is active (switch 0).
+  bool capturing() const { return switches_[0]->capturing(); }
+  /// The capture tee (only with trace.capture; switch 0's tee).
+  trace::TraceCapture& trace_capture() {
+    return switches_[0]->trace_capture();
+  }
 
   const std::vector<std::unique_ptr<tcp::TcpFlow>>& flows() const {
     return flows_;
@@ -131,11 +149,7 @@ class MonitoringSystem {
   sim::Simulation sim_;
   net::Network network_;
   net::PaperTopology topology_;
-  std::unique_ptr<telemetry::DataPlaneProgram> program_;
-  std::unique_ptr<p4::P4Switch> p4_switch_;
-  std::unique_ptr<trace::TraceCapture> trace_capture_;
-  std::unique_ptr<net::OpticalTapPair> taps_;
-  std::unique_ptr<cp::ControlPlane> control_plane_;
+  std::vector<std::unique_ptr<MonitoredSwitch>> switches_;
   std::unique_ptr<ps::PerfSonarNode> psonar_;
   std::unique_ptr<net::ReportChannel> channel_;
   std::unique_ptr<net::FaultInjector> fault_injector_;

@@ -42,7 +42,7 @@ void OutputPort::start_transmission(DropTailQueue::Entry entry) {
   const SimTime done = link_.transmit(entry.pkt);
   const SimTime queued_at = entry.enqueued_at;
   sim_.at(done, [this, pkt = std::move(entry.pkt), queued_at]() {
-    if (egress_hook_) egress_hook_(pkt, sim_.now() - queued_at);
+    for (const auto& hook : egress_hooks_) hook(pkt, sim_.now() - queued_at);
     on_transmit_done();
   });
 }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "net/queue.hpp"
@@ -73,7 +74,14 @@ class OutputPort : public PacketSink {
   /// are the packet and the queuing delay it experienced (enqueue ->
   /// serialization end). This is where the egress TAP attaches.
   void set_egress_hook(std::function<void(const Packet&, SimTime)> hook) {
-    egress_hook_ = std::move(hook);
+    egress_hooks_.clear();
+    add_egress_hook(std::move(hook));
+  }
+
+  /// Multicast variant: several TAPs can observe the same port (one per
+  /// monitored site in the fabric). Hooks fire in attachment order.
+  void add_egress_hook(std::function<void(const Packet&, SimTime)> hook) {
+    if (hook) egress_hooks_.push_back(std::move(hook));
   }
 
   Link& link() { return link_; }
@@ -86,7 +94,7 @@ class OutputPort : public PacketSink {
   DropTailQueue queue_;
   Link& link_;
   bool transmitting_ = false;
-  std::function<void(const Packet&, SimTime)> egress_hook_;
+  std::vector<std::function<void(const Packet&, SimTime)>> egress_hooks_;
 };
 
 }  // namespace p4s::net

@@ -20,7 +20,7 @@ void LegacySwitch::set_default_route(std::size_t port_index) {
 void LegacySwitch::unroute(Ipv4Address dst) { fib_.erase(dst); }
 
 void LegacySwitch::on_packet(const Packet& pkt) {
-  if (ingress_hook_) ingress_hook_(pkt);
+  for (const auto& hook : ingress_hooks_) hook(pkt);
 
   Packet fwd = pkt;
   if (fwd.ip.ttl <= 1) {

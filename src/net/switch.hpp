@@ -39,9 +39,18 @@ class LegacySwitch : public PacketSink {
   void on_packet(const Packet& pkt) override;
 
   /// Fired for every packet arriving at the switch, before forwarding.
-  /// This is where the ingress TAP attaches.
+  /// This is where the ingress TAP attaches. Replaces any previously
+  /// installed hooks.
   void set_ingress_hook(std::function<void(const Packet&)> hook) {
-    ingress_hook_ = std::move(hook);
+    ingress_hooks_.clear();
+    add_ingress_hook(std::move(hook));
+  }
+
+  /// Multicast variant: several TAPs can observe the same switch (the
+  /// monitoring fabric attaches one pair per monitored site). Hooks fire
+  /// in attachment order.
+  void add_ingress_hook(std::function<void(const Packet&)> hook) {
+    if (hook) ingress_hooks_.push_back(std::move(hook));
   }
 
   OutputPort& port(std::size_t index) { return *ports_.at(index); }
@@ -61,7 +70,7 @@ class LegacySwitch : public PacketSink {
   std::vector<OutputPort*> ports_;
   std::unordered_map<Ipv4Address, std::size_t> fib_;
   std::size_t default_port_ = kNoPort;
-  std::function<void(const Packet&)> ingress_hook_;
+  std::vector<std::function<void(const Packet&)>> ingress_hooks_;
   std::uint64_t forwarded_pkts_ = 0;
   std::uint64_t unroutable_pkts_ = 0;
 

@@ -5,9 +5,11 @@
 namespace p4s::net {
 
 void OpticalTapPair::attach(LegacySwitch& sw, OutputPort& monitored_port) {
-  sw.set_ingress_hook(
+  // Multicast hooks: several TAP pairs may observe the same switch/port
+  // (one per monitored site in the fabric) without displacing each other.
+  sw.add_ingress_hook(
       [this](const Packet& pkt) { mirror(pkt, MirrorPoint::kIngress); });
-  monitored_port.set_egress_hook(
+  monitored_port.add_egress_hook(
       [this](const Packet& pkt, SimTime /*queue_delay*/) {
         mirror(pkt, MirrorPoint::kEgress);
       });

@@ -112,6 +112,42 @@ MadDash::Grid MadDash::owd_grid(double warn_above_ms,
                });
 }
 
+MadDash::Grid MadDash::site_grid(double warn_below_bps,
+                                 double crit_below_bps) const {
+  Grid grid;
+  grid.title = "P4 throughput by site";
+  grid.unit = "Mbps";
+  std::set<std::string> rows, cols;
+  Archiver::Query newest;
+  newest.newest_first = true;
+  archiver_.for_each(
+      "p4sonar-throughput", newest, [&](const util::Json& doc) {
+        const auto site = Archiver::field_at(doc, "switch_id");
+        const auto dst = Archiver::field_at(doc, "flow.dst_ip");
+        const auto value = Archiver::field_at(doc, "throughput_bps");
+        if (!dst || !value || !value->is_number()) return true;
+        const std::string s =
+            site && site->is_string() && !site->as_string().empty()
+                ? site->as_string()
+                : "core";
+        const std::string d = dst->as_string();
+        rows.insert(s);
+        cols.insert(d);
+        Cell& cell = grid.cells[{s, d}];
+        if (cell.samples == 0) {
+          cell.value = value->as_double();
+          cell.status = cell.value < crit_below_bps   ? Status::kCritical
+                        : cell.value < warn_below_bps ? Status::kWarn
+                                                      : Status::kOk;
+        }
+        ++cell.samples;
+        return true;
+      });
+  grid.rows.assign(rows.begin(), rows.end());
+  grid.cols.assign(cols.begin(), cols.end());
+  return grid;
+}
+
 void MadDash::render(const Grid& grid, std::ostream& out) {
   out << "== MaDDash: " << grid.title << " (" << grid.unit << ") ==\n";
   if (grid.cells.empty()) {

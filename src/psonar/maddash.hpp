@@ -52,6 +52,12 @@ class MadDash {
   /// ms with thresholds above which the pair warns / goes critical.
   Grid owd_grid(double warn_above_ms, double crit_above_ms) const;
 
+  /// Per-site P4 throughput grid from "p4sonar-throughput": one row per
+  /// monitored switch (the report's "switch_id"; untagged legacy reports
+  /// show as "core"), one column per flow destination. Thresholds as in
+  /// throughput_grid().
+  Grid site_grid(double warn_below_bps, double crit_below_bps) const;
+
   /// Render a grid as an aligned ASCII table with status glyphs
   /// (OK / WARN / CRIT / '-').
   static void render(const Grid& grid, std::ostream& out);

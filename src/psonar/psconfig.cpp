@@ -1,6 +1,7 @@
 #include "psonar/psconfig.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <sstream>
 
 namespace p4s::ps {
@@ -40,13 +41,14 @@ PsConfig::Result PsConfig::execute(const std::string& command_line) {
 
 PsConfig::Result PsConfig::run_config_p4(const std::vector<std::string>& args,
                                          const std::string& original) {
-  if (control_plane_ == nullptr) {
+  if (planes_.empty()) {
     return {false, "config-P4: no switch control plane attached"};
   }
 
   std::optional<cp::MetricKind> metric;
   std::optional<double> samples_per_second;
   std::optional<double> threshold;
+  std::optional<std::string> switch_id;
   bool alert = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -67,16 +69,24 @@ PsConfig::Result PsConfig::run_config_p4(const std::vector<std::string>& args,
       auto v = next_value();
       if (!v) return {false, "config-P4: --samples_per_second needs a value"};
       samples_per_second = parse_number(*v);
-      if (!samples_per_second || *samples_per_second <= 0.0) {
+      // std::from_chars happily parses "nan" and "inf" — both would arm a
+      // broken timer downstream, so they are rejected here like any other
+      // malformed rate.
+      if (!samples_per_second || !std::isfinite(*samples_per_second) ||
+          *samples_per_second <= 0.0) {
         return {false, "config-P4: bad samples_per_second '" + *v + "'"};
       }
     } else if (arg == "--threshold") {
       auto v = next_value();
       if (!v) return {false, "config-P4: --threshold needs a value"};
       threshold = parse_number(*v);
-      if (!threshold) {
+      if (!threshold || !std::isfinite(*threshold) || *threshold < 0.0) {
         return {false, "config-P4: bad threshold '" + *v + "'"};
       }
+    } else if (arg == "--switch") {
+      auto v = next_value();
+      if (!v) return {false, "config-P4: --switch needs a value"};
+      switch_id = *v;
     } else if (arg == "--alert") {
       alert = true;
     } else {
@@ -93,6 +103,26 @@ PsConfig::Result PsConfig::run_config_p4(const std::vector<std::string>& args,
             "--alert --threshold)"};
   }
 
+  // --switch targets one registered control plane by id or zero-based
+  // index; the default is every registered switch.
+  std::vector<cp::ControlPlane*> switches;
+  if (switch_id.has_value()) {
+    for (std::size_t i = 0; i < planes_.size(); ++i) {
+      if (planes_[i].id == *switch_id ||
+          std::to_string(i) == *switch_id) {
+        switches.push_back(planes_[i].control_plane);
+        break;
+      }
+    }
+    if (switches.empty()) {
+      return {false, "config-P4: unknown switch '" + *switch_id + "'"};
+    }
+  } else {
+    for (const Plane& plane : planes_) {
+      switches.push_back(plane.control_plane);
+    }
+  }
+
   // Figure 6 semantics: no --metric applies to all metrics.
   std::vector<cp::MetricKind> targets;
   if (metric.has_value()) {
@@ -103,11 +133,13 @@ PsConfig::Result PsConfig::run_config_p4(const std::vector<std::string>& args,
     }
   }
 
-  for (cp::MetricKind kind : targets) {
-    if (alert) {
-      control_plane_->set_alert(kind, *threshold, samples_per_second);
-    } else {
-      control_plane_->set_samples_per_second(kind, *samples_per_second);
+  for (cp::ControlPlane* control_plane : switches) {
+    for (cp::MetricKind kind : targets) {
+      if (alert) {
+        control_plane->set_alert(kind, *threshold, samples_per_second);
+      } else {
+        control_plane->set_samples_per_second(kind, *samples_per_second);
+      }
     }
   }
 

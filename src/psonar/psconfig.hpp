@@ -13,6 +13,13 @@
 // --samples_per_second sets the boosted rate used while the threshold is
 // exceeded. Omitting --metric applies the configuration to all four
 // metrics (§3.3.5).
+//
+// In a monitoring fabric several switch control planes register with one
+// pSConfig (one per monitored site); `--switch <id>` targets a specific
+// instance by its configured id or zero-based index, and omitting it
+// applies the command to every registered switch:
+//
+//   psconfig config-P4 --switch site-b --metric rtt --samples_per_second 2
 // pSConfig also carries its original duty: JSON mesh templates that
 // define which active tests run between which hosts on what schedule
 // (apply_mesh). Template format (a compact pscfg.json analogue):
@@ -43,13 +50,25 @@ namespace p4s::ps {
 class PsConfig {
  public:
   PsConfig() = default;
-  explicit PsConfig(cp::ControlPlane& control_plane)
-      : control_plane_(&control_plane) {}
-
-  /// Point the configuration layer at a switch control plane.
-  void attach(cp::ControlPlane& control_plane) {
-    control_plane_ = &control_plane;
+  explicit PsConfig(cp::ControlPlane& control_plane) {
+    attach(control_plane);
   }
+
+  /// Point the configuration layer at a single switch control plane
+  /// (the legacy single-switch entry point; replaces any registrations).
+  void attach(cp::ControlPlane& control_plane) {
+    planes_.clear();
+    add_control_plane(control_plane, "");
+  }
+
+  /// Register one monitored switch's control plane under its id. Fabric
+  /// deployments call this once per site; config-P4 then targets one via
+  /// --switch <id|index> or all of them when --switch is omitted.
+  void add_control_plane(cp::ControlPlane& control_plane, std::string id) {
+    planes_.push_back(Plane{std::move(id), &control_plane});
+  }
+
+  std::size_t control_plane_count() const { return planes_.size(); }
 
   struct Result {
     bool ok = false;
@@ -75,10 +94,15 @@ class PsConfig {
                          const std::map<std::string, net::Host*>& hosts);
 
  private:
+  struct Plane {
+    std::string id;
+    cp::ControlPlane* control_plane = nullptr;
+  };
+
   Result run_config_p4(const std::vector<std::string>& args,
                        const std::string& original);
 
-  cp::ControlPlane* control_plane_ = nullptr;
+  std::vector<Plane> planes_;
   std::vector<std::string> history_;
 };
 

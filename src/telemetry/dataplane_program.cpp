@@ -12,11 +12,17 @@ DataPlaneProgram::DataPlaneProgram(Config config)
       queue_(config.queue),
       limit_(config.limit),
       iat_(config.iat),
-      int_(config.int_export),
-      bytes_(kFlowSlots, 0),
-      pkts_(kFlowSlots, 0),
-      first_seen_(kFlowSlots, 0),
-      last_seen_(kFlowSlots, 0) {}
+      int_(config.int_export) {
+  // Registration order matches the historical release order; release_slot
+  // and the invariant checks iterate this list.
+  register_engine(tracker_);
+  register_engine(rtt_loss_);
+  register_engine(queue_);
+  register_engine(limit_);
+  register_engine(iat_);
+  register_engine(int_);
+  register_engine(counters_);
+}
 
 net::FiveTuple DataPlaneProgram::tuple_from(const p4::ParsedHeaders& hdr) {
   net::FiveTuple t;
@@ -143,15 +149,7 @@ void DataPlaneProgram::process_measurement_path(
   const auto slot = tracker_.on_data_packet(fk, payload, now);
   if (!slot.has_value()) return;
 
-  // Byte/packet counters (§4.1: the data plane uses the IPv4 total
-  // length field).
-  bytes_.execute(*slot, [&](std::uint64_t& v) {
-    v += ctx.hdr.ipv4.total_len;
-    return 0;
-  });
-  pkts_.execute(*slot, [](std::uint64_t& v) { return ++v; });
-  if (first_seen_.read(*slot) == 0) first_seen_.write(*slot, now);
-  last_seen_.write(*slot, now);
+  counters_.on_data(*slot, ctx.hdr.ipv4.total_len, now);
 
   if (is_tcp) {
     const std::uint32_t rev_flow_id = fk.rev_flow_id;
@@ -166,16 +164,22 @@ void DataPlaneProgram::process_measurement_path(
 }
 
 void DataPlaneProgram::release_slot(std::uint16_t slot) {
-  tracker_.release(slot);
-  rtt_loss_.clear_slot(slot);
-  queue_.clear_slot(slot);
-  limit_.clear_slot(slot);
-  iat_.clear_slot(slot);
-  int_.clear_slot(slot);
-  bytes_.cp_write(slot, 0);
-  pkts_.cp_write(slot, 0);
-  first_seen_.cp_write(slot, 0);
-  last_seen_.cp_write(slot, 0);
+  for (MetricEngine* engine : engines_) engine->clear_slot(slot);
+}
+
+bool DataPlaneProgram::slot_cleared(std::uint16_t slot) const {
+  for (const MetricEngine* engine : engines_) {
+    if (!engine->slot_cleared(slot)) return false;
+  }
+  return true;
+}
+
+std::size_t DataPlaneProgram::pending_digests() const {
+  std::size_t total = fin_digests_.pending();
+  for (const MetricEngine* engine : engines_) {
+    total += engine->pending_digests();
+  }
+  return total;
 }
 
 }  // namespace p4s::telemetry

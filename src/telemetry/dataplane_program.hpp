@@ -15,15 +15,18 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "p4/hash.hpp"
 #include "p4/p4_switch.hpp"
 #include "p4/pipeline.hpp"
 #include "p4/register.hpp"
+#include "telemetry/flow_counters.hpp"
 #include "telemetry/flow_tracker.hpp"
 #include "telemetry/iat_monitor.hpp"
 #include "telemetry/int_export.hpp"
 #include "telemetry/limit_classifier.hpp"
+#include "telemetry/metric_engine.hpp"
 #include "telemetry/queue_monitor.hpp"
 #include "telemetry/rtt_loss.hpp"
 #include "telemetry/types.hpp"
@@ -60,23 +63,43 @@ class DataPlaneProgram : public p4::P4Program {
   const IatMonitor& iat_monitor() const { return iat_; }
   IntExporter& int_exporter() { return int_; }
   const IntExporter& int_exporter() const { return int_; }
+  FlowCounters& counters() { return counters_; }
+  const FlowCounters& counters() const { return counters_; }
 
   std::uint64_t bytes(std::uint16_t slot) const {
-    return bytes_.cp_read(slot);
+    return counters_.bytes(slot);
   }
   std::uint64_t packets(std::uint16_t slot) const {
-    return pkts_.cp_read(slot);
+    return counters_.packets(slot);
   }
   SimTime last_seen(std::uint16_t slot) const {
-    return last_seen_.cp_read(slot);
+    return counters_.last_seen(slot);
   }
   SimTime first_seen(std::uint16_t slot) const {
-    return first_seen_.cp_read(slot);
+    return counters_.first_seen(slot);
   }
 
   p4::DigestQueue<FlowFinDigest>& fin_digests() { return fin_digests_; }
 
-  /// Release a slot and clear every engine's state for it.
+  // ---- Engine registry ------------------------------------------------
+  // The registry is the program's definition of "every engine": the
+  // built-in stages register themselves in the constructor (in release
+  // order) and slot recycling iterates the list, so an engine added here
+  // — or registered externally by an extension — cannot be missed.
+  const std::vector<MetricEngine*>& engines() const { return engines_; }
+
+  /// Register an additional engine. The program does not own it; the
+  /// caller must keep it alive for the program's lifetime.
+  void register_engine(MetricEngine& engine) { engines_.push_back(&engine); }
+
+  /// True when every registered engine reports `slot` cleared — the
+  /// invariant release_slot() establishes.
+  bool slot_cleared(std::uint16_t slot) const;
+
+  /// Total digest backlog across all registered engines.
+  std::size_t pending_digests() const;
+
+  /// Release a slot: every registered engine clears its state for it.
   void release_slot(std::uint16_t slot);
 
   std::uint64_t ingress_copies() const { return ingress_copies_; }
@@ -108,11 +131,9 @@ class DataPlaneProgram : public p4::P4Program {
   LimitClassifier limit_;
   IatMonitor iat_;
   IntExporter int_;
+  FlowCounters counters_;
 
-  p4::RegisterArray<std::uint64_t> bytes_;
-  p4::RegisterArray<std::uint64_t> pkts_;
-  p4::RegisterArray<SimTime> first_seen_;
-  p4::RegisterArray<SimTime> last_seen_;
+  std::vector<MetricEngine*> engines_;
   p4::DigestQueue<FlowFinDigest> fin_digests_;
 
   p4::FlowKey memo_{};

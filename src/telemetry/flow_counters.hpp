@@ -1,0 +1,68 @@
+// Per-flow byte/packet counters and first/last-seen timestamps (§4.1:
+// "the data plane uses the IPv4 total length field"). Previously raw
+// registers inside DataPlaneProgram; extracted into a MetricEngine so
+// the slot-release registry covers them like every other measurement
+// stage.
+#pragma once
+
+#include <cstdint>
+
+#include "p4/register.hpp"
+#include "telemetry/metric_engine.hpp"
+#include "telemetry/types.hpp"
+
+namespace p4s::telemetry {
+
+class FlowCounters : public MetricEngine {
+ public:
+  FlowCounters()
+      : bytes_(kFlowSlots, 0),
+        pkts_(kFlowSlots, 0),
+        first_seen_(kFlowSlots, 0),
+        last_seen_(kFlowSlots, 0) {}
+
+  /// Data-path update for a tracked flow's data packet.
+  void on_data(std::uint16_t slot, std::uint32_t ipv4_total_len,
+               SimTime now) {
+    bytes_.execute(slot, [&](std::uint64_t& v) {
+      v += ipv4_total_len;
+      return 0;
+    });
+    pkts_.execute(slot, [](std::uint64_t& v) { return ++v; });
+    if (first_seen_.read(slot) == 0) first_seen_.write(slot, now);
+    last_seen_.write(slot, now);
+  }
+
+  // ---- Control-plane reads --------------------------------------------
+  std::uint64_t bytes(std::uint16_t slot) const { return bytes_.cp_read(slot); }
+  std::uint64_t packets(std::uint16_t slot) const {
+    return pkts_.cp_read(slot);
+  }
+  SimTime first_seen(std::uint16_t slot) const {
+    return first_seen_.cp_read(slot);
+  }
+  SimTime last_seen(std::uint16_t slot) const {
+    return last_seen_.cp_read(slot);
+  }
+
+  // ---- MetricEngine ---------------------------------------------------
+  std::string_view name() const override { return "counters"; }
+  void clear_slot(std::uint16_t slot) override {
+    bytes_.cp_write(slot, 0);
+    pkts_.cp_write(slot, 0);
+    first_seen_.cp_write(slot, 0);
+    last_seen_.cp_write(slot, 0);
+  }
+  bool slot_cleared(std::uint16_t slot) const override {
+    return bytes_.cp_read(slot) == 0 && pkts_.cp_read(slot) == 0 &&
+           first_seen_.cp_read(slot) == 0 && last_seen_.cp_read(slot) == 0;
+  }
+
+ private:
+  p4::RegisterArray<std::uint64_t> bytes_;
+  p4::RegisterArray<std::uint64_t> pkts_;
+  p4::RegisterArray<SimTime> first_seen_;
+  p4::RegisterArray<SimTime> last_seen_;
+};
+
+}  // namespace p4s::telemetry

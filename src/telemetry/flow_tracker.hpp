@@ -20,11 +20,12 @@
 #include "p4/hash.hpp"
 #include "p4/pipeline.hpp"
 #include "p4/register.hpp"
+#include "telemetry/metric_engine.hpp"
 #include "telemetry/types.hpp"
 
 namespace p4s::telemetry {
 
-class FlowTracker {
+class FlowTracker : public MetricEngine {
  public:
   struct Config {
     /// Bytes a flow must accumulate (CMS estimate) before promotion.
@@ -65,6 +66,15 @@ class FlowTracker {
   /// Control plane: release a slot (flow terminated) so it can be
   /// recycled.
   void release(std::uint16_t slot);
+
+  // ---- MetricEngine ---------------------------------------------------
+  std::string_view name() const override { return "flow_tracker"; }
+  void clear_slot(std::uint16_t slot) override { release(slot); }
+  bool slot_cleared(std::uint16_t slot) const override {
+    return !occupied_[slot] && slot_flow_id_.cp_read(slot) == 0 &&
+           identities_[slot].flow_id == 0;
+  }
+  std::size_t pending_digests() const override { return digests_.pending(); }
 
   p4::DigestQueue<NewFlowDigest>& new_flow_digests() { return digests_; }
 

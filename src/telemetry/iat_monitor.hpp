@@ -14,11 +14,12 @@
 
 #include "p4/pipeline.hpp"
 #include "p4/register.hpp"
+#include "telemetry/metric_engine.hpp"
 #include "telemetry/types.hpp"
 
 namespace p4s::telemetry {
 
-class IatMonitor {
+class IatMonitor : public MetricEngine {
  public:
   struct Config {
     double blockage_factor = 8.0;
@@ -50,7 +51,15 @@ class IatMonitor {
     return blocked_.cp_read(slot) != 0;
   }
 
-  void clear_slot(std::uint16_t slot);
+  // ---- MetricEngine ---------------------------------------------------
+  std::string_view name() const override { return "iat_monitor"; }
+  void clear_slot(std::uint16_t slot) override;
+  bool slot_cleared(std::uint16_t slot) const override {
+    return last_ts_.cp_read(slot) == 0 && last_iat_.cp_read(slot) == 0 &&
+           ewma_.cp_read(slot) == 0 && samples_.cp_read(slot) == 0 &&
+           gap_streak_.cp_read(slot) == 0 && blocked_.cp_read(slot) == 0;
+  }
+  std::size_t pending_digests() const override { return digests_.pending(); }
 
   p4::DigestQueue<BlockageDigest>& blockage_digests() { return digests_; }
 

@@ -11,6 +11,7 @@
 
 #include "p4/pipeline.hpp"
 #include "p4/register.hpp"
+#include "telemetry/metric_engine.hpp"
 #include "telemetry/types.hpp"
 
 namespace p4s::telemetry {
@@ -23,7 +24,7 @@ struct IntPostcard {
   std::uint32_t seq = 0;
 };
 
-class IntExporter {
+class IntExporter : public MetricEngine {
  public:
   struct Config {
     bool enabled = false;
@@ -38,7 +39,13 @@ class IntExporter {
   void on_egress(std::uint16_t slot, std::uint32_t flow_id,
                  std::uint32_t seq, SimTime queue_delay, SimTime now);
 
-  void clear_slot(std::uint16_t slot) { counters_.cp_write(slot, 0); }
+  // ---- MetricEngine ---------------------------------------------------
+  std::string_view name() const override { return "int_export"; }
+  void clear_slot(std::uint16_t slot) override { counters_.cp_write(slot, 0); }
+  bool slot_cleared(std::uint16_t slot) const override {
+    return counters_.cp_read(slot) == 0;
+  }
+  std::size_t pending_digests() const override { return postcards_.pending(); }
 
   p4::DigestQueue<IntPostcard>& postcards() { return postcards_; }
   std::uint64_t packets_seen() const { return packets_seen_; }

@@ -133,4 +133,16 @@ void LimitClassifier::clear_slot(std::uint16_t slot) {
   network_memory_.cp_write(slot, 0);
 }
 
+bool LimitClassifier::slot_cleared(std::uint16_t slot) const {
+  return highest_seq_.cp_read(slot) == 0 && seq_valid_.cp_read(slot) == 0 &&
+         highest_ack_.cp_read(slot) == 0 && ack_valid_.cp_read(slot) == 0 &&
+         flight_.cp_read(slot) == 0 && win_start_.cp_read(slot) == 0 &&
+         win_losses_.cp_read(slot) == 0 &&
+         win_flight_min_.cp_read(slot) ==
+             std::numeric_limits<std::uint64_t>::max() &&
+         win_flight_max_.cp_read(slot) == 0 &&
+         win_queueing_.cp_read(slot) == 0 && verdict_.cp_read(slot) == 0 &&
+         network_memory_.cp_read(slot) == 0;
+}
+
 }  // namespace p4s::telemetry

@@ -14,11 +14,12 @@
 
 #include "p4/register.hpp"
 #include "tcp/seq.hpp"
+#include "telemetry/metric_engine.hpp"
 #include "telemetry/types.hpp"
 
 namespace p4s::telemetry {
 
-class LimitClassifier {
+class LimitClassifier : public MetricEngine {
  public:
   struct Config {
     /// Evaluation window length.
@@ -54,7 +55,10 @@ class LimitClassifier {
     return flight_.cp_read(slot);
   }
 
-  void clear_slot(std::uint16_t slot);
+  // ---- MetricEngine ---------------------------------------------------
+  std::string_view name() const override { return "limit_classifier"; }
+  void clear_slot(std::uint16_t slot) override;
+  bool slot_cleared(std::uint16_t slot) const override;
 
  private:
   void update_flight(std::uint16_t slot, SimTime now);

@@ -1,0 +1,42 @@
+// MetricEngine — the common control-plane-facing surface of every
+// in-switch measurement stage (flow tracking, RTT/loss, queue monitor,
+// limitation classifier, IAT monitor, INT export, byte/packet counters).
+//
+// The data-plane program composes *registered* engines instead of
+// hard-calling each one: releasing a flow's register slot, checking the
+// released-slot invariant, and counting pending digest backlog all
+// iterate the registry, so a newly added engine cannot be silently
+// missed by the slot-recycling path (the registry IS the definition of
+// "every engine"). This mirrors how P4-NIDS composes pluggable
+// per-metric stages and is the seam that lets a metric be added without
+// touching DataPlaneProgram or the control-plane timer logic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace p4s::telemetry {
+
+class MetricEngine {
+ public:
+  virtual ~MetricEngine() = default;
+
+  /// Stable engine name (used in diagnostics and invariant failures).
+  virtual std::string_view name() const = 0;
+
+  /// The control plane released `slot`: drop every per-slot register this
+  /// engine keeps for it. Must be idempotent; must leave the slot
+  /// indistinguishable from a never-used one.
+  virtual void clear_slot(std::uint16_t slot) = 0;
+
+  /// True when no per-slot state remains for `slot` — the postcondition
+  /// of clear_slot(), and the registry-wide invariant
+  /// DataPlaneProgram::release_slot() establishes (asserted by tests).
+  virtual bool slot_cleared(std::uint16_t slot) const = 0;
+
+  /// Digest backlog awaiting the control plane's poll loop (0 for engines
+  /// that emit no digests).
+  virtual std::size_t pending_digests() const { return 0; }
+};
+
+}  // namespace p4s::telemetry

@@ -22,11 +22,12 @@
 
 #include "p4/pipeline.hpp"
 #include "p4/register.hpp"
+#include "telemetry/metric_engine.hpp"
 #include "telemetry/types.hpp"
 
 namespace p4s::telemetry {
 
-class QueueMonitor {
+class QueueMonitor : public MetricEngine {
  public:
   struct Config {
     /// Queuing delay that opens a microburst record.
@@ -56,7 +57,17 @@ class QueueMonitor {
   /// Most recent per-packet delay regardless of flow (switch-wide view).
   SimTime last_delay_any() const { return last_delay_; }
 
-  void clear_slot(std::uint16_t slot) { flow_delay_.cp_write(slot, 0); }
+  // ---- MetricEngine ---------------------------------------------------
+  // (The packet-signature table is per-packet, not per-slot, so only the
+  // per-flow delay register participates in the slot invariant.)
+  std::string_view name() const override { return "queue_monitor"; }
+  void clear_slot(std::uint16_t slot) override {
+    flow_delay_.cp_write(slot, 0);
+  }
+  bool slot_cleared(std::uint16_t slot) const override {
+    return flow_delay_.cp_read(slot) == 0;
+  }
+  std::size_t pending_digests() const override { return digests_.pending(); }
 
   p4::DigestQueue<MicroburstDigest>& microburst_digests() {
     return digests_;

@@ -25,11 +25,12 @@
 
 #include "p4/register.hpp"
 #include "tcp/seq.hpp"
+#include "telemetry/metric_engine.hpp"
 #include "telemetry/types.hpp"
 
 namespace p4s::telemetry {
 
-class RttLossEngine {
+class RttLossEngine : public MetricEngine {
  public:
   /// `eack_slots` must be a power of two (asserted); defaults to the
   /// paper-scale kEackSlots. Exposed for the register-sizing ablation
@@ -66,8 +67,16 @@ class RttLossEngine {
   }
   SimTime last_rtt(std::uint16_t slot) const { return rtt_.cp_read(slot); }
 
-  /// Reset a slot's state when a flow is released.
-  void clear_slot(std::uint16_t slot);
+  // ---- MetricEngine ---------------------------------------------------
+  std::string_view name() const override { return "rtt_loss"; }
+  /// Reset a slot's state when a flow is released. (The eACK table is
+  /// signature-indexed, not slot-indexed; stale entries age out by
+  /// eviction and are excluded from the per-slot invariant.)
+  void clear_slot(std::uint16_t slot) override;
+  bool slot_cleared(std::uint16_t slot) const override {
+    return prev_seq_.cp_read(slot) == 0 && prev_seq_valid_.cp_read(slot) == 0 &&
+           pkt_loss_.cp_read(slot) == 0 && rtt_.cp_read(slot) == 0;
+  }
 
   std::uint64_t eack_matches() const { return eack_matches_; }
   std::uint64_t eack_misses() const { return eack_misses_; }

@@ -1,6 +1,7 @@
 #include "trace/trace_cli.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -110,6 +111,10 @@ int cmd_replay(const util::CliArgs& args,
   config.control.bottleneck_bps = args.uint_or("bottleneck-bps", 0);
   ReplayPipeline pipeline(config);
   const double sps = args.number_or("samples-per-second", 1.0);
+  if (!std::isfinite(sps) || sps <= 0.0) {
+    out << "error: --samples-per-second must be a finite value > 0\n";
+    return 2;
+  }
   for (std::size_t i = 0; i < cp::kMetricCount; ++i) {
     pipeline.control_plane().set_samples_per_second(
         static_cast<cp::MetricKind>(i), sps);

@@ -266,6 +266,35 @@ TEST(ConfigLoader, TransportConfigBuildsResilientSystem) {
   EXPECT_GT(system.psonar().archiver().total_docs(), 0u);
 }
 
+TEST(ConfigLoader, SwitchesSection) {
+  const auto config = core::config_from_text(R"({
+    "switches": [
+      {"id": "site-a"},
+      {"id": "site-b", "tap": "wan_ext1"}
+    ]
+  })");
+  ASSERT_EQ(config.switches.size(), 2u);
+  EXPECT_EQ(config.switches[0].id, "site-a");
+  EXPECT_EQ(config.switches[0].tap, core::TapPoint::kCoreBottleneck);
+  EXPECT_EQ(config.switches[1].id, "site-b");
+  EXPECT_EQ(config.switches[1].tap, core::TapPoint::kWanExt1);
+  // Default: no explicit switches (MonitoringSystem builds one untagged).
+  EXPECT_TRUE(core::config_from_text("{}").switches.empty());
+}
+
+TEST(ConfigLoader, SwitchesRejectsBadValues) {
+  EXPECT_THROW(core::config_from_text(R"({"switches": {}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(R"({"switches": [{"id": 7}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      core::config_from_text(R"({"switches": [{"tap": "nowhere"}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      core::config_from_text(R"({"switches": [{"bogus": true}]})"),
+      std::invalid_argument);
+}
+
 TEST(ConfigLoader, LoadedConfigBuildsWorkingSystem) {
   const auto config = core::config_from_text(R"({
     "topology": {"bottleneck_mbps": 100},

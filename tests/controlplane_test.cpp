@@ -3,6 +3,9 @@
 // boost, digest consumption, terminated-flow reports and aggregates.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "controlplane/control_plane.hpp"
 #include "p4/hash.hpp"
 #include "p4/p4_switch.hpp"
@@ -257,9 +260,44 @@ TEST_F(ControlPlaneFixture, SamplesPerSecondConfiguration) {
   cp->set_samples_per_second(MetricKind::kRtt, 4.0);
   EXPECT_EQ(cp->metric_config(MetricKind::kRtt).interval,
             units::milliseconds(250));
-  cp->set_samples_per_second(MetricKind::kRtt, -1.0);  // ignored
+  // The name-based variant reaches the same builtin entry.
+  cp->set_samples_per_second("rtt", 8.0);
+  EXPECT_EQ(cp->metric_config(MetricKind::kRtt).interval,
+            units::milliseconds(125));
+}
+
+TEST_F(ControlPlaneFixture, RejectsInvalidSampleRates) {
+  make_cp();
+  cp->set_samples_per_second(MetricKind::kRtt, 4.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(cp->set_samples_per_second(MetricKind::kRtt, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(cp->set_samples_per_second(MetricKind::kRtt, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(cp->set_samples_per_second(MetricKind::kRtt, nan),
+               std::invalid_argument);
+  EXPECT_THROW(cp->set_samples_per_second(MetricKind::kRtt, inf),
+               std::invalid_argument);
+  EXPECT_THROW(cp->set_samples_per_second("no_such_metric", 1.0),
+               std::invalid_argument);
+  // A rejected rate must not have disturbed the armed timer.
   EXPECT_EQ(cp->metric_config(MetricKind::kRtt).interval,
             units::milliseconds(250));
+}
+
+TEST_F(ControlPlaneFixture, RejectsInvalidAlertThresholds) {
+  make_cp();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(cp->set_alert(MetricKind::kRtt, -5.0), std::invalid_argument);
+  EXPECT_THROW(cp->set_alert(MetricKind::kRtt, nan), std::invalid_argument);
+  EXPECT_THROW(cp->set_alert(MetricKind::kRtt, 10.0, /*boosted_sps=*/-2.0),
+               std::invalid_argument);
+  EXPECT_THROW(cp->set_alert(MetricKind::kRtt, 10.0, /*boosted_sps=*/nan),
+               std::invalid_argument);
+  EXPECT_FALSE(cp->metric_config(MetricKind::kRtt).alert_enabled);
+  cp->set_alert(MetricKind::kRtt, 10.0, 20.0);
+  EXPECT_TRUE(cp->metric_config(MetricKind::kRtt).alert_enabled);
 }
 
 TEST_F(ControlPlaneFixture, SetAlertConfiguresThresholdAndBoost) {
@@ -271,6 +309,55 @@ TEST_F(ControlPlaneFixture, SetAlertConfiguresThresholdAndBoost) {
   EXPECT_EQ(mc.boosted_interval, units::milliseconds(100));
   cp->clear_alert(MetricKind::kQueueOccupancy);
   EXPECT_FALSE(cp->metric_config(MetricKind::kQueueOccupancy).alert_enabled);
+}
+
+// The tentpole claim: a fifth metric is one register_extractor() call —
+// it gets its own timer, reports, name-based configuration and alerts
+// without touching the shared extraction logic.
+TEST_F(ControlPlaneFixture, FifthMetricIsOneRegistration) {
+  make_cp();
+  ControlPlane::MetricExtractor volume;
+  volume.name = "volume";
+  volume.value_key = "volume_bytes";
+  volume.read = [this](std::uint16_t slot, ControlPlane::FlowState&,
+                       SimTime) {
+    return static_cast<double>(program->bytes(slot));
+  };
+  MetricConfig config;
+  config.interval = units::milliseconds(200);
+  cp->register_extractor(std::move(volume), config);
+  EXPECT_EQ(cp->extractor_count(), kMetricCount + 1);
+  cp->set_alert("volume", /*threshold=*/1.0);
+
+  cp->start();
+  stream(1000.0, units::seconds(2));
+  sim.run_until(units::seconds(2));
+
+  const auto reports = sink.of("volume");
+  EXPECT_GT(reports.size(), 5u);
+  EXPECT_TRUE(reports.back().contains("volume_bytes"));
+  ASSERT_FALSE(cp->alerts().empty());
+  bool extension_alert = false;
+  for (const auto& alert : cp->alerts()) {
+    if (alert.metric_name == "volume") {
+      extension_alert = true;
+      EXPECT_FALSE(alert.metric.has_value());  // not a builtin kind
+    }
+  }
+  EXPECT_TRUE(extension_alert);
+
+  // Name-based configuration reaches the extension entry.
+  cp->set_samples_per_second("volume", 100.0);
+  EXPECT_EQ(cp->extractor_config("volume").interval,
+            units::milliseconds(10));
+
+  ControlPlane::MetricExtractor dup;
+  dup.name = "volume";
+  dup.read = [](std::uint16_t, ControlPlane::FlowState&, SimTime) {
+    return 0.0;
+  };
+  EXPECT_THROW(cp->register_extractor(std::move(dup)),
+               std::invalid_argument);
 }
 
 TEST_F(ControlPlaneFixture, LimitationReportsPiggybackOnThroughput) {

@@ -407,9 +407,82 @@ TEST_F(PsConfigFixture, RejectsMalformedCommands) {
       psconfig.execute("psconfig config-P4 --samples_per_second zero").ok);
   EXPECT_FALSE(
       psconfig.execute("psconfig config-P4 --samples_per_second -3").ok);
+  // std::from_chars accepts "nan"/"inf", so they need explicit rejection.
+  EXPECT_FALSE(
+      psconfig.execute("psconfig config-P4 --samples_per_second nan").ok);
+  EXPECT_FALSE(
+      psconfig.execute("psconfig config-P4 --samples_per_second inf").ok);
+  EXPECT_FALSE(psconfig
+                   .execute("psconfig config-P4 --alert --threshold nan "
+                            "--samples_per_second 1")
+                   .ok);
+  EXPECT_FALSE(psconfig
+                   .execute("psconfig config-P4 --alert --threshold -1 "
+                            "--samples_per_second 1")
+                   .ok);
   EXPECT_FALSE(psconfig.execute("psconfig config-P4 --alert").ok);
   EXPECT_FALSE(
       psconfig.execute("psconfig config-P4 --metric rtt --frobnicate 1").ok);
+}
+
+// ---------- config-P4 over a multi-switch fabric ----------
+
+struct PsConfigFabricFixture : ::testing::Test {
+  sim::Simulation sim;
+  telemetry::DataPlaneProgram program_a;
+  telemetry::DataPlaneProgram program_b;
+  cp::ControlPlaneConfig cp_config;
+  cp::ControlPlane site_a{sim, program_a, cp_config};
+  cp::ControlPlane site_b{sim, program_b, cp_config};
+  PsConfig psconfig;
+
+  void SetUp() override {
+    psconfig.add_control_plane(site_a, "site-a");
+    psconfig.add_control_plane(site_b, "site-b");
+  }
+};
+
+TEST_F(PsConfigFabricFixture, DefaultTargetsEverySwitch) {
+  ASSERT_TRUE(psconfig
+                  .execute("psconfig config-P4 --metric rtt "
+                           "--samples_per_second 4")
+                  .ok);
+  EXPECT_EQ(site_a.metric_config(cp::MetricKind::kRtt).interval,
+            units::milliseconds(250));
+  EXPECT_EQ(site_b.metric_config(cp::MetricKind::kRtt).interval,
+            units::milliseconds(250));
+}
+
+TEST_F(PsConfigFabricFixture, SwitchFlagTargetsOneSiteById) {
+  ASSERT_TRUE(psconfig
+                  .execute("psconfig config-P4 --switch site-b --metric rtt "
+                           "--samples_per_second 8")
+                  .ok);
+  EXPECT_NE(site_a.metric_config(cp::MetricKind::kRtt).interval,
+            units::milliseconds(125));
+  EXPECT_EQ(site_b.metric_config(cp::MetricKind::kRtt).interval,
+            units::milliseconds(125));
+}
+
+TEST_F(PsConfigFabricFixture, SwitchFlagAcceptsZeroBasedIndex) {
+  ASSERT_TRUE(psconfig
+                  .execute("psconfig config-P4 --switch 0 --metric rtt "
+                           "--samples_per_second 8")
+                  .ok);
+  EXPECT_EQ(site_a.metric_config(cp::MetricKind::kRtt).interval,
+            units::milliseconds(125));
+  EXPECT_NE(site_b.metric_config(cp::MetricKind::kRtt).interval,
+            units::milliseconds(125));
+}
+
+TEST_F(PsConfigFabricFixture, UnknownSwitchFails) {
+  const auto result = psconfig.execute(
+      "psconfig config-P4 --switch nowhere --samples_per_second 1");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("unknown switch"), std::string::npos);
+  EXPECT_FALSE(
+      psconfig.execute("psconfig config-P4 --switch --samples_per_second 1")
+          .ok);
 }
 
 TEST_F(PsConfigFixture, HistoryRecordsSuccessesOnly) {
