@@ -1,0 +1,187 @@
+// store_ingest — durable-archive throughput and pruning payoff.
+//
+// Measures, at 100k documents:
+//   1. ingest rate through the Store (WAL append + threshold sealing),
+//   2. time-window query latency on the segmented StoreBackend (which
+//      prunes disjoint segments from the manifest) vs. the in-memory
+//      MemoryBackend full scan — the pruned path must win,
+//   3. the columnar aggregation fast path vs. the generic per-document
+//      fold.
+//
+// Writes BENCH_store_ingest.json (p4s-bench-v1); absolute numbers are
+// machine-dependent and archived, not asserted — but the prune speedup
+// ratios are machine-independent enough that CI sanity-checks them > 1.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "bench_json.hpp"
+#include "psonar/archiver.hpp"
+#include "psonar/store_backend.hpp"
+#include "store/store.hpp"
+
+using namespace p4s;
+
+namespace {
+
+constexpr int kDocs = 100'000;
+constexpr std::int64_t kSpacingNs = 500'000'000;  // 2 docs per second
+
+util::Json make_doc(int i) {
+  util::Json doc = util::Json::object();
+  doc["ts_ns"] = static_cast<std::int64_t>(i) * kSpacingNs;
+  doc["throughput_bps"] = static_cast<std::int64_t>(900'000 + (i * 37) % 200'000);
+  doc["bytes"] = static_cast<std::int64_t>(1460) * ((i % 64) + 1);
+  doc["switch_id"] = (i % 3 == 0) ? "s0" : (i % 3 == 1) ? "s1" : "s2";
+  doc["report"] = "throughput";
+  return doc;
+}
+
+/// Last 2% of the time axis — the dashboard's "recent window" query.
+/// Wide enough to reach past the memtable into the newest sealed
+/// segment, so the pruned path decodes one segment and skips the rest.
+ps::Archiver::Query recent_window() {
+  ps::Archiver::Query query;
+  query.range_field = "ts_ns";
+  query.range_min = static_cast<double>(
+      static_cast<std::int64_t>(kDocs) * kSpacingNs * 98 / 100);
+  return query;
+}
+
+double query_docs_per_sec(const ps::Archiver& archiver, int rounds,
+                          std::uint64_t* matched_out) {
+  const auto query = recent_window();
+  std::uint64_t matched = 0;
+  bench::WallTimer timer;
+  for (int r = 0; r < rounds; ++r) {
+    archiver.for_each("tput", query, [&](const util::Json&) {
+      ++matched;
+      return true;
+    });
+  }
+  const double elapsed = timer.elapsed_s();
+  *matched_out = matched / static_cast<std::uint64_t>(rounds);
+  return matched / elapsed;
+}
+
+double aggregate_per_sec(const ps::Archiver& archiver, int rounds) {
+  const auto query = recent_window();
+  bench::WallTimer timer;
+  double sink = 0;
+  for (int r = 0; r < rounds; ++r) {
+    sink += archiver.aggregate("tput", "throughput_bps", query).sum;
+  }
+  (void)sink;
+  return rounds / timer.elapsed_s();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const int docs = quick ? kDocs / 10 : kDocs;
+  const int rounds = quick ? 5 : 20;
+
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/p4s_bench_store";
+  std::filesystem::remove_all(dir);
+
+  // --- ingest through the durable store (WAL + threshold sealing) ------
+  store::StoreConfig config;
+  config.seal_min_docs = 4096;
+  config.compact_fanin = 0;  // keep many segments: that's what pruning eats
+  auto store = std::make_unique<store::Store>(dir, config);
+  ps::Archiver durable(std::make_unique<ps::StoreBackend>(*store));
+  ps::Archiver memory;  // the full-scan reference
+
+  bench::WallTimer total;
+  bench::WallTimer timer;
+  for (int i = 0; i < docs; ++i) {
+    durable.index("tput", make_doc(i));
+    if ((i + 1) % static_cast<int>(config.seal_min_docs) == 0) {
+      store->maintain();
+    }
+  }
+  store->flush();
+  store->maintain();
+  const double ingest_docs_per_sec = docs / timer.elapsed_s();
+
+  timer.restart();
+  for (int i = 0; i < docs; ++i) memory.index("tput", make_doc(i));
+  const double memory_ingest_docs_per_sec = docs / timer.elapsed_s();
+
+  // --- recent-window query: pruned segments vs full scan ---------------
+  std::uint64_t matched_pruned = 0;
+  std::uint64_t matched_full = 0;
+  const auto stats_before = store->stats();
+  const double pruned_docs_per_sec =
+      query_docs_per_sec(durable, rounds, &matched_pruned);
+  const auto stats_after = store->stats();
+  const double full_scan_docs_per_sec =
+      query_docs_per_sec(memory, rounds, &matched_full);
+  if (matched_pruned != matched_full) {
+    std::fprintf(stderr, "store_ingest: backends disagree (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(matched_pruned),
+                 static_cast<unsigned long long>(matched_full));
+    return 1;
+  }
+
+  // --- aggregation: columnar fast path vs generic fold -----------------
+  const double columnar_aggs_per_sec = aggregate_per_sec(durable, rounds);
+  const double generic_aggs_per_sec = aggregate_per_sec(memory, rounds);
+
+  const std::uint64_t pruned = stats_after.segments_pruned_range -
+                               stats_before.segments_pruned_range;
+  const std::uint64_t considered = stats_after.segments_considered -
+                                   stats_before.segments_considered;
+
+  bench::BenchReport report("store_ingest");
+  report.wall_time_s(total.elapsed_s())
+      .metric("ingest_docs_per_sec", ingest_docs_per_sec)
+      .metric("memory_ingest_docs_per_sec", memory_ingest_docs_per_sec)
+      .metric("pruned_query_docs_per_sec", pruned_docs_per_sec)
+      .metric("full_scan_query_docs_per_sec", full_scan_docs_per_sec)
+      .metric("query_speedup",
+              pruned_docs_per_sec / full_scan_docs_per_sec)
+      .metric("columnar_aggs_per_sec", columnar_aggs_per_sec)
+      .metric("generic_aggs_per_sec", generic_aggs_per_sec)
+      .metric("agg_speedup", columnar_aggs_per_sec / generic_aggs_per_sec)
+      .metric("segments_total", store->segment_count("tput"))
+      .metric("segments_pruned_per_query",
+              static_cast<double>(pruned) / rounds)
+      .metric("segments_considered_per_query",
+              static_cast<double>(considered) / rounds)
+      .metric("window_matches", matched_pruned)
+      .meta("docs", util::Json(static_cast<std::int64_t>(docs)))
+      .meta("rounds", util::Json(static_cast<std::int64_t>(rounds)))
+      .meta("seal_min_docs",
+            util::Json(static_cast<std::int64_t>(config.seal_min_docs)))
+      .meta("quick", util::Json(quick));
+
+  std::printf("store_ingest: %d docs\n", docs);
+  std::printf("  ingest          %12.0f docs/s (memory %12.0f docs/s)\n",
+              ingest_docs_per_sec, memory_ingest_docs_per_sec);
+  std::printf("  window query    %12.0f docs/s pruned  vs %12.0f docs/s "
+              "full scan  (%.1fx)\n",
+              pruned_docs_per_sec, full_scan_docs_per_sec,
+              pruned_docs_per_sec / full_scan_docs_per_sec);
+  std::printf("  aggregation     %12.0f aggs/s columnar vs %12.0f aggs/s "
+              "generic   (%.1fx)\n",
+              columnar_aggs_per_sec, generic_aggs_per_sec,
+              columnar_aggs_per_sec / generic_aggs_per_sec);
+  std::printf("  segments: %llu total, %.1f pruned per query\n",
+              static_cast<unsigned long long>(store->segment_count("tput")),
+              static_cast<double>(pruned) / rounds);
+
+  const bool ok = report.write();
+  // The payoff claim itself (pruned beats full scan at 100k docs) is the
+  // one machine-independent assertion this bench makes.
+  if (ok && !quick && pruned_docs_per_sec <= full_scan_docs_per_sec) {
+    std::fprintf(stderr,
+                 "store_ingest: pruned query did NOT beat the full scan\n");
+    return 1;
+  }
+  std::filesystem::remove_all(dir);
+  return ok ? 0 : 1;
+}

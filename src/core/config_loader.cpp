@@ -195,6 +195,68 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
         }
         return true;
       });
+    } else if (key == "archive") {
+      walk(value, "archive", [&](const std::string& k,
+                                 const util::Json& v) {
+        auto& a = config.archive;
+        if (k == "backend") {
+          if (!v.is_string()) fail("'archive.backend' must be a string");
+          const std::string& backend = v.as_string();
+          if (backend == "store") {
+            a.durable = true;
+          } else if (backend == "memory") {
+            a.durable = false;
+          } else {
+            fail("'archive.backend' must be 'memory' or 'store'");
+          }
+        } else if (k == "dir") {
+          if (!v.is_string()) fail("'archive.dir' must be a string");
+          a.dir = v.as_string();
+        } else if (k == "time_field") {
+          if (!v.is_string()) fail("'archive.time_field' must be a string");
+          a.store.time_field = v.as_string();
+        } else if (k == "hot_fields") {
+          if (!v.is_array()) fail("'archive.hot_fields' must be an array");
+          a.store.hot_fields.clear();
+          for (const auto& f : v.as_array()) {
+            if (!f.is_string()) {
+              fail("'archive.hot_fields' entries must be strings");
+            }
+            a.store.hot_fields.push_back(f.as_string());
+          }
+        } else if (k == "wal_batch_docs") {
+          a.store.wal_batch_docs =
+              static_cast<std::size_t>(require_number(v, k));
+        } else if (k == "seal_min_docs") {
+          a.store.seal_min_docs =
+              static_cast<std::size_t>(require_number(v, k));
+        } else if (k == "compact_fanin") {
+          a.store.compact_fanin =
+              static_cast<std::size_t>(require_number(v, k));
+        } else if (k == "rollup_bucket_s") {
+          a.store.rollup_bucket_ns = static_cast<std::uint64_t>(
+              require_number(v, k) * 1e9);
+        } else if (k == "rollup_fields") {
+          if (!v.is_array()) {
+            fail("'archive.rollup_fields' must be an array");
+          }
+          for (const auto& f : v.as_array()) {
+            if (!f.is_string()) {
+              fail("'archive.rollup_fields' entries must be strings");
+            }
+            a.store.rollup_fields.push_back(f.as_string());
+          }
+        } else if (k == "maintenance_interval_s") {
+          a.maintenance_interval =
+              units::seconds_f(require_number(v, k));
+        } else {
+          return false;
+        }
+        return true;
+      });
+      if (config.archive.durable && config.archive.dir.empty()) {
+        fail("'archive.backend': 'store' requires 'archive.dir'");
+      }
     } else if (key == "switches") {
       if (!value.is_array()) fail("'switches' must be an array");
       const auto& entries = value.as_array();

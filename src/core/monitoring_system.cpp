@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "psonar/store_backend.hpp"
+
 namespace p4s::core {
 
 MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
@@ -22,6 +24,18 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
 
   psonar_ =
       std::make_unique<ps::PerfSonarNode>(sim_, *topology_.psonar_internal);
+  if (config_.archive.durable) {
+    // Durable archive: swap the archiver onto the segmented store before
+    // any report can be indexed.
+    if (config_.archive.dir.empty()) {
+      throw std::invalid_argument(
+          "archive.durable requires a store directory (archive.dir)");
+    }
+    store_ = std::make_unique<store::Store>(config_.archive.dir,
+                                            config_.archive.store);
+    psonar_->archiver().set_backend(
+        std::make_unique<ps::StoreBackend>(*store_));
+  }
   for (std::size_t i = 0; i < switches_.size(); ++i) {
     psonar_->psconfig().add_control_plane(switches_[i]->control_plane(),
                                           switches_[i]->id());
@@ -57,6 +71,15 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
 void MonitoringSystem::start() {
   if (fault_injector_) fault_injector_->arm();
   for (auto& monitored : switches_) monitored->control_plane().start();
+  if (store_ && config_.archive.maintenance_interval > 0) {
+    // Background-style store maintenance on the simulation clock: commit
+    // the WAL batch, seal big memtables, compact fragmented indices.
+    const SimTime period = config_.archive.maintenance_interval;
+    sim_.every(period, period, [this] {
+      store_->maintain();
+      return true;
+    });
+  }
 }
 
 tcp::TcpFlow& MonitoringSystem::add_transfer(

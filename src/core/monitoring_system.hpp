@@ -35,6 +35,7 @@
 #include "p4/p4_switch.hpp"
 #include "psonar/node.hpp"
 #include "sim/simulation.hpp"
+#include "store/store.hpp"
 #include "tcp/flow.hpp"
 #include "telemetry/dataplane_program.hpp"
 #include "trace/trace_capture.hpp"
@@ -57,6 +58,21 @@ struct ReportTransportConfig {
 // TraceCaptureConfig lives in core/monitored_switch.hpp (each monitored
 // switch owns its capture tee); it is re-exported here unchanged.
 
+/// Configuration of the archiver's storage backend (the config loader's
+/// "archive" section). Default is the in-memory archive; with `durable`
+/// set, documents persist to a store::Store at `dir` and a maintenance
+/// tick on the simulation clock seals/compacts segments in the
+/// background.
+struct ArchiveConfig {
+  bool durable = false;
+  /// Store directory (required when durable).
+  std::string dir;
+  store::StoreConfig store;
+  /// Period of the background seal/compact/rollup tick (0 = never; seal
+  /// manually via archive_store()).
+  SimTime maintenance_interval = units::seconds(1);
+};
+
 struct MonitoringSystemConfig {
   net::PaperTopologyConfig topology;
   telemetry::DataPlaneProgram::Config program;
@@ -66,6 +82,7 @@ struct MonitoringSystemConfig {
   cp::ControlPlaneConfig control;
   ReportTransportConfig transport;
   TraceCaptureConfig trace;
+  ArchiveConfig archive;
   /// The monitored switches of the fabric. Empty = one untagged switch on
   /// the core bottleneck (the paper's deployment, and the legacy
   /// single-switch behavior).
@@ -133,6 +150,12 @@ class MonitoringSystem {
   /// The hardened sink (only with transport.resilient).
   cp::ResilientReportSink& report_sink() { return *resilient_sink_; }
 
+  /// Whether the archiver persists to the durable store.
+  bool durable_archive() const { return store_ != nullptr; }
+  /// The durable store behind the archiver (only with archive.durable).
+  /// Seal/flush through it at end of run to make the tail durable.
+  store::Store& archive_store() { return *store_; }
+
   /// Whether pcap capture of the mirror streams is active (switch 0).
   bool capturing() const { return switches_[0]->capturing(); }
   /// The capture tee (only with trace.capture; switch 0's tee).
@@ -150,6 +173,7 @@ class MonitoringSystem {
   net::Network network_;
   net::PaperTopology topology_;
   std::vector<std::unique_ptr<MonitoredSwitch>> switches_;
+  std::unique_ptr<store::Store> store_;  // before psonar_: archiver backend
   std::unique_ptr<ps::PerfSonarNode> psonar_;
   std::unique_ptr<net::ReportChannel> channel_;
   std::unique_ptr<net::FaultInjector> fault_injector_;

@@ -1,70 +1,35 @@
 #include "psonar/archiver.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace p4s::ps {
 
+Archiver::Archiver() : backend_(std::make_unique<MemoryBackend>()) {}
+
+Archiver::Archiver(std::unique_ptr<ArchiverBackend> backend)
+    : backend_(std::move(backend)) {
+  if (!backend_) backend_ = std::make_unique<MemoryBackend>();
+}
+
+void Archiver::set_backend(std::unique_ptr<ArchiverBackend> backend) {
+  if (!backend) throw std::logic_error("Archiver: null backend");
+  if (backend_->total_docs() > 0) {
+    throw std::logic_error(
+        "Archiver: cannot swap the backend of a non-empty archive");
+  }
+  backend_ = std::move(backend);
+}
+
 std::uint64_t Archiver::index(const std::string& index_name,
                               util::Json doc) {
-  auto& docs = indices_[index_name];
-  docs.push_back(std::move(doc));
-  ++total_docs_;
-  return docs.size() - 1;
-}
-
-std::optional<util::Json> Archiver::field_at(const util::Json& doc,
-                                             const std::string& path) {
-  const util::Json* cur = &doc;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t dot = path.find('.', start);
-    const std::string key = path.substr(
-        start, dot == std::string::npos ? std::string::npos : dot - start);
-    if (!cur->is_object() || !cur->contains(key)) return std::nullopt;
-    cur = &cur->at(key);
-    if (dot == std::string::npos) break;
-    start = dot + 1;
-  }
-  return *cur;
-}
-
-bool Archiver::matches(const util::Json& doc, const Query& query) {
-  for (const auto& [path, expected] : query.terms) {
-    auto value = field_at(doc, path);
-    if (!value.has_value() || !(*value == expected)) return false;
-  }
-  if (!query.range_field.empty()) {
-    auto value = field_at(doc, query.range_field);
-    if (!value.has_value() || !value->is_number()) return false;
-    const double v = value->as_double();
-    if (query.range_min.has_value() && v < *query.range_min) return false;
-    if (query.range_max.has_value() && v > *query.range_max) return false;
-  }
-  return true;
+  return backend_->index(index_name, std::move(doc));
 }
 
 void Archiver::for_each(
     const std::string& index_name, const Query& query,
     const std::function<bool(const util::Json&)>& visit) const {
-  auto it = indices_.find(index_name);
-  if (it == indices_.end()) return;
-  const auto& docs = it->second;
-  std::size_t matched = 0;
-  const auto consider = [&](const util::Json& doc) {
-    if (!matches(doc, query)) return true;
-    ++matched;
-    if (!visit(doc)) return false;
-    return query.limit == 0 || matched < query.limit;
-  };
-  if (query.newest_first) {
-    for (auto d = docs.rbegin(); d != docs.rend(); ++d) {
-      if (!consider(*d)) return;
-    }
-  } else {
-    for (const auto& doc : docs) {
-      if (!consider(doc)) return;
-    }
-  }
+  backend_->for_each(index_name, query, visit);
 }
 
 std::vector<util::Json> Archiver::search(const std::string& index_name,
@@ -80,6 +45,9 @@ std::vector<util::Json> Archiver::search(const std::string& index_name,
 Archiver::Aggregation Archiver::aggregate(const std::string& index_name,
                                           const std::string& field,
                                           const Query& query) const {
+  if (auto fast = backend_->aggregate_fast(index_name, field, query)) {
+    return *fast;
+  }
   Aggregation agg;
   for_each(index_name, query, [&](const util::Json& doc) {
     auto value = field_at(doc, field);
@@ -100,18 +68,15 @@ Archiver::Aggregation Archiver::aggregate(const std::string& index_name,
 }
 
 std::uint64_t Archiver::doc_count(const std::string& index_name) const {
-  auto it = indices_.find(index_name);
-  return it == indices_.end() ? 0 : it->second.size();
+  return backend_->doc_count(index_name);
 }
 
 std::vector<std::string> Archiver::indices() const {
-  std::vector<std::string> names;
-  names.reserve(indices_.size());
-  for (const auto& [name, docs] : indices_) {
-    (void)docs;
-    names.push_back(name);
-  }
-  return names;
+  return backend_->indices();
+}
+
+std::uint64_t Archiver::total_docs() const {
+  return backend_->total_docs();
 }
 
 }  // namespace p4s::ps

@@ -5,39 +5,38 @@
 // Documents are JSON, organized into named indices, queryable by exact
 // field match and by time range, with basic metric aggregations — the
 // subset of OpenSearch the perfSONAR dashboards actually use.
+//
+// Storage is pluggable (archiver_backend.hpp): the default MemoryBackend
+// keeps everything in process memory, StoreBackend persists to the
+// durable segmented store (`src/store`) so an archive survives the
+// process and time-range queries prune whole segments.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "psonar/archiver_backend.hpp"
 #include "util/json.hpp"
 
 namespace p4s::ps {
 
-/// Search parameters. (Namespace-scope so its defaulted members can be
-/// used in Archiver's own default arguments.)
-struct ArchiverQuery {
-  /// Exact-match terms: dotted paths -> required value
-  /// (e.g. {"flow.dst_ip": "10.1.0.10"}).
-  std::map<std::string, util::Json> terms;
-  /// Optional range filter on a numeric field.
-  std::string range_field;
-  std::optional<double> range_min;
-  std::optional<double> range_max;
-  /// Stop after this many matches (0 = unlimited). With newest_first,
-  /// this is OpenSearch's latest-value idiom: size N, sorted descending.
-  std::size_t limit = 0;
-  /// Visit documents in reverse insertion order (newest first) instead
-  /// of insertion order.
-  bool newest_first = false;
-};
-
 class Archiver {
  public:
+  /// Defaults to the in-memory backend.
+  Archiver();
+  explicit Archiver(std::unique_ptr<ArchiverBackend> backend);
+
+  /// Swap the storage backend. Only legal while the archive is empty
+  /// (documents don't migrate between backends); throws std::logic_error
+  /// otherwise.
+  void set_backend(std::unique_ptr<ArchiverBackend> backend);
+  ArchiverBackend& backend() { return *backend_; }
+  const ArchiverBackend& backend() const { return *backend_; }
+
   /// Store a document. Returns the document's sequence id within the
   /// index.
   std::uint64_t index(const std::string& index_name, util::Json doc);
@@ -56,32 +55,26 @@ class Archiver {
   void for_each(const std::string& index_name, const Query& query,
                 const std::function<bool(const util::Json&)>& visit) const;
 
-  struct Aggregation {
-    std::uint64_t count = 0;
-    double min = 0.0;
-    double max = 0.0;
-    double avg = 0.0;
-    double sum = 0.0;
-  };
+  using Aggregation = ArchiverAggregation;
 
-  /// Aggregate a numeric field over the query's matches.
+  /// Aggregate a numeric field over the query's matches (backends may
+  /// satisfy this from column summaries without visiting documents).
   Aggregation aggregate(const std::string& index_name,
                         const std::string& field,
                         const Query& query = {}) const;
 
   std::uint64_t doc_count(const std::string& index_name) const;
   std::vector<std::string> indices() const;
-  std::uint64_t total_docs() const { return total_docs_; }
+  std::uint64_t total_docs() const;
 
   /// Resolve a dotted path ("flow.dst_ip") inside a document.
   static std::optional<util::Json> field_at(const util::Json& doc,
-                                            const std::string& path);
+                                            const std::string& path) {
+    return archiver_field_at(doc, path);
+  }
 
  private:
-  static bool matches(const util::Json& doc, const Query& query);
-
-  std::map<std::string, std::vector<util::Json>> indices_;
-  std::uint64_t total_docs_ = 0;
+  std::unique_ptr<ArchiverBackend> backend_;
 };
 
 }  // namespace p4s::ps

@@ -1,0 +1,129 @@
+// Little-endian fixed-width and LEB128 varint primitives shared by the
+// store's WAL and segment codecs. Everything here is pure byte-shuffling
+// on std::string buffers / string_view cursors — the file formats built
+// on top (wal.hpp, segment.hpp) define the framing and checksums.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace p4s::store {
+
+/// Thrown on malformed store files (bad magic, CRC mismatch, impossible
+/// lengths). WAL *tail* truncation is NOT an error — see wal.hpp.
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFULL));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// LEB128 (7 bits per byte, high bit = continuation).
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// ZigZag signed -> unsigned so small negative deltas stay small.
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline void put_svarint(std::string& out, std::int64_t v) {
+  put_varint(out, zigzag(v));
+}
+
+/// Read cursor over an in-memory buffer. All getters return nullopt on
+/// exhausted input instead of throwing, so callers decide whether a short
+/// read is corruption (segments) or a tolerated truncated tail (WAL).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+
+  std::optional<std::uint32_t> u32() {
+    if (remaining() < 4) return std::nullopt;
+    const auto* p = reinterpret_cast<const std::uint8_t*>(data_.data()) + pos_;
+    pos_ += 4;
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+
+  std::optional<std::uint64_t> u64() {
+    auto lo = u32();
+    if (!lo) return std::nullopt;
+    auto hi = u32();
+    if (!hi) return std::nullopt;
+    return static_cast<std::uint64_t>(*lo) |
+           (static_cast<std::uint64_t>(*hi) << 32);
+  }
+
+  std::optional<std::uint64_t> varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (pos_ < data_.size()) {
+      const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+      if (shift >= 63 && b > 1) return std::nullopt;  // > 64 bits: corrupt
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::int64_t> svarint() {
+    auto v = varint();
+    if (!v) return std::nullopt;
+    return unzigzag(*v);
+  }
+
+  std::optional<std::string_view> bytes(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    auto out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Length-prefixed (varint) byte string.
+  std::optional<std::string_view> blob() {
+    auto n = varint();
+    if (!n || *n > remaining()) return std::nullopt;
+    return bytes(static_cast<std::size_t>(*n));
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+inline void put_blob(std::string& out, std::string_view bytes) {
+  put_varint(out, bytes.size());
+  out.append(bytes);
+}
+
+}  // namespace p4s::store

@@ -1,0 +1,669 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace p4s::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestFile = "MANIFEST.json";
+constexpr const char* kWalFile = "wal.log";
+constexpr const char* kSegmentDir = "seg";
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Index names appear in segment file names; keep them filesystem-safe.
+/// Uniqueness comes from the numeric segment id, not the sanitized name.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::int64_t bucket_start(std::int64_t t, std::int64_t bucket) {
+  std::int64_t q = t / bucket;
+  if (t % bucket != 0 && t < 0) --q;
+  return q * bucket;
+}
+
+util::Json summary_to_json(const ColumnSummary& s) {
+  util::Json j = util::Json::object();
+  j["count"] = s.count;
+  j["min"] = s.min;
+  j["max"] = s.max;
+  j["sum"] = s.sum;
+  return j;
+}
+
+ColumnSummary summary_from_json(const util::Json& j) {
+  ColumnSummary s;
+  s.count = static_cast<std::uint64_t>(j.at("count").as_int());
+  s.min = j.at("min").as_double();
+  s.max = j.at("max").as_double();
+  s.sum = j.at("sum").as_double();
+  return s;
+}
+
+}  // namespace
+
+const Segment& Store::SegmentHandle::get(const std::string& dir) const {
+  if (!loaded) {
+    loaded = std::make_unique<Segment>(Segment::load(dir + "/" + file));
+    if (loaded->info().docs != info.docs ||
+        loaded->info().base_seq != info.base_seq) {
+      throw StoreError("store: segment " + file +
+                       " disagrees with the manifest");
+    }
+  }
+  return *loaded;
+}
+
+Store::Store(std::string dir, StoreConfig config)
+    : dir_(std::move(dir)), config_(std::move(config)) {
+  fs::create_directories(dir_ + "/" + kSegmentDir);
+  load_manifest();
+  // Replay the WAL tail: everything not yet counted as sealed goes back
+  // into the memtables, in append order.
+  WalReplay replay = replay_wal(dir_ + "/" + kWalFile);
+  stats_.wal_batches_replayed = replay.batches;
+  stats_.wal_tail_bytes_dropped = replay.tail_bytes_dropped;
+  for (auto& record : replay.records) {
+    auto& state = indices_[record.index];
+    if (record.seq < state.sealed_docs + state.memtable.size()) {
+      ++stats_.wal_records_skipped_sealed;
+      continue;
+    }
+    try {
+      state.memtable.push_back(util::Json::parse(record.doc));
+    } catch (const util::JsonError& e) {
+      throw StoreError("store: WAL document failed to parse: " +
+                       std::string(e.what()));
+    }
+  }
+  wal_ = std::make_unique<WalWriter>(dir_ + "/" + kWalFile);
+}
+
+std::uint64_t Store::append(const std::string& index,
+                            const util::Json& doc) {
+  auto& state = indices_[index];
+  const std::uint64_t seq = state.sealed_docs + state.memtable.size();
+  wal_->append({index, seq, doc.dump()});
+  state.memtable.push_back(doc);
+  if (config_.wal_batch_docs > 0 &&
+      wal_->pending_docs() >= config_.wal_batch_docs) {
+    wal_->commit();
+  }
+  return seq;
+}
+
+void Store::flush() { wal_->commit(); }
+
+std::string Store::segment_path(const std::string& index) const {
+  return std::string(kSegmentDir) + "/" + sanitize(index) + "-" +
+         std::to_string(next_segment_id_) + ".seg";
+}
+
+void Store::seal(const std::string& index) {
+  const auto it = indices_.find(index);
+  if (it == indices_.end() || it->second.memtable.empty()) return;
+  auto& state = it->second;
+
+  SegmentHandle handle;
+  handle.file = segment_path(index);
+  ++next_segment_id_;
+  auto built =
+      write_segment(dir_ + "/" + handle.file, index, state.sealed_docs,
+                    state.memtable, config_.time_field, config_.hot_fields);
+  handle.info = built.info;
+  handle.summaries = std::move(built.summaries);
+
+  fold_rollups(index, state.memtable);
+  state.sealed_docs += state.memtable.size();
+  state.memtable.clear();
+  state.segments.push_back(std::move(handle));
+  ++stats_.seals;
+
+  // Segment first, then manifest, then the WAL rotation: a crash between
+  // any two steps leaves a state the replay path reconstructs (orphan
+  // segment file, or sealed docs still present in the WAL — skipped by
+  // sequence number).
+  write_manifest();
+  rotate_wal();
+}
+
+void Store::seal_all() {
+  for (const auto& name : indices()) seal(name);
+}
+
+void Store::compact(const std::string& index) {
+  const auto it = indices_.find(index);
+  if (it == indices_.end() || it->second.segments.size() < 2) return;
+  auto& state = it->second;
+
+  std::vector<util::Json> docs;
+  docs.reserve(state.sealed_docs);
+  for (const auto& handle : state.segments) {
+    handle.get(dir_).for_each_doc(
+        false, [&](std::uint64_t, std::string_view text) {
+          docs.push_back(util::Json::parse(std::string(text)));
+          return true;
+        });
+  }
+
+  const std::uint64_t base_seq = state.segments.front().info.base_seq;
+  SegmentHandle merged;
+  merged.file = segment_path(index);
+  ++next_segment_id_;
+  auto built = write_segment(dir_ + "/" + merged.file, index, base_seq,
+                             docs, config_.time_field, config_.hot_fields);
+  merged.info = built.info;
+  merged.summaries = std::move(built.summaries);
+
+  std::vector<std::string> old_files;
+  for (const auto& handle : state.segments) old_files.push_back(handle.file);
+  state.segments.clear();
+  state.segments.push_back(std::move(merged));
+  ++stats_.compactions;
+  write_manifest();
+  for (const auto& file : old_files) {
+    std::error_code ec;
+    fs::remove(dir_ + "/" + file, ec);  // orphan on failure is harmless
+  }
+}
+
+void Store::maintain() {
+  flush();
+  for (auto& [name, state] : indices_) {
+    if (config_.seal_min_docs > 0 &&
+        state.memtable.size() >= config_.seal_min_docs) {
+      seal(name);
+    }
+    if (config_.compact_fanin > 0 &&
+        state.segments.size() >= config_.compact_fanin) {
+      compact(name);
+    }
+  }
+}
+
+bool Store::prune_by_range(const SegmentHandle& handle,
+                           const ScanOptions& options) const {
+  if (options.range_field.empty()) return false;
+  const auto it = handle.summaries.find(options.range_field);
+  if (it == handle.summaries.end()) return false;  // not columnar: scan
+  const ColumnSummary& s = it->second;
+  // No document in the segment carries the field numerically -> no
+  // document can match a range filter on it.
+  if (s.count == 0) return true;
+  if (options.range_min.has_value() && s.max < *options.range_min) {
+    return true;
+  }
+  if (options.range_max.has_value() && s.min > *options.range_max) {
+    return true;
+  }
+  return false;
+}
+
+void Store::scan(const std::string& index, const ScanOptions& options,
+                 const std::function<bool(const util::Json&)>& visit) const {
+  const auto it = indices_.find(index);
+  if (it == indices_.end()) return;
+  const auto& state = it->second;
+  ++stats_.scans;
+
+  bool stopped = false;
+  const auto scan_segment = [&](const SegmentHandle& handle) {
+    ++stats_.segments_considered;
+    if (prune_by_range(handle, options)) {
+      ++stats_.segments_pruned_range;
+      return;
+    }
+    // Term pruning needs the bloom bits, i.e. the loaded segment — still
+    // far cheaper than parsing every document JSON below.
+    for (const auto& key : options.term_keys) {
+      if (!handle.get(dir_).maybe_contains_term(key)) {
+        ++stats_.segments_pruned_terms;
+        return;
+      }
+    }
+    ++stats_.segments_scanned;
+    handle.get(dir_).for_each_doc(
+        options.newest_first,
+        [&](std::uint64_t, std::string_view text) {
+          const util::Json doc = util::Json::parse(text);
+          if (!visit(doc)) {
+            stopped = true;
+            return false;
+          }
+          return true;
+        });
+  };
+  const auto scan_memtable = [&] {
+    if (options.newest_first) {
+      for (auto d = state.memtable.rbegin();
+           !stopped && d != state.memtable.rend(); ++d) {
+        if (!visit(*d)) stopped = true;
+      }
+    } else {
+      for (const auto& doc : state.memtable) {
+        if (stopped) break;
+        if (!visit(doc)) stopped = true;
+      }
+    }
+  };
+
+  if (options.newest_first) {
+    scan_memtable();
+    for (auto s = state.segments.rbegin();
+         !stopped && s != state.segments.rend(); ++s) {
+      scan_segment(*s);
+    }
+  } else {
+    for (const auto& handle : state.segments) {
+      if (stopped) break;
+      scan_segment(handle);
+    }
+    if (!stopped) scan_memtable();
+  }
+}
+
+std::optional<Store::ColumnAggregate> Store::aggregate_column(
+    const std::string& index, const std::string& field,
+    const std::string& range_field, std::optional<double> range_min,
+    std::optional<double> range_max) const {
+  if (!is_columnar(field)) return std::nullopt;
+  const bool ranged = !range_field.empty();
+  if (ranged && !is_columnar(range_field)) return std::nullopt;
+
+  const auto in_range = [&](double v) {
+    if (range_min.has_value() && v < *range_min) return false;
+    if (range_max.has_value() && v > *range_max) return false;
+    return true;
+  };
+  ColumnAggregate agg;
+  const auto fold = [&](double v) {
+    if (agg.count == 0) {
+      agg.min = agg.max = v;
+    } else {
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+    }
+    agg.sum += v;
+    ++agg.count;
+  };
+  const auto fold_summary = [&](const ColumnSummary& s) {
+    if (s.count == 0) return;
+    if (agg.count == 0) {
+      agg.min = s.min;
+      agg.max = s.max;
+    } else {
+      agg.min = std::min(agg.min, s.min);
+      agg.max = std::max(agg.max, s.max);
+    }
+    agg.sum += s.sum;
+    agg.count += s.count;
+  };
+
+  const auto it = indices_.find(index);
+  if (it == indices_.end()) return agg;
+  for (const auto& handle : it->second.segments) {
+    const auto fit = handle.summaries.find(field);
+    const ColumnSummary& fs =
+        fit == handle.summaries.end() ? ColumnSummary{} : fit->second;
+    if (!ranged) {
+      fold_summary(fs);
+      continue;
+    }
+    const auto rit = handle.summaries.find(range_field);
+    const ColumnSummary& rs =
+        rit == handle.summaries.end() ? ColumnSummary{} : rit->second;
+    if (rs.count == 0) continue;  // no document can pass the range filter
+    const bool fully_inside =
+        (!range_min.has_value() || rs.min >= *range_min) &&
+        (!range_max.has_value() || rs.max <= *range_max);
+    if (fully_inside && range_field == field) {
+      // Every document carrying the field passes the filter on it.
+      fold_summary(fs);
+      continue;
+    }
+    if (rs.max < range_min.value_or(rs.max) ||
+        rs.min > range_max.value_or(rs.min)) {
+      continue;  // disjoint: prune
+    }
+    // Partial overlap (or the filter is on another column): decode the
+    // columns and fold row by row — still no document JSON parsing.
+    const Segment& seg = handle.get(dir_);
+    const auto range_vals = seg.decode_column(range_field);
+    const auto field_vals =
+        field == range_field ? range_vals : seg.decode_column(field);
+    for (std::size_t i = 0; i < field_vals.size(); ++i) {
+      if (!range_vals[i].has_value() || !in_range(*range_vals[i])) continue;
+      if (!field_vals[i].has_value()) continue;
+      fold(*field_vals[i]);
+    }
+  }
+  // Memtable rows are walked directly (they are already parsed JSON).
+  for (const auto& doc : it->second.memtable) {
+    if (ranged) {
+      const auto rv = json_field_at(doc, range_field);
+      if (!rv.has_value() || !rv->is_number() || !in_range(rv->as_double())) {
+        continue;
+      }
+    }
+    const auto fv = json_field_at(doc, field);
+    if (!fv.has_value() || !fv->is_number()) continue;
+    fold(fv->as_double());
+  }
+  return agg;
+}
+
+std::uint64_t Store::doc_count(const std::string& index) const {
+  const auto it = indices_.find(index);
+  if (it == indices_.end()) return 0;
+  return it->second.sealed_docs + it->second.memtable.size();
+}
+
+std::vector<std::string> Store::indices() const {
+  std::vector<std::string> names;
+  names.reserve(indices_.size());
+  for (const auto& [name, state] : indices_) {
+    (void)state;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::uint64_t Store::total_docs() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, state] : indices_) {
+    (void)name;
+    total += state.sealed_docs + state.memtable.size();
+  }
+  return total;
+}
+
+std::uint64_t Store::memtable_docs(const std::string& index) const {
+  const auto it = indices_.find(index);
+  return it == indices_.end() ? 0 : it->second.memtable.size();
+}
+
+std::uint64_t Store::segment_count(const std::string& index) const {
+  const auto it = indices_.find(index);
+  return it == indices_.end() ? 0 : it->second.segments.size();
+}
+
+const RollupSeries* Store::rollup(const std::string& index,
+                                  const std::string& field) const {
+  const auto it = rollups_.find(index);
+  if (it == rollups_.end()) return nullptr;
+  const auto fit = it->second.find(field);
+  return fit == it->second.end() ? nullptr : &fit->second;
+}
+
+bool Store::is_columnar(const std::string& field) const {
+  if (field == config_.time_field) return true;
+  return std::find(config_.hot_fields.begin(), config_.hot_fields.end(),
+                   field) != config_.hot_fields.end();
+}
+
+void Store::fold_rollups(const std::string& index,
+                         const std::vector<util::Json>& docs) {
+  if (config_.rollup_fields.empty() || config_.rollup_bucket_ns == 0) {
+    return;
+  }
+  const auto bucket_ns =
+      static_cast<std::int64_t>(config_.rollup_bucket_ns);
+  for (const auto& field : config_.rollup_fields) {
+    auto& series = rollups_[index][field];
+    for (const auto& doc : docs) {
+      const auto ts = json_field_at(doc, config_.time_field);
+      const auto value = json_field_at(doc, field);
+      if (!ts.has_value() || !ts->is_number() || !value.has_value() ||
+          !value->is_number()) {
+        continue;
+      }
+      const auto t = static_cast<std::int64_t>(ts->as_double());
+      const double v = value->as_double();
+      auto& bucket = series[bucket_start(t, bucket_ns)];
+      if (bucket.count == 0) {
+        bucket.min = bucket.max = v;
+      } else {
+        bucket.min = std::min(bucket.min, v);
+        bucket.max = std::max(bucket.max, v);
+      }
+      bucket.sum += v;
+      ++bucket.count;
+    }
+  }
+}
+
+void Store::load_manifest() {
+  const std::string text = read_text_file(dir_ + "/" + kManifestFile);
+  if (text.empty()) return;  // fresh store
+  util::Json doc;
+  try {
+    doc = util::Json::parse(text);
+    if (doc.at("version").as_int() != 1) {
+      throw StoreError("store: unsupported manifest version in " + dir_);
+    }
+    next_segment_id_ =
+        static_cast<std::uint64_t>(doc.at("next_segment_id").as_int());
+    for (const auto& [name, entry] : doc.at("indices").as_object()) {
+      IndexState& state = indices_[name];
+      state.sealed_docs =
+          static_cast<std::uint64_t>(entry.at("sealed_docs").as_int());
+      for (const auto& seg : entry.at("segments").as_array()) {
+        SegmentHandle handle;
+        handle.file = seg.at("file").as_string();
+        handle.info.index = name;
+        handle.info.docs =
+            static_cast<std::uint64_t>(seg.at("docs").as_int());
+        handle.info.base_seq =
+            static_cast<std::uint64_t>(seg.at("base_seq").as_int());
+        handle.info.has_time = seg.at("has_time").as_bool();
+        handle.info.min_ts = seg.at("min_ts").as_int();
+        handle.info.max_ts = seg.at("max_ts").as_int();
+        for (const auto& [field, summary] :
+             seg.at("columns").as_object()) {
+          handle.summaries[field] = summary_from_json(summary);
+        }
+        state.segments.push_back(std::move(handle));
+      }
+    }
+    if (doc.contains("rollups")) {
+      for (const auto& [name, fields] : doc.at("rollups").as_object()) {
+        for (const auto& [field, buckets] : fields.as_object()) {
+          RollupSeries& series = rollups_[name][field];
+          for (const auto& row : buckets.as_array()) {
+            const auto& cols = row.as_array();
+            RollupBucket bucket;
+            bucket.count = static_cast<std::uint64_t>(cols[1].as_int());
+            bucket.min = cols[2].as_double();
+            bucket.max = cols[3].as_double();
+            bucket.sum = cols[4].as_double();
+            series[cols[0].as_int()] = bucket;
+          }
+        }
+      }
+    }
+  } catch (const util::JsonError& e) {
+    throw StoreError("store: malformed manifest in " + dir_ + ": " +
+                     e.what());
+  }
+}
+
+void Store::write_manifest() const {
+  util::Json doc = util::Json::object();
+  doc["version"] = 1;
+  doc["next_segment_id"] = next_segment_id_;
+  util::Json indices = util::Json::object();
+  for (const auto& [name, state] : indices_) {
+    util::Json entry = util::Json::object();
+    entry["sealed_docs"] = state.sealed_docs;
+    util::JsonArray segments;
+    for (const auto& handle : state.segments) {
+      util::Json seg = util::Json::object();
+      seg["file"] = handle.file;
+      seg["docs"] = handle.info.docs;
+      seg["base_seq"] = handle.info.base_seq;
+      seg["has_time"] = handle.info.has_time;
+      seg["min_ts"] = handle.info.min_ts;
+      seg["max_ts"] = handle.info.max_ts;
+      util::Json columns = util::Json::object();
+      for (const auto& [field, summary] : handle.summaries) {
+        columns[field] = summary_to_json(summary);
+      }
+      seg["columns"] = std::move(columns);
+      segments.push_back(std::move(seg));
+    }
+    entry["segments"] = util::Json(std::move(segments));
+    indices[name] = std::move(entry);
+  }
+  doc["indices"] = std::move(indices);
+  util::Json rollups = util::Json::object();
+  for (const auto& [name, fields] : rollups_) {
+    util::Json per_field = util::Json::object();
+    for (const auto& [field, series] : fields) {
+      util::JsonArray rows;
+      for (const auto& [start, bucket] : series) {
+        util::JsonArray row;
+        row.push_back(start);
+        row.push_back(bucket.count);
+        row.push_back(bucket.min);
+        row.push_back(bucket.max);
+        row.push_back(bucket.sum);
+        rows.push_back(util::Json(std::move(row)));
+      }
+      per_field[field] = util::Json(std::move(rows));
+    }
+    rollups[name] = std::move(per_field);
+  }
+  doc["rollups"] = std::move(rollups);
+
+  const std::string tmp = dir_ + "/MANIFEST.tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw StoreError("store: cannot write " + tmp);
+    out << doc.dump(2) << "\n";
+    out.flush();
+    if (!out) throw StoreError("store: write failed on " + tmp);
+  }
+  fs::rename(tmp, dir_ + "/" + kManifestFile);
+}
+
+void Store::rotate_wal() {
+  // Rewrite the WAL down to the documents still unsealed (other indices'
+  // memtables), then swap it in atomically. Crashing anywhere here is
+  // safe: the old WAL's already-sealed records replay as skipped.
+  wal_.reset();
+  const std::string tmp = dir_ + "/wal.tmp";
+  std::error_code ec;
+  fs::remove(tmp, ec);
+  {
+    WalWriter writer(tmp);
+    for (const auto& [name, state] : indices_) {
+      for (std::size_t i = 0; i < state.memtable.size(); ++i) {
+        writer.append(
+            {name, state.sealed_docs + i, state.memtable[i].dump()});
+      }
+    }
+    writer.commit();
+  }
+  fs::rename(tmp, dir_ + "/" + kWalFile);
+  wal_ = std::make_unique<WalWriter>(dir_ + "/" + kWalFile);
+}
+
+Store::VerifyResult Store::verify(const std::string& dir) {
+  VerifyResult result;
+  const auto complain = [&](const std::string& what) {
+    result.ok = false;
+    result.errors.push_back(what);
+  };
+
+  const std::string manifest_text =
+      read_text_file(dir + "/" + kManifestFile);
+  if (!manifest_text.empty()) {
+    util::Json doc;
+    try {
+      doc = util::Json::parse(manifest_text);
+      for (const auto& [name, entry] : doc.at("indices").as_object()) {
+        const auto sealed_docs =
+            static_cast<std::uint64_t>(entry.at("sealed_docs").as_int());
+        std::uint64_t counted = 0;
+        std::uint64_t expect_base = 0;
+        for (const auto& seg_entry : entry.at("segments").as_array()) {
+          ++result.segments;
+          const std::string file = seg_entry.at("file").as_string();
+          const auto docs =
+              static_cast<std::uint64_t>(seg_entry.at("docs").as_int());
+          const auto base_seq = static_cast<std::uint64_t>(
+              seg_entry.at("base_seq").as_int());
+          if (base_seq != expect_base) {
+            complain(name + ": segment " + file +
+                     " breaks sequence continuity");
+          }
+          expect_base = base_seq + docs;
+          counted += docs;
+          try {
+            const Segment seg = Segment::load(dir + "/" + file);
+            if (seg.info().docs != docs || seg.info().index != name) {
+              complain(name + ": segment " + file +
+                       " disagrees with the manifest");
+            }
+            seg.for_each_doc(false, [&](std::uint64_t,
+                                        std::string_view text) {
+              try {
+                (void)util::Json::parse(text);
+              } catch (const util::JsonError&) {
+                complain(name + ": segment " + file +
+                         " holds an unparseable document");
+                return false;
+              }
+              return true;
+            });
+            result.sealed_docs += seg.info().docs;
+          } catch (const StoreError& e) {
+            complain(e.what());
+          }
+        }
+        if (counted != sealed_docs) {
+          complain(name + ": sealed_docs " + std::to_string(sealed_docs) +
+                   " != sum of segment docs " + std::to_string(counted));
+        }
+      }
+    } catch (const util::JsonError& e) {
+      complain("manifest: " + std::string(e.what()));
+      return result;
+    }
+  }
+
+  const WalReplay replay = replay_wal(dir + "/" + kWalFile);
+  result.wal_docs = replay.records.size();
+  result.wal_tail_bytes_dropped = replay.tail_bytes_dropped;
+  for (const auto& record : replay.records) {
+    try {
+      (void)util::Json::parse(record.doc);
+    } catch (const util::JsonError&) {
+      complain("wal: unparseable document for index " + record.index);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace p4s::store

@@ -1,0 +1,237 @@
+// p4s_store — a crash-safe, segmented time-series document store.
+//
+// One Store owns a directory:
+//
+//   <dir>/MANIFEST.json   — authoritative segment list, sealed-doc counts
+//                           per index, and materialized rollups; replaced
+//                           atomically (tmp + rename)
+//   <dir>/wal.log         — write-ahead log of not-yet-sealed documents
+//   <dir>/seg/<index>-<base_seq>.seg
+//                         — immutable sealed segments (segment.hpp)
+//
+// Write path: append() buffers the document in the index's memtable and
+// the WAL's pending batch; every `wal_batch_docs` appends (or an explicit
+// flush()) commits a length+CRC framed batch. seal() turns a memtable
+// into a sealed segment, folds the sealed documents into the rollup
+// series, rewrites the manifest, and rotates the WAL down to what is
+// still unsealed.
+//
+// Recovery invariant: reopening a directory yields exactly the sealed
+// segments named by the manifest plus the longest committed-batch prefix
+// of the WAL, minus documents the manifest already counts as sealed
+// (sequence numbers make the WAL-vs-segment overlap after a mid-seal
+// crash harmless). No partial document is ever visible.
+//
+// Read path: scan() walks sealed segments in sequence order, then the
+// memtable (reversed for newest_first), pruning whole segments by
+// time/column range and by term bloom filters before parsing any
+// document. stats() counts the pruning so tests and benches can assert
+// it actually happens.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/segment.hpp"
+#include "store/wal.hpp"
+#include "util/json.hpp"
+
+namespace p4s::store {
+
+struct StoreConfig {
+  /// Dotted path of the timestamp field (always encoded columnar).
+  std::string time_field = "ts_ns";
+  /// Extra dotted numeric paths encoded columnar in every segment.
+  std::vector<std::string> hot_fields = {"throughput_bps", "bytes"};
+  /// Commit the WAL batch automatically every this many appends.
+  std::size_t wal_batch_docs = 64;
+  /// maintain() seals an index's memtable once it holds at least this
+  /// many documents.
+  std::size_t seal_min_docs = 256;
+  /// maintain() compacts an index once it has at least this many sealed
+  /// segments (0 disables compaction).
+  std::size_t compact_fanin = 8;
+  /// Downsampling bucket for the rollup series.
+  std::uint64_t rollup_bucket_ns = 1'000'000'000;
+  /// Dotted numeric paths whose per-bucket min/max/mean/count are
+  /// materialized at seal time (empty = no rollups).
+  std::vector<std::string> rollup_fields;
+};
+
+/// One downsampled bucket of a rollup series.
+struct RollupBucket {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// bucket start time (ns) -> aggregate.
+using RollupSeries = std::map<std::int64_t, RollupBucket>;
+
+struct StoreStats {
+  std::uint64_t wal_batches_replayed = 0;
+  std::uint64_t wal_tail_bytes_dropped = 0;
+  std::uint64_t wal_records_skipped_sealed = 0;
+  std::uint64_t seals = 0;
+  std::uint64_t compactions = 0;
+  // Scan-side pruning counters (cumulative over the Store's lifetime).
+  std::uint64_t scans = 0;
+  std::uint64_t segments_considered = 0;
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t segments_pruned_range = 0;
+  std::uint64_t segments_pruned_terms = 0;
+};
+
+class Store {
+ public:
+  /// Open (or create) the store at `dir`, replaying any WAL tail.
+  explicit Store(std::string dir, StoreConfig config = {});
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  const std::string& dir() const { return dir_; }
+  const StoreConfig& config() const { return config_; }
+
+  // ---- write path -----------------------------------------------------
+
+  /// Append one document; returns its index-local sequence number. The
+  /// document becomes durable at the next WAL batch commit (automatic
+  /// every wal_batch_docs appends, or via flush()).
+  std::uint64_t append(const std::string& index, const util::Json& doc);
+
+  /// Commit the pending WAL batch.
+  void flush();
+
+  /// Seal `index`'s memtable into an immutable segment (no-op when the
+  /// memtable is empty). Folds rollups, rewrites the manifest, rotates
+  /// the WAL.
+  void seal(const std::string& index);
+  void seal_all();
+
+  /// Merge all of `index`'s sealed segments into one.
+  void compact(const std::string& index);
+
+  /// One background-maintenance step (drive it from the simulation
+  /// clock): flush the WAL, seal memtables at/above seal_min_docs, and
+  /// compact indices at/above compact_fanin segments.
+  void maintain();
+
+  // ---- read path ------------------------------------------------------
+
+  struct ScanOptions {
+    /// Range filter used for segment pruning (and nothing else — the
+    /// caller re-checks every visited document). Pruning applies when the
+    /// field is the time field or a hot column.
+    std::string range_field;
+    std::optional<double> range_min;
+    std::optional<double> range_max;
+    /// Term keys (term_key()) that matching documents must all contain;
+    /// segments whose bloom filter rules one out are skipped.
+    std::vector<std::string> term_keys;
+    bool newest_first = false;
+  };
+
+  /// Visit documents in sequence order (or reversed); the visitor
+  /// returns false to stop. Pruning is only ever an over-approximation:
+  /// every document that could match the options is visited.
+  void scan(const std::string& index, const ScanOptions& options,
+            const std::function<bool(const util::Json&)>& visit) const;
+
+  struct ColumnAggregate {
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+  };
+
+  /// Columnar aggregation fast path: aggregate `field` over documents
+  /// whose `range_field` (when set) lies in [min, max]. Returns nullopt
+  /// when the fields aren't columnar — the caller falls back to a scan.
+  /// Sealed segments are aggregated from column summaries (full overlap)
+  /// or decoded columns (partial overlap) without parsing any document
+  /// JSON; memtable documents are walked directly.
+  std::optional<ColumnAggregate> aggregate_column(
+      const std::string& index, const std::string& field,
+      const std::string& range_field, std::optional<double> range_min,
+      std::optional<double> range_max) const;
+
+  std::uint64_t doc_count(const std::string& index) const;
+  std::vector<std::string> indices() const;
+  std::uint64_t total_docs() const;
+  std::uint64_t memtable_docs(const std::string& index) const;
+  std::uint64_t segment_count(const std::string& index) const;
+
+  /// Materialized rollup series (sealed documents only), or nullptr.
+  const RollupSeries* rollup(const std::string& index,
+                             const std::string& field) const;
+
+  const StoreStats& stats() const { return stats_; }
+
+  /// True when `field` is encoded columnar (time field or hot field).
+  bool is_columnar(const std::string& field) const;
+
+  // ---- offline verification (CLI `verify`, CI artifact check) ---------
+
+  struct VerifyResult {
+    bool ok = true;
+    std::vector<std::string> errors;
+    std::uint64_t segments = 0;
+    std::uint64_t sealed_docs = 0;
+    std::uint64_t wal_docs = 0;
+    std::uint64_t wal_tail_bytes_dropped = 0;
+  };
+
+  /// Structurally verify a store directory without opening it as a live
+  /// Store: manifest parses, every segment loads (CRC), doc counts match
+  /// the manifest, every document parses as JSON, WAL replays.
+  static VerifyResult verify(const std::string& dir);
+
+ private:
+  struct SegmentHandle {
+    std::string file;  // relative to dir_
+    SegmentInfo info;
+    std::map<std::string, ColumnSummary> summaries;
+    // The full segment (documents, columns, bloom) is read from disk on
+    // first use, then cached; range pruning works off the manifest
+    // metadata above without touching the file.
+    mutable std::unique_ptr<Segment> loaded;
+    const Segment& get(const std::string& dir) const;
+  };
+
+  struct IndexState {
+    std::uint64_t sealed_docs = 0;  // == next memtable base sequence
+    std::vector<SegmentHandle> segments;
+    std::vector<util::Json> memtable;
+  };
+
+  void load_manifest();
+  void write_manifest() const;
+  void rotate_wal();
+  std::string segment_path(const std::string& index) const;
+  void fold_rollups(const std::string& index,
+                    const std::vector<util::Json>& docs);
+  /// nullopt = cannot decide from metadata (must scan); true = the
+  /// segment cannot contain a match (prune).
+  bool prune_by_range(const SegmentHandle& handle,
+                      const ScanOptions& options) const;
+
+  std::string dir_;
+  StoreConfig config_;
+  std::map<std::string, IndexState> indices_;
+  std::map<std::string, std::map<std::string, RollupSeries>> rollups_;
+  std::unique_ptr<WalWriter> wal_;
+  std::uint64_t next_segment_id_ = 0;
+  mutable StoreStats stats_;
+};
+
+}  // namespace p4s::store

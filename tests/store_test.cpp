@@ -1,0 +1,597 @@
+// Tests: the durable time-series store (src/store) — WAL framing and the
+// crash-recovery invariant (every-byte truncation matrix), sealed-segment
+// round-trips, range/term segment pruning, compaction, rollups, the
+// columnar aggregation fast path, offline verification, and the
+// p4s-store CLI.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "store/codec.hpp"
+#include "store/segment.hpp"
+#include "store/store.hpp"
+#include "store/store_cli.hpp"
+#include "store/wal.hpp"
+
+namespace p4s::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "p4s_store_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+util::Json doc_at(std::int64_t ts, std::int64_t value,
+                  const std::string& site = "lbl") {
+  util::Json doc = util::Json::object();
+  doc["ts_ns"] = ts;
+  doc["throughput_bps"] = value;
+  doc["switch_id"] = site;
+  util::Json flow = util::Json::object();
+  flow["dst_ip"] = "10.1.0.10";
+  doc["flow"] = std::move(flow);
+  return doc;
+}
+
+// ---------- codec ----------
+
+TEST(Codec, VarintAndZigzagRoundTrip) {
+  std::string buf;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 1ULL << 32,
+                                  ~0ULL};
+  for (auto v : values) put_varint(buf, v);
+  const std::int64_t signed_values[] = {0, -1, 1, -64, 64, INT64_MIN,
+                                        INT64_MAX};
+  for (auto v : signed_values) put_svarint(buf, v);
+  ByteReader r(buf);
+  for (auto v : values) EXPECT_EQ(r.varint(), v);
+  for (auto v : signed_values) EXPECT_EQ(r.svarint(), v);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Codec, TruncatedVarintIsNullopt) {
+  std::string buf;
+  put_varint(buf, 1ULL << 40);
+  const std::string cut = buf.substr(0, 2);
+  ByteReader r(cut);
+  EXPECT_FALSE(r.varint().has_value());
+}
+
+// ---------- WAL ----------
+
+TEST(Wal, CommittedBatchesReplayUncommittedDoNot) {
+  const std::string dir = fresh_dir("wal_basic");
+  fs::create_directories(dir);
+  const std::string path = dir + "/wal.log";
+  {
+    WalWriter writer(path);
+    writer.append({"idx", 0, "{\"a\":1}"});
+    writer.append({"idx", 1, "{\"a\":2}"});
+    writer.commit();
+    writer.append({"other", 0, "{\"b\":1}"});
+    // no commit: this record must not survive
+  }
+  const auto replay = replay_wal(path);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.batches, 1u);
+  EXPECT_EQ(replay.tail_bytes_dropped, 0u);
+  EXPECT_EQ(replay.records[0].index, "idx");
+  EXPECT_EQ(replay.records[1].seq, 1u);
+  EXPECT_EQ(replay.records[1].doc, "{\"a\":2}");
+}
+
+TEST(Wal, MissingFileReplaysEmpty) {
+  const auto replay = replay_wal(fresh_dir("wal_missing") + "/nope.log");
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.tail_bytes_dropped, 0u);
+}
+
+TEST(Wal, CorruptPayloadByteDropsTheTail) {
+  const std::string dir = fresh_dir("wal_corrupt");
+  fs::create_directories(dir);
+  const std::string path = dir + "/wal.log";
+  {
+    WalWriter writer(path);
+    writer.append({"idx", 0, "{\"a\":1}"});
+    writer.commit();
+    writer.append({"idx", 1, "{\"a\":2}"});
+    writer.commit();
+  }
+  std::string bytes = read_file(path);
+  bytes[bytes.size() - 3] ^= 0x40;  // flip a bit inside the last payload
+  const auto replay = replay_wal_bytes(bytes);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].doc, "{\"a\":1}");
+  EXPECT_GT(replay.tail_bytes_dropped, 0u);
+}
+
+// The crash-recovery matrix (the subsystem's core invariant): truncating
+// the WAL at EVERY byte offset recovers exactly the longest
+// committed-batch prefix — never a partial batch, never a partial
+// document, never an exception.
+TEST(Wal, TruncationAtEveryByteRecoversLongestCommittedPrefix) {
+  const std::string dir = fresh_dir("wal_matrix");
+  fs::create_directories(dir);
+  const std::string path = dir + "/wal.log";
+  // 5 batches of varying size; remember the file size and cumulative doc
+  // count after each commit.
+  std::vector<std::size_t> batch_end_offset;
+  std::vector<std::size_t> docs_at_batch;
+  std::vector<WalRecord> all;
+  {
+    WalWriter writer(path);
+    std::uint64_t seq = 0;
+    for (int b = 0; b < 5; ++b) {
+      for (int d = 0; d <= b; ++d) {
+        WalRecord record{"idx" + std::to_string(b % 2), seq++,
+                         doc_at(1000 * seq, seq).dump()};
+        writer.append(record);
+        all.push_back(record);
+      }
+      writer.commit();
+      batch_end_offset.push_back(
+          static_cast<std::size_t>(fs::file_size(path)));
+      docs_at_batch.push_back(all.size());
+    }
+  }
+  const std::string bytes = read_file(path);
+  ASSERT_EQ(bytes.size(), batch_end_offset.back());
+
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    // Longest committed prefix that fits in `cut` bytes.
+    std::size_t expect_docs = 0;
+    std::uint64_t expect_batches = 0;
+    for (std::size_t b = 0; b < batch_end_offset.size(); ++b) {
+      if (batch_end_offset[b] <= cut) {
+        expect_docs = docs_at_batch[b];
+        expect_batches = b + 1;
+      }
+    }
+    const auto replay = replay_wal_bytes(
+        std::string_view(bytes).substr(0, cut));
+    ASSERT_EQ(replay.records.size(), expect_docs) << "cut at " << cut;
+    ASSERT_EQ(replay.batches, expect_batches) << "cut at " << cut;
+    for (std::size_t i = 0; i < expect_docs; ++i) {
+      ASSERT_EQ(replay.records[i].index, all[i].index);
+      ASSERT_EQ(replay.records[i].seq, all[i].seq);
+      ASSERT_EQ(replay.records[i].doc, all[i].doc);
+    }
+    const bool clean_boundary =
+        cut == 0 || (expect_batches > 0 &&
+                     batch_end_offset[expect_batches - 1] == cut);
+    EXPECT_EQ(replay.tail_bytes_dropped == 0, clean_boundary)
+        << "cut at " << cut;
+  }
+}
+
+// ---------- segments ----------
+
+TEST(Segments, RoundTripPreservesDocsOrderAndStats) {
+  const std::string dir = fresh_dir("seg_roundtrip");
+  fs::create_directories(dir);
+  std::vector<util::Json> docs = {doc_at(100, 7), doc_at(300, 9, "anl"),
+                                  doc_at(200, 5)};
+  const std::string path = dir + "/a.seg";
+  const auto built = write_segment(path, "idx", 40, docs, "ts_ns",
+                                   {"throughput_bps"});
+  EXPECT_EQ(built.info.docs, 3u);
+  EXPECT_EQ(built.info.base_seq, 40u);
+  EXPECT_TRUE(built.info.has_time);
+  EXPECT_EQ(built.info.min_ts, 100);
+  EXPECT_EQ(built.info.max_ts, 300);
+  const auto& tput = built.summaries.at("throughput_bps");
+  EXPECT_EQ(tput.count, 3u);
+  EXPECT_EQ(tput.min, 5.0);
+  EXPECT_EQ(tput.max, 9.0);
+  EXPECT_EQ(tput.sum, 21.0);
+
+  const Segment seg = Segment::load(path);
+  EXPECT_EQ(seg.info().index, "idx");
+  std::vector<std::string> texts;
+  std::vector<std::uint64_t> seqs;
+  seg.for_each_doc(false, [&](std::uint64_t seq, std::string_view text) {
+    seqs.push_back(seq);
+    texts.emplace_back(text);
+    return true;
+  });
+  ASSERT_EQ(texts.size(), 3u);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{40, 41, 42}));
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(texts[i], docs[i].dump());
+  }
+  // Columns decode back to the raw values (time column delta-encoded).
+  const auto ts = seg.decode_column("ts_ns");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0], 100.0);
+  EXPECT_EQ(ts[1], 300.0);
+  EXPECT_EQ(ts[2], 200.0);
+  // Bloom: present terms may match, absent terms must not.
+  EXPECT_TRUE(seg.maybe_contains_term(term_key("switch_id", "anl")));
+  EXPECT_TRUE(
+      seg.maybe_contains_term(term_key("flow.dst_ip", "10.1.0.10")));
+  EXPECT_FALSE(
+      seg.maybe_contains_term(term_key("switch_id", "definitely-not")));
+}
+
+TEST(Segments, MissingAndDoubleColumnValues) {
+  const std::string dir = fresh_dir("seg_missing");
+  fs::create_directories(dir);
+  util::Json plain = util::Json::object();
+  plain["ts_ns"] = 5;
+  std::vector<util::Json> docs = {doc_at(1, 2), plain};
+  docs[0]["weight"] = 2.5;
+  const std::string path = dir + "/a.seg";
+  write_segment(path, "idx", 0, docs, "ts_ns",
+                {"throughput_bps", "weight"});
+  const Segment seg = Segment::load(path);
+  const auto tput = seg.decode_column("throughput_bps");
+  ASSERT_EQ(tput.size(), 2u);
+  EXPECT_EQ(tput[0], 2.0);
+  EXPECT_FALSE(tput[1].has_value());
+  const auto weight = seg.decode_column("weight");
+  EXPECT_EQ(weight[0], 2.5);
+  EXPECT_FALSE(weight[1].has_value());
+  EXPECT_TRUE(seg.decode_column("not_a_column").empty());
+}
+
+TEST(Segments, CorruptionRaisesStoreError) {
+  const std::string dir = fresh_dir("seg_corrupt");
+  fs::create_directories(dir);
+  const std::string path = dir + "/a.seg";
+  write_segment(path, "idx", 0, {doc_at(1, 2)}, "ts_ns", {});
+  std::string bytes = read_file(path);
+  {
+    std::string flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x01;
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << flipped;
+    EXPECT_THROW(Segment::load(path), StoreError);
+  }
+  {
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << bytes.substr(0, bytes.size() / 2);
+    EXPECT_THROW(Segment::load(path), StoreError);
+  }
+  {
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << "junk";
+    EXPECT_THROW(Segment::load(path), StoreError);
+  }
+}
+
+// ---------- the store ----------
+
+TEST(StoreLifecycle, AppendSealReopenPreservesEverything) {
+  const std::string dir = fresh_dir("lifecycle");
+  StoreConfig config;
+  config.rollup_fields = {"throughput_bps"};
+  config.rollup_bucket_ns = 1000;
+  std::vector<std::string> dumps;
+  {
+    Store store(dir, config);
+    for (int i = 0; i < 10; ++i) {
+      const auto seq = store.append("idx", doc_at(100 * i, i));
+      EXPECT_EQ(seq, static_cast<std::uint64_t>(i));
+      dumps.push_back(doc_at(100 * i, i).dump());
+    }
+    store.seal("idx");                      // first 10 sealed
+    store.append("idx", doc_at(5000, 99));  // unsealed tail, via WAL
+    dumps.push_back(doc_at(5000, 99).dump());
+    store.flush();
+    EXPECT_EQ(store.doc_count("idx"), 11u);
+    EXPECT_EQ(store.segment_count("idx"), 1u);
+    EXPECT_EQ(store.memtable_docs("idx"), 1u);
+  }
+  // Fresh instance: manifest + segment + WAL tail reconstruct the store.
+  Store store(dir, config);
+  EXPECT_EQ(store.doc_count("idx"), 11u);
+  EXPECT_EQ(store.total_docs(), 11u);
+  EXPECT_EQ(store.memtable_docs("idx"), 1u);
+  EXPECT_EQ(store.indices(), std::vector<std::string>{"idx"});
+  std::vector<std::string> scanned;
+  store.scan("idx", {}, [&](const util::Json& doc) {
+    scanned.push_back(doc.dump());
+    return true;
+  });
+  EXPECT_EQ(scanned, dumps);
+  // Rollups persisted through the manifest: buckets of 1000 ns over the
+  // sealed docs only (values 0..9 at 100 ns spacing).
+  const RollupSeries* series = store.rollup("idx", "throughput_bps");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 1u);
+  const auto& bucket = series->at(0);
+  EXPECT_EQ(bucket.count, 10u);
+  EXPECT_EQ(bucket.min, 0.0);
+  EXPECT_EQ(bucket.max, 9.0);
+  EXPECT_EQ(bucket.mean(), 4.5);
+}
+
+TEST(StoreLifecycle, NewestFirstScanReversesSegmentsAndMemtable) {
+  const std::string dir = fresh_dir("newest");
+  Store store(dir);
+  for (int i = 0; i < 4; ++i) store.append("idx", doc_at(i, i));
+  store.seal("idx");
+  for (int i = 4; i < 6; ++i) store.append("idx", doc_at(i, i));
+  std::vector<std::int64_t> order;
+  Store::ScanOptions newest;
+  newest.newest_first = true;
+  store.scan("idx", newest, [&](const util::Json& doc) {
+    order.push_back(doc.at("ts_ns").as_int());
+    return true;
+  });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{5, 4, 3, 2, 1, 0}));
+}
+
+TEST(StorePruning, TimeRangePrunesDisjointSegments) {
+  const std::string dir = fresh_dir("prune_time");
+  Store store(dir);
+  for (int seg = 0; seg < 3; ++seg) {
+    for (int i = 0; i < 5; ++i) {
+      store.append("idx", doc_at(seg * 1000 + i, i));
+    }
+    store.seal("idx");
+  }
+  ASSERT_EQ(store.segment_count("idx"), 3u);
+  Store::ScanOptions options;
+  options.range_field = "ts_ns";
+  options.range_min = 1000;
+  options.range_max = 1004;
+  std::size_t visited = 0;
+  store.scan("idx", options, [&](const util::Json&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 5u);  // only the middle segment's docs get parsed
+  EXPECT_EQ(store.stats().segments_pruned_range, 2u);
+  EXPECT_EQ(store.stats().segments_scanned, 1u);
+}
+
+TEST(StorePruning, TermBloomPrunesForeignSites) {
+  const std::string dir = fresh_dir("prune_term");
+  Store store(dir);
+  const char* sites[] = {"lbl", "anl", "cern"};
+  for (const char* site : sites) {
+    for (int i = 0; i < 5; ++i) store.append("idx", doc_at(i, i, site));
+    store.seal("idx");
+  }
+  Store::ScanOptions options;
+  options.term_keys = {term_key("switch_id", "cern")};
+  std::size_t visited = 0;
+  store.scan("idx", options, [&](const util::Json&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 5u);
+  EXPECT_EQ(store.stats().segments_pruned_terms, 2u);
+}
+
+TEST(StorePruning, RangeOnFieldNoDocumentCarriesPrunesEverySegment) {
+  const std::string dir = fresh_dir("prune_absent");
+  Store store(dir);
+  for (int i = 0; i < 5; ++i) {
+    util::Json doc = util::Json::object();
+    doc["ts_ns"] = i;  // no throughput_bps at all
+    store.append("idx", doc);
+  }
+  store.seal("idx");
+  Store::ScanOptions options;
+  options.range_field = "throughput_bps";
+  options.range_min = 0;
+  std::size_t visited = 0;
+  store.scan("idx", options, [&](const util::Json&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(store.stats().segments_pruned_range, 1u);
+}
+
+TEST(StoreCompaction, MergePreservesOrderAndContent) {
+  const std::string dir = fresh_dir("compact");
+  Store store(dir);
+  std::vector<std::string> expected;
+  for (int seg = 0; seg < 4; ++seg) {
+    for (int i = 0; i < 3; ++i) {
+      const auto doc = doc_at(seg * 10 + i, i);
+      store.append("idx", doc);
+      expected.push_back(doc.dump());
+    }
+    store.seal("idx");
+  }
+  ASSERT_EQ(store.segment_count("idx"), 4u);
+  store.compact("idx");
+  EXPECT_EQ(store.segment_count("idx"), 1u);
+  EXPECT_EQ(store.doc_count("idx"), 12u);
+  std::vector<std::string> scanned;
+  store.scan("idx", {}, [&](const util::Json& doc) {
+    scanned.push_back(doc.dump());
+    return true;
+  });
+  EXPECT_EQ(scanned, expected);
+  // Old segment files are gone; the directory verifies clean.
+  const auto verify = Store::verify(dir);
+  EXPECT_TRUE(verify.ok) << (verify.errors.empty() ? "" : verify.errors[0]);
+  // Reopen still sees everything.
+  Store reopened(dir);
+  EXPECT_EQ(reopened.doc_count("idx"), 12u);
+  EXPECT_EQ(reopened.segment_count("idx"), 1u);
+}
+
+TEST(StoreMaintenance, SealsAndCompactsOnThresholds) {
+  const std::string dir = fresh_dir("maintain");
+  StoreConfig config;
+  config.seal_min_docs = 4;
+  config.compact_fanin = 3;
+  Store store(dir, config);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      store.append("idx", doc_at(round * 10 + i, i));
+    }
+    store.maintain();
+  }
+  // Three seals happened; the third maintain() then compacted 3 -> 1.
+  EXPECT_EQ(store.stats().seals, 3u);
+  EXPECT_EQ(store.stats().compactions, 1u);
+  EXPECT_EQ(store.segment_count("idx"), 1u);
+  EXPECT_EQ(store.doc_count("idx"), 12u);
+  // Small memtables are left alone.
+  store.append("idx", doc_at(999, 1));
+  store.maintain();
+  EXPECT_EQ(store.memtable_docs("idx"), 1u);
+}
+
+TEST(StoreAggregate, ColumnFastPathMatchesGenericScan) {
+  const std::string dir = fresh_dir("aggregate");
+  Store store(dir);
+  for (int seg = 0; seg < 3; ++seg) {
+    for (int i = 0; i < 8; ++i) {
+      store.append("idx", doc_at(seg * 100 + i, seg * 8 + i));
+    }
+    store.seal("idx");
+  }
+  for (int i = 0; i < 4; ++i) {
+    store.append("idx", doc_at(300 + i, 24 + i));  // memtable tail
+  }
+  const auto check = [&](std::optional<double> lo,
+                         std::optional<double> hi) {
+    const auto fast =
+        store.aggregate_column("idx", "throughput_bps", "ts_ns", lo, hi);
+    ASSERT_TRUE(fast.has_value());
+    // Generic reference: scan everything, filter by range.
+    std::uint64_t count = 0;
+    double min = 0, max = 0, sum = 0;
+    store.scan("idx", {}, [&](const util::Json& doc) {
+      const double t = doc.at("ts_ns").as_double();
+      if (lo.has_value() && t < *lo) return true;
+      if (hi.has_value() && t > *hi) return true;
+      const double v = doc.at("throughput_bps").as_double();
+      if (count == 0) {
+        min = max = v;
+      } else {
+        min = std::min(min, v);
+        max = std::max(max, v);
+      }
+      sum += v;
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(fast->count, count);
+    EXPECT_EQ(fast->min, min);
+    EXPECT_EQ(fast->max, max);
+    EXPECT_EQ(fast->sum, sum);
+  };
+  check(std::nullopt, std::nullopt);  // summaries only
+  check(50.0, 250.0);                 // partial overlap: decode columns
+  check(0.0, 7.0);                    // single segment
+  check(1000.0, 2000.0);              // nothing
+  // Non-columnar fields refuse the fast path.
+  EXPECT_FALSE(store
+                   .aggregate_column("idx", "switch_id", "", std::nullopt,
+                                     std::nullopt)
+                   .has_value());
+}
+
+TEST(StoreVerify, DetectsSegmentCorruption) {
+  const std::string dir = fresh_dir("verify");
+  {
+    Store store(dir);
+    for (int i = 0; i < 5; ++i) store.append("idx", doc_at(i, i));
+    store.seal("idx");
+    store.append("idx", doc_at(99, 99));
+    store.flush();
+  }
+  ASSERT_TRUE(Store::verify(dir).ok);
+  // Flip one byte inside the segment file.
+  std::string seg_file;
+  for (const auto& entry : fs::directory_iterator(dir + "/seg")) {
+    seg_file = entry.path().string();
+  }
+  ASSERT_FALSE(seg_file.empty());
+  std::string bytes = read_file(seg_file);
+  bytes[bytes.size() / 2] ^= 0x10;
+  std::ofstream(seg_file, std::ios::binary | std::ios::trunc) << bytes;
+  const auto result = Store::verify(dir);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.errors.empty());
+  // WAL truncation, by contrast, is tolerated (crash tail).
+  EXPECT_EQ(result.wal_docs, 1u);
+}
+
+TEST(StoreRecovery, ReopenAfterWalTailTruncationKeepsCommittedPrefix) {
+  const std::string dir = fresh_dir("reopen_truncated");
+  {
+    Store store(dir);
+    for (int i = 0; i < 3; ++i) store.append("idx", doc_at(i, i));
+    store.flush();
+    store.append("idx", doc_at(3, 3));
+    store.flush();
+  }
+  // Cut into the last committed batch: only the first batch survives.
+  const std::string wal = dir + "/wal.log";
+  const std::string bytes = read_file(wal);
+  std::ofstream(wal, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() - 2);
+  Store store(dir);
+  EXPECT_EQ(store.doc_count("idx"), 3u);
+  EXPECT_GT(store.stats().wal_tail_bytes_dropped, 0u);
+  // The store stays fully usable: append/seal/verify after recovery.
+  store.append("idx", doc_at(3, 3));
+  store.seal("idx");
+  EXPECT_EQ(store.doc_count("idx"), 4u);
+  EXPECT_TRUE(Store::verify(dir).ok);
+}
+
+// ---------- CLI ----------
+
+TEST(StoreCli, InfoVerifyCompactDump) {
+  const std::string dir = fresh_dir("cli");
+  {
+    Store store(dir);
+    for (int seg = 0; seg < 2; ++seg) {
+      for (int i = 0; i < 3; ++i) {
+        store.append("p4sonar-throughput", doc_at(seg * 10 + i, i));
+      }
+      store.seal("p4sonar-throughput");
+    }
+  }
+  const auto run = [&](std::vector<const char*> args, std::string* text) {
+    args.insert(args.begin(), "p4s-store");
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = store_cli(static_cast<int>(args.size()), args.data(),
+                               out, err);
+    if (text != nullptr) *text = out.str() + err.str();
+    return code;
+  };
+  std::string text;
+  EXPECT_EQ(run({"info", dir.c_str()}, &text), 0);
+  EXPECT_NE(text.find("p4sonar-throughput: 6 docs"), std::string::npos);
+  EXPECT_EQ(run({"verify", dir.c_str()}, &text), 0);
+  EXPECT_NE(text.find("result:       OK"), std::string::npos);
+  EXPECT_EQ(run({"compact", dir.c_str()}, &text), 0);
+  EXPECT_NE(text.find("2 -> 1 segment(s)"), std::string::npos);
+  EXPECT_EQ(run({"dump", dir.c_str(), "p4sonar-throughput", "--limit", "2",
+                 "--newest"},
+                &text),
+            0);
+  // Newest-first dump: the last-indexed doc comes out first.
+  EXPECT_EQ(text.find("\"ts_ns\":12"), text.find("\"ts_ns\""));
+  EXPECT_EQ(run({}, nullptr), 2);
+  EXPECT_EQ(run({"info", (dir + "/does-not-exist").c_str()}, &text), 0)
+      << "an empty/missing store reads as empty, not an error";
+  EXPECT_EQ(run({"frobnicate", dir.c_str()}, nullptr), 2);
+}
+
+}  // namespace
+}  // namespace p4s::store

@@ -1,0 +1,9 @@
+// p4s-store: inspect, verify, and compact durable archive stores.
+// All logic lives in store::store_cli so tests can drive it in-process.
+#include <iostream>
+
+#include "store/store_cli.hpp"
+
+int main(int argc, char** argv) {
+  return p4s::store::store_cli(argc, argv, std::cout, std::cerr);
+}
