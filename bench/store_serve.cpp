@@ -1,0 +1,265 @@
+// store_serve — concurrent serving QPS and tail latency on the durable
+// store.
+//
+// Preloads a segmented store, then for several reader-thread counts runs
+// a mixed query load (recent-window search, term search, columnar
+// aggregate, latest-value) through ps::StoreServer while a writer thread
+// keeps ingesting and running maintenance (seal + tiered compaction) the
+// whole time. Reports per-reader-count QPS and p50/p99 latency.
+//
+// Writes BENCH_store_serve.json (p4s-bench-v1); absolute numbers are
+// machine-dependent and archived, not asserted. The machine-independent
+// assertions are the correctness claims: every reader's term-query match
+// count is non-decreasing over its run (snapshots move forward, never
+// backward, under a single writer), and the store verifies clean after
+// the concurrent run.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "psonar/store_server.hpp"
+#include "store/store.hpp"
+
+using namespace p4s;
+
+namespace {
+
+constexpr int kPreloadDocs = 60'000;
+constexpr std::int64_t kSpacingNs = 500'000'000;  // 2 docs per second
+
+util::Json make_doc(int i) {
+  util::Json doc = util::Json::object();
+  doc["ts_ns"] = static_cast<std::int64_t>(i) * kSpacingNs;
+  doc["throughput_bps"] =
+      static_cast<std::int64_t>(900'000 + (i * 37) % 200'000);
+  doc["bytes"] = static_cast<std::int64_t>(1460) * ((i % 64) + 1);
+  doc["switch_id"] = (i % 3 == 0) ? "s0" : (i % 3 == 1) ? "s1" : "s2";
+  doc["report"] = "throughput";
+  return doc;
+}
+
+struct LoadResult {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t queries = 0;
+  bool counts_monotonic = true;
+};
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[rank];
+}
+
+/// Run `readers` query threads against the server for `queries_per_reader`
+/// queries each, while the caller's writer keeps ingesting.
+LoadResult run_load(const ps::StoreServer& server, int readers,
+                    int queries_per_reader, std::int64_t preload_span_ns) {
+  std::mutex merge_mu;
+  std::vector<double> latencies_ms;
+  std::atomic<bool> monotonic{true};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(readers));
+  bench::WallTimer timer;
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<double> local_ms;
+      local_ms.reserve(static_cast<std::size_t>(queries_per_reader));
+      std::uint64_t last_term_count = 0;
+      for (int q = 0; q < queries_per_reader; ++q) {
+        const auto start = std::chrono::steady_clock::now();
+        switch ((q + t) % 4) {
+          case 0: {  // recent-window search (range pruning)
+            ps::ArchiverQuery query;
+            query.range_field = "ts_ns";
+            query.range_min = static_cast<double>(preload_span_ns) * 0.98;
+            query.limit = 64;
+            (void)server.search("tput", query);
+            break;
+          }
+          case 1: {  // term search (posting lists); count must not shrink
+            ps::ArchiverQuery query;
+            query.terms["switch_id"] = util::Json("s0");
+            const auto docs = server.search("tput", query);
+            if (docs.size() < last_term_count) monotonic.store(false);
+            last_term_count = docs.size();
+            break;
+          }
+          case 2: {  // columnar aggregate over the whole series
+            (void)server.aggregate("tput", "throughput_bps");
+            break;
+          }
+          default: {  // the dashboards' latest-value probe
+            (void)server.latest_value("tput", "throughput_bps");
+            break;
+          }
+        }
+        const auto elapsed =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        local_ms.push_back(elapsed);
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsed_s = timer.elapsed_s();
+
+  LoadResult result;
+  result.queries = latencies_ms.size();
+  result.qps = static_cast<double>(result.queries) / elapsed_s;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = percentile(latencies_ms, 0.50);
+  result.p99_ms = percentile(latencies_ms, 0.99);
+  result.counts_monotonic = monotonic.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const int preload = quick ? kPreloadDocs / 10 : kPreloadDocs;
+  const int queries_per_reader = quick ? 40 : 150;
+
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/p4s_bench_serve";
+  std::filesystem::remove_all(dir);
+
+  store::StoreConfig config;
+  config.seal_min_docs = 2048;
+  config.compact_fanin = 4;
+  config.cache_bytes = 64u << 20;
+  auto store = std::make_unique<store::Store>(dir, config);
+
+  bench::WallTimer total;
+  for (int i = 0; i < preload; ++i) {
+    store->append("tput", make_doc(i));
+    if ((i + 1) % static_cast<int>(config.seal_min_docs) == 0) {
+      store->maintain();
+    }
+  }
+  store->flush();
+  store->maintain();
+  const std::int64_t preload_span_ns =
+      static_cast<std::int64_t>(preload) * kSpacingNs;
+
+  ps::StoreServerConfig server_config;
+  server_config.reader_threads = 0;  // load threads query synchronously
+  const ps::StoreServer server(*store, server_config);
+
+  // Writer thread: keeps ingesting + sealing/compacting while the load
+  // phases run, so each reader count is measured against live churn.
+  // Growth is capped at +50% of the preload — an unthrottled writer
+  // would balloon the corpus across the multi-phase run and turn the
+  // QPS series into a measurement of store size, not reader count.
+  std::atomic<bool> stop_writer{false};
+  std::atomic<std::uint64_t> written{0};
+  const std::uint64_t write_cap = static_cast<std::uint64_t>(preload) / 2;
+  std::thread writer([&] {
+    int i = preload;
+    while (!stop_writer.load()) {
+      if (written.load() >= write_cap) {
+        store->maintain();  // churn continues: seals + tier merges
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      store->append("tput", make_doc(i));
+      written.fetch_add(1);
+      if ((i + 1) % 512 == 0) store->maintain();
+      ++i;
+    }
+  });
+  bench::WallTimer writer_timer;
+
+  const std::vector<int> reader_counts = {1, 2, 4, 8};
+  std::vector<LoadResult> results;
+  bool all_monotonic = true;
+  for (const int readers : reader_counts) {
+    const auto result =
+        run_load(server, readers, queries_per_reader, preload_span_ns);
+    all_monotonic = all_monotonic && result.counts_monotonic;
+    results.push_back(result);
+  }
+
+  stop_writer.store(true);
+  const double writer_elapsed_s = writer_timer.elapsed_s();
+  writer.join();
+  store->flush();
+  store->seal_all();
+
+  const auto stats = store->stats();
+  const auto verify = store::Store::verify(dir);
+
+  bench::BenchReport report("store_serve");
+  report.wall_time_s(total.elapsed_s());
+  for (std::size_t i = 0; i < reader_counts.size(); ++i) {
+    const std::string suffix = std::to_string(reader_counts[i]);
+    report.metric("qps_readers_" + suffix, results[i].qps)
+        .metric("p50_ms_readers_" + suffix, results[i].p50_ms)
+        .metric("p99_ms_readers_" + suffix, results[i].p99_ms);
+  }
+  report
+      .metric("concurrent_ingest_docs_per_sec",
+              static_cast<double>(written.load()) / writer_elapsed_s)
+      .metric("docs_written_during_load", written.load())
+      .metric("snapshots", stats.snapshots)
+      .metric("cache_hits", stats.cache_hits)
+      .metric("cache_misses", stats.cache_misses)
+      .metric("segments_retired", stats.segments_retired)
+      .metric("segments_gc_deleted", stats.segments_gc_deleted)
+      .metric("postings_rows_seeked", stats.postings_rows_seeked)
+      .meta("preload_docs", util::Json(static_cast<std::int64_t>(preload)))
+      .meta("queries_per_reader",
+            util::Json(static_cast<std::int64_t>(queries_per_reader)))
+      .meta("reader_counts",
+            util::Json(util::JsonArray{
+                util::Json(static_cast<std::int64_t>(1)),
+                util::Json(static_cast<std::int64_t>(2)),
+                util::Json(static_cast<std::int64_t>(4)),
+                util::Json(static_cast<std::int64_t>(8))}))
+      .meta("quick", util::Json(quick));
+
+  std::printf("store_serve: %d preloaded docs, %d queries/reader\n", preload,
+              queries_per_reader);
+  for (std::size_t i = 0; i < reader_counts.size(); ++i) {
+    std::printf("  readers=%d  %10.0f qps   p50 %7.3f ms   p99 %7.3f ms\n",
+                reader_counts[i], results[i].qps, results[i].p50_ms,
+                results[i].p99_ms);
+  }
+  std::printf("  concurrent ingest: %.0f docs/s (%llu docs during load)\n",
+              static_cast<double>(written.load()) / writer_elapsed_s,
+              static_cast<unsigned long long>(written.load()));
+  std::printf("  gc: %llu retired, %llu deleted; verify %s\n",
+              static_cast<unsigned long long>(stats.segments_retired),
+              static_cast<unsigned long long>(stats.segments_gc_deleted),
+              verify.ok ? "OK" : "CORRUPT");
+
+  const bool ok = report.write();
+  if (!all_monotonic) {
+    std::fprintf(stderr,
+                 "store_serve: a reader saw its term matches shrink\n");
+    return 1;
+  }
+  if (!verify.ok) {
+    std::fprintf(stderr,
+                 "store_serve: store is corrupt after concurrent load\n");
+    return 1;
+  }
+  store.reset();
+  std::filesystem::remove_all(dir);
+  return ok ? 0 : 1;
+}

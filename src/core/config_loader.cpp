@@ -257,6 +257,29 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
       if (config.archive.durable && config.archive.dir.empty()) {
         fail("'archive.backend': 'store' requires 'archive.dir'");
       }
+    } else if (key == "serving") {
+      walk(value, "serving", [&](const std::string& k,
+                                 const util::Json& v) {
+        auto& s = config.serving;
+        if (k == "enabled") {
+          s.enabled = require_bool(v, k);
+        } else if (k == "cache_bytes") {
+          s.cache_bytes = static_cast<std::size_t>(require_number(v, k));
+        } else if (k == "cache_shards") {
+          s.cache_shards = static_cast<std::size_t>(require_number(v, k));
+          if (s.cache_shards == 0) {
+            fail("'serving.cache_shards' must be at least 1");
+          }
+        } else if (k == "reader_threads") {
+          s.reader_threads = static_cast<std::size_t>(require_number(v, k));
+        } else {
+          return false;
+        }
+        return true;
+      });
+      if (config.serving.enabled && !config.archive.durable) {
+        fail("'serving.enabled' requires 'archive.backend': 'store'");
+      }
     } else if (key == "switches") {
       if (!value.is_array()) fail("'switches' must be an array");
       const auto& entries = value.as_array();

@@ -31,10 +31,25 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
       throw std::invalid_argument(
           "archive.durable requires a store directory (archive.dir)");
     }
+    store::StoreConfig store_config = config_.archive.store;
+    if (config_.serving.enabled) {
+      // The serving section sizes the store's segment block cache.
+      store_config.cache_bytes = config_.serving.cache_bytes;
+      store_config.cache_shards = config_.serving.cache_shards;
+    }
     store_ = std::make_unique<store::Store>(config_.archive.dir,
-                                            config_.archive.store);
+                                            std::move(store_config));
     psonar_->archiver().set_backend(
         std::make_unique<ps::StoreBackend>(*store_));
+    if (config_.serving.enabled) {
+      ps::StoreServerConfig server_config;
+      server_config.reader_threads = config_.serving.reader_threads;
+      store_server_ =
+          std::make_unique<ps::StoreServer>(*store_, server_config);
+    }
+  } else if (config_.serving.enabled) {
+    throw std::invalid_argument(
+        "serving.enabled requires a durable archive (archive.durable)");
   }
   for (std::size_t i = 0; i < switches_.size(); ++i) {
     psonar_->psconfig().add_control_plane(switches_[i]->control_plane(),

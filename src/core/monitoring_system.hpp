@@ -34,6 +34,7 @@
 #include "net/topology.hpp"
 #include "p4/p4_switch.hpp"
 #include "psonar/node.hpp"
+#include "psonar/store_server.hpp"
 #include "sim/simulation.hpp"
 #include "store/store.hpp"
 #include "tcp/flow.hpp"
@@ -73,6 +74,21 @@ struct ArchiveConfig {
   SimTime maintenance_interval = units::seconds(1);
 };
 
+/// Configuration of the concurrent query-serving path over the durable
+/// store (the config loader's "serving" section). Only meaningful with
+/// archive.durable: the store's segment block cache is sized from
+/// cache_bytes/cache_shards and a ps::StoreServer with reader_threads
+/// workers fronts the store (store_server()).
+struct ServingConfig {
+  bool enabled = false;
+  /// Segment block-cache capacity in bytes (0 = unbounded).
+  std::size_t cache_bytes = 0;
+  /// Lock shards for the block cache.
+  std::size_t cache_shards = 8;
+  /// Reader threads behind the async StoreServer API.
+  std::size_t reader_threads = 4;
+};
+
 struct MonitoringSystemConfig {
   net::PaperTopologyConfig topology;
   telemetry::DataPlaneProgram::Config program;
@@ -83,6 +99,7 @@ struct MonitoringSystemConfig {
   ReportTransportConfig transport;
   TraceCaptureConfig trace;
   ArchiveConfig archive;
+  ServingConfig serving;
   /// The monitored switches of the fabric. Empty = one untagged switch on
   /// the core bottleneck (the paper's deployment, and the legacy
   /// single-switch behavior).
@@ -156,6 +173,13 @@ class MonitoringSystem {
   /// Seal/flush through it at end of run to make the tail durable.
   store::Store& archive_store() { return *store_; }
 
+  /// Whether the concurrent serving path is active (serving.enabled on a
+  /// durable archive).
+  bool serving() const { return store_server_ != nullptr; }
+  /// The thread-safe query server over the durable store (only with
+  /// serving.enabled).
+  ps::StoreServer& store_server() { return *store_server_; }
+
   /// Whether pcap capture of the mirror streams is active (switch 0).
   bool capturing() const { return switches_[0]->capturing(); }
   /// The capture tee (only with trace.capture; switch 0's tee).
@@ -174,6 +198,7 @@ class MonitoringSystem {
   net::PaperTopology topology_;
   std::vector<std::unique_ptr<MonitoredSwitch>> switches_;
   std::unique_ptr<store::Store> store_;  // before psonar_: archiver backend
+  std::unique_ptr<ps::StoreServer> store_server_;
   std::unique_ptr<ps::PerfSonarNode> psonar_;
   std::unique_ptr<net::ReportChannel> channel_;
   std::unique_ptr<net::FaultInjector> fault_injector_;

@@ -2,23 +2,24 @@
 
 namespace p4s::ps {
 
-void StoreBackend::for_each(
-    const std::string& index_name, const ArchiverQuery& query,
-    const std::function<bool(const util::Json&)>& visit) const {
-  store::Store::ScanOptions options;
+void snapshot_for_each(const store::Snapshot& snapshot,
+                       const std::string& index_name,
+                       const ArchiverQuery& query,
+                       const std::function<bool(const util::Json&)>& visit) {
+  store::ScanOptions options;
   options.range_field = query.range_field;
   options.range_min = query.range_min;
   options.range_max = query.range_max;
   options.newest_first = query.newest_first;
   for (const auto& [path, value] : query.terms) {
-    // Only scalar terms have bloom keys; object/array terms simply don't
-    // prune (the predicate below still filters them).
+    // Only scalar terms have bloom/posting keys; object/array terms
+    // simply don't prune (the predicate below still filters them).
     if (!value.is_object() && !value.is_array()) {
       options.term_keys.push_back(store::term_key(path, value));
     }
   }
   std::size_t matched = 0;
-  store_.scan(index_name, options, [&](const util::Json& doc) {
+  snapshot.scan(index_name, options, [&](const util::Json& doc) {
     if (!archiver_query_matches(doc, query)) return true;
     ++matched;
     if (!visit(doc)) return false;
@@ -26,15 +27,15 @@ void StoreBackend::for_each(
   });
 }
 
-std::optional<ArchiverAggregation> StoreBackend::aggregate_fast(
-    const std::string& index_name, const std::string& field,
-    const ArchiverQuery& query) const {
+std::optional<ArchiverAggregation> snapshot_aggregate_fast(
+    const store::Snapshot& snapshot, const std::string& index_name,
+    const std::string& field, const ArchiverQuery& query) {
   // The columnar path can't apply term filters or honor a limit; those
   // queries fall back to the generic scan-based aggregation.
   if (!query.terms.empty() || query.limit != 0) return std::nullopt;
-  const auto agg = store_.aggregate_column(
-      index_name, field, query.range_field, query.range_min,
-      query.range_max);
+  const auto agg = snapshot.aggregate_column(index_name, field,
+                                             query.range_field,
+                                             query.range_min, query.range_max);
   if (!agg.has_value()) return std::nullopt;
   ArchiverAggregation out;
   out.count = agg->count;
@@ -43,6 +44,18 @@ std::optional<ArchiverAggregation> StoreBackend::aggregate_fast(
   out.sum = agg->sum;
   if (out.count > 0) out.avg = out.sum / static_cast<double>(out.count);
   return out;
+}
+
+void StoreBackend::for_each(
+    const std::string& index_name, const ArchiverQuery& query,
+    const std::function<bool(const util::Json&)>& visit) const {
+  snapshot_for_each(store_.snapshot(), index_name, query, visit);
+}
+
+std::optional<ArchiverAggregation> StoreBackend::aggregate_fast(
+    const std::string& index_name, const std::string& field,
+    const ArchiverQuery& query) const {
+  return snapshot_aggregate_fast(store_.snapshot(), index_name, field, query);
 }
 
 }  // namespace p4s::ps

@@ -15,6 +15,26 @@
 
 namespace p4s::ps {
 
+// ---- snapshot query execution ------------------------------------------
+//
+// The archiver-query-over-snapshot translation, shared by StoreBackend
+// (below) and StoreServer (store_server.hpp). Taking the Snapshot as a
+// parameter keeps one query on one pinned view end to end — a serving
+// thread's search never straddles a seal or compaction.
+
+/// Visit matching documents in the query's order, at most query.limit of
+/// them; the visitor returns false to stop early.
+void snapshot_for_each(const store::Snapshot& snapshot,
+                       const std::string& index_name,
+                       const ArchiverQuery& query,
+                       const std::function<bool(const util::Json&)>& visit);
+
+/// Columnar aggregation fast path over the snapshot; nullopt = the
+/// caller falls back to the generic for_each-based aggregation.
+std::optional<ArchiverAggregation> snapshot_aggregate_fast(
+    const store::Snapshot& snapshot, const std::string& index_name,
+    const std::string& field, const ArchiverQuery& query);
+
 class StoreBackend final : public ArchiverBackend {
  public:
   /// Non-owning: the store outlives the archiver (the MonitoringSystem

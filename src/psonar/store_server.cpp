@@ -1,0 +1,154 @@
+#include "psonar/store_server.hpp"
+
+#include <algorithm>
+
+namespace p4s::ps {
+
+StoreServer::StoreServer(store::Store& store, StoreServerConfig config)
+    : store_(store), config_(config) {
+  readers_.reserve(config_.reader_threads);
+  for (std::size_t i = 0; i < config_.reader_threads; ++i) {
+    readers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+StoreServer::~StoreServer() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& reader : readers_) reader.join();
+}
+
+void StoreServer::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void StoreServer::enqueue(std::function<void()> task) const {
+  async_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (readers_.empty()) {
+    // No pool configured: run inline, still snapshot-pinned.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+std::vector<util::Json> StoreServer::search(const std::string& index_name,
+                                            const ArchiverQuery& query) const {
+  searches_.fetch_add(1, std::memory_order_relaxed);
+  const store::Snapshot snapshot = store_.snapshot();
+  std::vector<util::Json> out;
+  snapshot_for_each(snapshot, index_name, query, [&](const util::Json& doc) {
+    out.push_back(doc);
+    return true;
+  });
+  return out;
+}
+
+ArchiverAggregation StoreServer::aggregate(const std::string& index_name,
+                                           const std::string& field,
+                                           const ArchiverQuery& query) const {
+  aggregates_.fetch_add(1, std::memory_order_relaxed);
+  const store::Snapshot snapshot = store_.snapshot();
+  if (auto fast =
+          snapshot_aggregate_fast(snapshot, index_name, field, query)) {
+    return *fast;
+  }
+  ArchiverAggregation agg;
+  snapshot_for_each(snapshot, index_name, query, [&](const util::Json& doc) {
+    const auto value = archiver_field_at(doc, field);
+    if (!value.has_value() || !value->is_number()) return true;
+    const double v = value->as_double();
+    if (agg.count == 0) {
+      agg.min = agg.max = v;
+    } else {
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+    }
+    agg.sum += v;
+    ++agg.count;
+    return true;
+  });
+  if (agg.count > 0) agg.avg = agg.sum / static_cast<double>(agg.count);
+  return agg;
+}
+
+std::optional<util::Json> StoreServer::latest_value(
+    const std::string& index_name, const std::string& field,
+    const ArchiverQuery& query) const {
+  latest_queries_.fetch_add(1, std::memory_order_relaxed);
+  const store::Snapshot snapshot = store_.snapshot();
+  ArchiverQuery newest = query;
+  newest.newest_first = true;
+  newest.limit = 1;
+  std::optional<util::Json> out;
+  snapshot_for_each(snapshot, index_name, newest, [&](const util::Json& doc) {
+    out = archiver_field_at(doc, field);
+    return false;
+  });
+  return out;
+}
+
+std::future<std::vector<util::Json>> StoreServer::submit_search(
+    const std::string& index_name, const ArchiverQuery& query) const {
+  auto task = std::make_shared<std::packaged_task<std::vector<util::Json>()>>(
+      [this, index_name, query] { return search(index_name, query); });
+  auto future = task->get_future();
+  enqueue([task] { (*task)(); });
+  return future;
+}
+
+std::future<ArchiverAggregation> StoreServer::submit_aggregate(
+    const std::string& index_name, const std::string& field,
+    const ArchiverQuery& query) const {
+  auto task = std::make_shared<std::packaged_task<ArchiverAggregation()>>(
+      [this, index_name, field, query] {
+        return aggregate(index_name, field, query);
+      });
+  auto future = task->get_future();
+  enqueue([task] { (*task)(); });
+  return future;
+}
+
+std::future<std::optional<util::Json>> StoreServer::submit_latest(
+    const std::string& index_name, const std::string& field,
+    const ArchiverQuery& query) const {
+  auto task = std::make_shared<std::packaged_task<std::optional<util::Json>()>>(
+      [this, index_name, field, query] {
+        return latest_value(index_name, field, query);
+      });
+  auto future = task->get_future();
+  enqueue([task] { (*task)(); });
+  return future;
+}
+
+StoreServerStats StoreServer::stats() const {
+  StoreServerStats out;
+  out.searches = searches_.load(std::memory_order_relaxed);
+  out.aggregates = aggregates_.load(std::memory_order_relaxed);
+  out.latest_queries = latest_queries_.load(std::memory_order_relaxed);
+  out.async_queries = async_queries_.load(std::memory_order_relaxed);
+  out.reader_threads = readers_.size();
+  return out;
+}
+
+}  // namespace p4s::ps

@@ -1,0 +1,116 @@
+// StoreServer: a thread-safe, high-QPS query front end for the durable
+// store.
+//
+// Every query pins its own store::Snapshot, so it sees one frozen,
+// consistent view for its whole lifetime while the single writer keeps
+// appending, sealing, and compacting underneath. Two ways in:
+//
+//   - Synchronous: search()/aggregate()/latest_value() run on the
+//     calling thread. Safe to call from any number of threads at once.
+//   - Asynchronous: submit_search()/submit_aggregate()/submit_latest()
+//     enqueue the query onto a fixed pool of reader threads
+//     (StoreServerConfig::reader_threads, the "serving" config section)
+//     and return a std::future.
+//
+// Results match ps::Archiver over a StoreBackend query for query —
+// search is Archiver::search, aggregate is Archiver::aggregate with the
+// same columnar fast path, latest_value is the newest-first/size-1
+// OpenSearch idiom — because all of them run through the same
+// snapshot_for_each/snapshot_aggregate_fast translation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psonar/store_backend.hpp"
+#include "store/store.hpp"
+
+namespace p4s::ps {
+
+struct StoreServerConfig {
+  /// Reader threads serving the async API. 0 = no pool; submit_* runs
+  /// the query inline on the submitting thread (still snapshot-pinned).
+  std::size_t reader_threads = 4;
+};
+
+struct StoreServerStats {
+  std::uint64_t searches = 0;
+  std::uint64_t aggregates = 0;
+  std::uint64_t latest_queries = 0;
+  /// Queries that went through the reader pool (subset of the above).
+  std::uint64_t async_queries = 0;
+  std::uint64_t reader_threads = 0;
+};
+
+class StoreServer {
+ public:
+  /// Non-owning: the store must outlive the server (MonitoringSystem
+  /// owns both, store first).
+  explicit StoreServer(store::Store& store, StoreServerConfig config = {});
+  ~StoreServer();
+
+  StoreServer(const StoreServer&) = delete;
+  StoreServer& operator=(const StoreServer&) = delete;
+
+  const StoreServerConfig& config() const { return config_; }
+
+  // ---- synchronous API (any thread) -----------------------------------
+
+  std::vector<util::Json> search(const std::string& index_name,
+                                 const ArchiverQuery& query = {}) const;
+
+  ArchiverAggregation aggregate(const std::string& index_name,
+                                const std::string& field,
+                                const ArchiverQuery& query = {}) const;
+
+  /// Newest matching document's `field` (the dashboards' latest-value
+  /// idiom: newest_first, size 1). nullopt when nothing matches or the
+  /// newest match lacks the field.
+  std::optional<util::Json> latest_value(const std::string& index_name,
+                                         const std::string& field,
+                                         const ArchiverQuery& query = {}) const;
+
+  // ---- asynchronous API (reader pool) ---------------------------------
+
+  std::future<std::vector<util::Json>> submit_search(
+      const std::string& index_name, const ArchiverQuery& query = {}) const;
+
+  std::future<ArchiverAggregation> submit_aggregate(
+      const std::string& index_name, const std::string& field,
+      const ArchiverQuery& query = {}) const;
+
+  std::future<std::optional<util::Json>> submit_latest(
+      const std::string& index_name, const std::string& field,
+      const ArchiverQuery& query = {}) const;
+
+  StoreServerStats stats() const;
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task) const;
+
+  store::Store& store_;
+  StoreServerConfig config_;
+
+  mutable std::atomic<std::uint64_t> searches_{0};
+  mutable std::atomic<std::uint64_t> aggregates_{0};
+  mutable std::atomic<std::uint64_t> latest_queries_{0};
+  mutable std::atomic<std::uint64_t> async_queries_{0};
+
+  mutable std::mutex queue_mu_;
+  mutable std::condition_variable queue_cv_;
+  mutable std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace p4s::ps

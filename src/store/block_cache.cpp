@@ -1,0 +1,78 @@
+#include "store/block_cache.hpp"
+
+#include <algorithm>
+
+#include "store/segment.hpp"
+
+namespace p4s::store {
+
+BlockCache::BlockCache(std::size_t capacity_bytes, std::size_t shards)
+    : capacity_bytes_(capacity_bytes) {
+  const std::size_t n = std::max<std::size_t>(1, shards);
+  shard_capacity_ = capacity_bytes_ == 0 ? 0 : std::max<std::size_t>(
+                                                   1, capacity_bytes_ / n);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BlockCache::Shard& BlockCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const Segment> BlockCache::get_or_load(
+    const std::string& key,
+    const std::function<std::shared_ptr<const Segment>()>& load) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->segment;
+  }
+  ++shard.misses;
+  // The load runs under the shard lock: concurrent misses on one key
+  // decode the file once, at the price of serializing same-shard misses
+  // (sharding keeps that window narrow).
+  std::shared_ptr<const Segment> segment = load();
+  Entry entry{key, segment, segment->approx_bytes()};
+  shard.bytes += entry.charge;
+  shard.lru.push_front(std::move(entry));
+  shard.map[key] = shard.lru.begin();
+  while (shard_capacity_ != 0 && shard.bytes > shard_capacity_ &&
+         shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.charge;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return segment;
+}
+
+void BlockCache::erase(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return;
+  shard.bytes -= it->second->charge;
+  shard.lru.erase(it->second);
+  shard.map.erase(it);
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+}  // namespace p4s::store

@@ -1,0 +1,85 @@
+// Sharded LRU cache of loaded segment blocks.
+//
+// Loading a sealed segment reads, checksums, and decodes the whole file
+// (docs block, columns, bloom, postings) — expensive enough that the
+// serving path must not repeat it per query. The cache bounds how many
+// loaded segments stay resident: entries are charged their decoded size
+// (Segment::approx_bytes()) against a byte capacity, keys are segment
+// file names (unique — segment ids are monotonic), and eviction is LRU
+// within each shard. Shards cut lock contention between concurrent
+// readers: a key hashes to one shard, and each shard has its own mutex,
+// LRU list, and slice of the capacity.
+//
+// Eviction only drops the cache's reference. Readers hold a
+// shared_ptr<const Segment> for as long as they scan, so an evicted
+// segment finishes its in-flight queries untouched and is simply
+// reloaded on the next miss. capacity_bytes == 0 means unbounded (the
+// pre-serving behavior: every loaded segment stays resident forever).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace p4s::store {
+
+class Segment;
+
+class BlockCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// `capacity_bytes` 0 = unbounded; `shards` is clamped to at least 1.
+  explicit BlockCache(std::size_t capacity_bytes, std::size_t shards = 8);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Return the cached segment for `key`, or run `load` (under the
+  /// shard lock, so concurrent misses on one key load once) and cache
+  /// the result. `load` must return non-null or throw.
+  std::shared_ptr<const Segment> get_or_load(
+      const std::string& key,
+      const std::function<std::shared_ptr<const Segment>()>& load);
+
+  /// Drop `key` if cached (retired segments; no-op when absent).
+  void erase(const std::string& key);
+
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Segment> segment;
+    std::size_t charge = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> map;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::size_t capacity_bytes_;
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace p4s::store

@@ -45,19 +45,27 @@ bool bloom_test(std::string_view bits, std::uint32_t hashes,
   return true;
 }
 
-/// Collect every leaf-scalar "path=value" term key of a document
-/// (recursing through objects; arrays and the objects themselves get no
-/// key, matching the pruning contract in term_key()).
-void collect_term_keys(const util::Json& value, const std::string& path,
-                       std::vector<std::string>& out) {
+/// One leaf-scalar term occurrence: the dotted path, its bloom/posting
+/// key, and the row that carries it.
+struct TermOccurrence {
+  std::string path;
+  std::string key;
+  std::uint32_t row;
+};
+
+/// Collect every leaf-scalar "path=value" term of a document (recursing
+/// through objects; arrays and the objects themselves get no key,
+/// matching the pruning contract in term_key()).
+void collect_terms(const util::Json& value, const std::string& path,
+                   std::uint32_t row, std::vector<TermOccurrence>& out) {
   if (value.is_object()) {
     for (const auto& [k, v] : value.as_object()) {
-      collect_term_keys(v, path.empty() ? k : path + "." + k, out);
+      collect_terms(v, path.empty() ? k : path + "." + k, row, out);
     }
     return;
   }
   if (value.is_array()) return;
-  if (!path.empty()) out.push_back(term_key(path, value));
+  if (!path.empty()) out.push_back({path, term_key(path, value), row});
 }
 
 enum : std::uint8_t { kTagMissing = 0, kTagInt = 1, kTagDouble = 2 };
@@ -90,6 +98,19 @@ SegmentBuildResult write_segment(const std::string& path,
                                  const std::vector<util::Json>& docs,
                                  const std::string& time_field,
                                  const std::vector<std::string>& hot_fields) {
+  std::vector<const util::Json*> borrowed;
+  borrowed.reserve(docs.size());
+  for (const auto& doc : docs) borrowed.push_back(&doc);
+  return write_segment(path, index, base_seq, borrowed, time_field,
+                       hot_fields);
+}
+
+SegmentBuildResult write_segment(const std::string& path,
+                                 const std::string& index,
+                                 std::uint64_t base_seq,
+                                 const std::vector<const util::Json*>& docs,
+                                 const std::string& time_field,
+                                 const std::vector<std::string>& hot_fields) {
   // Column order: time field first, then the hot fields (deduplicated).
   std::vector<std::string> columns{time_field};
   for (const auto& f : hot_fields) {
@@ -99,10 +120,10 @@ SegmentBuildResult write_segment(const std::string& path,
   }
 
   std::string docs_block;
-  std::vector<std::string> term_keys;
-  for (const auto& doc : docs) {
-    put_blob(docs_block, doc.dump());
-    collect_term_keys(doc, "", term_keys);
+  std::vector<TermOccurrence> terms;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    put_blob(docs_block, docs[i]->dump());
+    collect_terms(*docs[i], "", static_cast<std::uint32_t>(i), terms);
   }
 
   SegmentInfo info;
@@ -116,8 +137,8 @@ SegmentBuildResult write_segment(const std::string& path,
     std::string encoded;
     std::int64_t prev_int = 0;  // delta base for the time column
     const bool is_time = field == time_field;
-    for (const auto& doc : docs) {
-      const auto value = json_field_at(doc, field);
+    for (const util::Json* doc_ptr : docs) {
+      const auto value = json_field_at(*doc_ptr, field);
       if (!value.has_value() || !value->is_number()) {
         encoded.push_back(static_cast<char>(kTagMissing));
         continue;
@@ -154,11 +175,41 @@ SegmentBuildResult write_segment(const std::string& path,
   }
 
   std::string bloom((std::max(kBloomMinBits,
-                              term_keys.size() * kBloomBitsPerKey) +
+                              terms.size() * kBloomBitsPerKey) +
                      7) /
                         8,
                     '\0');
-  for (const auto& key : term_keys) bloom_set(bloom, key);
+  for (const auto& term : terms) bloom_set(bloom, term.key);
+
+  // Posting lists: per-field term -> sorted rows, kept only for
+  // low-cardinality fields (distinct values <= half the docs). Identity
+  // fields (site, report type, destination) qualify; timestamps and
+  // measurement values — distinct per row — do not, and the bloom filter
+  // still covers them.
+  std::map<std::string, std::map<std::string, std::vector<std::uint32_t>>>
+      by_field;
+  for (const auto& term : terms) {
+    auto& rows = by_field[term.path][term.key];
+    if (rows.empty() || rows.back() != term.row) rows.push_back(term.row);
+  }
+  std::vector<std::string> posting_fields;
+  std::map<std::string, std::vector<std::uint32_t>> postings;
+  for (const auto& [field, keyed] : by_field) {
+    if (docs.size() < 2 || keyed.size() * 2 > docs.size()) continue;
+    posting_fields.push_back(field);
+    for (const auto& [key, rows] : keyed) postings[key] = rows;
+  }
+  std::string postings_block;
+  put_varint(postings_block, postings.size());
+  for (const auto& [key, rows] : postings) {
+    put_blob(postings_block, key);
+    put_varint(postings_block, rows.size());
+    std::uint32_t prev = 0;
+    for (const std::uint32_t row : rows) {
+      put_varint(postings_block, row - prev);
+      prev = row;
+    }
+  }
 
   util::Json header = util::Json::object();
   header["index"] = index;
@@ -169,6 +220,11 @@ SegmentBuildResult write_segment(const std::string& path,
   header["min_ts"] = info.min_ts;
   header["max_ts"] = info.max_ts;
   header["bloom_hashes"] = kBloomHashes;
+  util::JsonArray posting_meta;
+  for (const auto& field : posting_fields) {
+    posting_meta.push_back(util::Json(field));
+  }
+  header["posting_fields"] = util::Json(std::move(posting_meta));
   util::JsonArray column_meta;
   for (const auto& field : columns) {
     const auto& s = summaries[field];
@@ -187,6 +243,7 @@ SegmentBuildResult write_segment(const std::string& path,
   put_blob(body, docs_block);
   put_blob(body, columns_block);
   put_blob(body, bloom);
+  put_blob(body, postings_block);
 
   std::string file;
   put_u32(file, kSegmentMagic);
@@ -214,7 +271,8 @@ Segment Segment::load(const std::string& path) {
   if (head.u32() != kSegmentMagic) {
     throw StoreError("segment: bad magic in " + path);
   }
-  if (head.u32() != kSegmentVersion) {
+  const auto version = head.u32();
+  if (version != 1 && version != kSegmentVersion) {
     throw StoreError("segment: unsupported version in " + path);
   }
   const std::string_view body =
@@ -231,6 +289,13 @@ Segment Segment::load(const std::string& path) {
   const auto bloom_block = r.blob();
   if (!header_text || !docs_block || !columns_block || !bloom_block) {
     throw StoreError("segment: malformed sections in " + path);
+  }
+  std::optional<std::string_view> postings_block;
+  if (*version == kSegmentVersion) {
+    postings_block = r.blob();
+    if (!postings_block) {
+      throw StoreError("segment: malformed postings in " + path);
+    }
   }
 
   Segment seg;
@@ -257,6 +322,12 @@ Segment Segment::load(const std::string& path) {
       seg.summaries_[field] = s;
       column_order.push_back(field);
     }
+    if (header.contains("posting_fields")) {
+      for (const auto& field : header.at("posting_fields").as_array()) {
+        seg.posting_fields_.push_back(field.as_string());
+      }
+      std::sort(seg.posting_fields_.begin(), seg.posting_fields_.end());
+    }
   } catch (const util::JsonError& e) {
     throw StoreError("segment: bad header in " + path + ": " + e.what());
   }
@@ -274,11 +345,69 @@ Segment Segment::load(const std::string& path) {
     seg.column_bytes_[field] = std::string(*bytes);
   }
   seg.bloom_bits_ = std::string(*bloom_block);
+  if (postings_block) {
+    ByteReader posts(*postings_block);
+    const auto n_terms = posts.varint();
+    if (!n_terms) throw StoreError("segment: bad postings in " + path);
+    for (std::uint64_t t = 0; t < *n_terms; ++t) {
+      const auto key = posts.blob();
+      const auto n_rows = posts.varint();
+      if (!key || !n_rows || *n_rows > seg.info_.docs) {
+        throw StoreError("segment: bad postings in " + path);
+      }
+      std::vector<std::uint32_t> rows;
+      rows.reserve(static_cast<std::size_t>(*n_rows));
+      std::uint64_t prev = 0;
+      for (std::uint64_t i = 0; i < *n_rows; ++i) {
+        const auto delta = posts.varint();
+        if (!delta) throw StoreError("segment: bad postings in " + path);
+        const std::uint64_t row = prev + *delta;
+        // Rows must stay strictly ascending and inside the segment.
+        if (row >= seg.info_.docs || (i > 0 && row <= prev)) {
+          throw StoreError("segment: posting row out of range in " + path);
+        }
+        rows.push_back(static_cast<std::uint32_t>(row));
+        prev = row;
+      }
+      seg.postings_[std::string(*key)] = std::move(rows);
+    }
+  }
   return seg;
 }
 
 bool Segment::maybe_contains_term(const std::string& key) const {
   return bloom_test(bloom_bits_, bloom_hashes_, key);
+}
+
+bool Segment::postings_cover_field(const std::string& path) const {
+  return std::binary_search(posting_fields_.begin(), posting_fields_.end(),
+                            path);
+}
+
+std::optional<std::vector<std::uint32_t>> Segment::postings(
+    const std::string& key) const {
+  // The key's field is everything before the '=' term_key() appended.
+  const std::size_t eq = key.find('=');
+  if (eq == std::string::npos ||
+      !postings_cover_field(key.substr(0, eq))) {
+    return std::nullopt;
+  }
+  const auto it = postings_.find(key);
+  if (it == postings_.end()) return std::vector<std::uint32_t>{};
+  return it->second;
+}
+
+std::size_t Segment::approx_bytes() const {
+  std::size_t bytes = sizeof(Segment);
+  for (const auto& text : doc_texts_) bytes += text.size() + 48;
+  for (const auto& [field, col] : column_bytes_) {
+    bytes += field.size() + col.size() + 64;
+  }
+  bytes += bloom_bits_.size();
+  for (const auto& [key, rows] : postings_) {
+    bytes += key.size() + rows.size() * sizeof(std::uint32_t) + 64;
+  }
+  return bytes;
 }
 
 const ColumnSummary* Segment::column_summary(const std::string& field) const {

@@ -5,21 +5,34 @@
 //
 //   u32 magic "P4SG"  u32 version
 //   blob header_json        — index, docs, base_seq, time stats,
-//                             per-column summaries, bloom parameters
+//                             per-column summaries, bloom parameters,
+//                             posting-indexed fields
 //   blob docs_block         — per doc: blob of its JSON text
 //   blob columns_block      — per column: blob of tagged values
 //                             (0 = missing, 1 = svarint int — the time
 //                             column delta-encodes against the previous
 //                             present value, 2 = raw 8-byte LE double)
 //   blob bloom_block        — bit array over "path=value" term keys
+//   blob postings_block     — (v2) per-term sorted row-id lists for
+//                             low-cardinality fields: varint n_terms,
+//                             then per term blob key, varint n_rows,
+//                             delta-varint row ids
 //   u32 crc32               — over everything after magic+version
 //
 // The header carries everything query planning needs (min/max time,
-// per-column min/max/sum/count, term bloom) so ArchiverQuery time ranges
-// and exact-match terms can prune a segment without touching its
-// documents, and no-filter aggregations can combine column summaries
-// without parsing a single JSON byte. Any structural damage — bad magic,
-// short file, CRC mismatch — raises StoreError; segments have no
+// per-column min/max/sum/count, term bloom, posting coverage) so
+// ArchiverQuery time ranges and exact-match terms can prune a segment
+// without touching its documents, and no-filter aggregations can combine
+// column summaries without parsing a single JSON byte. Posting lists go
+// one step further than the bloom filter: for a covered field, a term
+// query seeks directly to the matching rows instead of parsing every
+// document of a surviving segment. Fields are posting-indexed only when
+// their distinct-value count is at most half the doc count (identity
+// fields like switch_id — never timestamps or measurement values, whose
+// posting lists would be as large as the data). Version-1 files (no
+// postings block) still load; they simply cover no fields. Any
+// structural damage — bad magic, short file, CRC mismatch, out-of-range
+// or unsorted posting rows — raises StoreError; segments have no
 // "truncated tail" tolerance (that's the WAL's job).
 #pragma once
 
@@ -37,7 +50,8 @@
 namespace p4s::store {
 
 inline constexpr std::uint32_t kSegmentMagic = 0x47533450;  // "P4SG" LE
-inline constexpr std::uint32_t kSegmentVersion = 1;
+/// v2 added the postings block; v1 files are still readable.
+inline constexpr std::uint32_t kSegmentVersion = 2;
 
 /// Numeric statistics for one hot column, over the documents that carry
 /// the field as a number (count says how many did).
@@ -89,6 +103,15 @@ SegmentBuildResult write_segment(const std::string& path,
                                  const std::string& time_field,
                                  const std::vector<std::string>& hot_fields);
 
+/// Same, over borrowed documents (the store's memtable chunks hand out
+/// shared documents; sealing must not deep-copy them first).
+SegmentBuildResult write_segment(const std::string& path,
+                                 const std::string& index,
+                                 std::uint64_t base_seq,
+                                 const std::vector<const util::Json*>& docs,
+                                 const std::string& time_field,
+                                 const std::vector<std::string>& hot_fields);
+
 /// A loaded, validated segment. Load reads and checksums the whole file
 /// up front; document JSON is parsed lazily per visit.
 class Segment {
@@ -100,6 +123,24 @@ class Segment {
   /// True if the segment *may* contain a document matching the term key;
   /// false is definitive (the bloom filter has no false negatives).
   bool maybe_contains_term(const std::string& key) const;
+
+  /// True when the dotted path was posting-indexed in this segment (its
+  /// term keys have exact row lists).
+  bool postings_cover_field(const std::string& path) const;
+
+  /// Exact ascending row ids matching a term key. nullopt = the key's
+  /// field is not posting-indexed here (fall back to bloom + scan); an
+  /// empty vector is definitive (field covered, term absent).
+  std::optional<std::vector<std::uint32_t>> postings(
+      const std::string& key) const;
+
+  /// Raw JSON text of one document row (0 <= row < info().docs).
+  std::string_view doc_text(std::size_t row) const {
+    return doc_texts_[row];
+  }
+
+  /// Approximate decoded footprint, the block cache's charge unit.
+  std::size_t approx_bytes() const;
 
   /// Column summary for `field`, or nullptr when the field was not
   /// encoded columnar in this segment.
@@ -128,6 +169,8 @@ class Segment {
   std::map<std::string, std::string> column_bytes_;
   std::string bloom_bits_;
   std::uint32_t bloom_hashes_ = 0;
+  std::vector<std::string> posting_fields_;  // sorted dotted paths
+  std::map<std::string, std::vector<std::uint32_t>> postings_;
 };
 
 }  // namespace p4s::store

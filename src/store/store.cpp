@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 namespace p4s::store {
@@ -14,6 +15,17 @@ namespace {
 constexpr const char* kManifestFile = "MANIFEST.json";
 constexpr const char* kWalFile = "wal.log";
 constexpr const char* kSegmentDir = "seg";
+
+/// Memtable chunk capacity. Appends republish only the last chunk (a
+/// vector of shared_ptrs this long), so the per-append copy cost is
+/// bounded regardless of memtable size.
+constexpr std::size_t kMemChunkDocs = 64;
+
+std::function<void(std::string_view)> g_failpoint_hook;
+
+void failpoint(std::string_view name) {
+  if (g_failpoint_hook) g_failpoint_hook(name);
+}
 
 std::string read_text_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -62,49 +74,139 @@ ColumnSummary summary_from_json(const util::Json& j) {
 
 }  // namespace
 
-const Segment& Store::SegmentHandle::get(const std::string& dir) const {
-  if (!loaded) {
-    loaded = std::make_unique<Segment>(Segment::load(dir + "/" + file));
-    if (loaded->info().docs != info.docs ||
-        loaded->info().base_seq != info.base_seq) {
-      throw StoreError("store: segment " + file +
-                       " disagrees with the manifest");
-    }
-  }
-  return *loaded;
+void set_store_failpoint_hook(std::function<void(std::string_view)> hook) {
+  g_failpoint_hook = std::move(hook);
 }
 
-Store::Store(std::string dir, StoreConfig config)
-    : dir_(std::move(dir)), config_(std::move(config)) {
-  fs::create_directories(dir_ + "/" + kSegmentDir);
-  load_manifest();
+Store::Store(std::string dir, StoreConfig config, OpenMode mode)
+    : dir_(std::move(dir)),
+      config_(std::move(config)),
+      read_only_(mode == OpenMode::read_only) {
+  ctx_ = std::make_shared<detail::ReadContext>();
+  ctx_->dir = dir_;
+  ctx_->time_field = config_.time_field;
+  ctx_->hot_fields = config_.hot_fields;
+  ctx_->cache = std::make_unique<BlockCache>(config_.cache_bytes,
+                                             config_.cache_shards);
+  if (!read_only_) {
+    fs::create_directories(dir_ + "/" + kSegmentDir);
+  }
+
+  BuildMap build;
+  load_manifest(build);
+
   // Replay the WAL tail: everything not yet counted as sealed goes back
   // into the memtables, in append order.
   WalReplay replay = replay_wal(dir_ + "/" + kWalFile);
-  stats_.wal_batches_replayed = replay.batches;
-  stats_.wal_tail_bytes_dropped = replay.tail_bytes_dropped;
+  wal_batches_replayed_ = replay.batches;
+  wal_tail_bytes_dropped_ = replay.tail_bytes_dropped;
+  std::map<std::string, std::vector<std::shared_ptr<const util::Json>>>
+      replayed;
   for (auto& record : replay.records) {
-    auto& state = indices_[record.index];
-    if (record.seq < state.sealed_docs + state.memtable.size()) {
-      ++stats_.wal_records_skipped_sealed;
+    auto& state = build[record.index];
+    if (!state) state = std::make_shared<detail::IndexView>();
+    if (record.seq < state->sealed_docs + replayed[record.index].size()) {
+      ++wal_records_skipped_sealed_;
       continue;
     }
     try {
-      state.memtable.push_back(util::Json::parse(record.doc));
+      replayed[record.index].push_back(
+          std::make_shared<const util::Json>(util::Json::parse(record.doc)));
     } catch (const util::JsonError& e) {
       throw StoreError("store: WAL document failed to parse: " +
                        std::string(e.what()));
     }
   }
-  wal_ = std::make_unique<WalWriter>(dir_ + "/" + kWalFile);
+  for (auto& [name, docs] : replayed) {
+    auto& state = build[name];
+    for (std::size_t i = 0; i < docs.size(); i += kMemChunkDocs) {
+      const std::size_t end = std::min(i + kMemChunkDocs, docs.size());
+      auto chunk = std::make_shared<detail::MemChunk>();
+      chunk->docs.assign(docs.begin() + static_cast<std::ptrdiff_t>(i),
+                         docs.begin() + static_cast<std::ptrdiff_t>(end));
+      state->chunks.push_back(std::move(chunk));
+    }
+    state->memtable_count += docs.size();
+  }
+
+  auto view = std::make_shared<detail::StoreView>();
+  for (auto& [name, state] : build) {
+    view->indices[name] = std::move(state);
+  }
+  view_ = std::move(view);
+
+  if (!read_only_) {
+    sweep_orphan_segments(*view_);
+    wal_ = std::make_unique<WalWriter>(dir_ + "/" + kWalFile);
+  }
 }
 
-std::uint64_t Store::append(const std::string& index,
-                            const util::Json& doc) {
-  auto& state = indices_[index];
-  const std::uint64_t seq = state.sealed_docs + state.memtable.size();
+void Store::require_writable(const char* op) const {
+  if (read_only_) {
+    throw StoreError(std::string("store: ") + op + " on a read-only store");
+  }
+}
+
+std::shared_ptr<const detail::StoreView> Store::current_view() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return view_;
+}
+
+Store::IndexViewPtr Store::find_index(const std::string& index) const {
+  const auto view = current_view();
+  const auto it = view->indices.find(index);
+  return it == view->indices.end() ? nullptr : it->second;
+}
+
+void Store::publish_view(std::shared_ptr<detail::StoreView> next) {
+  std::shared_ptr<const detail::StoreView> old;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    old = std::move(view_);
+    view_ = std::move(next);
+  }
+  // `old` (and with it any retired segment handles the new view dropped)
+  // is released outside the publish lock.
+}
+
+void Store::publish_index(const std::string& index, IndexViewPtr next) {
+  const auto cur = current_view();
+  auto next_view = std::make_shared<detail::StoreView>();
+  next_view->generation = cur->generation + 1;
+  next_view->indices = cur->indices;
+  next_view->indices[index] = std::move(next);
+  publish_view(std::move(next_view));
+}
+
+Snapshot Store::snapshot() const {
+  ctx_->counters.snapshots.fetch_add(1, std::memory_order_relaxed);
+  return Snapshot(current_view(), ctx_);
+}
+
+std::uint64_t Store::append(const std::string& index, const util::Json& doc) {
+  require_writable("append");
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const auto old = find_index(index);
+  auto next = old ? std::make_shared<detail::IndexView>(*old)
+                  : std::make_shared<detail::IndexView>();
+  const std::uint64_t seq = next->sealed_docs + next->memtable_count;
   wal_->append({index, seq, doc.dump()});
-  state.memtable.push_back(doc);
+  auto doc_ptr = std::make_shared<const util::Json>(doc);
+  if (!next->chunks.empty() &&
+      next->chunks.back()->docs.size() < kMemChunkDocs) {
+    // Chunks are immutable once published: replace the tail chunk with a
+    // copy (shared doc pointers, not documents) carrying the new doc.
+    auto chunk = std::make_shared<detail::MemChunk>(*next->chunks.back());
+    chunk->docs.push_back(std::move(doc_ptr));
+    next->chunks.back() = std::move(chunk);
+  } else {
+    auto chunk = std::make_shared<detail::MemChunk>();
+    chunk->docs.reserve(kMemChunkDocs);
+    chunk->docs.push_back(std::move(doc_ptr));
+    next->chunks.push_back(std::move(chunk));
+  }
+  ++next->memtable_count;
+  publish_index(index, std::move(next));
   if (config_.wal_batch_docs > 0 &&
       wal_->pending_docs() >= config_.wal_batch_docs) {
     wal_->commit();
@@ -112,276 +214,239 @@ std::uint64_t Store::append(const std::string& index,
   return seq;
 }
 
-void Store::flush() { wal_->commit(); }
+void Store::flush() {
+  require_writable("flush");
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  wal_->commit();
+}
 
-std::string Store::segment_path(const std::string& index) const {
+std::string Store::segment_path(const std::string& index) {
   return std::string(kSegmentDir) + "/" + sanitize(index) + "-" +
-         std::to_string(next_segment_id_) + ".seg";
+         std::to_string(next_segment_id_++) + ".seg";
+}
+
+void Store::seal_locked(const std::string& index) {
+  const auto old = find_index(index);
+  if (!old || old->memtable_count == 0) return;
+  failpoint("seal.begin");
+
+  std::vector<const util::Json*> docs;
+  docs.reserve(old->memtable_count);
+  for (const auto& chunk : old->chunks) {
+    for (const auto& doc : chunk->docs) docs.push_back(doc.get());
+  }
+
+  const std::string file = segment_path(index);
+  auto built = write_segment(dir_ + "/" + file, index, old->sealed_docs, docs,
+                             config_.time_field, config_.hot_fields);
+  failpoint("seal.segment_written");
+  auto handle = std::make_shared<detail::SegmentHandle>(
+      ctx_, file, built.info, std::move(built.summaries));
+
+  fold_rollups(index, docs);
+
+  auto next = std::make_shared<detail::IndexView>(*old);
+  next->sealed_docs += next->memtable_count;
+  next->memtable_count = 0;
+  next->chunks.clear();
+  next->segments.push_back(std::move(handle));
+
+  // Segment first, then manifest, then publish, then the WAL rotation: a
+  // crash between any two steps leaves a state the replay path
+  // reconstructs (orphan segment file, or sealed docs still present in
+  // the WAL — skipped by sequence number).
+  const auto cur = current_view();
+  auto next_view = std::make_shared<detail::StoreView>();
+  next_view->generation = cur->generation + 1;
+  next_view->indices = cur->indices;
+  next_view->indices[index] = std::move(next);
+  write_manifest(*next_view);
+  failpoint("seal.manifest_written");
+  publish_view(std::move(next_view));
+  ctx_->counters.seals.fetch_add(1, std::memory_order_relaxed);
+  rotate_wal(*current_view());
+  failpoint("seal.wal_rotated");
 }
 
 void Store::seal(const std::string& index) {
-  const auto it = indices_.find(index);
-  if (it == indices_.end() || it->second.memtable.empty()) return;
-  auto& state = it->second;
-
-  SegmentHandle handle;
-  handle.file = segment_path(index);
-  ++next_segment_id_;
-  auto built =
-      write_segment(dir_ + "/" + handle.file, index, state.sealed_docs,
-                    state.memtable, config_.time_field, config_.hot_fields);
-  handle.info = built.info;
-  handle.summaries = std::move(built.summaries);
-
-  fold_rollups(index, state.memtable);
-  state.sealed_docs += state.memtable.size();
-  state.memtable.clear();
-  state.segments.push_back(std::move(handle));
-  ++stats_.seals;
-
-  // Segment first, then manifest, then the WAL rotation: a crash between
-  // any two steps leaves a state the replay path reconstructs (orphan
-  // segment file, or sealed docs still present in the WAL — skipped by
-  // sequence number).
-  write_manifest();
-  rotate_wal();
+  require_writable("seal");
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  seal_locked(index);
 }
 
 void Store::seal_all() {
-  for (const auto& name : indices()) seal(name);
+  require_writable("seal_all");
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // Pin the view: seal_locked publishes a successor each iteration, and
+  // iterating the shared map through an unpinned temporary would leave
+  // the loop walking freed nodes once the old view's last ref drops.
+  const auto view = current_view();
+  for (const auto& name : view->indices) {
+    seal_locked(name.first);
+  }
+}
+
+void Store::merge_segments_locked(const std::string& index, std::size_t first,
+                                  std::size_t count) {
+  const auto old = find_index(index);
+  if (!old || count < 2 || first + count > old->segments.size()) return;
+  failpoint("compact.begin");
+
+  // Parse every document of the merged range up front; the pointer span
+  // for write_segment is taken only after `parsed` stops growing.
+  std::vector<util::Json> parsed;
+  for (std::size_t i = first; i < first + count; ++i) {
+    const auto seg = old->segments[i]->load();
+    seg->for_each_doc(false, [&](std::uint64_t, std::string_view text) {
+      parsed.push_back(util::Json::parse(text));
+      return true;
+    });
+  }
+  std::vector<const util::Json*> docs;
+  docs.reserve(parsed.size());
+  for (const auto& doc : parsed) docs.push_back(&doc);
+
+  const std::uint64_t base_seq = old->segments[first]->info.base_seq;
+  const std::string file = segment_path(index);
+  auto built = write_segment(dir_ + "/" + file, index, base_seq, docs,
+                             config_.time_field, config_.hot_fields);
+  failpoint("compact.segment_written");
+  auto merged = std::make_shared<detail::SegmentHandle>(
+      ctx_, file, built.info, std::move(built.summaries));
+
+  auto next = std::make_shared<detail::IndexView>(*old);
+  std::vector<std::shared_ptr<detail::SegmentHandle>> retired(
+      next->segments.begin() + static_cast<std::ptrdiff_t>(first),
+      next->segments.begin() + static_cast<std::ptrdiff_t>(first + count));
+  next->segments.erase(
+      next->segments.begin() + static_cast<std::ptrdiff_t>(first),
+      next->segments.begin() + static_cast<std::ptrdiff_t>(first + count));
+  next->segments.insert(
+      next->segments.begin() + static_cast<std::ptrdiff_t>(first),
+      std::move(merged));
+
+  const auto cur = current_view();
+  auto next_view = std::make_shared<detail::StoreView>();
+  next_view->generation = cur->generation + 1;
+  next_view->indices = cur->indices;
+  next_view->indices[index] = std::move(next);
+  // Manifest first (crash here = old files orphaned but still listed
+  // nowhere dangerous), then retire, then publish. Deletion itself is
+  // deferred to the last reference: snapshots pinning the old view keep
+  // the files alive until they release it.
+  write_manifest(*next_view);
+  failpoint("compact.manifest_written");
+  for (const auto& handle : retired) {
+    handle->retired.store(true, std::memory_order_release);
+  }
+  ctx_->counters.segments_retired.fetch_add(retired.size(),
+                                            std::memory_order_relaxed);
+  ctx_->counters.compactions.fetch_add(1, std::memory_order_relaxed);
+  publish_view(std::move(next_view));
+  retired.clear();  // last writer-side refs; unpinned files unlink here
+  failpoint("compact.retired");
+}
+
+void Store::compact_locked(const std::string& index) {
+  const auto state = find_index(index);
+  if (!state || state->segments.size() < 2) return;
+  merge_segments_locked(index, 0, state->segments.size());
 }
 
 void Store::compact(const std::string& index) {
-  const auto it = indices_.find(index);
-  if (it == indices_.end() || it->second.segments.size() < 2) return;
-  auto& state = it->second;
+  require_writable("compact");
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  compact_locked(index);
+}
 
-  std::vector<util::Json> docs;
-  docs.reserve(state.sealed_docs);
-  for (const auto& handle : state.segments) {
-    handle.get(dir_).for_each_doc(
-        false, [&](std::uint64_t, std::string_view text) {
-          docs.push_back(util::Json::parse(std::string(text)));
-          return true;
-        });
+void Store::tiered_compact_locked(const std::string& index) {
+  const std::size_t fanin = config_.compact_fanin;
+  if (fanin == 0) return;
+  if (fanin == 1) {
+    // Degenerate fanin: every maintenance pass merges everything.
+    compact_locked(index);
+    return;
   }
-
-  const std::uint64_t base_seq = state.segments.front().info.base_seq;
-  SegmentHandle merged;
-  merged.file = segment_path(index);
-  ++next_segment_id_;
-  auto built = write_segment(dir_ + "/" + merged.file, index, base_seq,
-                             docs, config_.time_field, config_.hot_fields);
-  merged.info = built.info;
-  merged.summaries = std::move(built.summaries);
-
-  std::vector<std::string> old_files;
-  for (const auto& handle : state.segments) old_files.push_back(handle.file);
-  state.segments.clear();
-  state.segments.push_back(std::move(merged));
-  ++stats_.compactions;
-  write_manifest();
-  for (const auto& file : old_files) {
-    std::error_code ec;
-    fs::remove(dir_ + "/" + file, ec);  // orphan on failure is harmless
+  const auto seal_min = std::max<std::uint64_t>(1, config_.seal_min_docs);
+  const auto tier_of = [&](const detail::SegmentHandle& handle) {
+    std::uint64_t size = std::max<std::uint64_t>(1, handle.info.docs / seal_min);
+    std::size_t tier = 0;
+    while (size >= fanin) {
+      size /= fanin;
+      ++tier;
+    }
+    return tier;
+  };
+  // Merge the leftmost run of `fanin` adjacent same-tier segments, then
+  // rescan: a merge can promote its output a tier and cascade.
+  for (;;) {
+    const auto state = find_index(index);
+    if (!state || state->segments.size() < fanin) return;
+    const auto& segments = state->segments;
+    std::size_t run_start = 0;
+    std::size_t run_len = 1;
+    bool merged = false;
+    for (std::size_t i = 1; i <= segments.size(); ++i) {
+      if (i < segments.size() &&
+          tier_of(*segments[i]) == tier_of(*segments[run_start])) {
+        ++run_len;
+        if (run_len < fanin) continue;
+        merge_segments_locked(index, run_start, fanin);
+        merged = true;
+        break;
+      }
+      run_start = i;
+      run_len = 1;
+    }
+    if (!merged) return;
   }
 }
 
 void Store::maintain() {
-  flush();
-  for (auto& [name, state] : indices_) {
-    if (config_.seal_min_docs > 0 &&
-        state.memtable.size() >= config_.seal_min_docs) {
-      seal(name);
+  require_writable("maintain");
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  wal_->commit();
+  std::vector<std::string> names;
+  const auto view = current_view();  // pin while iterating
+  for (const auto& [name, state] : view->indices) {
+    (void)state;
+    names.push_back(name);
+  }
+  for (const auto& name : names) {
+    const auto state = find_index(name);
+    if (state && config_.seal_min_docs > 0 &&
+        state->memtable_count >= config_.seal_min_docs) {
+      seal_locked(name);
     }
-    if (config_.compact_fanin > 0 &&
-        state.segments.size() >= config_.compact_fanin) {
-      compact(name);
-    }
   }
-}
-
-bool Store::prune_by_range(const SegmentHandle& handle,
-                           const ScanOptions& options) const {
-  if (options.range_field.empty()) return false;
-  const auto it = handle.summaries.find(options.range_field);
-  if (it == handle.summaries.end()) return false;  // not columnar: scan
-  const ColumnSummary& s = it->second;
-  // No document in the segment carries the field numerically -> no
-  // document can match a range filter on it.
-  if (s.count == 0) return true;
-  if (options.range_min.has_value() && s.max < *options.range_min) {
-    return true;
+  for (const auto& name : names) {
+    tiered_compact_locked(name);
   }
-  if (options.range_max.has_value() && s.min > *options.range_max) {
-    return true;
-  }
-  return false;
 }
 
 void Store::scan(const std::string& index, const ScanOptions& options,
                  const std::function<bool(const util::Json&)>& visit) const {
-  const auto it = indices_.find(index);
-  if (it == indices_.end()) return;
-  const auto& state = it->second;
-  ++stats_.scans;
-
-  bool stopped = false;
-  const auto scan_segment = [&](const SegmentHandle& handle) {
-    ++stats_.segments_considered;
-    if (prune_by_range(handle, options)) {
-      ++stats_.segments_pruned_range;
-      return;
-    }
-    // Term pruning needs the bloom bits, i.e. the loaded segment — still
-    // far cheaper than parsing every document JSON below.
-    for (const auto& key : options.term_keys) {
-      if (!handle.get(dir_).maybe_contains_term(key)) {
-        ++stats_.segments_pruned_terms;
-        return;
-      }
-    }
-    ++stats_.segments_scanned;
-    handle.get(dir_).for_each_doc(
-        options.newest_first,
-        [&](std::uint64_t, std::string_view text) {
-          const util::Json doc = util::Json::parse(text);
-          if (!visit(doc)) {
-            stopped = true;
-            return false;
-          }
-          return true;
-        });
-  };
-  const auto scan_memtable = [&] {
-    if (options.newest_first) {
-      for (auto d = state.memtable.rbegin();
-           !stopped && d != state.memtable.rend(); ++d) {
-        if (!visit(*d)) stopped = true;
-      }
-    } else {
-      for (const auto& doc : state.memtable) {
-        if (stopped) break;
-        if (!visit(doc)) stopped = true;
-      }
-    }
-  };
-
-  if (options.newest_first) {
-    scan_memtable();
-    for (auto s = state.segments.rbegin();
-         !stopped && s != state.segments.rend(); ++s) {
-      scan_segment(*s);
-    }
-  } else {
-    for (const auto& handle : state.segments) {
-      if (stopped) break;
-      scan_segment(handle);
-    }
-    if (!stopped) scan_memtable();
-  }
+  snapshot().scan(index, options, visit);
 }
 
 std::optional<Store::ColumnAggregate> Store::aggregate_column(
     const std::string& index, const std::string& field,
     const std::string& range_field, std::optional<double> range_min,
     std::optional<double> range_max) const {
-  if (!is_columnar(field)) return std::nullopt;
-  const bool ranged = !range_field.empty();
-  if (ranged && !is_columnar(range_field)) return std::nullopt;
-
-  const auto in_range = [&](double v) {
-    if (range_min.has_value() && v < *range_min) return false;
-    if (range_max.has_value() && v > *range_max) return false;
-    return true;
-  };
-  ColumnAggregate agg;
-  const auto fold = [&](double v) {
-    if (agg.count == 0) {
-      agg.min = agg.max = v;
-    } else {
-      agg.min = std::min(agg.min, v);
-      agg.max = std::max(agg.max, v);
-    }
-    agg.sum += v;
-    ++agg.count;
-  };
-  const auto fold_summary = [&](const ColumnSummary& s) {
-    if (s.count == 0) return;
-    if (agg.count == 0) {
-      agg.min = s.min;
-      agg.max = s.max;
-    } else {
-      agg.min = std::min(agg.min, s.min);
-      agg.max = std::max(agg.max, s.max);
-    }
-    agg.sum += s.sum;
-    agg.count += s.count;
-  };
-
-  const auto it = indices_.find(index);
-  if (it == indices_.end()) return agg;
-  for (const auto& handle : it->second.segments) {
-    const auto fit = handle.summaries.find(field);
-    const ColumnSummary& fs =
-        fit == handle.summaries.end() ? ColumnSummary{} : fit->second;
-    if (!ranged) {
-      fold_summary(fs);
-      continue;
-    }
-    const auto rit = handle.summaries.find(range_field);
-    const ColumnSummary& rs =
-        rit == handle.summaries.end() ? ColumnSummary{} : rit->second;
-    if (rs.count == 0) continue;  // no document can pass the range filter
-    const bool fully_inside =
-        (!range_min.has_value() || rs.min >= *range_min) &&
-        (!range_max.has_value() || rs.max <= *range_max);
-    if (fully_inside && range_field == field) {
-      // Every document carrying the field passes the filter on it.
-      fold_summary(fs);
-      continue;
-    }
-    if (rs.max < range_min.value_or(rs.max) ||
-        rs.min > range_max.value_or(rs.min)) {
-      continue;  // disjoint: prune
-    }
-    // Partial overlap (or the filter is on another column): decode the
-    // columns and fold row by row — still no document JSON parsing.
-    const Segment& seg = handle.get(dir_);
-    const auto range_vals = seg.decode_column(range_field);
-    const auto field_vals =
-        field == range_field ? range_vals : seg.decode_column(field);
-    for (std::size_t i = 0; i < field_vals.size(); ++i) {
-      if (!range_vals[i].has_value() || !in_range(*range_vals[i])) continue;
-      if (!field_vals[i].has_value()) continue;
-      fold(*field_vals[i]);
-    }
-  }
-  // Memtable rows are walked directly (they are already parsed JSON).
-  for (const auto& doc : it->second.memtable) {
-    if (ranged) {
-      const auto rv = json_field_at(doc, range_field);
-      if (!rv.has_value() || !rv->is_number() || !in_range(rv->as_double())) {
-        continue;
-      }
-    }
-    const auto fv = json_field_at(doc, field);
-    if (!fv.has_value() || !fv->is_number()) continue;
-    fold(fv->as_double());
-  }
-  return agg;
+  return snapshot().aggregate_column(index, field, range_field, range_min,
+                                     range_max);
 }
 
 std::uint64_t Store::doc_count(const std::string& index) const {
-  const auto it = indices_.find(index);
-  if (it == indices_.end()) return 0;
-  return it->second.sealed_docs + it->second.memtable.size();
+  const auto state = find_index(index);
+  return state == nullptr ? 0 : state->sealed_docs + state->memtable_count;
 }
 
 std::vector<std::string> Store::indices() const {
+  const auto view = current_view();
   std::vector<std::string> names;
-  names.reserve(indices_.size());
-  for (const auto& [name, state] : indices_) {
+  names.reserve(view->indices.size());
+  for (const auto& [name, state] : view->indices) {
     (void)state;
     names.push_back(name);
   }
@@ -389,22 +454,23 @@ std::vector<std::string> Store::indices() const {
 }
 
 std::uint64_t Store::total_docs() const {
+  const auto view = current_view();
   std::uint64_t total = 0;
-  for (const auto& [name, state] : indices_) {
+  for (const auto& [name, state] : view->indices) {
     (void)name;
-    total += state.sealed_docs + state.memtable.size();
+    total += state->sealed_docs + state->memtable_count;
   }
   return total;
 }
 
 std::uint64_t Store::memtable_docs(const std::string& index) const {
-  const auto it = indices_.find(index);
-  return it == indices_.end() ? 0 : it->second.memtable.size();
+  const auto state = find_index(index);
+  return state == nullptr ? 0 : state->memtable_count;
 }
 
 std::uint64_t Store::segment_count(const std::string& index) const {
-  const auto it = indices_.find(index);
-  return it == indices_.end() ? 0 : it->second.segments.size();
+  const auto state = find_index(index);
+  return state == nullptr ? 0 : state->segments.size();
 }
 
 const RollupSeries* Store::rollup(const std::string& index,
@@ -416,13 +482,45 @@ const RollupSeries* Store::rollup(const std::string& index,
 }
 
 bool Store::is_columnar(const std::string& field) const {
-  if (field == config_.time_field) return true;
-  return std::find(config_.hot_fields.begin(), config_.hot_fields.end(),
-                   field) != config_.hot_fields.end();
+  return ctx_->is_columnar(field);
+}
+
+StoreStats Store::stats() const {
+  StoreStats out;
+  out.wal_batches_replayed = wal_batches_replayed_;
+  out.wal_tail_bytes_dropped = wal_tail_bytes_dropped_;
+  out.wal_records_skipped_sealed = wal_records_skipped_sealed_;
+  out.orphan_segments_removed = orphan_segments_removed_;
+  const auto& c = ctx_->counters;
+  out.seals = c.seals.load(std::memory_order_relaxed);
+  out.compactions = c.compactions.load(std::memory_order_relaxed);
+  out.scans = c.scans.load(std::memory_order_relaxed);
+  out.segments_considered =
+      c.segments_considered.load(std::memory_order_relaxed);
+  out.segments_scanned = c.segments_scanned.load(std::memory_order_relaxed);
+  out.segments_pruned_range =
+      c.segments_pruned_range.load(std::memory_order_relaxed);
+  out.segments_pruned_terms =
+      c.segments_pruned_terms.load(std::memory_order_relaxed);
+  out.segments_pruned_postings =
+      c.segments_pruned_postings.load(std::memory_order_relaxed);
+  out.postings_rows_seeked =
+      c.postings_rows_seeked.load(std::memory_order_relaxed);
+  out.snapshots = c.snapshots.load(std::memory_order_relaxed);
+  out.segments_retired = c.segments_retired.load(std::memory_order_relaxed);
+  out.segments_gc_deleted =
+      c.segments_gc_deleted.load(std::memory_order_relaxed);
+  const auto cache = ctx_->cache->stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  out.cache_entries = cache.entries;
+  out.cache_bytes = cache.bytes;
+  return out;
 }
 
 void Store::fold_rollups(const std::string& index,
-                         const std::vector<util::Json>& docs) {
+                         const std::vector<const util::Json*>& docs) {
   if (config_.rollup_fields.empty() || config_.rollup_bucket_ns == 0) {
     return;
   }
@@ -430,9 +528,9 @@ void Store::fold_rollups(const std::string& index,
       static_cast<std::int64_t>(config_.rollup_bucket_ns);
   for (const auto& field : config_.rollup_fields) {
     auto& series = rollups_[index][field];
-    for (const auto& doc : docs) {
-      const auto ts = json_field_at(doc, config_.time_field);
-      const auto value = json_field_at(doc, field);
+    for (const util::Json* doc : docs) {
+      const auto ts = json_field_at(*doc, config_.time_field);
+      const auto value = json_field_at(*doc, field);
       if (!ts.has_value() || !ts->is_number() || !value.has_value() ||
           !value->is_number()) {
         continue;
@@ -452,7 +550,7 @@ void Store::fold_rollups(const std::string& index,
   }
 }
 
-void Store::load_manifest() {
+void Store::load_manifest(BuildMap& indices) {
   const std::string text = read_text_file(dir_ + "/" + kManifestFile);
   if (text.empty()) return;  // fresh store
   util::Json doc;
@@ -464,25 +562,27 @@ void Store::load_manifest() {
     next_segment_id_ =
         static_cast<std::uint64_t>(doc.at("next_segment_id").as_int());
     for (const auto& [name, entry] : doc.at("indices").as_object()) {
-      IndexState& state = indices_[name];
-      state.sealed_docs =
+      auto& state = indices[name];
+      if (!state) state = std::make_shared<detail::IndexView>();
+      state->sealed_docs =
           static_cast<std::uint64_t>(entry.at("sealed_docs").as_int());
       for (const auto& seg : entry.at("segments").as_array()) {
-        SegmentHandle handle;
-        handle.file = seg.at("file").as_string();
-        handle.info.index = name;
-        handle.info.docs =
-            static_cast<std::uint64_t>(seg.at("docs").as_int());
-        handle.info.base_seq =
+        SegmentInfo info;
+        info.index = name;
+        info.docs = static_cast<std::uint64_t>(seg.at("docs").as_int());
+        info.base_seq =
             static_cast<std::uint64_t>(seg.at("base_seq").as_int());
-        handle.info.has_time = seg.at("has_time").as_bool();
-        handle.info.min_ts = seg.at("min_ts").as_int();
-        handle.info.max_ts = seg.at("max_ts").as_int();
+        info.has_time = seg.at("has_time").as_bool();
+        info.min_ts = seg.at("min_ts").as_int();
+        info.max_ts = seg.at("max_ts").as_int();
+        std::map<std::string, ColumnSummary> summaries;
         for (const auto& [field, summary] :
              seg.at("columns").as_object()) {
-          handle.summaries[field] = summary_from_json(summary);
+          summaries[field] = summary_from_json(summary);
         }
-        state.segments.push_back(std::move(handle));
+        state->segments.push_back(std::make_shared<detail::SegmentHandle>(
+            ctx_, seg.at("file").as_string(), std::move(info),
+            std::move(summaries)));
       }
     }
     if (doc.contains("rollups")) {
@@ -507,25 +607,25 @@ void Store::load_manifest() {
   }
 }
 
-void Store::write_manifest() const {
+void Store::write_manifest(const detail::StoreView& view) const {
   util::Json doc = util::Json::object();
   doc["version"] = 1;
   doc["next_segment_id"] = next_segment_id_;
   util::Json indices = util::Json::object();
-  for (const auto& [name, state] : indices_) {
+  for (const auto& [name, state] : view.indices) {
     util::Json entry = util::Json::object();
-    entry["sealed_docs"] = state.sealed_docs;
+    entry["sealed_docs"] = state->sealed_docs;
     util::JsonArray segments;
-    for (const auto& handle : state.segments) {
+    for (const auto& handle : state->segments) {
       util::Json seg = util::Json::object();
-      seg["file"] = handle.file;
-      seg["docs"] = handle.info.docs;
-      seg["base_seq"] = handle.info.base_seq;
-      seg["has_time"] = handle.info.has_time;
-      seg["min_ts"] = handle.info.min_ts;
-      seg["max_ts"] = handle.info.max_ts;
+      seg["file"] = handle->file;
+      seg["docs"] = handle->info.docs;
+      seg["base_seq"] = handle->info.base_seq;
+      seg["has_time"] = handle->info.has_time;
+      seg["min_ts"] = handle->info.min_ts;
+      seg["max_ts"] = handle->info.max_ts;
       util::Json columns = util::Json::object();
-      for (const auto& [field, summary] : handle.summaries) {
+      for (const auto& [field, summary] : handle->summaries) {
         columns[field] = summary_to_json(summary);
       }
       seg["columns"] = std::move(columns);
@@ -563,10 +663,30 @@ void Store::write_manifest() const {
     out.flush();
     if (!out) throw StoreError("store: write failed on " + tmp);
   }
+  failpoint("manifest.tmp_written");
   fs::rename(tmp, dir_ + "/" + kManifestFile);
 }
 
-void Store::rotate_wal() {
+void Store::sweep_orphan_segments(const detail::StoreView& view) {
+  std::set<std::string> keep;
+  for (const auto& [name, state] : view.indices) {
+    (void)name;
+    for (const auto& handle : state->segments) keep.insert(handle->file);
+  }
+  std::error_code ec;
+  fs::directory_iterator it(dir_ + "/" + kSegmentDir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string rel =
+        std::string(kSegmentDir) + "/" + entry.path().filename().string();
+    if (keep.count(rel) != 0) continue;
+    fs::remove(entry.path(), ec);
+    if (!ec) ++orphan_segments_removed_;
+  }
+}
+
+void Store::rotate_wal(const detail::StoreView& view) {
   // Rewrite the WAL down to the documents still unsealed (other indices'
   // memtables), then swap it in atomically. Crashing anywhere here is
   // safe: the old WAL's already-sealed records replay as skipped.
@@ -576,15 +696,19 @@ void Store::rotate_wal() {
   fs::remove(tmp, ec);
   {
     WalWriter writer(tmp);
-    for (const auto& [name, state] : indices_) {
-      for (std::size_t i = 0; i < state.memtable.size(); ++i) {
-        writer.append(
-            {name, state.sealed_docs + i, state.memtable[i].dump()});
+    for (const auto& [name, state] : view.indices) {
+      std::uint64_t seq = state->sealed_docs;
+      for (const auto& chunk : state->chunks) {
+        for (const auto& doc : chunk->docs) {
+          writer.append({name, seq++, doc->dump()});
+        }
       }
     }
     writer.commit();
   }
+  failpoint("wal_rotate.tmp_written");
   fs::rename(tmp, dir_ + "/" + kWalFile);
+  failpoint("wal_rotate.renamed");
   wal_ = std::make_unique<WalWriter>(dir_ + "/" + kWalFile);
 }
 

@@ -14,30 +14,44 @@
 // flush()) commits a length+CRC framed batch. seal() turns a memtable
 // into a sealed segment, folds the sealed documents into the rollup
 // series, rewrites the manifest, and rotates the WAL down to what is
-// still unsealed.
+// still unsealed. maintain() seals memtables at/above seal_min_docs and
+// runs tiered compaction: segments are bucketed by size tier
+// (floor(log_fanin(docs / seal_min_docs))) and any run of `compact_fanin`
+// adjacent same-tier segments merges into one, which bounds the segment
+// count logarithmically in total docs without rewriting the whole index
+// on every pass.
 //
 // Recovery invariant: reopening a directory yields exactly the sealed
 // segments named by the manifest plus the longest committed-batch prefix
 // of the WAL, minus documents the manifest already counts as sealed
 // (sequence numbers make the WAL-vs-segment overlap after a mid-seal
-// crash harmless). No partial document is ever visible.
+// crash harmless). No partial document is ever visible. Segment files
+// not named by the manifest (a crash between segment write and manifest
+// rename, or between manifest rename and GC) are swept at open.
 //
-// Read path: scan() walks sealed segments in sequence order, then the
-// memtable (reversed for newest_first), pruning whole segments by
-// time/column range and by term bloom filters before parsing any
-// document. stats() counts the pruning so tests and benches can assert
-// it actually happens.
+// Read path and concurrency: the store publishes its state as immutable
+// refcounted views (snapshot.hpp). snapshot() pins the current view in
+// O(1); any number of reader threads then scan/aggregate a frozen,
+// consistent store while the single writer keeps appending, sealing, and
+// compacting. Compaction retires superseded segments instead of deleting
+// them — the file is unlinked only when the last snapshot referencing it
+// is released. Decoded segments are shared through a sharded LRU block
+// cache (StoreConfig::cache_bytes); stats() counts cache traffic and
+// scan pruning so tests and benches can assert both actually happen.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "store/segment.hpp"
+#include "store/snapshot.hpp"
 #include "store/wal.hpp"
 #include "util/json.hpp"
 
@@ -53,14 +67,20 @@ struct StoreConfig {
   /// maintain() seals an index's memtable once it holds at least this
   /// many documents.
   std::size_t seal_min_docs = 256;
-  /// maintain() compacts an index once it has at least this many sealed
-  /// segments (0 disables compaction).
+  /// maintain() merges any run of this many adjacent same-tier segments
+  /// (0 disables compaction).
   std::size_t compact_fanin = 8;
   /// Downsampling bucket for the rollup series.
   std::uint64_t rollup_bucket_ns = 1'000'000'000;
   /// Dotted numeric paths whose per-bucket min/max/mean/count are
   /// materialized at seal time (empty = no rollups).
   std::vector<std::string> rollup_fields;
+  /// Block-cache capacity for decoded segments, in (approximate) bytes.
+  /// 0 = unbounded — every loaded segment stays resident, the pre-cache
+  /// behavior.
+  std::size_t cache_bytes = 0;
+  /// Lock shards for the block cache.
+  std::size_t cache_shards = 8;
 };
 
 /// One downsampled bucket of a rollup series.
@@ -81,6 +101,7 @@ struct StoreStats {
   std::uint64_t wal_batches_replayed = 0;
   std::uint64_t wal_tail_bytes_dropped = 0;
   std::uint64_t wal_records_skipped_sealed = 0;
+  std::uint64_t orphan_segments_removed = 0;
   std::uint64_t seals = 0;
   std::uint64_t compactions = 0;
   // Scan-side pruning counters (cumulative over the Store's lifetime).
@@ -89,24 +110,58 @@ struct StoreStats {
   std::uint64_t segments_scanned = 0;
   std::uint64_t segments_pruned_range = 0;
   std::uint64_t segments_pruned_terms = 0;
+  std::uint64_t segments_pruned_postings = 0;
+  std::uint64_t postings_rows_seeked = 0;
+  // Serving-side counters.
+  std::uint64_t snapshots = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t segments_retired = 0;
+  std::uint64_t segments_gc_deleted = 0;
+  /// Retired segments still pinned by live snapshots.
+  std::uint64_t gc_pending() const {
+    return segments_retired - segments_gc_deleted;
+  }
 };
+
+enum class OpenMode {
+  read_write,
+  /// Open for reads only: no directory/WAL creation side effects, and
+  /// every mutating method throws. An empty or missing directory reads
+  /// as an empty store. Used by CLI read commands (info/verify/dump,
+  /// serve-stats) so inspecting a store never alters it.
+  read_only,
+};
+
+/// Crash-injection hook for tests: called with a named boundary
+/// ("seal.segment_written", "compact.manifest_written", ...) at each
+/// point where a crash would leave a distinct on-disk state. Production
+/// builds never set it. Not thread-safe — set it before touching the
+/// store and clear it (nullptr) after.
+void set_store_failpoint_hook(std::function<void(std::string_view)> hook);
 
 class Store {
  public:
   /// Open (or create) the store at `dir`, replaying any WAL tail.
-  explicit Store(std::string dir, StoreConfig config = {});
+  explicit Store(std::string dir, StoreConfig config = {},
+                 OpenMode mode = OpenMode::read_write);
 
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
 
   const std::string& dir() const { return dir_; }
   const StoreConfig& config() const { return config_; }
+  bool read_only() const { return read_only_; }
 
-  // ---- write path -----------------------------------------------------
+  // ---- write path (single writer thread) ------------------------------
 
   /// Append one document; returns its index-local sequence number. The
   /// document becomes durable at the next WAL batch commit (automatic
-  /// every wal_batch_docs appends, or via flush()).
+  /// every wal_batch_docs appends, or via flush()) and visible to new
+  /// snapshots immediately.
   std::uint64_t append(const std::string& index, const util::Json& doc);
 
   /// Commit the pending WAL batch.
@@ -123,36 +178,23 @@ class Store {
 
   /// One background-maintenance step (drive it from the simulation
   /// clock): flush the WAL, seal memtables at/above seal_min_docs, and
-  /// compact indices at/above compact_fanin segments.
+  /// run tiered compaction.
   void maintain();
 
-  // ---- read path ------------------------------------------------------
+  // ---- read path (any thread) -----------------------------------------
 
-  struct ScanOptions {
-    /// Range filter used for segment pruning (and nothing else — the
-    /// caller re-checks every visited document). Pruning applies when the
-    /// field is the time field or a hot column.
-    std::string range_field;
-    std::optional<double> range_min;
-    std::optional<double> range_max;
-    /// Term keys (term_key()) that matching documents must all contain;
-    /// segments whose bloom filter rules one out are skipped.
-    std::vector<std::string> term_keys;
-    bool newest_first = false;
-  };
+  /// Pin the current view. O(1); safe from any thread.
+  Snapshot snapshot() const;
+
+  // Compatibility aliases — these types moved to namespace scope when
+  // the read path became Snapshot-based.
+  using ScanOptions = store::ScanOptions;
+  using ColumnAggregate = store::ColumnAggregate;
 
   /// Visit documents in sequence order (or reversed); the visitor
-  /// returns false to stop. Pruning is only ever an over-approximation:
-  /// every document that could match the options is visited.
+  /// returns false to stop. Equivalent to snapshot().scan(...).
   void scan(const std::string& index, const ScanOptions& options,
             const std::function<bool(const util::Json&)>& visit) const;
-
-  struct ColumnAggregate {
-    std::uint64_t count = 0;
-    double min = 0.0;
-    double max = 0.0;
-    double sum = 0.0;
-  };
 
   /// Columnar aggregation fast path: aggregate `field` over documents
   /// whose `range_field` (when set) lies in [min, max]. Returns nullopt
@@ -172,10 +214,12 @@ class Store {
   std::uint64_t segment_count(const std::string& index) const;
 
   /// Materialized rollup series (sealed documents only), or nullptr.
+  /// Writer-thread only (rollups fold at seal time).
   const RollupSeries* rollup(const std::string& index,
                              const std::string& field) const;
 
-  const StoreStats& stats() const { return stats_; }
+  /// Point-in-time statistics snapshot; safe from any thread.
+  StoreStats stats() const;
 
   /// True when `field` is encoded columnar (time field or hot field).
   bool is_columnar(const std::string& field) const;
@@ -193,45 +237,60 @@ class Store {
 
   /// Structurally verify a store directory without opening it as a live
   /// Store: manifest parses, every segment loads (CRC), doc counts match
-  /// the manifest, every document parses as JSON, WAL replays.
+  /// the manifest, every document parses as JSON, WAL replays. An empty
+  /// or missing directory verifies clean (zero of everything).
   static VerifyResult verify(const std::string& dir);
 
  private:
-  struct SegmentHandle {
-    std::string file;  // relative to dir_
-    SegmentInfo info;
-    std::map<std::string, ColumnSummary> summaries;
-    // The full segment (documents, columns, bloom) is read from disk on
-    // first use, then cached; range pruning works off the manifest
-    // metadata above without touching the file.
-    mutable std::unique_ptr<Segment> loaded;
-    const Segment& get(const std::string& dir) const;
-  };
+  using IndexViewPtr = std::shared_ptr<const detail::IndexView>;
 
-  struct IndexState {
-    std::uint64_t sealed_docs = 0;  // == next memtable base sequence
-    std::vector<SegmentHandle> segments;
-    std::vector<util::Json> memtable;
-  };
+  /// Current view under the publish lock (readers), and the writer's
+  /// working copy helpers.
+  std::shared_ptr<const detail::StoreView> current_view() const;
+  void publish_index(const std::string& index, IndexViewPtr next);
+  void publish_view(std::shared_ptr<detail::StoreView> next);
+  IndexViewPtr find_index(const std::string& index) const;
 
-  void load_manifest();
-  void write_manifest() const;
-  void rotate_wal();
-  std::string segment_path(const std::string& index) const;
+  void require_writable(const char* op) const;
+  void seal_locked(const std::string& index);
+  void compact_locked(const std::string& index);
+  void tiered_compact_locked(const std::string& index);
+  /// Merge segments [first, first+count) of `index` into one (they must
+  /// be adjacent, preserving base_seq continuity).
+  void merge_segments_locked(const std::string& index, std::size_t first,
+                             std::size_t count);
+
+  /// Mutable per-index views during construction, frozen at publish.
+  using BuildMap = std::map<std::string, std::shared_ptr<detail::IndexView>>;
+  void load_manifest(BuildMap& indices);
+  void write_manifest(const detail::StoreView& view) const;
+  void sweep_orphan_segments(const detail::StoreView& view);
+  void rotate_wal(const detail::StoreView& view);
+  std::string segment_path(const std::string& index);
   void fold_rollups(const std::string& index,
-                    const std::vector<util::Json>& docs);
-  /// nullopt = cannot decide from metadata (must scan); true = the
-  /// segment cannot contain a match (prune).
-  bool prune_by_range(const SegmentHandle& handle,
-                      const ScanOptions& options) const;
+                    const std::vector<const util::Json*>& docs);
 
   std::string dir_;
   StoreConfig config_;
-  std::map<std::string, IndexState> indices_;
+  bool read_only_ = false;
+
+  std::shared_ptr<detail::ReadContext> ctx_;
+
+  /// Guards view_ swaps/reads; held for pointer copies only.
+  mutable std::mutex publish_mu_;
+  std::shared_ptr<const detail::StoreView> view_;
+
+  /// Serializes all mutating methods (single logical writer).
+  std::mutex writer_mu_;
   std::map<std::string, std::map<std::string, RollupSeries>> rollups_;
   std::unique_ptr<WalWriter> wal_;
   std::uint64_t next_segment_id_ = 0;
-  mutable StoreStats stats_;
+
+  // Set once during construction, immutable afterwards.
+  std::uint64_t wal_batches_replayed_ = 0;
+  std::uint64_t wal_tail_bytes_dropped_ = 0;
+  std::uint64_t wal_records_skipped_sealed_ = 0;
+  std::uint64_t orphan_segments_removed_ = 0;
 };
 
 }  // namespace p4s::store

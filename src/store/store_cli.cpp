@@ -10,19 +10,22 @@ namespace p4s::store {
 namespace {
 
 int usage(std::ostream& err) {
-  err << "usage: p4s-store info    <dir>\n"
-         "       p4s-store verify  <dir>\n"
-         "       p4s-store compact <dir> [<index>]\n"
-         "       p4s-store dump    <dir> <index> [--limit N] [--newest]\n";
+  err << "usage: p4s-store info        <dir>\n"
+         "       p4s-store verify      <dir>\n"
+         "       p4s-store compact     <dir> [<index>]\n"
+         "       p4s-store dump        <dir> <index> [--limit N] [--newest]\n"
+         "       p4s-store serve-stats <dir>\n";
   return 2;
 }
 
 int cmd_info(const std::string& dir, std::ostream& out, std::ostream& err) {
   try {
-    const Store store(dir);
+    // Read-only: inspecting a store must not create directories or WAL
+    // files as a side effect.
+    const Store store(dir, {}, OpenMode::read_only);
     out << "store: " << dir << "\n";
     out << "  total docs:   " << store.total_docs() << "\n";
-    const auto& stats = store.stats();
+    const auto stats = store.stats();
     out << "  wal batches:  " << stats.wal_batches_replayed
         << " (tail bytes dropped: " << stats.wal_tail_bytes_dropped
         << ", sealed records skipped: " << stats.wal_records_skipped_sealed
@@ -89,7 +92,7 @@ int cmd_dump(const std::string& dir, const std::string& index,
              std::size_t limit, bool newest, std::ostream& out,
              std::ostream& err) {
   try {
-    const Store store(dir);
+    const Store store(dir, {}, OpenMode::read_only);
     std::size_t printed = 0;
     Store::ScanOptions options;
     options.newest_first = newest;
@@ -98,6 +101,45 @@ int cmd_dump(const std::string& dir, const std::string& index,
       ++printed;
       return limit == 0 || printed < limit;
     });
+    return 0;
+  } catch (const StoreError& e) {
+    err << "p4s-store: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_serve_stats(const std::string& dir, std::ostream& out,
+                    std::ostream& err) {
+  try {
+    const Store store(dir, {}, OpenMode::read_only);
+    // Exercise the serving read path once per index so the pruning/cache
+    // counters below describe this store's data, not just zeros: one
+    // full scan warms the cache, a second shows the hits.
+    for (int round = 0; round < 2; ++round) {
+      for (const auto& index : store.indices()) {
+        const Snapshot snapshot = store.snapshot();
+        snapshot.scan(index, ScanOptions{},
+                      [](const util::Json&) { return true; });
+      }
+    }
+    const auto stats = store.stats();
+    out << "serve-stats: " << dir << "\n";
+    out << "  snapshots:        " << stats.snapshots << "\n";
+    out << "  scans:            " << stats.scans << "\n";
+    out << "  segments scanned: " << stats.segments_scanned << " of "
+        << stats.segments_considered << " considered\n";
+    out << "  pruned:           range " << stats.segments_pruned_range
+        << ", terms " << stats.segments_pruned_terms << ", postings "
+        << stats.segments_pruned_postings << "\n";
+    out << "  postings rows:    " << stats.postings_rows_seeked << "\n";
+    out << "  cache:            " << stats.cache_hits << " hit(s), "
+        << stats.cache_misses << " miss(es), " << stats.cache_evictions
+        << " eviction(s)\n";
+    out << "  cache resident:   " << stats.cache_entries << " segment(s), "
+        << stats.cache_bytes << " byte(s)\n";
+    out << "  gc:               " << stats.segments_retired << " retired, "
+        << stats.segments_gc_deleted << " deleted, " << stats.gc_pending()
+        << " pending\n";
     return 0;
   } catch (const StoreError& e) {
     err << "p4s-store: " << e.what() << "\n";
@@ -121,6 +163,9 @@ int store_cli(int argc, const char* const* argv, std::ostream& out,
   }
   if (cmd == "compact" && (args.size() == 2 || args.size() == 3)) {
     return cmd_compact(args[1], args.size() == 3 ? args[2] : "", out, err);
+  }
+  if (cmd == "serve-stats" && args.size() == 2) {
+    return cmd_serve_stats(args[1], out, err);
   }
   if (cmd == "dump" && args.size() >= 3) {
     std::size_t limit = 0;

@@ -1,6 +1,9 @@
 // Tests: command-line flag parsing and JSON experiment configuration.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+
 #include "core/config_loader.hpp"
 #include "util/cli.hpp"
 
@@ -307,6 +310,84 @@ TEST(ConfigLoader, LoadedConfigBuildsWorkingSystem) {
   flow.stop_at(units::seconds(3));
   system.run_until(units::seconds(6));
   EXPECT_EQ(system.control_plane().final_reports().size(), 1u);
+}
+
+TEST(ConfigLoader, ServingSection) {
+  const std::string dir =
+      ::testing::TempDir() + "p4s_config_serving_section";
+  const auto config = core::config_from_text(R"({
+    "archive": {"backend": "store", "dir": ")" + dir + R"("},
+    "serving": {"enabled": true, "cache_bytes": 1048576,
+                "cache_shards": 2, "reader_threads": 6}
+  })");
+  EXPECT_TRUE(config.serving.enabled);
+  EXPECT_EQ(config.serving.cache_bytes, 1048576u);
+  EXPECT_EQ(config.serving.cache_shards, 2u);
+  EXPECT_EQ(config.serving.reader_threads, 6u);
+  // Defaults: serving is off, unbounded cache.
+  const auto defaults = core::config_from_text("{}");
+  EXPECT_FALSE(defaults.serving.enabled);
+  EXPECT_EQ(defaults.serving.cache_bytes, 0u);
+}
+
+TEST(ConfigLoader, ServingRejectsBadValues) {
+  // Serving rides on the durable store; without it the section is a
+  // configuration error, not a silent no-op.
+  EXPECT_THROW(core::config_from_text(R"({"serving": {"enabled": true}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(
+                   R"({"serving": {"cache_shards": 0}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(
+                   R"({"serving": {"enabled": "yes"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::config_from_text(R"({"serving": {"bogus": 1}})"),
+               std::invalid_argument);
+}
+
+TEST(ConfigLoader, ServingConfigBuildsSystemWithStoreServer) {
+  const std::string dir =
+      ::testing::TempDir() + "p4s_config_serving_system";
+  std::filesystem::remove_all(dir);
+  const auto config = core::config_from_text(R"({
+    "topology": {"bottleneck_mbps": 100},
+    "control": {"flow_idle_timeout_s": 1},
+    "archive": {"backend": "store", "dir": ")" + dir + R"(",
+                "seal_min_docs": 8},
+    "serving": {"enabled": true, "reader_threads": 2,
+                "cache_bytes": 4194304}
+  })");
+  core::MonitoringSystem system(config);
+  ASSERT_TRUE(system.durable_archive());
+  ASSERT_TRUE(system.serving());
+  system.start();
+  auto& flow = system.add_transfer(0);
+  flow.start_at(units::milliseconds(100));
+  flow.stop_at(units::seconds(3));
+  system.run_until(units::seconds(6));
+
+  // The server answers queries over what the run archived.
+  auto& server = system.store_server();
+  EXPECT_EQ(server.stats().reader_threads, 2u);
+  const auto agg =
+      server.submit_aggregate("p4sonar-throughput", "throughput_bps").get();
+  EXPECT_GT(agg.count, 0u);
+  EXPECT_EQ(agg.count,
+            system.psonar().archiver().doc_count("p4sonar-throughput"));
+  EXPECT_TRUE(server.latest_value("p4sonar-throughput", "throughput_bps")
+                  .has_value());
+}
+
+TEST(ConfigLoader, ServingDisabledBuildsNoServer) {
+  const std::string dir =
+      ::testing::TempDir() + "p4s_config_serving_off";
+  std::filesystem::remove_all(dir);
+  const auto config = core::config_from_text(R"({
+    "archive": {"backend": "store", "dir": ")" + dir + R"("}
+  })");
+  core::MonitoringSystem system(config);
+  EXPECT_TRUE(system.durable_archive());
+  EXPECT_FALSE(system.serving());
 }
 
 }  // namespace

@@ -5,9 +5,11 @@
 // p4s-store CLI.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "store/codec.hpp"
 #include "store/segment.hpp"
@@ -365,6 +367,9 @@ TEST(StorePruning, TermBloomPrunesForeignSites) {
     for (int i = 0; i < 5; ++i) store.append("idx", doc_at(i, i, site));
     store.seal("idx");
   }
+  // switch_id is low-cardinality (one distinct value over five docs), so
+  // v2 segments posting-index it: the foreign segments prune via exact
+  // empty posting lists and the matching one seeks straight to its rows.
   Store::ScanOptions options;
   options.term_keys = {term_key("switch_id", "cern")};
   std::size_t visited = 0;
@@ -373,7 +378,21 @@ TEST(StorePruning, TermBloomPrunesForeignSites) {
     return true;
   });
   EXPECT_EQ(visited, 5u);
-  EXPECT_EQ(store.stats().segments_pruned_terms, 2u);
+  EXPECT_EQ(store.stats().segments_pruned_postings, 2u);
+  EXPECT_EQ(store.stats().segments_pruned_terms, 0u);
+  EXPECT_EQ(store.stats().postings_rows_seeked, 5u);
+
+  // throughput_bps is distinct per doc — never posting-indexed — so a
+  // term on an absent value still prunes through the bloom filter.
+  Store::ScanOptions bloom;
+  bloom.term_keys = {term_key("throughput_bps", util::Json(999))};
+  std::size_t bloom_visited = 0;
+  store.scan("idx", bloom, [&](const util::Json&) {
+    ++bloom_visited;
+    return true;
+  });
+  EXPECT_EQ(bloom_visited, 0u);
+  EXPECT_EQ(store.stats().segments_pruned_terms, 3u);
 }
 
 TEST(StorePruning, RangeOnFieldNoDocumentCarriesPrunesEverySegment) {
@@ -591,6 +610,113 @@ TEST(StoreCli, InfoVerifyCompactDump) {
   EXPECT_EQ(run({"info", (dir + "/does-not-exist").c_str()}, &text), 0)
       << "an empty/missing store reads as empty, not an error";
   EXPECT_EQ(run({"frobnicate", dir.c_str()}, nullptr), 2);
+}
+
+// Regression (serving PR): `dump`, `serve-stats`, and direct queries on
+// an empty store — no manifest, no WAL, even no directory — must return
+// cleanly (zero results, exit 0) and must not create the store as a
+// side effect of reading it.
+TEST(StoreCli, DumpAndServeStatsOnEmptyStoreSucceedWithoutCreatingIt) {
+  const std::string dir = fresh_dir("cli_empty");  // never created
+  const auto run = [&](std::vector<const char*> args, std::string* text) {
+    args.insert(args.begin(), "p4s-store");
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = store_cli(static_cast<int>(args.size()), args.data(),
+                               out, err);
+    if (text != nullptr) *text = out.str() + err.str();
+    return code;
+  };
+  std::string text;
+  EXPECT_EQ(run({"dump", dir.c_str(), "p4sonar-throughput"}, &text), 0);
+  EXPECT_EQ(text, "");
+  EXPECT_EQ(run({"serve-stats", dir.c_str()}, &text), 0);
+  EXPECT_NE(text.find("snapshots:"), std::string::npos);
+  EXPECT_FALSE(fs::exists(dir))
+      << "a read-only command materialized the store directory";
+
+  // Direct API on a read-only empty store behaves the same way.
+  Store store(dir, {}, OpenMode::read_only);
+  std::size_t visited = 0;
+  store.scan("anything", Store::ScanOptions{}, [&](const util::Json&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(store.total_docs(), 0u);
+  EXPECT_TRUE(store.indices().empty());
+  EXPECT_FALSE(store.aggregate_column("anything", "x", "ts_ns", 0, 1)
+                   .has_value());
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST(StoreCli, ServeStatsReportsCacheAndPruningCounters) {
+  const std::string dir = fresh_dir("cli_serve");
+  {
+    Store store(dir);
+    for (int i = 0; i < 6; ++i) store.append("tput", doc_at(i, i));
+    store.seal("tput");
+  }
+  const char* argv[] = {"p4s-store", "serve-stats", dir.c_str()};
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(store_cli(3, argv, out, err), 0) << err.str();
+  const std::string text = out.str();
+  // Two warm-up rounds over one segment: one miss, then one hit.
+  EXPECT_NE(text.find("cache:            1 hit(s), 1 miss(es)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("snapshots:        2"), std::string::npos) << text;
+  EXPECT_NE(text.find("gc:               0 retired"), std::string::npos)
+      << text;
+}
+
+// ---------- tiered compaction ----------
+
+// With fanin F, maintenance merges runs of F adjacent same-tier
+// segments, so after N seals the live segment count stays logarithmic
+// instead of linear — and doc order/continuity survives every merge.
+TEST(StoreTiering, MaintainBoundsSegmentCountLogarithmically) {
+  const std::string dir = fresh_dir("tiered");
+  StoreConfig config;
+  config.seal_min_docs = 4;
+  config.compact_fanin = 2;
+  Store store(dir, config);
+  std::uint64_t max_segments = 0;
+  for (int i = 0; i < 256; ++i) {
+    store.append("idx", doc_at(i, i));
+    store.maintain();
+    max_segments = std::max(max_segments, store.segment_count("idx"));
+  }
+  // 256 docs / 4-doc seals = 64 seals; untiered that is 64 segments.
+  // fanin-2 tiering keeps ~log2(64) + slack live.
+  EXPECT_LE(max_segments, 10u);
+  EXPECT_GT(store.stats().compactions, 0u);
+  EXPECT_EQ(store.doc_count("idx"), 256u);
+
+  // Order and content survived all the merging.
+  std::int64_t expect_ts = 0;
+  store.scan("idx", Store::ScanOptions{}, [&](const util::Json& doc) {
+    EXPECT_EQ(doc.at("ts_ns").as_int(), expect_ts);
+    ++expect_ts;
+    return true;
+  });
+  EXPECT_EQ(expect_ts, 256);
+  store.flush();
+  EXPECT_TRUE(Store::verify(dir).ok);
+
+  // fanin = 0 disables tiering entirely: seals accumulate.
+  const std::string flat_dir = fresh_dir("untiered");
+  StoreConfig flat_config;
+  flat_config.seal_min_docs = 4;
+  flat_config.compact_fanin = 0;
+  Store flat(flat_dir, flat_config);
+  for (int i = 0; i < 64; ++i) {
+    flat.append("idx", doc_at(i, i));
+    flat.maintain();
+  }
+  EXPECT_EQ(flat.segment_count("idx"), 16u);
+  EXPECT_EQ(flat.stats().compactions, 0u);
 }
 
 }  // namespace
