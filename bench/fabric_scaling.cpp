@@ -1,19 +1,33 @@
-// fabric_scaling — aggregate monitoring throughput as the fabric grows.
+// fabric_scaling — aggregate monitoring throughput as the fabric grows,
+// serial vs. sharded parallel execution.
 //
-// Runs the same fixed TCP workload with N = 1, 2, 4 monitored switches
-// sharing one simulation and measures aggregate processed mirror copies
-// per wall second (sum over switches). The workload is a multi-site mix:
-// DTN transfers through the core bottleneck (seen by every site) plus
-// inter-site transfers between external DTNs, which the WAN switch
-// routes directly — a single core-bottleneck monitor never sees them.
-// The shared TCP/topology simulation cost is paid once regardless of N
-// and each added site observes traffic the core site misses, so
-// aggregate throughput should grow >= 2x from N=1 to N=4 — the
-// refactor's scaling claim.
+// Two curves over the same fixed TCP workload:
 //
-// Writes BENCH_fabric_scaling.json; absolute numbers are archived, not
-// asserted (machine-dependent).
+//   * fabric growth (serial): N = 1, 2, 4, 8, 16 monitored switches
+//     sharing one simulation — aggregate processed mirror copies per
+//     wall second, and per switch per wall second (the per-site cost of
+//     growing the fabric).
+//   * parallel execution: the 16-switch fabric re-run with the sharded
+//     runtime at parallel = 2, 4, 8 workers — same seed, byte-identical
+//     outputs (the determinism battery's guarantee), wall time the only
+//     thing allowed to change.
+//
+// The workload is a multi-site mix: DTN transfers through the core
+// bottleneck (seen by every site) plus inter-site transfers between
+// external DTNs, which the WAN switch routes directly — a single
+// core-bottleneck monitor never sees them.
+//
+// `--quick` (the CI perf-smoke shape gate) trims to a 4-switch fabric,
+// serial + 4 workers, over a shorter horizon.
+//
+// Writes BENCH_fabric_scaling.json with the schema keys perf_smoke
+// --validate asserts: top-level `wall_seconds` and
+// `copies_per_switch_per_sec` metrics plus per-run n<N>[_p<W>]_
+// breakdowns. Absolute numbers are archived, not asserted
+// (machine-dependent; parallel speedup needs physical cores).
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -26,12 +40,16 @@ using core::TapPoint;
 namespace {
 
 struct RunStats {
+  std::size_t switches = 0;
+  std::size_t parallel = 1;
   double wall_s = 0.0;
   std::uint64_t processed = 0;  // mirror copies across all P4 switches
-  double aggregate_per_sec = 0.0;
+  double copies_per_sec = 0.0;
+  double copies_per_switch_per_sec = 0.0;
 };
 
-RunStats run_fabric(std::size_t n_switches) {
+RunStats run_fabric(std::size_t n_switches, std::size_t parallel,
+                    SimTime horizon) {
   static constexpr TapPoint kTaps[] = {
       TapPoint::kCoreBottleneck, TapPoint::kWanExt0, TapPoint::kWanExt1,
       TapPoint::kWanExt2};
@@ -39,6 +57,7 @@ RunStats run_fabric(std::size_t n_switches) {
   config.topology.bottleneck_bps = units::mbps(200);
   config.topology.access_bps = units::mbps(200);
   config.seed = 1;
+  config.parallel = parallel;
   for (std::size_t i = 0; i < n_switches; ++i) {
     MonitoredSwitchConfig sw;
     sw.id = "site-" + std::to_string(i);
@@ -55,7 +74,7 @@ RunStats run_fabric(std::size_t n_switches) {
   for (int ext = 0; ext < 3; ++ext) {
     auto& flow = system.add_transfer(ext);
     flow.start_at(units::seconds(1) + units::milliseconds(200 * ext));
-    flow.stop_at(units::seconds(7));
+    flow.stop_at(horizon - units::seconds(1));
   }
   // Inter-site transfers: routed ext <-> ext by the WAN switch, never
   // crossing the core bottleneck.
@@ -66,47 +85,105 @@ RunStats run_fabric(std::size_t n_switches) {
         system.add_flow(*topology.dtn_ext[static_cast<std::size_t>(src)],
                         *topology.dtn_ext[static_cast<std::size_t>(dst)]);
     flow.start_at(units::seconds(1) + units::milliseconds(100 * src));
-    flow.stop_at(units::seconds(7));
+    flow.stop_at(horizon - units::seconds(1));
   }
-  system.run_until(units::seconds(8));
+  system.run_until(horizon);
 
   RunStats stats;
+  stats.switches = n_switches;
+  stats.parallel = parallel;
+  // fabric_stats() is the merge-barrier snapshot — the race-free way to
+  // total worker-owned counters in parallel mode (and a plain read in
+  // serial mode).
+  stats.processed = system.fabric_stats().processed;
   stats.wall_s = timer.elapsed_s();
-  for (const auto& sw : system.monitored_switches()) {
-    stats.processed += sw->p4_switch().processed_pkts();
-  }
-  stats.aggregate_per_sec = stats.processed / stats.wall_s;
+  stats.copies_per_sec = stats.processed / stats.wall_s;
+  stats.copies_per_switch_per_sec =
+      stats.copies_per_sec / static_cast<double>(n_switches);
   return stats;
+}
+
+std::string run_prefix(const RunStats& run) {
+  std::string prefix = "n" + std::to_string(run.switches);
+  if (run.parallel > 1) prefix += "_p" + std::to_string(run.parallel);
+  return prefix;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
   bench::WallTimer wall;
-  const std::size_t sizes[] = {1, 2, 4};
   std::vector<RunStats> runs;
-  for (const std::size_t n : sizes) {
-    runs.push_back(run_fabric(n));
-    std::printf("fabric N=%zu: %llu mirror copies in %.3f s "
-                "(%.3gM aggregate copies/s)\n",
-                n, static_cast<unsigned long long>(runs.back().processed),
-                runs.back().wall_s, runs.back().aggregate_per_sec / 1e6);
+  const SimTime horizon =
+      quick ? units::seconds(4) : units::seconds(8);
+  if (quick) {
+    // CI shape gate: one serial and one sharded run of a small fabric.
+    runs.push_back(run_fabric(4, 1, horizon));
+    runs.push_back(run_fabric(4, 4, horizon));
+  } else {
+    for (const std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+      runs.push_back(run_fabric(n, 1, horizon));
+    }
+    for (const std::size_t workers : {2u, 4u, 8u}) {
+      runs.push_back(run_fabric(16, workers, horizon));
+    }
+  }
+  for (const auto& run : runs) {
+    std::printf("fabric N=%zu parallel=%zu: %llu mirror copies in %.3f s "
+                "(%.3gM copies/s, %.3gM per switch)\n",
+                run.switches, run.parallel,
+                static_cast<unsigned long long>(run.processed), run.wall_s,
+                run.copies_per_sec / 1e6,
+                run.copies_per_switch_per_sec / 1e6);
   }
 
-  const double speedup =
-      runs[2].aggregate_per_sec / runs[0].aggregate_per_sec;
-  std::printf("aggregate scaling 1 -> 4 switches: %.2fx\n", speedup);
+  // Headline ratios: biggest serial fabric vs. its most-parallel rerun,
+  // and serial scaling from the smallest fabric.
+  const RunStats& base = runs.front();
+  const RunStats* big_serial = &base;
+  const RunStats* best_parallel = &base;
+  for (const auto& run : runs) {
+    if (run.parallel == 1 && run.switches >= big_serial->switches) {
+      big_serial = &run;
+    }
+    if (run.parallel > best_parallel->parallel ||
+        (run.parallel == best_parallel->parallel &&
+         run.switches > best_parallel->switches)) {
+      best_parallel = &run;
+    }
+  }
+  const double serial_scaling = big_serial->copies_per_sec /
+                                base.copies_per_sec;
+  const double parallel_speedup =
+      best_parallel->copies_per_sec / big_serial->copies_per_sec;
+  std::printf("serial aggregate scaling %zu -> %zu switches: %.2fx\n",
+              base.switches, big_serial->switches, serial_scaling);
+  std::printf("parallel=%zu speedup over serial at %zu switches: %.2fx\n",
+              best_parallel->parallel, best_parallel->switches,
+              parallel_speedup);
 
   bench::BenchReport report("fabric_scaling");
   report.wall_time_s(wall.elapsed_s());
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const std::string prefix = "n" + std::to_string(sizes[i]);
-    report.metric(prefix + "_processed_copies", runs[i].processed);
-    report.metric(prefix + "_wall_s", runs[i].wall_s);
-    report.metric(prefix + "_aggregate_copies_per_sec",
-                  runs[i].aggregate_per_sec);
+  // Schema keys asserted by perf_smoke --validate: the headline numbers
+  // of the largest serial run.
+  report.metric("wall_seconds", big_serial->wall_s);
+  report.metric("copies_per_switch_per_sec",
+                big_serial->copies_per_switch_per_sec);
+  for (const auto& run : runs) {
+    const std::string prefix = run_prefix(run);
+    report.metric(prefix + "_processed_copies", run.processed);
+    report.metric(prefix + "_wall_seconds", run.wall_s);
+    report.metric(prefix + "_copies_per_sec", run.copies_per_sec);
+    report.metric(prefix + "_copies_per_switch_per_sec",
+                  run.copies_per_switch_per_sec);
   }
-  report.metric("speedup_4v1", speedup);
+  report.metric("serial_scaling", serial_scaling);
+  report.metric("parallel_speedup", parallel_speedup);
   report.meta("seed", util::Json(1));
+  report.meta("quick", util::Json(quick));
+  report.meta("max_parallel",
+              util::Json(static_cast<std::int64_t>(best_parallel->parallel)));
   return report.write() ? 0 : 1;
 }

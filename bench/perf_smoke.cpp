@@ -13,6 +13,9 @@
 // exits non-zero if any file is missing, malformed, or off-schema.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 #include "bench_json.hpp"
 #include "p4/p4_switch.hpp"
@@ -73,6 +76,38 @@ double mirrored_pkts_per_sec(sim::Simulation& sim) {
   return 2.0 * kPairs / timer.elapsed_s();
 }
 
+// Bench-specific schema contracts layered over the generic p4s-bench-v1
+// shape. fabric_scaling must carry its headline wall/throughput keys —
+// downstream tooling plots them by name, so a silent rename is a gate
+// failure, not a soft drift.
+bool validate_bench_contract(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) return false;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  try {
+    const util::Json doc = util::Json::parse(text);
+    if (doc.at("name").as_string() != "fabric_scaling") return true;
+    for (const char* key : {"wall_seconds", "copies_per_switch_per_sec"}) {
+      const auto& metrics = doc.at("metrics").as_object();
+      const auto it = metrics.find(key);
+      if (it == metrics.end() || !it->second.is_number() ||
+          it->second.as_double() <= 0.0) {
+        std::fprintf(stderr,
+                     "perf_smoke --validate: %s: fabric_scaling requires "
+                     "positive metric '%s'\n",
+                     file.c_str(), key);
+        return false;
+      }
+    }
+  } catch (const util::JsonError& e) {
+    std::fprintf(stderr, "perf_smoke --validate: %s: %s\n", file.c_str(),
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,7 +115,8 @@ int main(int argc, char** argv) {
     bool ok = argc > 2;
     if (!ok) std::fprintf(stderr, "perf_smoke --validate: no files given\n");
     for (int i = 2; i < argc; ++i) {
-      if (bench::BenchReport::validate_file(argv[i])) {
+      if (bench::BenchReport::validate_file(argv[i]) &&
+          validate_bench_contract(argv[i])) {
         std::printf("ok: %s\n", argv[i]);
       } else {
         ok = false;

@@ -256,6 +256,7 @@ double ControlPlane::occupancy_pct(SimTime queue_delay) const {
 // The one extraction body all timers share: read each flow's value, emit
 // the metric report, run the alert/boost logic, then the entry's hooks.
 void ControlPlane::extract(std::size_t index) {
+  if (driver_sync_) driver_sync_();
   ExtractorEntry& entry = extractors_[index];
   const SimTime now = sim_.now();
   double worst = 0.0;  // per-tick max, drives the boost hysteresis
@@ -301,6 +302,7 @@ void ControlPlane::check_alert(ExtractorEntry& entry,
 }
 
 void ControlPlane::poll_digests() {
+  if (driver_sync_) driver_sync_();
   for (const auto& d : program_.tracker().new_flow_digests().drain()) {
     FlowState state;
     state.flow = d.flow;
@@ -335,6 +337,7 @@ void ControlPlane::poll_digests() {
 }
 
 void ControlPlane::scan_idle_flows() {
+  if (driver_sync_) driver_sync_();
   const SimTime now = sim_.now();
   std::vector<std::uint16_t> expired;
   for (const auto& [slot, state] : flows_) {

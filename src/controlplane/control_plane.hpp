@@ -73,6 +73,7 @@ class ControlPlane {
   ControlPlane& operator=(const ControlPlane&) = delete;
 
   void set_sink(ReportSink* sink) { sink_ = sink; }
+  ReportSink* sink() const { return sink_; }
 
   /// Start the extraction timers and digest polling.
   void start();
@@ -225,6 +226,15 @@ class ControlPlane {
 
   std::uint64_t reports_emitted() const { return reports_emitted_; }
 
+  /// Parallel-fabric hook: invoked immediately before every data-plane
+  /// register read (extraction tick, digest poll, idle scan). The fabric
+  /// installs a barrier here — "this switch's pipeline shard has executed
+  /// every mirror delivered before now" — so driver reads observe exactly
+  /// the register state the serial run would. Unset = no-op (serial).
+  void set_driver_sync(std::function<void()> sync) {
+    driver_sync_ = std::move(sync);
+  }
+
  private:
   /// One row of the extractor table: the descriptor plus its timer/alert
   /// configuration and boost state. Builtin rows alias config_.metrics
@@ -276,6 +286,7 @@ class ControlPlane {
   std::function<void(const Alert&)> on_alert_;
   std::function<void(const telemetry::BlockageDigest&)> on_blockage_;
   std::function<void(const telemetry::MicroburstDigest&)> on_microburst_;
+  std::function<void()> driver_sync_;
   std::uint64_t reports_emitted_ = 0;
 };
 

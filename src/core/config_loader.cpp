@@ -281,29 +281,57 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
         fail("'serving.enabled' requires 'archive.backend': 'store'");
       }
     } else if (key == "switches") {
-      if (!value.is_array()) fail("'switches' must be an array");
-      const auto& entries = value.as_array();
-      for (std::size_t i = 0; i < entries.size(); ++i) {
-        const std::string where = "switches[" + std::to_string(i) + "]";
-        MonitoredSwitchConfig sw;
-        walk(entries[i], where, [&](const std::string& k,
-                                    const util::Json& v) {
-          if (k == "id") {
-            if (!v.is_string()) fail("'" + where + ".id' must be a string");
-            sw.id = v.as_string();
-          } else if (k == "tap") {
-            if (!v.is_string()) fail("'" + where + ".tap' must be a string");
-            try {
-              sw.tap = tap_point_from_name(v.as_string());
-            } catch (const std::invalid_argument& e) {
-              fail("'" + where + ".tap': " + e.what());
+      // Two accepted shapes: the legacy bare array of site entries, or
+      // an object {"parallel": N, "sites": [...]} that also selects the
+      // sharded parallel runtime (N workers; 1 = serial).
+      auto parse_sites = [&](const util::Json& sites) {
+        if (!sites.is_array()) fail("'switches' sites must be an array");
+        const auto& entries = sites.as_array();
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+          const std::string where = "switches[" + std::to_string(i) + "]";
+          MonitoredSwitchConfig sw;
+          walk(entries[i], where, [&](const std::string& k,
+                                      const util::Json& v) {
+            if (k == "id") {
+              if (!v.is_string()) fail("'" + where + ".id' must be a string");
+              sw.id = v.as_string();
+            } else if (k == "tap") {
+              if (!v.is_string()) {
+                fail("'" + where + ".tap' must be a string");
+              }
+              try {
+                sw.tap = tap_point_from_name(v.as_string());
+              } catch (const std::invalid_argument& e) {
+                fail("'" + where + ".tap': " + e.what());
+              }
+            } else {
+              return false;
             }
+            return true;
+          });
+          config.switches.push_back(std::move(sw));
+        }
+      };
+      if (value.is_array()) {
+        parse_sites(value);
+      } else if (value.is_object()) {
+        walk(value, "switches", [&](const std::string& k,
+                                    const util::Json& v) {
+          if (k == "parallel") {
+            const double n = require_number(v, k);
+            if (n < 1 || n != static_cast<std::size_t>(n)) {
+              fail("'switches.parallel' must be a positive integer");
+            }
+            config.parallel = static_cast<std::size_t>(n);
+          } else if (k == "sites") {
+            parse_sites(v);
           } else {
             return false;
           }
           return true;
         });
-        config.switches.push_back(std::move(sw));
+      } else {
+        fail("'switches' must be an array or an object with 'sites'");
       }
     } else if (key == "control") {
       walk(value, "control", [&](const std::string& k,

@@ -56,14 +56,20 @@ MonitoredSwitch::MonitoredSwitch(
     const telemetry::DataPlaneProgram::Config& program_config,
     cp::ControlPlaneConfig control_config,
     const TraceCaptureConfig& trace_config, SimTime tap_latency,
-    std::size_t index)
+    std::size_t index, sim::Simulation* pipeline_sim)
     : config_(config) {
   const TapTarget target = resolve_tap(topology, config_.tap);
+
+  // The mirror pipeline's components read their timestamps (P4
+  // ingress_ts, pcap records) from this clock: the main timeline when
+  // serial, the shard-advanced pipeline clock when parallel — both sit
+  // at the frame's delivery time at delivery, so outputs are identical.
+  sim::Simulation& pipe_sim = pipeline_sim != nullptr ? *pipeline_sim : sim;
 
   program_ = std::make_unique<telemetry::DataPlaneProgram>(program_config);
   const std::string name =
       config_.id.empty() ? "tofino-monitor" : "tofino-" + config_.id;
-  p4_switch_ = std::make_unique<p4::P4Switch>(sim, name);
+  p4_switch_ = std::make_unique<p4::P4Switch>(pipe_sim, name);
   p4_switch_->load_program(*program_);
 
   // With capture enabled the TAPs feed a pcap-writing tee that forwards
@@ -78,10 +84,11 @@ MonitoredSwitch::MonitoredSwitch(
           "." + (config_.id.empty() ? std::to_string(index) : config_.id);
     }
     trace_capture_ = std::make_unique<trace::TraceCapture>(
-        sim, *p4_switch_, path_base,
+        pipe_sim, *p4_switch_, path_base,
         trace::TraceCapture::Config{trace_config.snaplen});
     mirror_sink = trace_capture_.get();
   }
+  entry_sink_ = mirror_sink;
 
   taps_ = std::make_unique<net::OpticalTapPair>(sim, *mirror_sink,
                                                 tap_latency);

@@ -57,12 +57,20 @@ class MonitoredSwitch {
   /// from the tapped port when left 0; its switch_id is taken from
   /// `config.id`. `index` is the switch's position in the fabric (used
   /// for default capture paths and --switch indexing).
+  ///
+  /// `pipeline_sim` selects the execution mode. nullptr (serial): the
+  /// whole site lives on `sim`, mirror deliveries included. Non-null
+  /// (parallel fabric): the mirror pipeline — capture tee + P4 switch —
+  /// is built on `pipeline_sim`, whose clock a FabricExecutor shard
+  /// advances to each frame's delivery time on a worker thread; the
+  /// TAPs and the control plane stay on `sim`. The caller wires
+  /// entry_sink() and taps().set_boundary() to the executor.
   MonitoredSwitch(sim::Simulation& sim, net::PaperTopology& topology,
                   const MonitoredSwitchConfig& config,
                   const telemetry::DataPlaneProgram::Config& program_config,
                   cp::ControlPlaneConfig control_config,
                   const TraceCaptureConfig& trace_config, SimTime tap_latency,
-                  std::size_t index);
+                  std::size_t index, sim::Simulation* pipeline_sim = nullptr);
 
   MonitoredSwitch(const MonitoredSwitch&) = delete;
   MonitoredSwitch& operator=(const MonitoredSwitch&) = delete;
@@ -78,8 +86,13 @@ class MonitoredSwitch {
   bool capturing() const { return trace_capture_ != nullptr; }
   trace::TraceCapture& trace_capture() { return *trace_capture_; }
 
+  /// First sink of the mirror pipeline (the capture tee when capturing,
+  /// else the P4 switch) — the shard's delivery target in parallel mode.
+  net::MirrorSink& entry_sink() { return *entry_sink_; }
+
  private:
   MonitoredSwitchConfig config_;
+  net::MirrorSink* entry_sink_ = nullptr;
   std::unique_ptr<telemetry::DataPlaneProgram> program_;
   std::unique_ptr<p4::P4Switch> p4_switch_;
   std::unique_ptr<trace::TraceCapture> trace_capture_;

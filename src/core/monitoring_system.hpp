@@ -28,6 +28,7 @@
 
 #include "controlplane/control_plane.hpp"
 #include "controlplane/resilient_sink.hpp"
+#include "core/fabric_executor.hpp"
 #include "core/monitored_switch.hpp"
 #include "net/fault_injector.hpp"
 #include "net/report_channel.hpp"
@@ -104,6 +105,15 @@ struct MonitoringSystemConfig {
   /// the core bottleneck (the paper's deployment, and the legacy
   /// single-switch behavior).
   std::vector<MonitoredSwitchConfig> switches;
+  /// Parallel fabric execution (the config loader's switches.parallel
+  /// knob): number of worker threads advancing per-switch pipeline
+  /// shards. 1 (or 0) = the serial in-timeline path, bit-for-bit the
+  /// legacy behavior; >= 2 = sharded execution via a FabricExecutor.
+  /// Seeded outputs are byte-identical at every value.
+  std::size_t parallel = 1;
+  /// Test-only: randomized worker stalls (see ShardPool::Config) for the
+  /// parallel determinism battery. 0 = off.
+  std::uint64_t scheduling_jitter_seed = 0;
   SimTime tap_latency = units::microseconds(1);
   std::uint64_t seed = 1;
 };
@@ -112,6 +122,7 @@ class MonitoringSystem {
  public:
   explicit MonitoringSystem(MonitoringSystemConfig config);
   MonitoringSystem() : MonitoringSystem(MonitoringSystemConfig{}) {}
+  ~MonitoringSystem();
 
   MonitoringSystem(const MonitoringSystem&) = delete;
   MonitoringSystem& operator=(const MonitoringSystem&) = delete;
@@ -130,7 +141,12 @@ class MonitoringSystem {
   tcp::TcpFlow& add_flow(net::Host& src, net::Host& dst,
                          tcp::TcpFlow::Config flow_config = {});
 
-  void run_until(SimTime t) { sim_.run_until(t); }
+  /// Advance the run to `t`. In parallel mode this ends with an
+  /// inclusive fabric barrier at `t`, after which every shard's clock
+  /// sits at `t` and shard-owned state (P4 counters, captures) is
+  /// readable from the calling thread — matching what a serial
+  /// run_until(t) leaves behind.
+  void run_until(SimTime t);
 
   sim::Simulation& simulation() { return sim_; }
   net::Network& network() { return network_; }
@@ -147,6 +163,42 @@ class MonitoringSystem {
       const {
     return switches_;
   }
+
+  /// Whether the sharded parallel runtime is active (config.parallel
+  /// >= 2).
+  bool parallel_fabric() const { return fabric_ != nullptr; }
+  /// The parallel runtime (only with parallel_fabric()).
+  FabricExecutor& fabric_executor() { return *fabric_; }
+
+  /// Cross-switch counters, snapshotted at a merge barrier. In parallel
+  /// mode the per-site P4/capture counters are worker-owned and may be
+  /// mid-flush at any instant; this is the ONLY race-free way to read
+  /// them while the fabric runs — it barriers every shard to the
+  /// current main time first, so the totals are exactly the serial
+  /// run's (no torn or partial values). In serial mode it is a plain
+  /// read of the same counters.
+  struct FabricSiteStats {
+    std::string id;              // config id ("" for the legacy switch)
+    std::uint64_t mirrored = 0;  // copies the TAP pair took
+    std::uint64_t processed = 0;       // frames the P4 parser accepted
+    std::uint64_t parse_errors = 0;    // frames the parser rejected
+    std::uint64_t captured = 0;        // pcap records (0 when not capturing)
+    std::uint64_t reports_emitted = 0;  // control-plane documents
+    std::uint64_t pending_digests = 0;  // queued, not yet polled
+  };
+  struct FabricStats {
+    SimTime at = 0;  // barrier time of the snapshot
+    std::vector<FabricSiteStats> sites;
+    std::uint64_t mirrored = 0;  // sums over sites
+    std::uint64_t processed = 0;
+    std::uint64_t parse_errors = 0;
+    std::uint64_t reports_emitted = 0;
+    // Parallel-runtime telemetry (0 in serial mode).
+    std::size_t workers = 0;
+    std::uint64_t barrier_waits = 0;
+    std::uint64_t blocked_pushes = 0;
+  };
+  FabricStats fabric_stats();
 
   // Single-switch accessors (the N=1 legacy API): delegate to switch 0,
   // which always exists.
@@ -196,6 +248,9 @@ class MonitoringSystem {
   sim::Simulation sim_;
   net::Network network_;
   net::PaperTopology topology_;
+  // Parallel mode only: one pipeline clock per monitored switch, owned
+  // here so they outlive both the switches and the executor's workers.
+  std::vector<std::unique_ptr<sim::Simulation>> pipeline_sims_;
   std::vector<std::unique_ptr<MonitoredSwitch>> switches_;
   std::unique_ptr<store::Store> store_;  // before psonar_: archiver backend
   std::unique_ptr<ps::StoreServer> store_server_;
@@ -204,6 +259,9 @@ class MonitoringSystem {
   std::unique_ptr<net::FaultInjector> fault_injector_;
   std::unique_ptr<cp::ResilientReportSink> resilient_sink_;
   std::vector<std::unique_ptr<tcp::TcpFlow>> flows_;
+  // Declared last: destroyed first, stopping the workers while every
+  // shard's simulation and sinks are still alive.
+  std::unique_ptr<FabricExecutor> fabric_;
 };
 
 }  // namespace p4s::core

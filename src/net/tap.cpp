@@ -4,6 +4,19 @@
 
 namespace p4s::net {
 
+void MirrorSink::on_mirrored_bytes(std::span<const std::uint8_t> bytes,
+                                   MirrorPoint point, std::uint32_t wire_len) {
+  // Byte-parsing sinks override this; for packet-level sinks synthesize
+  // a Packet that carries only what survives the boundary (the wire
+  // length) and take the usual path.
+  Packet pkt;
+  pkt.ip.total_len =
+      wire_len > kEthernetHeaderBytes
+          ? static_cast<std::uint16_t>(wire_len - kEthernetHeaderBytes)
+          : 0;
+  on_mirrored_wire(pkt, bytes, point);
+}
+
 void OpticalTapPair::attach(LegacySwitch& sw, OutputPort& monitored_port) {
   // Multicast hooks: several TAP pairs may observe the same switch/port
   // (one per monitored site in the fabric) without displacing each other.
@@ -17,6 +30,21 @@ void OpticalTapPair::attach(LegacySwitch& sw, OutputPort& monitored_port) {
 
 void OpticalTapPair::mirror(const Packet& pkt, MirrorPoint point) {
   ++mirrored_pkts_;
+  if (boundary_ != nullptr) {
+    // Parallel fabric: the copy crosses to a pipeline shard instead of
+    // being scheduled on this timeline. Frames leave in mirror order at
+    // a constant latency, so `at` is non-decreasing as BoundaryQueue
+    // requires; nothing is scheduled here, which is what keeps the main
+    // timeline's event order identical to the serial run.
+    MirrorFrame frame;
+    frame.at = sim_.now() + tap_latency_;
+    frame.seq = boundary_seq_++;
+    frame.wire_len = kEthernetHeaderBytes + pkt.ip.total_len;
+    frame.point = point;
+    frame.len = serialize_shared(pkt, frame.bytes);
+    boundary_->push(frame);
+    return;
+  }
   PendingMirror& slot = ring_push();
   slot.pkt = pkt;
   slot.point = point;

@@ -52,6 +52,39 @@ class MirrorSink {
     (void)bytes;
     on_mirrored(pkt, point);
   }
+  /// Boundary-safe delivery: only the serialized bytes plus the original
+  /// on-wire frame length — everything a pipeline shard's sink needs
+  /// without referencing the main timeline's Packet object (which cannot
+  /// cross the shard boundary). The P4 switch and the capture tee
+  /// override this; the default synthesizes a minimal Packet carrying
+  /// the wire length and takes the packet path.
+  virtual void on_mirrored_bytes(std::span<const std::uint8_t> bytes,
+                                 MirrorPoint point, std::uint32_t wire_len);
+};
+
+/// One mirror copy crossing the main-timeline -> pipeline-shard
+/// boundary: the serialized header bytes, the mirror point, the
+/// original on-wire frame length (pcap records preserve it) and the
+/// delivery timestamp (mirror time + TAP latency — the conservative
+/// lookahead bound). `seq` increases per boundary; together with the
+/// timestamp and the shard id it totally orders boundary events, which
+/// is what keeps the parallel merge deterministic.
+struct MirrorFrame {
+  SimTime at = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t wire_len = 0;
+  std::uint8_t len = 0;
+  MirrorPoint point = MirrorPoint::kIngress;
+  std::array<std::uint8_t, kMaxHeaderBytes> bytes;
+};
+
+/// Producer end of a shard boundary. Implemented by the fabric's
+/// per-switch shard; push() must accept frames in non-decreasing `at`
+/// order and may block (never deadlock) when the boundary is congested.
+class MirrorBoundary {
+ public:
+  virtual ~MirrorBoundary() = default;
+  virtual void push(const MirrorFrame& frame) = 0;
 };
 
 class OpticalTapPair {
@@ -66,6 +99,13 @@ class OpticalTapPair {
   /// the egress-side TAP to one of its output ports (mirrors every
   /// departure on the monitored link).
   void attach(LegacySwitch& sw, OutputPort& monitored_port);
+
+  /// Parallel-fabric mode: route mirror copies across `boundary` instead
+  /// of scheduling deliveries on this timeline. The shard on the other
+  /// side replays each frame at `frame.at` against its own clock and
+  /// feeds the sink through on_mirrored_bytes(). Pass nullptr to return
+  /// to in-timeline delivery (the serial path, bit-for-bit unchanged).
+  void set_boundary(MirrorBoundary* boundary) { boundary_ = boundary; }
 
   std::uint64_t mirrored_pkts() const { return mirrored_pkts_; }
   /// Copies whose wire bytes were reused from the serialize-once cache
@@ -100,6 +140,8 @@ class OpticalTapPair {
   sim::Simulation& sim_;
   MirrorSink& sink_;
   SimTime tap_latency_;
+  MirrorBoundary* boundary_ = nullptr;
+  std::uint64_t boundary_seq_ = 0;
   std::uint64_t mirrored_pkts_ = 0;
   std::uint64_t cache_hits_ = 0;
 

@@ -22,6 +22,16 @@ void P4Switch::on_mirrored_wire(const net::Packet& /*pkt*/,
   process_wire(bytes, point);
 }
 
+void P4Switch::on_mirrored_bytes(std::span<const std::uint8_t> bytes,
+                                 net::MirrorPoint point,
+                                 std::uint32_t /*wire_len*/) {
+  // Boundary entry (parallel fabric): identical to the wire path — the
+  // switch only ever looks at the parsed bytes, and `sim_` is the shard
+  // clock, advanced to the frame's delivery time before this call, so
+  // ingress_ts matches the serial run exactly.
+  process_wire(bytes, point);
+}
+
 void P4Switch::process_wire(std::span<const std::uint8_t> bytes,
                             net::MirrorPoint point) {
   PacketContext ctx;

@@ -32,6 +32,9 @@ class P4Switch : public net::MirrorSink {
   void on_mirrored_wire(const net::Packet& pkt,
                         std::span<const std::uint8_t> bytes,
                         net::MirrorPoint point) override;
+  void on_mirrored_bytes(std::span<const std::uint8_t> bytes,
+                         net::MirrorPoint point,
+                         std::uint32_t wire_len) override;
 
   const Parser& parser() const { return parser_; }
   std::uint64_t processed_pkts() const { return processed_; }

@@ -43,6 +43,19 @@ void TraceCapture::on_mirrored_wire(const net::Packet& pkt,
   next_.on_mirrored_wire(pkt, bytes, point);
 }
 
+void TraceCapture::on_mirrored_bytes(std::span<const std::uint8_t> bytes,
+                                     net::MirrorPoint point,
+                                     std::uint32_t wire_len) {
+  // Boundary entry (parallel fabric): the frame carried its on-wire
+  // length across, and `sim_` is the shard clock sitting at the frame's
+  // delivery time — the record is byte-identical to the serial path's.
+  writer(point).write(sim_.now(), bytes,
+                      wire_len >= bytes.size()
+                          ? wire_len
+                          : static_cast<std::uint32_t>(bytes.size()));
+  next_.on_mirrored_bytes(bytes, point, wire_len);
+}
+
 void TraceCapture::record(const net::Packet& pkt,
                           std::span<const std::uint8_t> bytes,
                           net::MirrorPoint point) {

@@ -47,6 +47,9 @@ class TraceCapture : public net::MirrorSink {
   void on_mirrored_wire(const net::Packet& pkt,
                         std::span<const std::uint8_t> bytes,
                         net::MirrorPoint point) override;
+  void on_mirrored_bytes(std::span<const std::uint8_t> bytes,
+                         net::MirrorPoint point,
+                         std::uint32_t wire_len) override;
 
   std::uint64_t captured(net::MirrorPoint point) const {
     return writer(point).records();

@@ -283,10 +283,39 @@ TEST(ConfigLoader, SwitchesSection) {
   EXPECT_EQ(config.switches[1].tap, core::TapPoint::kWanExt1);
   // Default: no explicit switches (MonitoringSystem builds one untagged).
   EXPECT_TRUE(core::config_from_text("{}").switches.empty());
+  EXPECT_EQ(core::config_from_text("{}").parallel, 1u);
+}
+
+// The object form of "switches" carries the parallel-execution knob next
+// to the site list: {"parallel": N, "sites": [...]}. parallel=1 is the
+// serial path; the bare-array legacy shape stays accepted above.
+TEST(ConfigLoader, SwitchesObjectFormWithParallelKnob) {
+  const auto config = core::config_from_text(R"({
+    "switches": {
+      "parallel": 4,
+      "sites": [
+        {"id": "site-a"},
+        {"id": "site-b", "tap": "wan_ext2"}
+      ]
+    }
+  })");
+  EXPECT_EQ(config.parallel, 4u);
+  ASSERT_EQ(config.switches.size(), 2u);
+  EXPECT_EQ(config.switches[0].id, "site-a");
+  EXPECT_EQ(config.switches[1].tap, core::TapPoint::kWanExt2);
+
+  // parallel alone (default sites) and sites alone (default serial).
+  EXPECT_EQ(core::config_from_text(R"({"switches": {"parallel": 8}})")
+                .parallel,
+            8u);
+  const auto sites_only =
+      core::config_from_text(R"({"switches": {"sites": [{"id": "x"}]}})");
+  EXPECT_EQ(sites_only.parallel, 1u);
+  ASSERT_EQ(sites_only.switches.size(), 1u);
 }
 
 TEST(ConfigLoader, SwitchesRejectsBadValues) {
-  EXPECT_THROW(core::config_from_text(R"({"switches": {}})"),
+  EXPECT_THROW(core::config_from_text(R"({"switches": 7})"),
                std::invalid_argument);
   EXPECT_THROW(core::config_from_text(R"({"switches": [{"id": 7}]})"),
                std::invalid_argument);
@@ -295,6 +324,20 @@ TEST(ConfigLoader, SwitchesRejectsBadValues) {
       std::invalid_argument);
   EXPECT_THROW(
       core::config_from_text(R"({"switches": [{"bogus": true}]})"),
+      std::invalid_argument);
+  // Object-form validation: parallel must be a positive integer, and
+  // unknown keys stay fatal.
+  EXPECT_THROW(
+      core::config_from_text(R"({"switches": {"parallel": 0}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      core::config_from_text(R"({"switches": {"parallel": 2.5}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      core::config_from_text(R"({"switches": {"bogus": true}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      core::config_from_text(R"({"switches": {"sites": [{"id": 7}]}})"),
       std::invalid_argument);
 }
 

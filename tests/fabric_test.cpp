@@ -113,11 +113,15 @@ TEST(Fabric, ThreeSwitchRunKeepsSiteZeroSeriesByteIdentical) {
 
 // Per-site conservation over a faulty shared transport: every control
 // plane's emitted stream must land in the archive exactly once, each
-// document carrying its site's tag.
-TEST(Fabric, PerSiteReportStreamsSurviveTransportFaults) {
+// document carrying its site's tag. Counters are read through
+// fabric_stats() — the merge-barrier snapshot — so the same check is
+// valid under the sharded parallel runtime, where per-site P4 counters
+// are worker-owned and a direct read mid-flush could be torn.
+void run_conservation_check(std::size_t parallel) {
   MonitoringSystemConfig config;
   config.topology.bottleneck_bps = units::mbps(100);
   config.seed = 7;
+  config.parallel = parallel;
   config.switches = {
       MonitoredSwitchConfig{"site-a", TapPoint::kCoreBottleneck},
       MonitoredSwitchConfig{"site-b", TapPoint::kWanExt0},
@@ -167,22 +171,38 @@ TEST(Fabric, PerSiteReportStreamsSurviveTransportFaults) {
     }
   }
 
+  const auto stats = system.fabric_stats();
+  ASSERT_EQ(stats.sites.size(), system.switch_count());
   std::uint64_t total_emitted = 0;
-  for (std::size_t i = 0; i < system.switch_count(); ++i) {
-    auto& sw = system.monitored_switch(i);
-    const std::uint64_t emitted = sw.control_plane().reports_emitted();
-    ASSERT_GT(emitted, 0u) << sw.id();
-    EXPECT_EQ(archived_by_site[sw.id()], emitted)
-        << "site " << sw.id() << " lost or duplicated reports";
-    total_emitted += emitted;
+  for (const auto& site : stats.sites) {
+    ASSERT_GT(site.reports_emitted, 0u) << site.id;
+    EXPECT_EQ(archived_by_site[site.id], site.reports_emitted)
+        << "site " << site.id << " lost or duplicated reports";
+    // Mirror-pipeline conservation at the barrier: every parsed frame
+    // was mirrored first (copies in flight across the TAP are the only
+    // allowed difference).
+    EXPECT_LE(site.processed + site.parse_errors, site.mirrored) << site.id;
+    total_emitted += site.reports_emitted;
   }
   EXPECT_EQ(total_archived, total_emitted);
+  EXPECT_EQ(stats.reports_emitted, total_emitted);
 
   // MaDDash renders the fabric as one grid row per site: every site's
   // tap observed at least one tracked flow.
   ps::MadDash maddash(archiver);
   const auto grid = maddash.site_grid(units::mbps(1), units::mbps(0));
   EXPECT_EQ(grid.rows.size(), 3u);
+}
+
+TEST(Fabric, PerSiteReportStreamsSurviveTransportFaults) {
+  run_conservation_check(1);
+}
+
+// The identical scenario under the sharded runtime: the resilient
+// transport's timing (reconnects, retries, ack seqs) and every per-site
+// count must come out exactly as in the serial run.
+TEST(Fabric, PerSiteConservationHoldsUnderParallelExecution) {
+  run_conservation_check(4);
 }
 
 // ---------- Engine registry invariant (release_slot coverage) ----------

@@ -50,6 +50,71 @@ TEST(EventQueue, FifoForSimultaneousEvents) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+// The FIFO-within-timestamp contract, pinned: same-deadline events run
+// in SCHEDULING order (global seq), not in any order keyed to when
+// earlier deadlines interleaved. The parallel fabric's grant semantics
+// lean on this — a driver tick armed a full interval before a mirror
+// delivery was armed must win their same-timestamp tie — so this is a
+// regression fence, not documentation.
+TEST(EventQueue, FifoTieBreakIsSchedulingOrderNotDeadlineOrder) {
+  EventQueue q;
+  std::vector<std::string> order;
+  // Armed first, fires at 100: the "tick" (scheduled long in advance).
+  q.schedule_at(100, [&]() { order.push_back("tick"); });
+  // Armed later (from an earlier event, as a TAP delivery would be),
+  // same deadline: must run after the tick despite the fresher arming.
+  q.schedule_at(60, [&]() {
+    q.schedule_at(100, [&]() { order.push_back("delivery"); });
+  });
+  // And a third, armed later still at the same deadline.
+  q.schedule_at(70, [&]() {
+    q.schedule_at(100, [&]() { order.push_back("late-delivery"); });
+  });
+  q.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "tick");
+  EXPECT_EQ(order[1], "delivery");
+  EXPECT_EQ(order[2], "late-delivery");
+}
+
+// FIFO order survives run_until() windows: splitting one run into
+// horizon-sized steps (as MonitoringSystem::run_until and the parallel
+// grant pump do) must not reorder same-timestamp events scheduled
+// across the window boundaries.
+TEST(EventQueue, FifoWithinTimestampAcrossRunUntilWindows) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(50, [&]() { order.push_back(0); });
+  q.run_until(10);  // clock advances into the gap, nothing runs
+  EXPECT_TRUE(order.empty());
+  q.schedule_at(50, [&]() { order.push_back(1); });
+  q.run_until(30);
+  q.schedule_at(50, [&]() { order.push_back(2); });
+  // The horizon is inclusive: events at exactly t run in run_until(t).
+  q.run_until(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.now(), 50u);
+}
+
+// run_until() advances the clock to the horizon even with nothing to
+// execute — the parallel shards replay boundary frames by advancing an
+// (empty) queue to each frame's delivery time, so a lagging clock would
+// skew every P4 ingress timestamp and pcap record.
+TEST(EventQueue, RunUntilAdvancesClockThroughEmptyWindows) {
+  EventQueue q;
+  q.run_until(1000);
+  EXPECT_EQ(q.now(), 1000u);
+  q.run_until(1000);  // idempotent at the same horizon
+  EXPECT_EQ(q.now(), 1000u);
+  bool ran = false;
+  q.schedule_at(2000, [&]() { ran = true; });
+  q.run_until(1500);
+  EXPECT_EQ(q.now(), 1500u);
+  EXPECT_FALSE(ran);
+  q.run_until(2000);
+  EXPECT_TRUE(ran);
+}
+
 TEST(EventQueue, SchedulingIntoPastThrows) {
   EventQueue q;
   q.schedule_at(10, []() {});
