@@ -87,17 +87,36 @@ bool validate_bench_contract(const std::string& file) {
                          std::istreambuf_iterator<char>());
   try {
     const util::Json doc = util::Json::parse(text);
-    if (doc.at("name").as_string() != "fabric_scaling") return true;
-    for (const char* key : {"wall_seconds", "copies_per_switch_per_sec"}) {
+    const std::string& name = doc.at("name").as_string();
+    const auto require_positive = [&](const char* key) {
       const auto& metrics = doc.at("metrics").as_object();
       const auto it = metrics.find(key);
       if (it == metrics.end() || !it->second.is_number() ||
           it->second.as_double() <= 0.0) {
         std::fprintf(stderr,
-                     "perf_smoke --validate: %s: fabric_scaling requires "
-                     "positive metric '%s'\n",
-                     file.c_str(), key);
+                     "perf_smoke --validate: %s: %s requires positive "
+                     "metric '%s'\n",
+                     file.c_str(), name.c_str(), key);
         return false;
+      }
+      return true;
+    };
+    if (name == "fabric_scaling") {
+      for (const char* key :
+           {"wall_seconds", "copies_per_switch_per_sec"}) {
+        if (!require_positive(key)) return false;
+      }
+    } else if (name == "sketch_scale") {
+      // The headline keys of each part: fidelity sample count, the
+      // 100k-flow tier throughputs (present in quick and full runs), and
+      // the pipeline match rate. The rel-err *bounds* are enforced by the
+      // bench's own exit code; here we gate on the schema.
+      for (const char* key :
+           {"fidelity_samples", "fidelity_adds_per_sec",
+            "registers_100k_events_per_sec", "cuckoo_100k_events_per_sec",
+            "cuckoo_100k_tracked", "pipeline_pairs",
+            "pipeline_copies_per_sec"}) {
+        if (!require_positive(key)) return false;
       }
     }
   } catch (const util::JsonError& e) {

@@ -133,9 +133,11 @@ void ControlPlane::register_builtins() {
 
 void ControlPlane::register_extractor(MetricExtractor extractor,
                                       MetricConfig config) {
-  if (extractor.name.empty() || !extractor.read) {
+  if (extractor.name.empty() ||
+      static_cast<bool>(extractor.read) ==
+          static_cast<bool>(extractor.read_switch)) {
     throw std::invalid_argument(
-        "extractor needs a name and a read callback");
+        "extractor needs a name and exactly one of read / read_switch");
   }
   for (const auto& entry : extractors_) {
     if (entry.desc.name == extractor.name) {
@@ -261,13 +263,25 @@ void ControlPlane::extract(std::size_t index) {
   const SimTime now = sim_.now();
   double worst = 0.0;  // per-tick max, drives the boost hysteresis
 
-  for (auto& [slot, state] : flows_) {
-    const double value = entry.desc.read(slot, state, now);
-    emit(make_metric_report(entry.desc.name.c_str(), state.flow, now, value,
-                            entry.desc.value_key.c_str()));
-    check_alert(entry, state.flow, value);
-    worst = std::max(worst, value);
-    if (entry.desc.per_flow) entry.desc.per_flow(slot, state, now);
+  if (entry.desc.read_switch) {
+    // Switch-wide extractor: one value for the whole link, no per-flow
+    // loop. Alerts carry an empty flow identity.
+    const double value = entry.desc.read_switch(now);
+    util::Json doc = make_switch_metric_report(
+        entry.desc.name.c_str(), now, value, entry.desc.value_key.c_str());
+    if (entry.desc.annotate) entry.desc.annotate(doc, now);
+    emit(std::move(doc));
+    check_alert(entry, telemetry::FlowIdentity{}, value);
+    worst = value;
+  } else {
+    for (auto& [slot, state] : flows_) {
+      const double value = entry.desc.read(slot, state, now);
+      emit(make_metric_report(entry.desc.name.c_str(), state.flow, now,
+                              value, entry.desc.value_key.c_str()));
+      check_alert(entry, state.flow, value);
+      worst = std::max(worst, value);
+      if (entry.desc.per_flow) entry.desc.per_flow(slot, state, now);
+    }
   }
 
   // Boost hysteresis: drop back to the normal rate once the worst value
@@ -311,6 +325,12 @@ void ControlPlane::poll_digests() {
     emit(make_flow_detected_report(d.flow, d.detected_at));
   }
   for (const auto& d : program_.fin_digests().drain()) {
+    if (flows_.count(d.slot) > 0) finalize_flow(d.slot, d.at);
+  }
+  // Cuckoo flow-table evictions finalize exactly like a FIN: the slot's
+  // registers still hold the flow's last values. (Always empty in
+  // register mode.)
+  for (const auto& d : program_.tracker().evict_digests().drain()) {
     if (flows_.count(d.slot) > 0) finalize_flow(d.slot, d.at);
   }
   for (const auto& d : program_.queue_monitor().microburst_digests().drain()) {

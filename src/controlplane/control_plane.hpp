@@ -142,6 +142,13 @@ class ControlPlane {
     /// rolling per-flow state. Called once per flow per tick.
     std::function<double(std::uint16_t slot, FlowState& state, SimTime now)>
         read;
+    /// Switch-wide alternative to `read`: one value per tick, no per-flow
+    /// loop (histogram quantiles, drop totals...). Exactly one of read /
+    /// read_switch must be set.
+    std::function<double(SimTime now)> read_switch;
+    /// Optional with read_switch: enrich the emitted report document
+    /// (extra quantiles, serialized histogram bins...).
+    std::function<void(util::Json& doc, SimTime now)> annotate;
     /// Optional: emitted-after hook per flow (the limitation report
     /// piggybacks on the throughput extraction this way).
     std::function<void(std::uint16_t slot, FlowState& state, SimTime now)>

@@ -1,0 +1,34 @@
+#include "controlplane/histogram_extractor.hpp"
+
+#include <string>
+
+namespace p4s::cp {
+
+void register_histogram_extractor(ControlPlane& cp,
+                                  const telemetry::HistogramEngine& engine,
+                                  MetricConfig config) {
+  ControlPlane::MetricExtractor ex;
+  ex.name = std::string(engine.name());
+  ex.value_key = "p99_ms";
+  const telemetry::HistogramEngine* eng = &engine;
+  ex.read_switch = [eng](SimTime) {
+    return eng->quantile_ns(0.99) / 1e6;
+  };
+  ex.annotate = [eng](util::Json& doc, SimTime) {
+    doc["p50_ms"] = eng->quantile_ns(0.50) / 1e6;
+    doc["p95_ms"] = eng->quantile_ns(0.95) / 1e6;
+    doc["samples"] = static_cast<std::int64_t>(eng->samples());
+    doc["histogram"] = eng->histogram().to_json();
+  };
+  cp.register_extractor(std::move(ex), config);
+}
+
+void register_histogram_extractors(ControlPlane& cp,
+                                   const telemetry::DataPlaneProgram& program,
+                                   MetricConfig config) {
+  for (const auto& engine : program.histogram_engines()) {
+    register_histogram_extractor(cp, *engine, config);
+  }
+}
+
+}  // namespace p4s::cp

@@ -1,0 +1,32 @@
+// Switch-wide histogram extractors: Report_v1 documents carrying the
+// p50/p95/p99 quantiles and serialized bins of a HistogramEngine.
+//
+// Each configured histogram engine becomes one extraction timer named
+// after the engine ("rtt_histogram", "queue_delay_histogram_core"...),
+// registered through the same register_extractor() seam the four paper
+// metrics use — so run-time rate configuration, alerting and boosting
+// apply unchanged. The report's headline value is p99 in milliseconds
+// (the alertable tail), and the document is annotated with p50/p95, the
+// sample count and the full histogram bins for downstream dashboards.
+#pragma once
+
+#include "controlplane/control_plane.hpp"
+#include "telemetry/dataplane_program.hpp"
+#include "telemetry/histogram_engines.hpp"
+
+namespace p4s::cp {
+
+/// Register one switch-wide extractor exporting `engine`'s quantiles and
+/// bins. The engine must outlive the control plane (it lives in the
+/// DataPlaneProgram). Throws like register_extractor on duplicates.
+void register_histogram_extractor(ControlPlane& cp,
+                                  const telemetry::HistogramEngine& engine,
+                                  MetricConfig config = {});
+
+/// Register an extractor for every histogram engine the program was
+/// configured with (no-op for the default, histogram-free pipeline).
+void register_histogram_extractors(ControlPlane& cp,
+                                   const telemetry::DataPlaneProgram& program,
+                                   MetricConfig config = {});
+
+}  // namespace p4s::cp

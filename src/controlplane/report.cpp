@@ -60,6 +60,13 @@ util::Json make_metric_report(const char* metric,
   return j;
 }
 
+util::Json make_switch_metric_report(const char* metric, SimTime ts,
+                                     double value, const char* value_key) {
+  util::Json j = base(metric, ts);
+  j[value_key] = value;
+  return j;
+}
+
 util::Json make_flow_detected_report(const telemetry::FlowIdentity& flow,
                                      SimTime ts) {
   util::Json j = base("flow_detected", ts);

@@ -51,6 +51,10 @@ util::Json make_metric_report(const char* metric,
                               const telemetry::FlowIdentity& flow,
                               SimTime ts, double value,
                               const char* value_key);
+/// Switch-wide metric report: one value for the whole monitored link, no
+/// "flow" object (histogram quantiles and other link-level summaries).
+util::Json make_switch_metric_report(const char* metric, SimTime ts,
+                                     double value, const char* value_key);
 util::Json make_flow_detected_report(const telemetry::FlowIdentity& flow,
                                      SimTime ts);
 util::Json make_flow_final_report(const telemetry::FlowIdentity& flow,

@@ -1,6 +1,8 @@
 #include "core/config_loader.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <vector>
 
 namespace p4s::core {
 
@@ -332,6 +334,146 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
         });
       } else {
         fail("'switches' must be an array or an object with 'sites'");
+      }
+    } else if (key == "telemetry") {
+      // Flow-table selection and switch-wide histogram engines. The keys
+      // of the section object iterate alphabetically ("cuckoo" <
+      // "flow_table" < "histograms" < "sketch_alpha"), so the settings
+      // are collected first and applied after the walk.
+      bool saw_cuckoo = false;
+      std::optional<double> sketch_alpha;
+      struct HistEntry {
+        telemetry::HistogramEngineConfig hc;
+        bool has_alpha = false;
+      };
+      std::vector<HistEntry> hist_entries;
+      walk(value, "telemetry", [&](const std::string& k,
+                                   const util::Json& v) {
+        auto& tracker = config.program.tracker;
+        if (k == "flow_table") {
+          if (!v.is_string()) {
+            fail("'telemetry.flow_table' must be a string");
+          }
+          try {
+            tracker.flow_table = telemetry::flow_table_from_name(
+                v.as_string());
+          } catch (const std::invalid_argument& e) {
+            fail("'telemetry.flow_table': " + std::string(e.what()));
+          }
+        } else if (k == "cuckoo") {
+          saw_cuckoo = true;
+          walk(v, "telemetry.cuckoo", [&](const std::string& ck,
+                                          const util::Json& cv) {
+            if (ck == "ways") {
+              const double n = require_number(cv, ck);
+              if (n < 2 || n > 8 || n != static_cast<std::size_t>(n)) {
+                fail("'telemetry.cuckoo.ways' must be an integer in 2..8");
+              }
+              tracker.cuckoo.ways = static_cast<std::size_t>(n);
+            } else if (ck == "max_kicks") {
+              const double n = require_number(cv, ck);
+              if (n < 1 || n != static_cast<std::size_t>(n)) {
+                fail("'telemetry.cuckoo.max_kicks' must be a positive "
+                     "integer");
+              }
+              tracker.cuckoo.max_kicks = static_cast<std::size_t>(n);
+            } else if (ck == "idle_age_s") {
+              tracker.cuckoo.idle_age =
+                  units::seconds_f(require_number(cv, ck));
+            } else {
+              return false;
+            }
+            return true;
+          });
+        } else if (k == "sketch_alpha") {
+          const double a = require_number(v, k);
+          if (!(a > 0.0 && a < 1.0)) {
+            fail("'telemetry.sketch_alpha' must be in (0, 1)");
+          }
+          sketch_alpha = a;
+        } else if (k == "histograms") {
+          if (!v.is_array()) {
+            fail("'telemetry.histograms' must be an array");
+          }
+          const auto& entries = v.as_array();
+          for (std::size_t i = 0; i < entries.size(); ++i) {
+            const std::string where =
+                "telemetry.histograms[" + std::to_string(i) + "]";
+            HistEntry entry;
+            bool has_metric = false;
+            walk(entries[i], where, [&](const std::string& hk,
+                                        const util::Json& hv) {
+              auto& hc = entry.hc;
+              if (hk == "metric") {
+                if (!hv.is_string()) {
+                  fail("'" + where + ".metric' must be a string");
+                }
+                try {
+                  hc.metric =
+                      telemetry::histogram_metric_from_name(hv.as_string());
+                } catch (const std::invalid_argument& e) {
+                  fail("'" + where + ".metric': " + std::string(e.what()));
+                }
+                has_metric = true;
+              } else if (hk == "id") {
+                if (!hv.is_string()) {
+                  fail("'" + where + ".id' must be a string");
+                }
+                hc.id = hv.as_string();
+              } else if (hk == "scale") {
+                if (!hv.is_string()) {
+                  fail("'" + where + ".scale' must be a string");
+                }
+                try {
+                  hc.histogram.scale =
+                      sketch::histogram_scale_from_name(hv.as_string());
+                } catch (const std::invalid_argument& e) {
+                  fail("'" + where + ".scale': " + std::string(e.what()));
+                }
+              } else if (hk == "min_us") {
+                hc.histogram.min = require_number(hv, hk) * 1e3;  // -> ns
+              } else if (hk == "max_ms") {
+                hc.histogram.max = require_number(hv, hk) * 1e6;  // -> ns
+              } else if (hk == "bins") {
+                const double n = require_number(hv, hk);
+                if (n < 1 || n != static_cast<std::size_t>(n)) {
+                  fail("'" + where + ".bins' must be a positive integer");
+                }
+                hc.histogram.bins = static_cast<std::size_t>(n);
+              } else if (hk == "alpha") {
+                const double a = require_number(hv, hk);
+                if (!(a > 0.0 && a < 1.0)) {
+                  fail("'" + where + ".alpha' must be in (0, 1)");
+                }
+                hc.sketch_alpha = a;
+                entry.has_alpha = true;
+              } else {
+                return false;
+              }
+              return true;
+            });
+            if (!has_metric) fail("'" + where + "' needs 'metric'");
+            if (!(entry.hc.histogram.min > 0.0 &&
+                  entry.hc.histogram.min < entry.hc.histogram.max)) {
+              fail("'" + where + "' bin range must satisfy 0 < min < max");
+            }
+            hist_entries.push_back(std::move(entry));
+          }
+        } else {
+          return false;
+        }
+        return true;
+      });
+      if (saw_cuckoo && config.program.tracker.flow_table !=
+                            telemetry::FlowTableKind::kCuckoo) {
+        fail("'telemetry.cuckoo' requires 'telemetry.flow_table': "
+             "'cuckoo'");
+      }
+      for (auto& entry : hist_entries) {
+        if (!entry.has_alpha && sketch_alpha.has_value()) {
+          entry.hc.sketch_alpha = *sketch_alpha;
+        }
+        config.program.histograms.push_back(std::move(entry.hc));
       }
     } else if (key == "control") {
       walk(value, "control", [&](const std::string& k,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "controlplane/histogram_extractor.hpp"
+
 namespace p4s::core {
 
 const char* to_string(TapPoint point) {
@@ -105,6 +107,9 @@ MonitoredSwitch::MonitoredSwitch(
   control_config.switch_id = config_.id;
   control_plane_ = std::make_unique<cp::ControlPlane>(
       sim, *program_, std::move(control_config));
+  // One extraction timer per configured histogram engine (none by
+  // default — the default control plane is untouched).
+  cp::register_histogram_extractors(*control_plane_, *program_);
 }
 
 }  // namespace p4s::core

@@ -36,12 +36,19 @@ class Simulation {
   void run_until(SimTime until) { events_.run_until(until); }
   void run() { events_.run(); }
 
+  /// Next default TCP destination port (iperf3 convention: 5201, 5202,
+  /// ...). Per-run state — every Simulation draws the identical sequence
+  /// regardless of what other runs exist in the process. (A process-
+  /// global counter here once forced tests to pin ports explicitly.)
+  std::uint16_t allocate_default_port() { return next_default_port_++; }
+
  private:
   void schedule_tick(SimTime t, SimTime period,
                      std::shared_ptr<std::function<bool()>> fn);
 
   EventQueue events_;
   Rng rng_;
+  std::uint16_t next_default_port_ = 5201;
 };
 
 }  // namespace p4s::sim

@@ -1,0 +1,214 @@
+#include "sketch/cuckoo_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace p4s::sketch {
+
+namespace {
+
+/// 32-bit finalizer-style mixer (MurmurHash3 fmix32) — stands in for the
+/// two independent CRC hash units a P4 target would provide.
+std::uint32_t mix(std::uint32_t x, std::uint32_t salt) {
+  x ^= salt;
+  x ^= x >> 16;
+  x *= 0x85EBCA6Bu;
+  x ^= x >> 13;
+  x *= 0xC2B2AE35u;
+  x ^= x >> 16;
+  return x;
+}
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CuckooFlowTable::CuckooFlowTable(CuckooConfig config) : config_(config) {
+  if (config_.ways < 2 || config_.ways > 8) {
+    throw std::invalid_argument("cuckoo ways must be in 2..8");
+  }
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("cuckoo capacity must be > 0");
+  }
+  if (config_.max_kicks == 0) {
+    throw std::invalid_argument("cuckoo max_kicks must be > 0");
+  }
+  const std::size_t buckets = next_pow2(
+      (config_.capacity + config_.ways - 1) / config_.ways);
+  bucket_mask_ = buckets - 1;
+  cells_.assign(buckets * config_.ways, Cell{});
+}
+
+std::size_t CuckooFlowTable::bucket1(std::uint32_t key) const {
+  return mix(key, 0x9E3779B9u) & bucket_mask_;
+}
+
+std::size_t CuckooFlowTable::bucket2(std::uint32_t key) const {
+  return mix(key, 0x7F4A7C15u) & bucket_mask_;
+}
+
+std::size_t CuckooFlowTable::alt_bucket(std::uint32_t key,
+                                        std::size_t bucket) const {
+  const std::size_t b1 = bucket1(key);
+  return bucket == b1 ? bucket2(key) : b1;
+}
+
+CuckooFlowTable::Cell* CuckooFlowTable::cell_of(std::uint32_t key) {
+  const auto* cell = std::as_const(*this).cell_of(key);
+  return const_cast<Cell*>(cell);  // NOLINT(cppcoreguidelines-pro-type-const-cast)
+}
+
+const CuckooFlowTable::Cell* CuckooFlowTable::cell_of(
+    std::uint32_t key) const {
+  for (const std::size_t bucket : {bucket1(key), bucket2(key)}) {
+    const std::size_t base = bucket * config_.ways;
+    for (std::size_t way = 0; way < config_.ways; ++way) {
+      const Cell& cell = cells_[base + way];
+      if (cell.used && cell.key == key) return &cell;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::size_t> CuckooFlowTable::empty_cell(
+    std::size_t bucket) const {
+  const std::size_t base = bucket * config_.ways;
+  for (std::size_t way = 0; way < config_.ways; ++way) {
+    if (!cells_[base + way].used) return base + way;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> CuckooFlowTable::aged_cell(std::size_t b1,
+                                                      std::size_t b2,
+                                                      SimTime now) const {
+  if (config_.idle_age == 0) return std::nullopt;
+  std::optional<std::size_t> oldest;
+  for (const std::size_t bucket : {b1, b2}) {
+    const std::size_t base = bucket * config_.ways;
+    for (std::size_t way = 0; way < config_.ways; ++way) {
+      const Cell& cell = cells_[base + way];
+      if (!cell.used) continue;
+      if (now < cell.last_seen + config_.idle_age) continue;
+      if (!oldest || cell.last_seen < cells_[*oldest].last_seen) {
+        oldest = base + way;
+      }
+    }
+    if (b1 == b2) break;
+  }
+  return oldest;
+}
+
+std::optional<std::uint16_t> CuckooFlowTable::find(std::uint32_t key) const {
+  ++stats_.lookups;
+  const Cell* cell = cell_of(key);
+  if (cell == nullptr) return std::nullopt;
+  ++stats_.hits;
+  return cell->value;
+}
+
+std::optional<std::uint16_t> CuckooFlowTable::touch(std::uint32_t key,
+                                                    SimTime now) {
+  ++stats_.lookups;
+  Cell* cell = cell_of(key);
+  if (cell == nullptr) return std::nullopt;
+  ++stats_.hits;
+  cell->last_seen = now;
+  return cell->value;
+}
+
+std::optional<SimTime> CuckooFlowTable::last_seen(std::uint32_t key) const {
+  const Cell* cell = cell_of(key);
+  if (cell == nullptr) return std::nullopt;
+  return cell->last_seen;
+}
+
+CuckooFlowTable::InsertResult CuckooFlowTable::insert(
+    std::uint32_t key, std::uint16_t value, SimTime now,
+    std::optional<Victim>& evicted) {
+  evicted.reset();
+  if (Cell* cell = cell_of(key)) {
+    cell->last_seen = now;
+    return InsertResult::kExists;
+  }
+
+  const std::size_t b1 = bucket1(key);
+  const std::size_t b2 = bucket2(key);
+
+  // Plan a displacement path ending in an empty cell; commit only on
+  // success so a bounded-out chain leaves the table untouched.
+  std::vector<std::size_t> path;
+  std::optional<std::size_t> target;
+  std::size_t bucket = b1;
+  for (std::size_t kick = 0; kick <= config_.max_kicks; ++kick) {
+    if (auto empty = empty_cell(bucket)) {
+      target = empty;
+      break;
+    }
+    if (bucket == b1) {
+      // The second candidate bucket may have room before any kicks.
+      if (auto empty = empty_cell(b2)) {
+        target = empty;
+        break;
+      }
+    }
+    if (kick == config_.max_kicks) break;
+    // Deterministic victim rotation; skip cells already on the path (a
+    // cycle would move one cell twice and corrupt the plan).
+    const std::size_t base = bucket * config_.ways;
+    std::optional<std::size_t> victim;
+    for (std::size_t i = 0; i < config_.ways; ++i) {
+      const std::size_t candidate =
+          base + (kick_rotor_ + i) % config_.ways;
+      if (std::find(path.begin(), path.end(), candidate) == path.end()) {
+        victim = candidate;
+        break;
+      }
+    }
+    ++kick_rotor_;
+    if (!victim) break;
+    path.push_back(*victim);
+    ++stats_.kick_steps;
+    bucket = alt_bucket(cells_[*victim].key, bucket);
+  }
+
+  if (!target) {
+    // Kick chain bounded out: admit over an idle-aged entry if allowed.
+    if (auto aged = aged_cell(b1, b2, now)) {
+      Cell& cell = cells_[*aged];
+      evicted = Victim{cell.key, cell.value, cell.last_seen};
+      ++stats_.aged_evictions;
+      cell = Cell{key, value, now, true};
+      ++stats_.inserts;
+      return InsertResult::kInserted;
+    }
+    ++stats_.failed_inserts;
+    return InsertResult::kTableFull;
+  }
+
+  // Commit: shift path occupants toward the empty cell, back to front.
+  std::size_t hole = *target;
+  for (std::size_t i = path.size(); i > 0; --i) {
+    cells_[hole] = cells_[path[i - 1]];
+    hole = path[i - 1];
+  }
+  cells_[hole] = Cell{key, value, now, true};
+  ++size_;
+  ++stats_.inserts;
+  return InsertResult::kInserted;
+}
+
+bool CuckooFlowTable::erase(std::uint32_t key) {
+  Cell* cell = cell_of(key);
+  if (cell == nullptr) return false;
+  *cell = Cell{};
+  --size_;
+  return true;
+}
+
+}  // namespace p4s::sketch

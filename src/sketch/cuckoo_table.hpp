@@ -1,0 +1,129 @@
+// Multi-stage cuckoo flow table: exact flow -> slot mapping far past the
+// direct-indexed design's load limits.
+//
+// The paper's `slot = flow_id & mask` path aliases flows as soon as two
+// long flows share the low bits; at 100k+ concurrent flows the 2048-slot
+// array is mostly claimed by whichever flow hashed there first. A cuckoo
+// table (two hash-selected buckets of `ways` cells each, as in P4-NIDS
+// and cuckoo-filter-based P4 designs) keeps an exact match path at >90%
+// load: an insert that finds both buckets full displaces a resident
+// entry toward its alternate bucket along a bounded kick chain.
+//
+// Two properties matter for the telemetry use:
+//  * Slot stability — the table maps key -> slot *value*; relocating a
+//    cell between buckets carries the value unchanged, so a flow's
+//    per-slot registers (bytes, RTT, IAT...) never move.
+//  * Losslessness — the kick chain is planned first and committed only
+//    when it ends in an empty cell; a failed insert changes nothing and
+//    is counted, never silently dropping a resident flow.
+//
+// Idle-age eviction: when the kick chain fails, an entry idle for at
+// least `idle_age` in either candidate bucket is evicted to make room
+// (reported to the caller, who emits the eviction digest); fresh entries
+// are never victimized.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace p4s::sketch {
+
+struct CuckooConfig {
+  /// Target capacity in entries; rounded up to a power-of-two bucket
+  /// count times `ways`.
+  std::size_t capacity = 2048;
+  /// Cells per bucket (associativity), 2..8.
+  std::size_t ways = 4;
+  /// Bound on the displacement chain length per insert.
+  std::size_t max_kicks = 32;
+  /// Entries idle at least this long may be evicted under insert
+  /// pressure; 0 disables aging (inserts fail instead).
+  SimTime idle_age = 0;
+};
+
+class CuckooFlowTable {
+ public:
+  /// An entry evicted by idle aging to admit a new insert.
+  struct Victim {
+    std::uint32_t key = 0;
+    std::uint16_t value = 0;
+    SimTime last_seen = 0;
+  };
+
+  enum class InsertResult : std::uint8_t {
+    kInserted = 0,
+    kExists = 1,    // key already present (its last_seen was refreshed)
+    kTableFull = 2  // kick chain bounded out and no aged victim
+  };
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t kick_steps = 0;
+    std::uint64_t failed_inserts = 0;
+    std::uint64_t aged_evictions = 0;
+  };
+
+  /// Throws std::invalid_argument on malformed config (ways outside
+  /// 2..8, zero capacity or max_kicks).
+  explicit CuckooFlowTable(CuckooConfig config);
+
+  /// Lookup without touching the entry's age.
+  std::optional<std::uint16_t> find(std::uint32_t key) const;
+
+  /// Lookup + refresh last_seen (the data-path access).
+  std::optional<std::uint16_t> touch(std::uint32_t key, SimTime now);
+
+  /// Insert key -> value. On kExists the existing value is untouched (and
+  /// its age refreshed). `evicted` reports the aged entry removed to make
+  /// room, if any — the caller owns turning that into a digest.
+  InsertResult insert(std::uint32_t key, std::uint16_t value, SimTime now,
+                      std::optional<Victim>& evicted);
+
+  /// Remove a key; returns false if absent.
+  bool erase(std::uint32_t key);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cells_.size(); }
+  double load_factor() const {
+    return static_cast<double>(size_) / static_cast<double>(cells_.size());
+  }
+  const Stats& stats() const { return stats_; }
+  const CuckooConfig& config() const { return config_; }
+
+  /// Test hook: the age of a resident key.
+  std::optional<SimTime> last_seen(std::uint32_t key) const;
+
+ private:
+  struct Cell {
+    std::uint32_t key = 0;
+    std::uint16_t value = 0;
+    SimTime last_seen = 0;
+    bool used = false;
+  };
+
+  std::size_t bucket1(std::uint32_t key) const;
+  std::size_t bucket2(std::uint32_t key) const;
+  /// The other candidate bucket of `key`, given it sits in `bucket`.
+  std::size_t alt_bucket(std::uint32_t key, std::size_t bucket) const;
+  Cell* cell_of(std::uint32_t key);
+  const Cell* cell_of(std::uint32_t key) const;
+  /// Index of an empty cell in `bucket`, or nullopt.
+  std::optional<std::size_t> empty_cell(std::size_t bucket) const;
+  /// Oldest cell in either candidate bucket idle >= idle_age, or nullopt.
+  std::optional<std::size_t> aged_cell(std::size_t b1, std::size_t b2,
+                                       SimTime now) const;
+
+  CuckooConfig config_;
+  std::size_t bucket_mask_ = 0;
+  std::vector<Cell> cells_;  // bucket-major: bucket * ways + way
+  std::size_t size_ = 0;
+  std::uint32_t kick_rotor_ = 0;  // deterministic victim-way rotation
+  mutable Stats stats_;
+};
+
+}  // namespace p4s::sketch

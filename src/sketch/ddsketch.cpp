@@ -1,0 +1,181 @@
+#include "sketch/ddsketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p4s::sketch {
+
+DdSketch::DdSketch(DdSketchConfig config) : config_(config) {
+  if (!std::isfinite(config_.alpha) || config_.alpha <= 0.0 ||
+      config_.alpha >= 1.0) {
+    throw std::invalid_argument("ddsketch alpha must be in (0, 1)");
+  }
+  if (config_.max_bins < 2) {
+    throw std::invalid_argument("ddsketch needs at least 2 bins");
+  }
+  if (!std::isfinite(config_.min_value) || config_.min_value <= 0.0) {
+    throw std::invalid_argument("ddsketch min_value must be > 0");
+  }
+  gamma_ = (1.0 + config_.alpha) / (1.0 - config_.alpha);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+int DdSketch::index_of(double value) const {
+  return static_cast<int>(std::ceil(std::log(value) * inv_log_gamma_));
+}
+
+double DdSketch::value_of(int index) const {
+  // Log-midpoint of bucket (gamma^(i-1), gamma^i]: relative error to any
+  // value in the bucket is at most alpha.
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void DdSketch::add(double value, std::uint64_t count) {
+  if (!(value >= config_.min_value)) {  // NaN lands here too
+    zero_ += count;
+    total_ += count;
+    return;
+  }
+  add_bucket(index_of(value), count);
+}
+
+void DdSketch::add_bucket(int index, std::uint64_t count) {
+  total_ += count;
+  if (counts_.empty()) {
+    offset_ = index;
+    counts_.assign(1, 0);
+  }
+  if (index < offset_) {
+    const auto grow = static_cast<std::size_t>(offset_ - index);
+    if (counts_.size() + grow > config_.max_bins) {
+      // Below the collapse floor: fold into the lowest live bucket. The
+      // sample is over-reported by that bucket's value; the tail
+      // quantiles keep their guarantee.
+      collapsed_ += count;
+      counts_.front() += count;
+      return;
+    }
+    counts_.insert(counts_.begin(), grow, 0);
+    offset_ = index;
+  } else if (static_cast<std::size_t>(index - offset_) >= counts_.size()) {
+    const auto span = static_cast<std::size_t>(index - offset_) + 1;
+    if (span > config_.max_bins) {
+      // Make room at the top: every bucket below the new window floor
+      // collapses into the floor bucket.
+      const int new_offset =
+          index - static_cast<int>(config_.max_bins) + 1;
+      const std::size_t drop = std::min(
+          counts_.size(), static_cast<std::size_t>(new_offset - offset_));
+      std::uint64_t folded = 0;
+      for (std::size_t i = 0; i < drop; ++i) folded += counts_[i];
+      counts_.erase(counts_.begin(),
+                    counts_.begin() + static_cast<std::ptrdiff_t>(drop));
+      offset_ += static_cast<int>(drop);
+      if (counts_.empty()) {
+        offset_ = new_offset;
+        counts_.assign(1, 0);
+      }
+      collapsed_ += folded;
+      counts_.front() += folded;
+    }
+    counts_.resize(static_cast<std::size_t>(index - offset_) + 1, 0);
+  }
+  counts_[static_cast<std::size_t>(index - offset_)] += count;
+}
+
+double DdSketch::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t cum = zero_;
+  if (rank < cum) return 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    cum += counts_[i];
+    if (rank < cum) return value_of(offset_ + static_cast<int>(i));
+  }
+  return counts_.empty()
+             ? 0.0
+             : value_of(offset_ + static_cast<int>(counts_.size()) - 1);
+}
+
+void DdSketch::merge(const DdSketch& other) {
+  if (!(config_ == other.config_)) {
+    throw std::invalid_argument("ddsketch merge: config mismatch");
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    if (other.counts_[i] > 0) {
+      add_bucket(other.offset_ + static_cast<int>(i), other.counts_[i]);
+    }
+  }
+  zero_ += other.zero_;
+  total_ += other.zero_;
+  collapsed_ += other.collapsed_;
+}
+
+void DdSketch::clear() {
+  counts_.clear();
+  offset_ = 0;
+  zero_ = 0;
+  total_ = 0;
+  collapsed_ = 0;
+}
+
+util::Json DdSketch::to_json() const {
+  // Trim zero buckets at both ends so the document is a pure function of
+  // the bucket multiset (growth history leaves no trace).
+  std::size_t lo = 0;
+  std::size_t hi = counts_.size();
+  while (lo < hi && counts_[lo] == 0) ++lo;
+  while (hi > lo && counts_[hi - 1] == 0) --hi;
+
+  util::Json doc = util::Json::object();
+  doc["alpha"] = config_.alpha;
+  doc["min_value"] = config_.min_value;
+  doc["max_bins"] = static_cast<std::int64_t>(config_.max_bins);
+  doc["offset"] = static_cast<std::int64_t>(
+      lo < hi ? offset_ + static_cast<int>(lo) : 0);
+  util::JsonArray counts;
+  counts.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    counts.emplace_back(static_cast<std::int64_t>(counts_[i]));
+  }
+  doc["counts"] = util::Json(std::move(counts));
+  doc["zero"] = static_cast<std::int64_t>(zero_);
+  doc["collapsed"] = static_cast<std::int64_t>(collapsed_);
+  return doc;
+}
+
+DdSketch DdSketch::from_json(const util::Json& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("ddsketch document must be an object");
+  }
+  try {
+    DdSketchConfig config;
+    config.alpha = doc.at("alpha").as_double();
+    config.min_value = doc.at("min_value").as_double();
+    config.max_bins = static_cast<std::size_t>(doc.at("max_bins").as_int());
+    DdSketch sketch(config);
+    const auto offset = static_cast<int>(doc.at("offset").as_int());
+    const auto& counts = doc.at("counts").as_array();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const auto c = static_cast<std::uint64_t>(counts[i].as_int());
+      if (c > 0) sketch.add_bucket(offset + static_cast<int>(i), c);
+    }
+    sketch.zero_ = static_cast<std::uint64_t>(doc.at("zero").as_int());
+    sketch.total_ += sketch.zero_;
+    // Collapsed counts are already inside the buckets; restore the
+    // bookkeeping only.
+    sketch.collapsed_ =
+        static_cast<std::uint64_t>(doc.at("collapsed").as_int());
+    return sketch;
+  } catch (const util::JsonError& e) {
+    throw std::invalid_argument(std::string("malformed ddsketch: ") +
+                                e.what());
+  }
+}
+
+}  // namespace p4s::sketch

@@ -1,0 +1,89 @@
+// DDSketch-style quantile sketch with relative-error buckets.
+//
+// Buckets are geometric: value v lands in bucket ceil(log_gamma(v)) with
+// gamma = (1 + alpha) / (1 - alpha), so reporting the bucket's
+// log-midpoint guarantees |estimate - true| <= alpha * true for every
+// quantile — the property that makes p50/p95/p99 trustworthy no matter
+// how skewed the distribution is ("DDSketch: a fast and fully-mergeable
+// quantile sketch with relative-error guarantees", Masson et al.).
+//
+// Memory is bounded by max_bins: when the live bucket span would exceed
+// it, the lowest buckets collapse into one (counted), trading accuracy
+// at the *bottom* of the distribution — the tail quantiles monitoring
+// cares about keep the guarantee. Sketches with identical parameters
+// merge exactly (bucket-wise addition), and serialization is canonical
+// (zero-trimmed), so merge order never changes the bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace p4s::sketch {
+
+struct DdSketchConfig {
+  /// Relative accuracy target, 0 < alpha < 1.
+  double alpha = 0.01;
+  /// Maximum live buckets before the low end collapses.
+  std::size_t max_bins = 2048;
+  /// Values below this are counted in a dedicated "zero" bucket and
+  /// report as 0 (nanosecond metrics: anything under 1 ns is noise).
+  double min_value = 1.0;
+
+  friend bool operator==(const DdSketchConfig& a, const DdSketchConfig& b) {
+    return a.alpha == b.alpha && a.max_bins == b.max_bins &&
+           a.min_value == b.min_value;
+  }
+};
+
+class DdSketch {
+ public:
+  /// Throws std::invalid_argument on malformed parameters.
+  explicit DdSketch(DdSketchConfig config);
+  DdSketch() : DdSketch(DdSketchConfig{}) {}
+
+  const DdSketchConfig& config() const { return config_; }
+  double alpha() const { return config_.alpha; }
+
+  void add(double value, std::uint64_t count = 1);
+
+  /// Quantile estimate. Within the relative-error bound for samples that
+  /// landed in non-collapsed buckets; 0 for an empty sketch.
+  double quantile(double q) const;
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t zero_count() const { return zero_; }
+  /// Live (allocated) bucket count — the memory footprint.
+  std::size_t bucket_count() const { return counts_.size(); }
+  /// Samples folded into the lowest bucket by the max_bins bound; their
+  /// values are over-reported (never the tail's).
+  std::uint64_t collapsed() const { return collapsed_; }
+
+  /// Bucket-wise addition. Throws std::invalid_argument unless `other`
+  /// was built with an identical config.
+  void merge(const DdSketch& other);
+
+  void clear();
+
+  /// Canonical (zero-trimmed) serialization: a pure function of the
+  /// bucket multiset, independent of insertion or merge order.
+  util::Json to_json() const;
+  static DdSketch from_json(const util::Json& doc);
+
+ private:
+  int index_of(double value) const;
+  double value_of(int index) const;
+  void add_bucket(int index, std::uint64_t count);
+
+  DdSketchConfig config_;
+  double gamma_ = 0.0;
+  double inv_log_gamma_ = 0.0;
+  int offset_ = 0;  // bucket index of counts_[0]
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t zero_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t collapsed_ = 0;
+};
+
+}  // namespace p4s::sketch

@@ -1,0 +1,175 @@
+#include "sketch/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p4s::sketch {
+
+const char* to_string(HistogramConfig::Scale scale) {
+  switch (scale) {
+    case HistogramConfig::Scale::kLinear: return "linear";
+    case HistogramConfig::Scale::kLog: return "log";
+  }
+  return "?";
+}
+
+HistogramConfig::Scale histogram_scale_from_name(const std::string& name) {
+  if (name == "linear") return HistogramConfig::Scale::kLinear;
+  if (name == "log") return HistogramConfig::Scale::kLog;
+  throw std::invalid_argument("unknown histogram scale: " + name);
+}
+
+Histogram::Histogram(HistogramConfig config) : config_(config) {
+  if (config_.bins == 0) {
+    throw std::invalid_argument("histogram needs at least one bin");
+  }
+  if (!std::isfinite(config_.min) || !std::isfinite(config_.max) ||
+      config_.min >= config_.max) {
+    throw std::invalid_argument("histogram needs finite min < max");
+  }
+  if (config_.scale == HistogramConfig::Scale::kLog && config_.min <= 0.0) {
+    throw std::invalid_argument("log histogram needs min > 0");
+  }
+  if (config_.scale == HistogramConfig::Scale::kLog) {
+    log_min_ = std::log(config_.min);
+    inv_log_width_ = static_cast<double>(config_.bins) /
+                     (std::log(config_.max) - log_min_);
+  } else {
+    inv_lin_width_ =
+        static_cast<double>(config_.bins) / (config_.max - config_.min);
+  }
+  counts_.assign(config_.bins, 0);
+}
+
+std::size_t Histogram::bin_index(double value) const {
+  double raw = 0.0;
+  if (config_.scale == HistogramConfig::Scale::kLog) {
+    raw = (std::log(value) - log_min_) * inv_log_width_;
+  } else {
+    raw = (value - config_.min) * inv_lin_width_;
+  }
+  // Floating rounding at the outer edges must not escape the bin range.
+  if (raw < 0.0) return 0;
+  const auto bin = static_cast<std::size_t>(raw);
+  return bin >= config_.bins ? config_.bins - 1 : bin;
+}
+
+void Histogram::add(double value, std::uint64_t count) {
+  total_ += count;
+  if (!(value >= config_.min)) {  // NaN lands here too
+    underflow_ += count;
+    return;
+  }
+  if (value >= config_.max) {
+    overflow_ += count;
+    return;
+  }
+  counts_[bin_index(value)] += count;
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  if (config_.scale == HistogramConfig::Scale::kLog) {
+    return config_.min *
+           std::pow(config_.max / config_.min,
+                    static_cast<double>(bin) /
+                        static_cast<double>(config_.bins));
+  }
+  return config_.min + static_cast<double>(bin) / inv_lin_width_;
+}
+
+double Histogram::bin_upper(std::size_t bin) const {
+  return bin + 1 == config_.bins ? config_.max : bin_lower(bin + 1);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t cum = underflow_;
+  if (rank < cum) return config_.min;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    if (counts_[bin] == 0) continue;
+    if (rank < cum + counts_[bin]) {
+      const double frac = (static_cast<double>(rank - cum) + 0.5) /
+                          static_cast<double>(counts_[bin]);
+      const double lo = bin_lower(bin);
+      const double hi = bin_upper(bin);
+      if (config_.scale == HistogramConfig::Scale::kLog) {
+        return lo * std::pow(hi / lo, frac);
+      }
+      return lo + frac * (hi - lo);
+    }
+    cum += counts_[bin];
+  }
+  return config_.max;  // rank fell into the overflow counter
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (!(config_ == other.config_)) {
+    throw std::invalid_argument("histogram merge: config mismatch");
+  }
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    counts_[bin] += other.counts_[bin];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+void Histogram::clear() {
+  counts_.assign(config_.bins, 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  total_ = 0;
+}
+
+util::Json Histogram::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["scale"] = to_string(config_.scale);
+  doc["min"] = config_.min;
+  doc["max"] = config_.max;
+  doc["bins"] = static_cast<std::int64_t>(config_.bins);
+  util::JsonArray counts;
+  counts.reserve(counts_.size());
+  for (const std::uint64_t c : counts_) {
+    counts.emplace_back(static_cast<std::int64_t>(c));
+  }
+  doc["counts"] = util::Json(std::move(counts));
+  doc["underflow"] = static_cast<std::int64_t>(underflow_);
+  doc["overflow"] = static_cast<std::int64_t>(overflow_);
+  return doc;
+}
+
+Histogram Histogram::from_json(const util::Json& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("histogram document must be an object");
+  }
+  try {
+    HistogramConfig config;
+    config.scale = histogram_scale_from_name(doc.at("scale").as_string());
+    config.min = doc.at("min").as_double();
+    config.max = doc.at("max").as_double();
+    config.bins = static_cast<std::size_t>(doc.at("bins").as_int());
+    Histogram h(config);
+    const auto& counts = doc.at("counts").as_array();
+    if (counts.size() != config.bins) {
+      throw std::invalid_argument("histogram counts/bins mismatch");
+    }
+    for (std::size_t bin = 0; bin < counts.size(); ++bin) {
+      const auto c = static_cast<std::uint64_t>(counts[bin].as_int());
+      h.counts_[bin] = c;
+      h.total_ += c;
+    }
+    h.underflow_ = static_cast<std::uint64_t>(doc.at("underflow").as_int());
+    h.overflow_ = static_cast<std::uint64_t>(doc.at("overflow").as_int());
+    h.total_ += h.underflow_ + h.overflow_;
+    return h;
+  } catch (const util::JsonError& e) {
+    throw std::invalid_argument(std::string("malformed histogram: ") +
+                                e.what());
+  }
+}
+
+}  // namespace p4s::sketch

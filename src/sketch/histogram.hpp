@@ -1,0 +1,102 @@
+// Fixed-bin histogram primitive for data-plane metric summarization.
+//
+// A P4 target can maintain a histogram in one register array: the bin
+// index is computed from the packet's measured value (a range-match
+// table in hardware, arithmetic here) and the register cell is
+// incremented. Unlike the per-flow slot design this summarizes
+// arbitrarily many flows in fixed space — the approach of "Enhancements
+// to P4TG: Histogram-Based RTT Monitoring in the Data Plane".
+//
+// Bins cover [min, max) in either linear or logarithmic widths; values
+// below min / at-or-above max land in dedicated underflow / overflow
+// counters, never dropped. Histograms with identical configs merge by
+// bin-wise addition (exact, associative), and serialize to a canonical
+// JSON document so control-plane exports and golden tests are
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace p4s::sketch {
+
+struct HistogramConfig {
+  enum class Scale : std::uint8_t { kLinear = 0, kLog = 1 };
+  Scale scale = Scale::kLog;
+  /// Lower edge of the first bin. Must be > 0 for log scale.
+  double min = 1.0e3;  // 1 us in nanoseconds
+  /// Upper edge of the last bin (exclusive). Must be > min.
+  double max = 1.0e9;  // 1 s
+  std::size_t bins = 64;
+
+  friend bool operator==(const HistogramConfig& a, const HistogramConfig& b) {
+    return a.scale == b.scale && a.min == b.min && a.max == b.max &&
+           a.bins == b.bins;
+  }
+};
+
+const char* to_string(HistogramConfig::Scale scale);
+/// Inverse of to_string ("linear" / "log"); throws std::invalid_argument
+/// on unknown names.
+HistogramConfig::Scale histogram_scale_from_name(const std::string& name);
+
+class Histogram {
+ public:
+  /// Throws std::invalid_argument on a malformed config (min >= max,
+  /// zero bins, non-positive min with log scale, non-finite edges).
+  explicit Histogram(HistogramConfig config);
+  Histogram() : Histogram(HistogramConfig{}) {}
+
+  const HistogramConfig& config() const { return config_; }
+
+  /// Record `count` observations of `value`. NaN counts as underflow
+  /// (it is not >= min), so no sample is ever silently lost.
+  void add(double value, std::uint64_t count = 1);
+
+  /// Bin index for an in-range value (min <= value < max).
+  std::size_t bin_index(double value) const;
+
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const;
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  /// Total observations including underflow and overflow.
+  std::uint64_t total() const { return total_; }
+
+  /// Quantile estimate by rank walk with intra-bin interpolation
+  /// (geometric for log bins, linear otherwise). Underflow samples
+  /// report as min, overflow samples as max — the edges bound what a
+  /// binned summary can claim. Returns 0 for an empty histogram.
+  double quantile(double q) const;
+
+  /// Bin-wise addition. Throws std::invalid_argument unless `other` has
+  /// an identical config. Exact and associative.
+  void merge(const Histogram& other);
+
+  void clear();
+
+  /// Canonical serialization: config + per-bin counts + under/overflow.
+  /// Identical histograms (as multisets of binned samples) dump to
+  /// identical bytes regardless of insertion or merge order.
+  util::Json to_json() const;
+  /// Inverse of to_json; throws std::invalid_argument on malformed docs.
+  static Histogram from_json(const util::Json& doc);
+
+ private:
+  HistogramConfig config_;
+  double log_min_ = 0.0;
+  double inv_log_width_ = 0.0;  // bins / (log(max) - log(min))
+  double inv_lin_width_ = 0.0;  // bins / (max - min)
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace p4s::sketch

@@ -2,13 +2,11 @@
 
 namespace p4s::tcp {
 
-std::uint16_t TcpFlow::next_default_port_ = 5201;
-
 TcpFlow::TcpFlow(sim::Simulation& sim, net::Host& src, net::Host& dst,
                  Config config)
     : sim_(sim) {
   const std::uint16_t dst_port =
-      config.dst_port != 0 ? config.dst_port : next_default_port_++;
+      config.dst_port != 0 ? config.dst_port : sim.allocate_default_port();
   const std::uint16_t src_port =
       config.src_port != 0 ? config.src_port : src.allocate_port();
   receiver_ = std::make_unique<TcpReceiver>(sim, dst, dst_port,

@@ -58,7 +58,6 @@ class TcpFlow {
   sim::Simulation& sim_;
   std::unique_ptr<TcpSender> sender_;
   std::unique_ptr<TcpReceiver> receiver_;
-  static std::uint16_t next_default_port_;
 };
 
 }  // namespace p4s::tcp

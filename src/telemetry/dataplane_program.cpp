@@ -22,6 +22,24 @@ DataPlaneProgram::DataPlaneProgram(Config config)
   register_engine(iat_);
   register_engine(int_);
   register_engine(counters_);
+
+  for (const HistogramEngineConfig& hc : config.histograms) {
+    hist_engines_.push_back(make_histogram_engine(hc));
+    HistogramEngine* engine = hist_engines_.back().get();
+    register_engine(*engine);
+    switch (engine->metric()) {
+      case HistogramEngineConfig::Metric::kRtt:
+        rtt_hists_.push_back(static_cast<RttHistogramEngine*>(engine));
+        break;
+      case HistogramEngineConfig::Metric::kIat:
+        iat_hists_.push_back(static_cast<IatHistogramEngine*>(engine));
+        break;
+      case HistogramEngineConfig::Metric::kQueueDelay:
+        queue_hists_.push_back(
+            static_cast<QueueDelayHistogramEngine*>(engine));
+        break;
+    }
+  }
 }
 
 net::FiveTuple DataPlaneProgram::tuple_from(const p4::ParsedHeaders& hdr) {
@@ -107,6 +125,14 @@ void DataPlaneProgram::ingress(p4::PacketContext& ctx) {
   std::optional<std::uint16_t> slot = tracker_.dp_slot_of(flow_id);
   const std::optional<SimTime> delay =
       queue_.on_egress_copy(pkt_sig, slot, now);
+  // The switch-wide histograms observe every packet on the link, tracked
+  // or not — that is their whole point.
+  if (delay.has_value()) {
+    for (QueueDelayHistogramEngine* h : queue_hists_) h->on_delay(*delay);
+  }
+  if (payload > 0) {
+    for (IatHistogramEngine* h : iat_hists_) h->on_data(flow_id, now);
+  }
   if (slot.has_value()) {
     if (delay.has_value()) limit_.on_queue_delay(*slot, *delay);
     if (payload > 0) {
@@ -134,6 +160,10 @@ void DataPlaneProgram::process_measurement_path(
     // direction; hash of its reversed tuple is the data flow's ID.
     const std::uint32_t ack_flow_id = fk.flow_id;
     const std::uint32_t data_flow_id = fk.rev_flow_id;
+    // Switch-wide RTT histograms match every ACK, tracked flow or not.
+    for (RttHistogramEngine* h : rtt_hists_) {
+      h->on_ack(ack_flow_id, ctx.hdr.tcp.ack, now);
+    }
     if (auto slot = tracker_.dp_slot_of(data_flow_id)) {
       rtt_loss_.on_ack_packet(
           RttLossEngine::AckPacketView{ack_flow_id, *slot,
@@ -145,6 +175,14 @@ void DataPlaneProgram::process_measurement_path(
   }
 
   if (payload == 0 && !fin) return;  // SYN/SYN-ACK/etc: no measurements
+
+  // Park the expected-ACK signature before the slot gate so untracked
+  // flows still contribute RTT samples.
+  if (is_tcp && payload > 0) {
+    for (RttHistogramEngine* h : rtt_hists_) {
+      h->on_data(fk.rev_flow_id, ctx.hdr.tcp.seq, payload, now);
+    }
+  }
 
   const auto slot = tracker_.on_data_packet(fk, payload, now);
   if (!slot.has_value()) return;

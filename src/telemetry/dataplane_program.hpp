@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "p4/register.hpp"
 #include "telemetry/flow_counters.hpp"
 #include "telemetry/flow_tracker.hpp"
+#include "telemetry/histogram_engines.hpp"
 #include "telemetry/iat_monitor.hpp"
 #include "telemetry/int_export.hpp"
 #include "telemetry/limit_classifier.hpp"
@@ -43,6 +45,10 @@ class DataPlaneProgram : public p4::P4Program {
     IntExporter::Config int_export;
     /// eACK register size (power of two); ablation knob.
     std::size_t eack_slots = kEackSlots;
+    /// Switch-wide histogram engines (empty by default: the histogram
+    /// stages exist only when configured, leaving the default pipeline
+    /// untouched).
+    std::vector<HistogramEngineConfig> histograms;
   };
 
   explicit DataPlaneProgram(Config config);
@@ -80,6 +86,13 @@ class DataPlaneProgram : public p4::P4Program {
   }
 
   p4::DigestQueue<FlowFinDigest>& fin_digests() { return fin_digests_; }
+
+  /// Configured switch-wide histogram engines (owning list, in config
+  /// order). Empty unless Config::histograms named any.
+  const std::vector<std::unique_ptr<HistogramEngine>>& histogram_engines()
+      const {
+    return hist_engines_;
+  }
 
   // ---- Engine registry ------------------------------------------------
   // The registry is the program's definition of "every engine": the
@@ -132,6 +145,13 @@ class DataPlaneProgram : public p4::P4Program {
   IatMonitor iat_;
   IntExporter int_;
   FlowCounters counters_;
+
+  // Histogram engines by metric, for the per-packet dispatch: raw views
+  // into hist_engines_ (all empty in the default configuration).
+  std::vector<std::unique_ptr<HistogramEngine>> hist_engines_;
+  std::vector<RttHistogramEngine*> rtt_hists_;
+  std::vector<IatHistogramEngine*> iat_hists_;
+  std::vector<QueueDelayHistogramEngine*> queue_hists_;
 
   std::vector<MetricEngine*> engines_;
   p4::DigestQueue<FlowFinDigest> fin_digests_;

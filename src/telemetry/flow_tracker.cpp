@@ -1,5 +1,7 @@
 #include "telemetry/flow_tracker.hpp"
 
+#include <stdexcept>
+
 #include "p4/hash.hpp"
 
 namespace p4s::telemetry {
@@ -13,10 +15,36 @@ const char* to_string(LimitVerdict verdict) {
   return "?";
 }
 
+const char* to_string(FlowTableKind kind) {
+  switch (kind) {
+    case FlowTableKind::kRegisters: return "registers";
+    case FlowTableKind::kCuckoo: return "cuckoo";
+  }
+  return "?";
+}
+
+FlowTableKind flow_table_from_name(const std::string& name) {
+  if (name == "registers") return FlowTableKind::kRegisters;
+  if (name == "cuckoo") return FlowTableKind::kCuckoo;
+  throw std::invalid_argument("unknown flow_table kind: " + name);
+}
+
 FlowTracker::FlowTracker(Config config)
     : config_(config),
       cms_(config_.cms_depth, config_.cms_width),
-      slot_flow_id_(kFlowSlots, 0) {}
+      slot_flow_id_(kFlowSlots, 0) {
+  if (config_.flow_table == FlowTableKind::kCuckoo) {
+    // The register slot space is the capacity: the table exists to hand
+    // out those slots, never to track more flows than registers exist.
+    config_.cuckoo.capacity = kFlowSlots;
+    cuckoo_ = std::make_unique<sketch::CuckooFlowTable>(config_.cuckoo);
+    free_slots_.reserve(kFlowSlots);
+    // back() is popped first; fill descending so slot 0 allocates first.
+    for (std::size_t s = kFlowSlots; s-- > 0;) {
+      free_slots_.push_back(static_cast<std::uint16_t>(s));
+    }
+  }
+}
 
 std::optional<std::uint16_t> FlowTracker::on_data_packet(
     const net::FiveTuple& tuple, std::uint32_t payload_bytes, SimTime now) {
@@ -25,6 +53,8 @@ std::optional<std::uint16_t> FlowTracker::on_data_packet(
 
 std::optional<std::uint16_t> FlowTracker::on_data_packet(
     const p4::FlowKey& fk, std::uint32_t payload_bytes, SimTime now) {
+  if (cuckoo_) return on_data_packet_cuckoo(fk, payload_bytes, now);
+
   const auto slot = static_cast<std::uint16_t>(fk.flow_id & kFlowSlotMask);
 
   if (occupied_[slot]) {
@@ -37,6 +67,50 @@ std::optional<std::uint16_t> FlowTracker::on_data_packet(
   if (estimate < config_.promotion_bytes) return std::nullopt;
 
   // Promote: claim the slot and report the flow to the control plane.
+  promote(fk, slot, now);
+  return slot;
+}
+
+std::optional<std::uint16_t> FlowTracker::on_data_packet_cuckoo(
+    const p4::FlowKey& fk, std::uint32_t payload_bytes, SimTime now) {
+  if (const auto slot = cuckoo_->touch(fk.flow_id, now)) return *slot;
+
+  const std::uint64_t estimate = cms_.update(fk.key, payload_bytes);
+  if (estimate < config_.promotion_bytes) return std::nullopt;
+
+  if (free_slots_.empty()) {
+    // Every register slot is handed out and awaiting control-plane
+    // release; eviction cannot help (the victim's slot stays occupied
+    // until finalized), so the promotion is rejected.
+    ++slot_exhausted_;
+    return std::nullopt;
+  }
+
+  const std::uint16_t slot = free_slots_.back();
+  std::optional<sketch::CuckooFlowTable::Victim> victim;
+  const auto result = cuckoo_->insert(fk.flow_id, slot, now, victim);
+  if (victim.has_value()) {
+    // An idle flow lost its table entry to make room. Its registers
+    // still hold the final values; the digest tells the control plane
+    // to finalize it (like a FIN) and release the slot.
+    ++evictions_;
+    evict_digests_.emit(FlowEvictDigest{
+        static_cast<std::uint16_t>(victim->value), now,
+        now - victim->last_seen});
+  }
+  if (result != sketch::CuckooFlowTable::InsertResult::kInserted) {
+    // Kick chain bounded out with no aged victim: table unchanged, the
+    // slot stays on the free list for the next promotion attempt.
+    ++insert_failures_;
+    return std::nullopt;
+  }
+  free_slots_.pop_back();
+  promote(fk, slot, now);
+  return slot;
+}
+
+void FlowTracker::promote(const p4::FlowKey& fk, std::uint16_t slot,
+                          SimTime now) {
   occupied_[slot] = true;
   ++active_;
   slot_flow_id_.write(slot, fk.flow_id);
@@ -46,11 +120,11 @@ std::optional<std::uint16_t> FlowTracker::on_data_packet(
   ident.tuple = fk.tuple;
   identities_[slot] = ident;
   digests_.emit(NewFlowDigest{ident, slot, now});
-  return slot;
 }
 
 std::optional<std::uint16_t> FlowTracker::slot_of(
     std::uint32_t flow_id) const {
+  if (cuckoo_) return cuckoo_->find(flow_id);
   const auto slot = static_cast<std::uint16_t>(flow_id & kFlowSlotMask);
   if (!occupied_[slot]) return std::nullopt;
   if (slot_flow_id_.cp_read(slot) != flow_id) return std::nullopt;
@@ -58,6 +132,10 @@ std::optional<std::uint16_t> FlowTracker::slot_of(
 }
 
 std::optional<std::uint16_t> FlowTracker::dp_slot_of(std::uint32_t flow_id) {
+  // Cuckoo lookups on the ACK path do not refresh the age: aging is
+  // driven by the data direction only, so a flow whose sender stopped
+  // is evictable even while the receiver keeps ACKing.
+  if (cuckoo_) return cuckoo_->find(flow_id);
   const auto slot = static_cast<std::uint16_t>(flow_id & kFlowSlotMask);
   if (!occupied_[slot]) return std::nullopt;
   if (slot_flow_id_.read(slot) != flow_id) return std::nullopt;
@@ -66,6 +144,16 @@ std::optional<std::uint16_t> FlowTracker::dp_slot_of(std::uint32_t flow_id) {
 
 void FlowTracker::release(std::uint16_t slot) {
   if (!occupied_[slot]) return;
+  if (cuckoo_) {
+    // Drop the table entry only if this slot's flow still owns one. An
+    // evicted flow has no entry — and may even have been re-promoted
+    // into a *different* slot, whose entry must survive this release.
+    const std::uint32_t key = identities_[slot].flow_id;
+    if (const auto cur = cuckoo_->find(key); cur && *cur == slot) {
+      cuckoo_->erase(key);
+    }
+    free_slots_.push_back(slot);
+  }
   occupied_[slot] = false;
   --active_;
   slot_flow_id_.cp_write(slot, 0);

@@ -2,28 +2,51 @@
 //
 // Every data packet updates a count-min sketch keyed by the 5-tuple.
 // Once a flow's byte estimate crosses the promotion threshold it is
-// assigned one of the 2048 register slots (slot = flow_id & mask) and a
-// NewFlowDigest is emitted carrying the flow ID, the reversed ID and the
-// addresses — the record the control plane needs to label reports.
+// assigned one of the 2048 register slots and a NewFlowDigest is emitted
+// carrying the flow ID, the reversed ID and the addresses — the record
+// the control plane needs to label reports.
 //
-// Slot collisions (two long flows hashing to the same slot) are resolved
-// by keeping the incumbent and counting the rejection, matching how a
-// register-indexed design behaves on hardware; the counter is exposed so
-// experiments can verify it stays at zero for their workloads.
+// Two flow-table modes select how flow_id maps to a slot:
+//
+//  * kRegisters (default, the paper's design): slot = flow_id & mask.
+//    Collisions (two long flows hashing to the same slot) keep the
+//    incumbent and count the rejection, matching how a register-indexed
+//    design behaves on hardware. Bit-for-bit the historical path.
+//
+//  * kCuckoo: a multi-stage cuckoo table maps flow_id -> slot, with
+//    slots drawn from a free list. Every slot is usable regardless of
+//    hash bits (>90% utilization at 100k+ offered flows), relocations
+//    never move a flow's slot (registers stay put), and when the table
+//    is saturated, idle-aged entries are evicted with a FlowEvictDigest
+//    so the control plane finalizes the flow and recycles the slot.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "p4/cms.hpp"
 #include "p4/hash.hpp"
 #include "p4/pipeline.hpp"
 #include "p4/register.hpp"
+#include "sketch/cuckoo_table.hpp"
 #include "telemetry/metric_engine.hpp"
 #include "telemetry/types.hpp"
 
 namespace p4s::telemetry {
+
+enum class FlowTableKind : std::uint8_t {
+  kRegisters = 0,  // slot = flow_id & mask (the paper's direct index)
+  kCuckoo = 1,     // exact cuckoo match table + slot free list
+};
+
+const char* to_string(FlowTableKind kind);
+/// Inverse of to_string ("registers" / "cuckoo"); throws
+/// std::invalid_argument on unknown names.
+FlowTableKind flow_table_from_name(const std::string& name);
 
 class FlowTracker : public MetricEngine {
  public:
@@ -32,6 +55,10 @@ class FlowTracker : public MetricEngine {
     std::uint64_t promotion_bytes = 100 * 1024;
     std::size_t cms_depth = 3;
     std::size_t cms_width = 4096;
+    FlowTableKind flow_table = FlowTableKind::kRegisters;
+    /// Cuckoo-mode parameters; `capacity` is pinned to kFlowSlots (the
+    /// slot space the per-flow registers provide).
+    sketch::CuckooConfig cuckoo{};
   };
 
   explicit FlowTracker(Config config);
@@ -74,14 +101,38 @@ class FlowTracker : public MetricEngine {
     return !occupied_[slot] && slot_flow_id_.cp_read(slot) == 0 &&
            identities_[slot].flow_id == 0;
   }
-  std::size_t pending_digests() const override { return digests_.pending(); }
+  std::size_t pending_digests() const override {
+    return digests_.pending() + evict_digests_.pending();
+  }
 
   p4::DigestQueue<NewFlowDigest>& new_flow_digests() { return digests_; }
+  p4::DigestQueue<FlowEvictDigest>& evict_digests() {
+    return evict_digests_;
+  }
+
+  FlowTableKind flow_table() const { return config_.flow_table; }
+  /// Cuckoo-mode table (nullptr in register mode) — stats for tests and
+  /// benches.
+  const sketch::CuckooFlowTable* cuckoo_table() const {
+    return cuckoo_.get();
+  }
 
   std::uint64_t slot_collisions() const { return slot_collisions_; }
+  /// Cuckoo mode: promotions rejected because the kick chain bounded out
+  /// with no aged victim.
+  std::uint64_t insert_failures() const { return insert_failures_; }
+  /// Cuckoo mode: promotions rejected because every slot was allocated.
+  std::uint64_t slot_exhausted() const { return slot_exhausted_; }
+  /// Cuckoo mode: idle-aged table evictions (digests emitted).
+  std::uint64_t evictions() const { return evictions_; }
   std::size_t active_flows() const { return active_; }
 
  private:
+  std::optional<std::uint16_t> on_data_packet_cuckoo(const p4::FlowKey& fk,
+                                                     std::uint32_t payload,
+                                                     SimTime now);
+  void promote(const p4::FlowKey& fk, std::uint16_t slot, SimTime now);
+
   Config config_;
   p4::CountMinSketch cms_;
   // flow_id occupying each slot; the occupied_ bit distinguishes an empty
@@ -90,7 +141,15 @@ class FlowTracker : public MetricEngine {
   std::array<bool, kFlowSlots> occupied_{};
   std::array<FlowIdentity, kFlowSlots> identities_{};
   p4::DigestQueue<NewFlowDigest> digests_;
+  p4::DigestQueue<FlowEvictDigest> evict_digests_;
+  // Cuckoo mode only: the exact-match table and the slot free list
+  // (slots allocated low-first for determinism).
+  std::unique_ptr<sketch::CuckooFlowTable> cuckoo_;
+  std::vector<std::uint16_t> free_slots_;
   std::uint64_t slot_collisions_ = 0;
+  std::uint64_t insert_failures_ = 0;
+  std::uint64_t slot_exhausted_ = 0;
+  std::uint64_t evictions_ = 0;
   std::size_t active_ = 0;
 };
 

@@ -46,6 +46,16 @@ struct FlowFinDigest {
   SimTime at = 0;
 };
 
+/// Digest (cuckoo flow table only): a tracked flow's table entry was
+/// evicted by idle aging under insert pressure. The slot's registers
+/// still hold the flow's final values; the control plane finalizes the
+/// flow and releases the slot exactly as it does for a FIN.
+struct FlowEvictDigest {
+  std::uint16_t slot = 0;
+  SimTime at = 0;       // eviction time (the colliding insert)
+  SimTime idle_ns = 0;  // how long the victim had been idle
+};
+
 /// Digest: microburst detected in the data plane with nanosecond
 /// granularity (§3.3.3).
 struct MicroburstDigest {

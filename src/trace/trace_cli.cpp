@@ -1,5 +1,6 @@
 #include "trace/trace_cli.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -22,7 +23,15 @@ void usage(std::ostream& err) {
          "  info   <file.pcap>...            print file header + record "
          "summary\n"
          "  stats  <ingress.pcap> [<egress.pcap>]\n"
-         "                                   analyze the merged trace\n"
+         "         [--histogram rtt|iat|queue_delay] [--bins N]\n"
+         "         [--hist-min-us X] [--hist-max-ms Y]\n"
+         "                                   analyze the merged trace; "
+         "with\n"
+         "                                   --histogram, replay it "
+         "through the\n"
+         "                                   pipeline and render the "
+         "metric's\n"
+         "                                   bin counts and quantiles\n"
          "  replay <ingress.pcap> [<egress.pcap>] [--max-speed]\n"
          "         [--samples-per-second N] [--seed N] [--runout-seconds S]\n"
          "         [--buffer-bytes B] [--bottleneck-bps R] "
@@ -34,6 +43,12 @@ void usage(std::ostream& err) {
 std::string fmt_seconds(SimTime ns) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6f", units::to_seconds(ns));
+  return buf;
+}
+
+std::string fmt_ms(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e6);
   return buf;
 }
 
@@ -73,9 +88,72 @@ int cmd_info(const std::vector<std::string>& files, std::ostream& out) {
   return 0;
 }
 
-int cmd_stats(const std::vector<std::string>& files, std::ostream& out) {
+// Render the bin counts of a replayed capture's histogram engine: one
+// row per bin with an ASCII bar, then the sketch quantiles.
+int render_histogram(const TraceReplayer& trace, const util::CliArgs& args,
+                     std::ostream& out, std::ostream& err) {
+  telemetry::HistogramEngineConfig hc;
+  try {
+    hc.metric = telemetry::histogram_metric_from_name(*args.get("histogram"));
+  } catch (const std::invalid_argument& e) {
+    err << "p4s-trace stats: " << e.what() << "\n";
+    return 2;
+  }
+  hc.histogram.bins = args.uint_or("bins", 32);
+  hc.histogram.min = args.number_or("hist-min-us", 10.0) * 1e3;   // -> ns
+  hc.histogram.max = args.number_or("hist-max-ms", 1000.0) * 1e6;  // -> ns
+  if (!(hc.histogram.bins > 0 && hc.histogram.min > 0.0 &&
+        hc.histogram.min < hc.histogram.max)) {
+    err << "p4s-trace stats: histogram bounds must satisfy 0 < "
+           "--hist-min-us < --hist-max-ms and --bins > 0\n";
+    return 2;
+  }
+
+  ReplayPipeline::Config config;
+  config.program.histograms.push_back(hc);
+  ReplayPipeline pipeline(config);
+  trace.replay_now(pipeline.simulation(), pipeline.p4_switch(),
+                   /*advance_clock=*/true);
+
+  const telemetry::HistogramEngine& engine =
+      *pipeline.program().histogram_engines().front();
+  const sketch::Histogram& hist = engine.histogram();
+  out << engine.name() << ": " << engine.samples() << " samples\n";
+  if (hist.underflow() > 0) {
+    out << "  underflow (< " << fmt_ms(hist.config().min) << " ms): "
+        << hist.underflow() << "\n";
+  }
+  std::uint64_t peak = 1;
+  for (std::size_t b = 0; b < hist.config().bins; ++b) {
+    peak = std::max(peak, hist.count(b));
+  }
+  for (std::size_t b = 0; b < hist.config().bins; ++b) {
+    const std::uint64_t count = hist.count(b);
+    if (count == 0) continue;
+    const auto width = static_cast<std::size_t>(40 * count / peak);
+    out << "  [" << fmt_ms(hist.bin_lower(b)) << " ms, "
+        << fmt_ms(hist.bin_upper(b)) << " ms) " << count << " "
+        << std::string(width, '#') << "\n";
+  }
+  if (hist.overflow() > 0) {
+    out << "  overflow (>= " << fmt_ms(hist.config().max) << " ms): "
+        << hist.overflow() << "\n";
+  }
+  for (const double q : {0.50, 0.95, 0.99}) {
+    out << "  p" << static_cast<int>(q * 100) << ": "
+        << fmt_ms(engine.quantile_ns(q)) << " ms\n";
+  }
+  return 0;
+}
+
+int cmd_stats(const util::CliArgs& args,
+              const std::vector<std::string>& files, std::ostream& out,
+              std::ostream& err) {
   const TraceReplayer trace = TraceReplayer::from_files(
       files[0], files.size() > 1 ? files[1] : "");
+  if (args.has("histogram")) {
+    return render_histogram(trace, args, out, err);
+  }
   const auto s = trace.analyze();
   out << "frames: " << s.frames << " (ingress " << s.ingress_frames
       << ", egress " << s.egress_frames << ")\n"
@@ -161,7 +239,7 @@ int trace_cli(int argc, const char* const* argv, std::ostream& out,
   const util::CliArgs args(
       argc, argv,
       {"samples-per-second", "seed", "runout-seconds", "buffer-bytes",
-       "bottleneck-bps"},
+       "bottleneck-bps", "histogram", "bins", "hist-min-us", "hist-max-ms"},
       {"max-speed", "print-reports"});
   if (!args.errors().empty()) {
     for (const auto& e : args.errors()) err << "p4s-trace: " << e << "\n";
@@ -189,7 +267,7 @@ int trace_cli(int argc, const char* const* argv, std::ostream& out,
             << ": expects <ingress.pcap> [<egress.pcap>]\n";
         return 2;
       }
-      return command == "stats" ? cmd_stats(files, out)
+      return command == "stats" ? cmd_stats(args, files, out, err)
                                 : cmd_replay(args, files, out);
     }
   } catch (const PcapError& e) {

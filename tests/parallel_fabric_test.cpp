@@ -36,17 +36,6 @@ using units::seconds;
 const std::string kGoldenReports =
     std::string(P4S_TRACE_DATA_DIR) + "/fig9.reports.txt";
 
-// A default-constructed transfer draws its destination port from a
-// process-global counter (iperf3 convention, 5201 + flow index). The
-// determinism battery runs the same scenario several times in one
-// process, so pin the ports the first run would have drawn — otherwise
-// run k sees ports 5201 + 3k and the byte-compare is meaningless.
-tcp::TcpFlow::Config pinned_port(int i) {
-  tcp::TcpFlow::Config config;
-  config.dst_port = static_cast<std::uint16_t>(5201 + i);
-  return config;
-}
-
 struct Collector : cp::ReportSink {
   std::vector<std::string> lines;
   cp::ReportSink* next = nullptr;  // tee: keep the transport path live
@@ -114,9 +103,9 @@ RunOutput run_four_switch(std::size_t parallel,
   system.psonar().psconfig().execute(
       "psconfig config-P4 --samples_per_second 2");
   system.start();
-  system.add_transfer(0, pinned_port(0)).start_at(seconds(1));
-  system.add_transfer(1, pinned_port(1)).start_at(seconds(2));
-  system.add_transfer(2, pinned_port(2)).start_at(seconds(4));
+  system.add_transfer(0).start_at(seconds(1));
+  system.add_transfer(1).start_at(seconds(2));
+  system.add_transfer(2).start_at(seconds(4));
   system.run_until(seconds(8));
 
   RunOutput out;
@@ -215,8 +204,8 @@ TEST(ParallelFabric, PcapCapturesByteIdenticalUnderParallel) {
     system.psonar().psconfig().execute(
         "psconfig config-P4 --samples_per_second 2");
     system.start();
-    system.add_transfer(0, pinned_port(0)).start_at(seconds(1));
-    system.add_transfer(1, pinned_port(1)).start_at(seconds(2));
+    system.add_transfer(0).start_at(seconds(1));
+    system.add_transfer(1).start_at(seconds(2));
     system.run_until(seconds(6));
     system.trace_capture().flush();
   };

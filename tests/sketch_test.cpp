@@ -1,0 +1,433 @@
+// Unit battery for the sketch library: histogram bin edges and
+// under/overflow, merge associativity, quantile error bounds on seeded
+// distributions, DDSketch relative-error guarantees and collapse
+// behavior, and the cuckoo flow table's insert/kick/evict/aging matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "sketch/cuckoo_table.hpp"
+#include "sketch/ddsketch.hpp"
+#include "sketch/histogram.hpp"
+
+namespace p4s::sketch {
+namespace {
+
+// ---- Histogram -------------------------------------------------------
+
+TEST(Histogram, RejectsMalformedConfigs) {
+  HistogramConfig c;
+  c.bins = 0;
+  EXPECT_THROW(Histogram{c}, std::invalid_argument);
+  c = {};
+  c.min = 100.0;
+  c.max = 100.0;
+  EXPECT_THROW(Histogram{c}, std::invalid_argument);
+  c = {};
+  c.scale = HistogramConfig::Scale::kLog;
+  c.min = 0.0;
+  EXPECT_THROW(Histogram{c}, std::invalid_argument);
+  c = {};
+  c.max = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Histogram{c}, std::invalid_argument);
+}
+
+TEST(Histogram, LinearBinEdgesAndIndexing) {
+  HistogramConfig c;
+  c.scale = HistogramConfig::Scale::kLinear;
+  c.min = 0.0 + 100.0;
+  c.max = 200.0;
+  c.bins = 10;
+  Histogram h(c);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(9), 200.0);
+  // Every bin's lower edge indexes into that bin.
+  for (std::size_t b = 0; b < c.bins; ++b) {
+    EXPECT_EQ(h.bin_index(h.bin_lower(b)), b) << "bin " << b;
+  }
+  h.add(100.0);   // first bin, inclusive lower edge
+  h.add(199.99);  // last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, LogBinEdgesCoverTheRangeGeometrically) {
+  HistogramConfig c;
+  c.scale = HistogramConfig::Scale::kLog;
+  c.min = 1e3;
+  c.max = 1e9;
+  c.bins = 6;  // one decade per bin
+  Histogram h(c);
+  for (std::size_t b = 0; b < c.bins; ++b) {
+    EXPECT_NEAR(h.bin_upper(b) / h.bin_lower(b), 10.0, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(h.bin_upper(5), 1e9);
+  h.add(5e5);  // decade [1e5, 1e6) -> bin 2
+  EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(Histogram, UnderflowOverflowAndNanNeverDropSamples) {
+  Histogram h(HistogramConfig{});  // log, [1us, 1s), 64 bins
+  h.add(0.5);    // below min
+  h.add(-1.0);   // negative
+  h.add(std::nan(""));
+  h.add(1e9);    // == max: overflow (upper edge exclusive)
+  h.add(2e9);
+  EXPECT_EQ(h.underflow(), 3u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, MergeIsExactAndAssociative) {
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(std::log(1e6), 0.8);
+  Histogram a{{}}, b{{}}, c{{}}, all{{}};
+  for (int i = 0; i < 3000; ++i) {
+    const double v = dist(rng);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(v);
+    all.add(v);
+  }
+  // (a + b) + c and a + (b + c) both equal the single-stream histogram,
+  // byte for byte.
+  Histogram left = a;
+  left.merge(b);
+  left.merge(c);
+  Histogram bc = b;
+  bc.merge(c);
+  Histogram right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.to_json().dump(), all.to_json().dump());
+  EXPECT_EQ(right.to_json().dump(), all.to_json().dump());
+}
+
+TEST(Histogram, MergeRejectsMismatchedConfigs) {
+  HistogramConfig other;
+  other.bins = 32;
+  Histogram a{{}}, b{other};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileWithinOneBinOfExactOnSeededDistribution) {
+  HistogramConfig c;
+  c.min = 1e3;
+  c.max = 1e9;
+  c.bins = 128;
+  Histogram h(c);
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> dist(std::log(2e6), 0.5);
+  std::vector<double> exact;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = dist(rng);
+    h.add(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  // A binned quantile can be off by at most one bin width; 128 log bins
+  // over 6 decades means a bin ratio of 10^(6/128) ~ 1.114.
+  const double bin_ratio = std::pow(1e6, 1.0 / 128);
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double est = h.quantile(q);
+    const double truth =
+        exact[static_cast<std::size_t>(q * (exact.size() - 1))];
+    EXPECT_LE(est / truth, bin_ratio * 1.01) << "q=" << q;
+    EXPECT_GE(est / truth, 1.0 / (bin_ratio * 1.01)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, SerializationRoundTripsAndIsCanonical) {
+  Histogram h{{}};
+  h.add(0.5);
+  h.add(5e5, 3);
+  h.add(2e9);
+  const util::Json doc = h.to_json();
+  const Histogram back = Histogram::from_json(doc);
+  EXPECT_EQ(back.to_json().dump(), doc.dump());
+  EXPECT_EQ(back.total(), h.total());
+  EXPECT_EQ(back.underflow(), 1u);
+  EXPECT_EQ(back.overflow(), 1u);
+}
+
+// ---- DDSketch --------------------------------------------------------
+
+TEST(DdSketch, RejectsMalformedConfigs) {
+  DdSketchConfig c;
+  c.alpha = 0.0;
+  EXPECT_THROW(DdSketch{c}, std::invalid_argument);
+  c = {};
+  c.alpha = 1.0;
+  EXPECT_THROW(DdSketch{c}, std::invalid_argument);
+  c = {};
+  c.max_bins = 1;
+  EXPECT_THROW(DdSketch{c}, std::invalid_argument);
+  c = {};
+  c.min_value = 0.0;
+  EXPECT_THROW(DdSketch{c}, std::invalid_argument);
+}
+
+TEST(DdSketch, RelativeErrorBoundHoldsOnSeededDistributions) {
+  for (const std::uint64_t seed : {1ull, 99ull}) {
+    DdSketchConfig c;
+    c.alpha = 0.01;
+    DdSketch s(c);
+    std::mt19937_64 rng(seed);
+    // Heavy-tailed: exactly the shape that breaks mean-based summaries.
+    std::lognormal_distribution<double> dist(std::log(5e6), 1.2);
+    std::vector<double> exact;
+    for (int i = 0; i < 100'000; ++i) {
+      const double v = dist(rng);
+      s.add(v);
+      exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+      const double est = s.quantile(q);
+      const double truth =
+          exact[static_cast<std::size_t>(q * (exact.size() - 1))];
+      EXPECT_NEAR(est, truth, c.alpha * truth * 1.05)
+          << "seed=" << seed << " q=" << q;
+    }
+  }
+}
+
+TEST(DdSketch, MergeEqualsCombinedStream) {
+  DdSketch a, b, all;
+  std::mt19937_64 rng(5);
+  std::exponential_distribution<double> dist(1e-6);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = dist(rng) + 1.0;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_EQ(a.to_json().dump(), all.to_json().dump());
+}
+
+TEST(DdSketch, ZeroBucketCountsSubMinValues) {
+  DdSketch s;
+  s.add(0.0);
+  s.add(0.5);
+  s.add(-3.0);
+  s.add(100.0);
+  EXPECT_EQ(s.zero_count(), 3u);
+  EXPECT_EQ(s.total(), 4u);
+  // Three of four samples are "zero": p50 sits in the zero bucket. The
+  // rank convention is floor(q * (n - 1)) — lower value, no
+  // interpolation — so only the max rank reaches the 100.0 sample.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.74), 0.0);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(DdSketch, LowEndCollapseKeepsTheTailAccurate) {
+  DdSketchConfig c;
+  c.alpha = 0.01;
+  c.max_bins = 64;  // tiny: force collapse over a wide value span
+  DdSketch s(c);
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> expo(0.0, 9.0);
+  std::vector<double> exact;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = std::pow(10.0, expo(rng));  // 9 decades
+    s.add(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  EXPECT_GT(s.collapsed(), 0u);
+  EXPECT_LE(s.bucket_count(), c.max_bins);
+  // The tail guarantee survives the collapse.
+  const double truth =
+      exact[static_cast<std::size_t>(0.99 * (exact.size() - 1))];
+  EXPECT_NEAR(s.quantile(0.99), truth, c.alpha * truth * 1.05);
+}
+
+TEST(DdSketch, SerializationRoundTripsAndIsCanonical) {
+  DdSketch s;
+  s.add(0.1);  // zero bucket
+  s.add(1e3, 5);
+  s.add(1e7);
+  const util::Json doc = s.to_json();
+  const DdSketch back = DdSketch::from_json(doc);
+  EXPECT_EQ(back.to_json().dump(), doc.dump());
+  EXPECT_EQ(back.total(), s.total());
+  EXPECT_EQ(back.zero_count(), 1u);
+  EXPECT_DOUBLE_EQ(back.quantile(0.5), s.quantile(0.5));
+}
+
+TEST(DdSketch, MergeRejectsMismatchedConfigs) {
+  DdSketchConfig other;
+  other.alpha = 0.02;
+  DdSketch a, b(other);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// ---- CuckooFlowTable -------------------------------------------------
+
+CuckooConfig small_table() {
+  CuckooConfig c;
+  c.capacity = 64;
+  c.ways = 4;
+  c.max_kicks = 16;
+  return c;
+}
+
+TEST(CuckooFlowTable, RejectsMalformedConfigs) {
+  CuckooConfig c = small_table();
+  c.ways = 1;
+  EXPECT_THROW(CuckooFlowTable{c}, std::invalid_argument);
+  c = small_table();
+  c.ways = 9;
+  EXPECT_THROW(CuckooFlowTable{c}, std::invalid_argument);
+  c = small_table();
+  c.capacity = 0;
+  EXPECT_THROW(CuckooFlowTable{c}, std::invalid_argument);
+  c = small_table();
+  c.max_kicks = 0;
+  EXPECT_THROW(CuckooFlowTable{c}, std::invalid_argument);
+}
+
+TEST(CuckooFlowTable, InsertFindEraseBasics) {
+  CuckooFlowTable t(small_table());
+  std::optional<CuckooFlowTable::Victim> victim;
+  EXPECT_EQ(t.insert(0xAAAA, 7, 100, victim),
+            CuckooFlowTable::InsertResult::kInserted);
+  EXPECT_FALSE(victim.has_value());
+  EXPECT_EQ(t.find(0xAAAA), std::optional<std::uint16_t>(7));
+  EXPECT_FALSE(t.find(0xBBBB).has_value());
+  // Re-insert of a resident key: kExists, value untouched.
+  EXPECT_EQ(t.insert(0xAAAA, 9, 200, victim),
+            CuckooFlowTable::InsertResult::kExists);
+  EXPECT_EQ(t.find(0xAAAA), std::optional<std::uint16_t>(7));
+  EXPECT_TRUE(t.erase(0xAAAA));
+  EXPECT_FALSE(t.erase(0xAAAA));
+  EXPECT_FALSE(t.find(0xAAAA).has_value());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(CuckooFlowTable, FillsWellPastDirectIndexLoadViaKicks) {
+  CuckooFlowTable t(small_table());
+  std::optional<CuckooFlowTable::Victim> victim;
+  std::size_t inserted = 0;
+  for (std::uint32_t k = 1; k <= t.capacity(); ++k) {
+    if (t.insert(k * 0x9E3779B9u, static_cast<std::uint16_t>(k), 1,
+                 victim) == CuckooFlowTable::InsertResult::kInserted) {
+      ++inserted;
+    }
+    EXPECT_FALSE(victim.has_value());  // no aging configured
+  }
+  // A 4-way cuckoo table sustains > 90% load; direct indexing with the
+  // same hash space would have collided long before.
+  EXPECT_GT(t.load_factor(), 0.9);
+  EXPECT_GT(t.stats().kick_steps, 0u);
+  // Every inserted key is still findable with its original value.
+  std::size_t found = 0;
+  for (std::uint32_t k = 1; k <= t.capacity(); ++k) {
+    const auto slot = t.find(k * 0x9E3779B9u);
+    if (slot.has_value()) {
+      EXPECT_EQ(*slot, static_cast<std::uint16_t>(k));
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, inserted);
+}
+
+TEST(CuckooFlowTable, BoundedOutInsertLeavesTableUnchanged) {
+  CuckooConfig c = small_table();
+  c.max_kicks = 2;  // tiny chain bound: force kTableFull quickly
+  CuckooFlowTable t(c);
+  std::optional<CuckooFlowTable::Victim> victim;
+  std::vector<std::uint32_t> resident;
+  for (std::uint32_t k = 1; t.stats().failed_inserts == 0 && k < 10'000;
+       ++k) {
+    const std::uint32_t key = k * 0x45D9F3Bu;
+    if (t.insert(key, static_cast<std::uint16_t>(k & 0x7FF), 1, victim) ==
+        CuckooFlowTable::InsertResult::kInserted) {
+      resident.push_back(key);
+    }
+  }
+  ASSERT_GT(t.stats().failed_inserts, 0u);
+  EXPECT_FALSE(victim.has_value());
+  // Losslessness: every previously resident key survived the failed
+  // insert, mapped to an unchanged value.
+  for (std::size_t i = 0; i < resident.size(); ++i) {
+    const auto slot = t.find(resident[i]);
+    ASSERT_TRUE(slot.has_value()) << "key " << i << " lost";
+  }
+}
+
+TEST(CuckooFlowTable, AgingEvictsOnlyIdleEntriesAndReportsThem) {
+  CuckooConfig c = small_table();
+  c.idle_age = 1000;
+  CuckooFlowTable t(c);
+  std::optional<CuckooFlowTable::Victim> victim;
+  // Fill the table completely at t=0.
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t k = 1; t.size() < t.capacity() && k < 100'000; ++k) {
+    const std::uint32_t key = k * 0x9E3779B9u;
+    if (t.insert(key, 1, 0, victim) ==
+        CuckooFlowTable::InsertResult::kInserted) {
+      keys.push_back(key);
+    }
+  }
+  ASSERT_EQ(t.size(), t.capacity());
+
+  // Not yet idle long enough: insert fails, nothing evicted.
+  EXPECT_EQ(t.insert(0xDEAD0001, 2, 999, victim),
+            CuckooFlowTable::InsertResult::kTableFull);
+  EXPECT_FALSE(victim.has_value());
+
+  // Past the idle age: an aged entry is evicted and reported.
+  EXPECT_EQ(t.insert(0xDEAD0002, 3, 2000, victim),
+            CuckooFlowTable::InsertResult::kInserted);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->last_seen, 0u);
+  EXPECT_EQ(t.stats().aged_evictions, 1u);
+  EXPECT_EQ(t.size(), t.capacity());  // evict + insert: size unchanged
+  EXPECT_TRUE(t.find(0xDEAD0002).has_value());
+  EXPECT_FALSE(t.find(victim->key).has_value());
+}
+
+TEST(CuckooFlowTable, TouchRefreshesAgeAndPreventsEviction) {
+  CuckooConfig c;
+  c.capacity = 8;
+  c.ways = 2;
+  c.max_kicks = 4;
+  c.idle_age = 1000;
+  CuckooFlowTable t(c);
+  std::optional<CuckooFlowTable::Victim> victim;
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t k = 1; t.size() < t.capacity() && k < 100'000; ++k) {
+    const std::uint32_t key = k * 0x2545F491u;
+    if (t.insert(key, 1, 0, victim) ==
+        CuckooFlowTable::InsertResult::kInserted) {
+      keys.push_back(key);
+    }
+  }
+  ASSERT_EQ(t.size(), t.capacity());
+  // Keep every resident fresh; at t=5000 none is evictable.
+  for (const std::uint32_t key : keys) EXPECT_TRUE(t.touch(key, 4500));
+  EXPECT_EQ(t.insert(0xFEED0001, 2, 5000, victim),
+            CuckooFlowTable::InsertResult::kTableFull);
+  EXPECT_FALSE(victim.has_value());
+  // last_seen hook agrees.
+  EXPECT_EQ(t.last_seen(keys[0]), std::optional<SimTime>(4500));
+}
+
+TEST(CuckooFlowTable, StatsCountLookups) {
+  CuckooFlowTable t(small_table());
+  std::optional<CuckooFlowTable::Victim> victim;
+  t.insert(1, 1, 0, victim);
+  (void)t.find(1);
+  (void)t.find(2);
+  (void)t.touch(1, 5);
+  EXPECT_EQ(t.stats().lookups, 3u);
+  EXPECT_EQ(t.stats().hits, 2u);
+  EXPECT_EQ(t.stats().inserts, 1u);
+}
+
+}  // namespace
+}  // namespace p4s::sketch
