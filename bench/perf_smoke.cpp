@@ -118,6 +118,15 @@ bool validate_bench_contract(const std::string& file) {
             "pipeline_copies_per_sec"}) {
         if (!require_positive(key)) return false;
       }
+    } else if (name == "program_vm") {
+      // The interpreter-overhead headline: both throughputs and the
+      // ratio. The overhead *budget* is enforced by the bench's own
+      // exit code; here we gate on the schema.
+      for (const char* key :
+           {"events", "handwritten_events_per_sec",
+            "interpreted_events_per_sec", "overhead_ratio"}) {
+        if (!require_positive(key)) return false;
+      }
     }
   } catch (const util::JsonError& e) {
     std::fprintf(stderr, "perf_smoke --validate: %s: %s\n", file.c_str(),

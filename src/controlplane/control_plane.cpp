@@ -140,7 +140,7 @@ void ControlPlane::register_extractor(MetricExtractor extractor,
         "extractor needs a name and exactly one of read / read_switch");
   }
   for (const auto& entry : extractors_) {
-    if (entry.desc.name == extractor.name) {
+    if (!entry.removed && entry.desc.name == extractor.name) {
       throw std::invalid_argument("duplicate extractor: " + extractor.name);
     }
   }
@@ -149,6 +149,39 @@ void ControlPlane::register_extractor(MetricExtractor extractor,
   entry.extension_config = config;
   extractors_.push_back(std::move(entry));
   if (started_) schedule_extractor(extractors_.size() - 1);
+}
+
+void ControlPlane::unregister_extractor(std::string_view metric) {
+  for (auto& entry : extractors_) {
+    if (entry.removed || entry.desc.name != metric) continue;
+    if (entry.builtin >= 0) {
+      throw std::invalid_argument("cannot unregister builtin metric: " +
+                                  std::string(metric));
+    }
+    entry.removed = true;
+    // Release the closures now: they may capture objects (a VM's
+    // installed program) whose lifetime ends with this call. The armed
+    // timer checks `removed` before touching desc and dies quietly.
+    entry.desc.read = nullptr;
+    entry.desc.read_switch = nullptr;
+    entry.desc.annotate = nullptr;
+    entry.desc.per_flow = nullptr;
+    entry.desc.per_tick = nullptr;
+    return;
+  }
+  throw std::invalid_argument("unknown metric: " + std::string(metric));
+}
+
+bool ControlPlane::has_extractor(std::string_view metric) const {
+  for (const auto& entry : extractors_) {
+    if (!entry.removed && entry.desc.name == metric) return true;
+  }
+  return false;
+}
+
+void ControlPlane::register_digest_source(
+    std::function<std::vector<util::Json>(SimTime)> drain) {
+  digest_sources_.push_back(std::move(drain));
 }
 
 void ControlPlane::start() {
@@ -182,7 +215,7 @@ void ControlPlane::validate_threshold(double threshold) {
 ControlPlane::ExtractorEntry& ControlPlane::entry_of(
     std::string_view metric) {
   for (auto& entry : extractors_) {
-    if (entry.desc.name == metric) return entry;
+    if (!entry.removed && entry.desc.name == metric) return entry;
   }
   throw std::invalid_argument("unknown metric: " + std::string(metric));
 }
@@ -240,6 +273,7 @@ SimTime ControlPlane::current_interval(const ExtractorEntry& entry) const {
 
 void ControlPlane::schedule_extractor(std::size_t index) {
   sim_.after(current_interval(extractors_[index]), [this, index]() {
+    if (extractors_[index].removed) return;  // unregistered: timer dies
     extract(index);
     schedule_extractor(index);  // re-arm with the (possibly boosted) interval
   });
@@ -353,6 +387,10 @@ void ControlPlane::poll_digests() {
       emit(make_blockage_report(d, it->second.flow));
     }
     if (on_blockage_) on_blockage_(d);
+  }
+  for (auto& source : digest_sources_) {
+    std::vector<util::Json> docs = source(sim_.now());
+    for (util::Json& doc : docs) emit(std::move(doc));
   }
 }
 

@@ -164,8 +164,33 @@ class ControlPlane {
   void register_extractor(MetricExtractor extractor,
                           MetricConfig config = {});
 
-  /// Number of extraction timers (builtins + registered extensions).
-  std::size_t extractor_count() const { return extractors_.size(); }
+  /// Remove a registered extension extractor: its timer stops at the
+  /// next tick, its closures are released immediately (they may capture
+  /// objects whose lifetime ends here), and the metric name becomes
+  /// reusable. Builtins are not removable; throws std::invalid_argument
+  /// on builtins and unknown names.
+  void unregister_extractor(std::string_view metric);
+
+  /// Whether a live (not unregistered) extractor with this metric name
+  /// exists — builtin or extension.
+  bool has_extractor(std::string_view metric) const;
+
+  /// Register an additional digest source, drained on every digest poll
+  /// after the builtin digest queues; every returned document is
+  /// emitted as a report (switch_id stamped like any other). The
+  /// program VM's digests arrive this way.
+  void register_digest_source(
+      std::function<std::vector<util::Json>(SimTime now)> drain);
+
+  /// Number of live extraction timers (builtins + registered
+  /// extensions, minus unregistered ones).
+  std::size_t extractor_count() const {
+    std::size_t live = 0;
+    for (const auto& entry : extractors_) {
+      if (!entry.removed) ++live;
+    }
+    return live;
+  }
 
   struct Aggregates {
     SimTime at = 0;
@@ -252,6 +277,9 @@ class ControlPlane {
     MetricConfig extension_config{};
     int builtin = -1;  // index into config_.metrics, or -1 for extensions
     bool boosted = false;
+    /// Unregistered. The row is tombstoned, never erased: scheduled
+    /// timer lambdas capture table indices, which must stay stable.
+    bool removed = false;
   };
 
   void register_builtins();
@@ -289,6 +317,8 @@ class ControlPlane {
   std::vector<Alert> alerts_;
   std::vector<telemetry::MicroburstDigest> microbursts_;
   std::vector<ExtractorEntry> extractors_;
+  std::vector<std::function<std::vector<util::Json>(SimTime)>>
+      digest_sources_;
 
   std::function<void(const Alert&)> on_alert_;
   std::function<void(const telemetry::BlockageDigest&)> on_blockage_;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mpl/compiler.hpp"
+
 namespace p4s::core {
 
 namespace {
@@ -58,6 +60,26 @@ net::FaultInjector::ScheduledFault parse_fault(const util::Json& entry,
   return fault;
 }
 
+/// Parse an array of measurement-program documents at `where` (e.g.
+/// "programs" or "switches[1].programs") through the mpl compiler; the
+/// compiler's diagnostics already carry the full JSON path of the
+/// offending key ("switches[1].programs[0].ops[2].field").
+std::vector<mpl::Program> parse_programs(const util::Json& v,
+                                         const std::string& where) {
+  if (!v.is_array()) fail("'" + where + "' must be an array");
+  std::vector<mpl::Program> programs;
+  const auto& entries = v.as_array();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    try {
+      programs.push_back(mpl::compile_program(
+          entries[i], where + "[" + std::to_string(i) + "]"));
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+  }
+  return programs;
+}
+
 /// Walk an object's keys, dispatching each to `apply`; unknown keys fail.
 template <typename Apply>
 void walk(const util::Json& obj, const std::string& section, Apply&& apply) {
@@ -87,28 +109,31 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
                                   const util::Json& v) {
         if (k == "bottleneck_mbps") {
           config.topology.bottleneck_bps = static_cast<std::uint64_t>(
-              require_number(v, k) * 1e6);
+              require_number(v, "topology." + k) * 1e6);
         } else if (k == "access_mbps") {
           config.topology.access_bps = static_cast<std::uint64_t>(
-              require_number(v, k) * 1e6);
+              require_number(v, "topology." + k) * 1e6);
         } else if (k == "rtt_ms") {
           if (!v.is_array() || v.size() != 3) {
             fail("'topology.rtt_ms' must be an array of 3 numbers");
           }
           for (std::size_t i = 0; i < 3; ++i) {
             config.topology.rtt[i] = units::seconds_f(
-                require_number(v.as_array()[i], k) / 1e3);
+                require_number(v.as_array()[i],
+                               "topology.rtt_ms[" + std::to_string(i) +
+                                   "]") /
+                1e3);
           }
         } else if (k == "core_buffer_bytes") {
           config.topology.core_buffer_bytes =
-              static_cast<std::uint64_t>(require_number(v, k));
+              static_cast<std::uint64_t>(require_number(v, "topology." + k));
         } else if (k == "core_buffer_bdp_of_rtt_ms") {
           // JsonObject iterates keys alphabetically, so
           // "bottleneck_mbps" has already been applied when this
           // resolves ('b' < 'c').
           config.topology.core_buffer_bytes = units::bdp_bytes(
               config.topology.bottleneck_bps,
-              units::seconds_f(require_number(v, k) / 1e3));
+              units::seconds_f(require_number(v, "topology." + k) / 1e3));
         } else {
           return false;
         }
@@ -118,20 +143,21 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
       walk(value, "program", [&](const std::string& k,
                                  const util::Json& v) {
         if (k == "promotion_kb") {
-          config.program.tracker.promotion_bytes =
-              static_cast<std::uint64_t>(require_number(v, k) * 1024);
+          config.program.tracker.promotion_bytes = static_cast<std::uint64_t>(
+              require_number(v, "program." + k) * 1024);
         } else if (k == "burst_threshold_us") {
           config.program.queue.burst_threshold_ns = units::seconds_f(
-              require_number(v, k) / 1e6);
+              require_number(v, "program." + k) / 1e6);
           config.program.queue.burst_exit_ns =
               config.program.queue.burst_threshold_ns / 2;
         } else if (k == "int_sample_every") {
-          const auto n = static_cast<std::uint32_t>(require_number(v, k));
+          const auto n =
+              static_cast<std::uint32_t>(require_number(v, "program." + k));
           config.program.int_export.enabled = n > 0;
           if (n > 0) config.program.int_export.sample_every = n;
         } else if (k == "iat_min_gap_ms") {
           config.program.iat.min_gap_ns = units::seconds_f(
-              require_number(v, k) / 1e3);
+              require_number(v, "program." + k) / 1e3);
         } else {
           return false;
         }
@@ -142,31 +168,31 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
                                    const util::Json& v) {
         auto& t = config.transport;
         if (k == "resilient") {
-          t.resilient = require_bool(v, k);
+          t.resilient = require_bool(v, "transport." + k);
         } else if (k == "latency_us") {
-          t.channel.latency = units::seconds_f(require_number(v, k) / 1e6);
+          t.channel.latency = units::seconds_f(require_number(v, "transport." + k) / 1e6);
         } else if (k == "send_buffer_kb") {
           t.channel.send_buffer_bytes =
-              static_cast<std::uint64_t>(require_number(v, k) * 1024);
+              static_cast<std::uint64_t>(require_number(v, "transport." + k) * 1024);
         } else if (k == "drain_kbps") {
           t.channel.drain_bps =
-              static_cast<std::uint64_t>(require_number(v, k) * 1000);
+              static_cast<std::uint64_t>(require_number(v, "transport." + k) * 1000);
         } else if (k == "max_chunk_bytes") {
           t.channel.max_chunk_bytes =
-              static_cast<std::uint64_t>(require_number(v, k));
+              static_cast<std::uint64_t>(require_number(v, "transport." + k));
         } else if (k == "random_chunking") {
-          t.channel.random_chunking = require_bool(v, k);
+          t.channel.random_chunking = require_bool(v, "transport." + k);
         } else if (k == "queue_capacity") {
           t.sink.queue_capacity =
-              static_cast<std::size_t>(require_number(v, k));
+              static_cast<std::size_t>(require_number(v, "transport." + k));
         } else if (k == "ack_timeout_ms") {
-          t.sink.ack_timeout = units::seconds_f(require_number(v, k) / 1e3);
+          t.sink.ack_timeout = units::seconds_f(require_number(v, "transport." + k) / 1e3);
         } else if (k == "retry_base_ms") {
-          t.sink.backoff.base = units::seconds_f(require_number(v, k) / 1e3);
+          t.sink.backoff.base = units::seconds_f(require_number(v, "transport." + k) / 1e3);
         } else if (k == "retry_max_ms") {
-          t.sink.backoff.max = units::seconds_f(require_number(v, k) / 1e3);
+          t.sink.backoff.max = units::seconds_f(require_number(v, "transport." + k) / 1e3);
         } else if (k == "health_interval_s") {
-          t.sink.health_interval = units::seconds_f(require_number(v, k));
+          t.sink.health_interval = units::seconds_f(require_number(v, "transport." + k));
         } else if (k == "faults") {
           if (!v.is_array()) fail("'transport.faults' must be an array");
           const auto& entries = v.as_array();
@@ -185,13 +211,13 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
     } else if (key == "trace") {
       walk(value, "trace", [&](const std::string& k, const util::Json& v) {
         if (k == "capture") {
-          config.trace.capture = require_bool(v, k);
+          config.trace.capture = require_bool(v, "trace." + k);
         } else if (k == "path_base") {
           if (!v.is_string()) fail("'trace.path_base' must be a string");
           config.trace.path_base = v.as_string();
         } else if (k == "snaplen") {
           config.trace.snaplen =
-              static_cast<std::uint32_t>(require_number(v, k));
+              static_cast<std::uint32_t>(require_number(v, "trace." + k));
         } else {
           return false;
         }
@@ -228,16 +254,16 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
           }
         } else if (k == "wal_batch_docs") {
           a.store.wal_batch_docs =
-              static_cast<std::size_t>(require_number(v, k));
+              static_cast<std::size_t>(require_number(v, "archive." + k));
         } else if (k == "seal_min_docs") {
           a.store.seal_min_docs =
-              static_cast<std::size_t>(require_number(v, k));
+              static_cast<std::size_t>(require_number(v, "archive." + k));
         } else if (k == "compact_fanin") {
           a.store.compact_fanin =
-              static_cast<std::size_t>(require_number(v, k));
+              static_cast<std::size_t>(require_number(v, "archive." + k));
         } else if (k == "rollup_bucket_s") {
           a.store.rollup_bucket_ns = static_cast<std::uint64_t>(
-              require_number(v, k) * 1e9);
+              require_number(v, "archive." + k) * 1e9);
         } else if (k == "rollup_fields") {
           if (!v.is_array()) {
             fail("'archive.rollup_fields' must be an array");
@@ -250,7 +276,7 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
           }
         } else if (k == "maintenance_interval_s") {
           a.maintenance_interval =
-              units::seconds_f(require_number(v, k));
+              units::seconds_f(require_number(v, "archive." + k));
         } else {
           return false;
         }
@@ -264,16 +290,16 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
                                  const util::Json& v) {
         auto& s = config.serving;
         if (k == "enabled") {
-          s.enabled = require_bool(v, k);
+          s.enabled = require_bool(v, "serving." + k);
         } else if (k == "cache_bytes") {
-          s.cache_bytes = static_cast<std::size_t>(require_number(v, k));
+          s.cache_bytes = static_cast<std::size_t>(require_number(v, "serving." + k));
         } else if (k == "cache_shards") {
-          s.cache_shards = static_cast<std::size_t>(require_number(v, k));
+          s.cache_shards = static_cast<std::size_t>(require_number(v, "serving." + k));
           if (s.cache_shards == 0) {
             fail("'serving.cache_shards' must be at least 1");
           }
         } else if (k == "reader_threads") {
-          s.reader_threads = static_cast<std::size_t>(require_number(v, k));
+          s.reader_threads = static_cast<std::size_t>(require_number(v, "serving." + k));
         } else {
           return false;
         }
@@ -306,6 +332,8 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
               } catch (const std::invalid_argument& e) {
                 fail("'" + where + ".tap': " + e.what());
               }
+            } else if (k == "programs") {
+              sw.programs = parse_programs(v, where + ".programs");
             } else {
               return false;
             }
@@ -320,7 +348,7 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
         walk(value, "switches", [&](const std::string& k,
                                     const util::Json& v) {
           if (k == "parallel") {
-            const double n = require_number(v, k);
+            const double n = require_number(v, "switches." + k);
             if (n < 1 || n != static_cast<std::size_t>(n)) {
               fail("'switches.parallel' must be a positive integer");
             }
@@ -365,28 +393,28 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
           walk(v, "telemetry.cuckoo", [&](const std::string& ck,
                                           const util::Json& cv) {
             if (ck == "ways") {
-              const double n = require_number(cv, ck);
+              const double n = require_number(cv, "telemetry.cuckoo." + ck);
               if (n < 2 || n > 8 || n != static_cast<std::size_t>(n)) {
                 fail("'telemetry.cuckoo.ways' must be an integer in 2..8");
               }
               tracker.cuckoo.ways = static_cast<std::size_t>(n);
             } else if (ck == "max_kicks") {
-              const double n = require_number(cv, ck);
+              const double n = require_number(cv, "telemetry.cuckoo." + ck);
               if (n < 1 || n != static_cast<std::size_t>(n)) {
                 fail("'telemetry.cuckoo.max_kicks' must be a positive "
                      "integer");
               }
               tracker.cuckoo.max_kicks = static_cast<std::size_t>(n);
             } else if (ck == "idle_age_s") {
-              tracker.cuckoo.idle_age =
-                  units::seconds_f(require_number(cv, ck));
+              tracker.cuckoo.idle_age = units::seconds_f(
+                  require_number(cv, "telemetry.cuckoo." + ck));
             } else {
               return false;
             }
             return true;
           });
         } else if (k == "sketch_alpha") {
-          const double a = require_number(v, k);
+          const double a = require_number(v, "telemetry." + k);
           if (!(a > 0.0 && a < 1.0)) {
             fail("'telemetry.sketch_alpha' must be in (0, 1)");
           }
@@ -431,17 +459,17 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
                   fail("'" + where + ".scale': " + std::string(e.what()));
                 }
               } else if (hk == "min_us") {
-                hc.histogram.min = require_number(hv, hk) * 1e3;  // -> ns
+                hc.histogram.min = require_number(hv, where + "." + hk) * 1e3;  // -> ns
               } else if (hk == "max_ms") {
-                hc.histogram.max = require_number(hv, hk) * 1e6;  // -> ns
+                hc.histogram.max = require_number(hv, where + "." + hk) * 1e6;  // -> ns
               } else if (hk == "bins") {
-                const double n = require_number(hv, hk);
+                const double n = require_number(hv, where + "." + hk);
                 if (n < 1 || n != static_cast<std::size_t>(n)) {
                   fail("'" + where + ".bins' must be a positive integer");
                 }
                 hc.histogram.bins = static_cast<std::size_t>(n);
               } else if (hk == "alpha") {
-                const double a = require_number(hv, hk);
+                const double a = require_number(hv, where + "." + hk);
                 if (!(a > 0.0 && a < 1.0)) {
                   fail("'" + where + ".alpha' must be in (0, 1)");
                 }
@@ -475,15 +503,18 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
         }
         config.program.histograms.push_back(std::move(entry.hc));
       }
+    } else if (key == "programs") {
+      // Fabric-wide measurement programs, installed on every site's VM.
+      config.programs = parse_programs(value, "programs");
     } else if (key == "control") {
       walk(value, "control", [&](const std::string& k,
                                  const util::Json& v) {
         if (k == "flow_idle_timeout_s") {
           config.control.flow_idle_timeout = units::seconds_f(
-              require_number(v, k));
+              require_number(v, "control." + k));
         } else if (k == "digest_poll_ms") {
           config.control.digest_poll_interval = units::seconds_f(
-              require_number(v, k) / 1e3);
+              require_number(v, "control." + k) / 1e3);
         } else {
           return false;
         }

@@ -57,7 +57,8 @@ MonitoredSwitch::MonitoredSwitch(
     const MonitoredSwitchConfig& config,
     const telemetry::DataPlaneProgram::Config& program_config,
     cp::ControlPlaneConfig control_config,
-    const TraceCaptureConfig& trace_config, SimTime tap_latency,
+    const TraceCaptureConfig& trace_config,
+    const std::vector<mpl::Program>& fabric_programs, SimTime tap_latency,
     std::size_t index, sim::Simulation* pipeline_sim)
     : config_(config) {
   const TapTarget target = resolve_tap(topology, config_.tap);
@@ -69,6 +70,11 @@ MonitoredSwitch::MonitoredSwitch(
   sim::Simulation& pipe_sim = pipeline_sim != nullptr ? *pipeline_sim : sim;
 
   program_ = std::make_unique<telemetry::DataPlaneProgram>(program_config);
+  // Every site carries a measurement-program VM behind the engine
+  // registry; with nothing installed it is a no-op on the packet path
+  // and the report stream is untouched.
+  vm_ = std::make_unique<mpl::ProgramVm>();
+  program_->register_packet_engine(*vm_);
   const std::string name =
       config_.id.empty() ? "tofino-monitor" : "tofino-" + config_.id;
   p4_switch_ = std::make_unique<p4::P4Switch>(pipe_sim, name);
@@ -110,6 +116,12 @@ MonitoredSwitch::MonitoredSwitch(
   // One extraction timer per configured histogram engine (none by
   // default — the default control plane is untouched).
   cp::register_histogram_extractors(*control_plane_, *program_);
+  // Bind the VM (its export extractors and digest source hang off this
+  // control plane), then install fabric-wide and site programs — site
+  // entries replace same-named fabric-wide ones.
+  vm_->bind(*control_plane_);
+  for (const mpl::Program& program : fabric_programs) vm_->install(program);
+  for (const mpl::Program& program : config_.programs) vm_->install(program);
 }
 
 }  // namespace p4s::core

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "controlplane/control_plane.hpp"
+#include "mpl/vm.hpp"
 #include "net/tap.hpp"
 #include "net/topology.hpp"
 #include "p4/p4_switch.hpp"
@@ -49,6 +50,10 @@ struct MonitoredSwitchConfig {
   /// "switch_id". Empty = untagged (the legacy single-switch format).
   std::string id;
   TapPoint tap = TapPoint::kCoreBottleneck;
+  /// Measurement programs (src/mpl) installed on this site's VM at
+  /// construction, after any fabric-wide ones — a same-named site
+  /// program replaces the fabric-wide install.
+  std::vector<mpl::Program> programs;
 };
 
 class MonitoredSwitch {
@@ -65,12 +70,16 @@ class MonitoredSwitch {
   /// advances to each frame's delivery time on a worker thread; the
   /// TAPs and the control plane stay on `sim`. The caller wires
   /// entry_sink() and taps().set_boundary() to the executor.
+  /// `fabric_programs` are installed on every site before the site's own
+  /// config.programs.
   MonitoredSwitch(sim::Simulation& sim, net::PaperTopology& topology,
                   const MonitoredSwitchConfig& config,
                   const telemetry::DataPlaneProgram::Config& program_config,
                   cp::ControlPlaneConfig control_config,
-                  const TraceCaptureConfig& trace_config, SimTime tap_latency,
-                  std::size_t index, sim::Simulation* pipeline_sim = nullptr);
+                  const TraceCaptureConfig& trace_config,
+                  const std::vector<mpl::Program>& fabric_programs,
+                  SimTime tap_latency, std::size_t index,
+                  sim::Simulation* pipeline_sim = nullptr);
 
   MonitoredSwitch(const MonitoredSwitch&) = delete;
   MonitoredSwitch& operator=(const MonitoredSwitch&) = delete;
@@ -79,6 +88,9 @@ class MonitoredSwitch {
   TapPoint tap_point() const { return config_.tap; }
 
   telemetry::DataPlaneProgram& program() { return *program_; }
+  /// The site's measurement-program VM (always present; empty unless
+  /// programs were configured or installed via config-P4).
+  mpl::ProgramVm& program_vm() { return *vm_; }
   p4::P4Switch& p4_switch() { return *p4_switch_; }
   net::OpticalTapPair& taps() { return *taps_; }
   cp::ControlPlane& control_plane() { return *control_plane_; }
@@ -94,6 +106,7 @@ class MonitoredSwitch {
   MonitoredSwitchConfig config_;
   net::MirrorSink* entry_sink_ = nullptr;
   std::unique_ptr<telemetry::DataPlaneProgram> program_;
+  std::unique_ptr<mpl::ProgramVm> vm_;
   std::unique_ptr<p4::P4Switch> p4_switch_;
   std::unique_ptr<trace::TraceCapture> trace_capture_;
   std::unique_ptr<net::OpticalTapPair> taps_;

@@ -41,7 +41,8 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
     }
     switches_.push_back(std::make_unique<MonitoredSwitch>(
         sim_, topology_, switch_configs[i], config_.program, config_.control,
-        config_.trace, config_.tap_latency, i, pipeline_sim));
+        config_.trace, config_.programs, config_.tap_latency, i,
+        pipeline_sim));
     if (fabric_) {
       const std::size_t shard =
           fabric_->add_switch(*pipeline_sim, switches_[i]->entry_sink());
@@ -85,7 +86,8 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
   }
   for (std::size_t i = 0; i < switches_.size(); ++i) {
     psonar_->psconfig().add_control_plane(switches_[i]->control_plane(),
-                                          switches_[i]->id());
+                                          switches_[i]->id(),
+                                          &switches_[i]->program_vm());
   }
 
   // One shared report transport: every control plane feeds the same sink

@@ -105,6 +105,10 @@ struct MonitoringSystemConfig {
   /// the core bottleneck (the paper's deployment, and the legacy
   /// single-switch behavior).
   std::vector<MonitoredSwitchConfig> switches;
+  /// Fabric-wide measurement programs (src/mpl), installed on every
+  /// site's VM before the per-site MonitoredSwitchConfig.programs. The
+  /// config loader fills this from the top-level "programs" section.
+  std::vector<mpl::Program> programs;
   /// Parallel fabric execution (the config loader's switches.parallel
   /// knob): number of worker threads advancing per-switch pipeline
   /// shards. 1 (or 0) = the serial in-timeline path, bit-for-bit the

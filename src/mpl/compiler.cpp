@@ -1,0 +1,472 @@
+#include "mpl/compiler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p4s::mpl {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& where, const std::string& what) {
+  throw std::invalid_argument(
+      "program: '" + where + "' " + what);
+}
+
+std::string join(const std::string& prefix, const std::string& key) {
+  if (prefix.empty()) return key;
+  return prefix + "." + key;
+}
+
+double require_number(const util::Json& v, const std::string& where) {
+  if (!v.is_number()) fail(where, "must be a number");
+  return v.as_double();
+}
+
+std::uint64_t require_uint(const util::Json& v, const std::string& where) {
+  const double n = require_number(v, where);
+  if (n < 0 || n != std::floor(n)) {
+    fail(where, "must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+const std::string& require_string(const util::Json& v,
+                                  const std::string& where) {
+  if (!v.is_string()) fail(where, "must be a string");
+  return v.as_string();
+}
+
+Condition parse_condition(const util::Json& entry,
+                          const std::string& where) {
+  if (!entry.is_object()) fail(where, "must be an object");
+  Condition cond;
+  bool has_field = false;
+  bool has_value = false;
+  for (const auto& [k, v] : entry.as_object()) {
+    const std::string path = join(where, k);
+    if (k == "field") {
+      try {
+        cond.field = telemetry::field_from_name(require_string(v, path));
+      } catch (const std::invalid_argument& e) {
+        fail(path, e.what());
+      }
+      has_field = true;
+    } else if (k == "cmp") {
+      try {
+        cond.cmp = cmp_from_name(require_string(v, path));
+      } catch (const std::invalid_argument& e) {
+        fail(path, e.what());
+      }
+    } else if (k == "value") {
+      cond.value = require_uint(v, path);
+      has_value = true;
+    } else {
+      fail(path, "is not a known match key");
+    }
+  }
+  if (!has_field) fail(where, "needs 'field'");
+  if (!has_value) fail(where, "needs 'value'");
+  return cond;
+}
+
+Op parse_op(const util::Json& entry, const std::string& where) {
+  if (!entry.is_object()) fail(where, "must be an object");
+  Op op;
+  bool has_kind = false;
+  bool has_dst = false;
+  bool has_src = false;
+  bool has_weight = false;
+  for (const auto& [k, v] : entry.as_object()) {
+    const std::string path = join(where, k);
+    if (k == "op") {
+      try {
+        op.kind = op_from_name(require_string(v, path));
+      } catch (const std::invalid_argument& e) {
+        fail(path, e.what());
+      }
+      has_kind = true;
+    } else if (k == "dst") {
+      const std::uint64_t dst = require_uint(v, path);
+      if (dst >= kMaxRegisters) {
+        fail(path, "must be a register index < " +
+                       std::to_string(kMaxRegisters));
+      }
+      op.dst = static_cast<std::uint8_t>(dst);
+      has_dst = true;
+    } else if (k == "field") {
+      if (has_src) fail(path, "conflicts with 'imm' (pick one source)");
+      try {
+        op.src.field = telemetry::field_from_name(require_string(v, path));
+      } catch (const std::invalid_argument& e) {
+        fail(path, e.what());
+      }
+      op.src.is_field = true;
+      has_src = true;
+    } else if (k == "imm") {
+      if (has_src) fail(path, "conflicts with 'field' (pick one source)");
+      op.src.imm = require_uint(v, path);
+      op.src.is_field = false;
+      has_src = true;
+    } else if (k == "weight") {
+      const std::uint64_t w = require_uint(v, path);
+      if (w < 2 || w > 1024) fail(path, "must be an integer in 2..1024");
+      op.ewma_weight = static_cast<std::uint32_t>(w);
+      has_weight = true;
+    } else {
+      fail(path, "is not a known op key");
+    }
+  }
+  if (!has_kind) fail(where, "needs 'op'");
+  const bool needs_src =
+      op.kind != OpKind::kCount;  // count has an implicit +1 source
+  if (needs_src && !has_src) {
+    fail(where, "needs a 'field' or 'imm' source for op '" +
+                    std::string(to_string(op.kind)) + "'");
+  }
+  const bool needs_dst = op.kind != OpKind::kHistogramBin;
+  if (needs_dst && !has_dst) fail(where, "needs 'dst'");
+  if (has_weight && op.kind != OpKind::kEwma) {
+    fail(join(where, "weight"), "only applies to op 'ewma'");
+  }
+  return op;
+}
+
+sketch::HistogramConfig parse_histogram(const util::Json& obj,
+                                        const std::string& where) {
+  if (!obj.is_object()) fail(where, "must be an object");
+  sketch::HistogramConfig hc;
+  for (const auto& [k, v] : obj.as_object()) {
+    const std::string path = join(where, k);
+    if (k == "scale") {
+      try {
+        hc.scale = sketch::histogram_scale_from_name(require_string(v, path));
+      } catch (const std::invalid_argument& e) {
+        fail(path, e.what());
+      }
+    } else if (k == "min") {
+      hc.min = require_number(v, path);
+    } else if (k == "max") {
+      hc.max = require_number(v, path);
+    } else if (k == "bins") {
+      const std::uint64_t bins = require_uint(v, path);
+      if (bins == 0) fail(path, "must be a positive integer");
+      hc.bins = static_cast<std::size_t>(bins);
+    } else {
+      fail(path, "is not a known histogram key");
+    }
+  }
+  if (!(hc.min > 0.0 && hc.min < hc.max)) {
+    fail(where, "bin range must satisfy 0 < min < max");
+  }
+  return hc;
+}
+
+ExportSpec parse_export(const util::Json& obj, const std::string& where) {
+  if (!obj.is_object()) fail(where, "must be an object");
+  ExportSpec spec;
+  for (const auto& [k, v] : obj.as_object()) {
+    const std::string path = join(where, k);
+    if (k == "metric") {
+      spec.metric = require_string(v, path);
+      if (spec.metric.empty()) fail(path, "must not be empty");
+    } else if (k == "value_key") {
+      spec.value_key = require_string(v, path);
+      if (spec.value_key.empty()) fail(path, "must not be empty");
+    } else if (k == "value") {
+      const std::string& kind = require_string(v, path);
+      if (kind == "register") {
+        spec.value.kind = ExportValue::Kind::kRegister;
+      } else if (kind == "rate_per_s") {
+        spec.value.kind = ExportValue::Kind::kRatePerSec;
+      } else if (kind == "rate_bps") {
+        spec.value.kind = ExportValue::Kind::kRateBps;
+      } else if (kind == "quantile") {
+        spec.value.kind = ExportValue::Kind::kQuantile;
+      } else {
+        fail(path,
+             "must be 'register', 'rate_per_s', 'rate_bps' or 'quantile'");
+      }
+    } else if (k == "register") {
+      const std::uint64_t reg = require_uint(v, path);
+      if (reg >= kMaxRegisters) {
+        fail(path, "must be a register index < " +
+                       std::to_string(kMaxRegisters));
+      }
+      spec.value.reg = static_cast<std::uint8_t>(reg);
+    } else if (k == "quantile") {
+      const double q = require_number(v, path);
+      if (!(q > 0.0 && q < 1.0)) fail(path, "must be in (0, 1)");
+      spec.value.quantile = q;
+    } else if (k == "samples_per_second") {
+      const double sps = require_number(v, path);
+      if (!std::isfinite(sps) || sps <= 0.0) {
+        fail(path, "must be a finite value > 0");
+      }
+      spec.samples_per_second = sps;
+    } else {
+      fail(path, "is not a known export key");
+    }
+  }
+  if (spec.metric.empty()) fail(where, "needs 'metric'");
+  return spec;
+}
+
+DigestSpec parse_digest(const util::Json& obj, const std::string& where) {
+  if (!obj.is_object()) fail(where, "must be an object");
+  DigestSpec spec;
+  for (const auto& [k, v] : obj.as_object()) {
+    const std::string path = join(where, k);
+    if (k == "every") {
+      const std::uint64_t every = require_uint(v, path);
+      if (every == 0) fail(path, "must be a positive integer");
+      spec.every = static_cast<std::uint32_t>(every);
+    } else if (k == "register") {
+      const std::uint64_t reg = require_uint(v, path);
+      if (reg >= kMaxRegisters) {
+        fail(path, "must be a register index < " +
+                       std::to_string(kMaxRegisters));
+      }
+      spec.reg = static_cast<std::uint8_t>(reg);
+    } else {
+      fail(path, "is not a known digest key");
+    }
+  }
+  if (spec.every == 0) fail(where, "needs 'every'");
+  return spec;
+}
+
+}  // namespace
+
+const char* to_string(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kEq: return "eq";
+    case Cmp::kNe: return "ne";
+    case Cmp::kLt: return "lt";
+    case Cmp::kLe: return "le";
+    case Cmp::kGt: return "gt";
+    case Cmp::kGe: return "ge";
+  }
+  return "?";
+}
+
+Cmp cmp_from_name(const std::string& name) {
+  for (const Cmp cmp : {Cmp::kEq, Cmp::kNe, Cmp::kLt, Cmp::kLe, Cmp::kGt,
+                        Cmp::kGe}) {
+    if (name == to_string(cmp)) return cmp;
+  }
+  throw std::invalid_argument("unknown cmp: " + name);
+}
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCount: return "count";
+    case OpKind::kAdd: return "add";
+    case OpKind::kMin: return "min";
+    case OpKind::kMax: return "max";
+    case OpKind::kSet: return "set";
+    case OpKind::kEwma: return "ewma";
+    case OpKind::kHistogramBin: return "histogram_bin";
+  }
+  return "?";
+}
+
+OpKind op_from_name(const std::string& name) {
+  for (const OpKind kind :
+       {OpKind::kCount, OpKind::kAdd, OpKind::kMin, OpKind::kMax,
+        OpKind::kSet, OpKind::kEwma, OpKind::kHistogramBin}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown op: " + name);
+}
+
+const char* to_string(Scope scope) {
+  return scope == Scope::kFlow ? "flow" : "switch";
+}
+
+Scope scope_from_name(const std::string& name) {
+  if (name == "flow") return Scope::kFlow;
+  if (name == "switch") return Scope::kSwitch;
+  throw std::invalid_argument("unknown scope: " + name);
+}
+
+Program compile_program(const util::Json& doc, const std::string& path) {
+  if (!doc.is_object()) {
+    fail(path.empty() ? "program" : path, "must be an object");
+  }
+  Program program;
+  bool has_histogram = false;
+  for (const auto& [k, v] : doc.as_object()) {
+    const std::string where = join(path, k);
+    if (k == "name") {
+      program.name = require_string(v, where);
+      if (program.name.empty()) fail(where, "must not be empty");
+    } else if (k == "scope") {
+      try {
+        program.scope = scope_from_name(require_string(v, where));
+      } catch (const std::invalid_argument& e) {
+        fail(where, e.what());
+      }
+    } else if (k == "match") {
+      if (!v.is_array()) fail(where, "must be an array");
+      const auto& entries = v.as_array();
+      if (entries.size() > kMaxMatch) {
+        fail(where,
+             "has too many conditions (max " + std::to_string(kMaxMatch) +
+                 ")");
+      }
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        program.match.push_back(parse_condition(
+            entries[i], where + "[" + std::to_string(i) + "]"));
+      }
+    } else if (k == "ops") {
+      if (!v.is_array()) fail(where, "must be an array");
+      const auto& entries = v.as_array();
+      if (entries.size() > kMaxOps) {
+        fail(where,
+             "has too many ops (max " + std::to_string(kMaxOps) + ")");
+      }
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        program.ops.push_back(
+            parse_op(entries[i], where + "[" + std::to_string(i) + "]"));
+      }
+    } else if (k == "histogram") {
+      program.histogram = parse_histogram(v, where);
+      has_histogram = true;
+    } else if (k == "export") {
+      program.export_spec = parse_export(v, where);
+    } else if (k == "digest") {
+      program.digest = parse_digest(v, where);
+    } else {
+      fail(where, "is not a known program key");
+    }
+  }
+
+  const std::string where = path.empty() ? "program" : path;
+  if (program.name.empty()) fail(where, "needs 'name'");
+  if (program.ops.empty()) fail(where, "needs at least one op");
+
+  // Register-file sizing: highest dst (and export source) + 1.
+  std::uint8_t registers = 0;
+  bool uses_histogram = false;
+  for (const Op& op : program.ops) {
+    if (op.kind == OpKind::kHistogramBin) {
+      uses_histogram = true;
+      continue;
+    }
+    registers = std::max<std::uint8_t>(
+        registers, static_cast<std::uint8_t>(op.dst + 1));
+  }
+  program.registers = registers;
+
+  if (uses_histogram && !has_histogram) {
+    fail(where, "uses op 'histogram_bin' but has no 'histogram' section");
+  }
+  if (!uses_histogram && has_histogram) {
+    fail(join(path, "histogram"), "is present but no op is 'histogram_bin'");
+  }
+  if (uses_histogram && program.scope != Scope::kSwitch) {
+    fail(where, "op 'histogram_bin' requires scope 'switch' (the histogram "
+                "summarizes the link, not one flow slot)");
+  }
+
+  if (program.export_spec.has_value()) {
+    const ExportSpec& spec = *program.export_spec;
+    if (spec.value.kind == ExportValue::Kind::kQuantile) {
+      if (!uses_histogram) {
+        fail(join(path, "export"),
+             "exports a quantile but the program has no histogram");
+      }
+    } else if (spec.value.reg >= program.registers) {
+      fail(join(path, "export.register"),
+           "names register " + std::to_string(spec.value.reg) +
+               " but the program only writes registers 0.." +
+               std::to_string(program.registers - 1));
+    }
+  }
+  if (program.digest.every > 0 && program.digest.reg >= program.registers) {
+    fail(join(path, "digest.register"),
+         "names register " + std::to_string(program.digest.reg) +
+             " but the program only writes registers 0.." +
+             (program.registers > 0 ? std::to_string(program.registers - 1)
+                                    : std::string("none")));
+  }
+  return program;
+}
+
+Program compile_program_text(const std::string& text,
+                             const std::string& path) {
+  return compile_program(util::Json::parse(text), path);
+}
+
+util::Json program_to_json(const Program& program) {
+  util::Json doc = util::Json::object();
+  doc["name"] = program.name;
+  doc["scope"] = to_string(program.scope);
+  if (!program.match.empty()) {
+    util::Json match = util::Json::array();
+    for (const Condition& cond : program.match) {
+      util::Json c = util::Json::object();
+      c["field"] = telemetry::field_name(cond.field);
+      c["cmp"] = to_string(cond.cmp);
+      c["value"] = static_cast<std::int64_t>(cond.value);
+      match.as_array().push_back(std::move(c));
+    }
+    doc["match"] = std::move(match);
+  }
+  util::Json ops = util::Json::array();
+  for (const Op& op : program.ops) {
+    util::Json o = util::Json::object();
+    o["op"] = to_string(op.kind);
+    if (op.kind != OpKind::kHistogramBin) {
+      o["dst"] = static_cast<std::int64_t>(op.dst);
+    }
+    if (op.kind != OpKind::kCount) {
+      if (op.src.is_field) {
+        o["field"] = telemetry::field_name(op.src.field);
+      } else {
+        o["imm"] = static_cast<std::int64_t>(op.src.imm);
+      }
+    }
+    if (op.kind == OpKind::kEwma) {
+      o["weight"] = static_cast<std::int64_t>(op.ewma_weight);
+    }
+    ops.as_array().push_back(std::move(o));
+  }
+  doc["ops"] = std::move(ops);
+  if (program.histogram.has_value()) {
+    util::Json h = util::Json::object();
+    h["scale"] = sketch::to_string(program.histogram->scale);
+    h["min"] = program.histogram->min;
+    h["max"] = program.histogram->max;
+    h["bins"] = static_cast<std::int64_t>(program.histogram->bins);
+    doc["histogram"] = std::move(h);
+  }
+  if (program.export_spec.has_value()) {
+    const ExportSpec& spec = *program.export_spec;
+    util::Json e = util::Json::object();
+    e["metric"] = spec.metric;
+    e["value_key"] = spec.value_key;
+    switch (spec.value.kind) {
+      case ExportValue::Kind::kRegister: e["value"] = "register"; break;
+      case ExportValue::Kind::kRatePerSec: e["value"] = "rate_per_s"; break;
+      case ExportValue::Kind::kRateBps: e["value"] = "rate_bps"; break;
+      case ExportValue::Kind::kQuantile: e["value"] = "quantile"; break;
+    }
+    if (spec.value.kind == ExportValue::Kind::kQuantile) {
+      e["quantile"] = spec.value.quantile;
+    } else {
+      e["register"] = static_cast<std::int64_t>(spec.value.reg);
+    }
+    e["samples_per_second"] = spec.samples_per_second;
+    doc["export"] = std::move(e);
+  }
+  if (program.digest.every > 0) {
+    util::Json d = util::Json::object();
+    d["every"] = static_cast<std::int64_t>(program.digest.every);
+    d["register"] = static_cast<std::int64_t>(program.digest.reg);
+    doc["digest"] = std::move(d);
+  }
+  return doc;
+}
+
+}  // namespace p4s::mpl

@@ -1,0 +1,59 @@
+// MPL JSON front end: parse + validate a measurement program document
+// into the IR, with full-JSON-path diagnostics.
+//
+// Document shape (see examples/programs/*.mpl.json):
+//
+//   {
+//     "name": "byte_counter",
+//     "scope": "flow",                        // "flow" | "switch"
+//     "match": [                              // optional, ANDed
+//       {"field": "is_tcp", "cmp": "eq", "value": 1}
+//     ],
+//     "ops": [                                // 1..32
+//       {"op": "add", "dst": 0, "field": "ipv4_total_len"},
+//       {"op": "count", "dst": 1},
+//       {"op": "ewma", "dst": 2, "field": "payload_bytes", "weight": 8},
+//       {"op": "histogram_bin", "field": "queue_delay_ns"}
+//     ],
+//     "histogram": {"scale": "log", "min": 1e3, "max": 1e9, "bins": 64},
+//     "export": {                             // optional
+//       "metric": "vm_throughput",            // Report_v1 metric name
+//       "value_key": "throughput_bps",
+//       "value": "rate_bps",                  // "register" | "rate_per_s"
+//                                             // | "rate_bps" | "quantile"
+//       "register": 0,                        // value source
+//       "quantile": 0.99,                     // "quantile" only
+//       "samples_per_second": 1
+//     },
+//     "digest": {"every": 1000, "register": 0} // optional
+//   }
+//
+// Every validation error is a std::invalid_argument whose message names
+// the offending key by its FULL path under the caller-supplied prefix —
+// "switches[1].programs[0].ops[2].field" when installed from a config
+// document, "byte_counter.mpl.json: ops[2].field" from a file — so a
+// typo in a nested program is as diagnosable as a top-level one.
+#pragma once
+
+#include <string>
+
+#include "mpl/ir.hpp"
+#include "util/json.hpp"
+
+namespace p4s::mpl {
+
+/// Compile a program document. `path` prefixes every diagnostic (pass
+/// the JSON path or file name of the document; "" for a bare program).
+/// Throws std::invalid_argument on any validation failure.
+Program compile_program(const util::Json& doc, const std::string& path = "");
+
+/// Convenience: parse text, then compile_program. Throws util::JsonError
+/// on malformed JSON and std::invalid_argument on validation failures.
+Program compile_program_text(const std::string& text,
+                             const std::string& path = "");
+
+/// Canonical serialization of a compiled program (round-trips through
+/// compile_program; used by diagnostics and tests).
+util::Json program_to_json(const Program& program);
+
+}  // namespace p4s::mpl

@@ -1,0 +1,150 @@
+// MPL — the measurement program library's intermediate representation.
+//
+// A measurement program is the paper's "new metric without a recompile"
+// unit (ROADMAP: runtime-programmable measurements; *Millions of Little
+// Minions* / *Measurements As First-class Artifacts* in PAPERS.md): a
+// match predicate over the shared FieldView accessor table, a short
+// straight-line sequence of register ops executed per matched packet,
+// and an export spec naming the Report_v1 metric the control plane
+// should publish from the program's registers.
+//
+//   match:  conjunction of (field cmp constant) conditions — the
+//           ternary-match idiom of a P4 table, restricted to ranges.
+//   ops:    add / min / max / count / set / ewma / histogram_bin over a
+//           small per-program register file. Flow-scope programs get a
+//           kFlowSlots-wide window per register (indexed by the tracked
+//           flow's slot, cleared on slot release); switch-scope programs
+//           get one cell per register. histogram_bin feeds a
+//           p4s_sketch fixed-bin histogram (switch-wide, like the
+//           histogram engines).
+//   export: instantiates a MetricExtractor by name at run time —
+//           register value, rate/s, rate in bits/s (the byte-counter
+//           semantics), or a histogram quantile — at a per-program
+//           sample rate.
+//
+// The IR is deliberately tiny and fully validated at install time; the
+// per-packet interpreter (vm.hpp) does no allocation, no name lookup
+// and no branching beyond the program text itself, which is what keeps
+// interpreted overhead within the bench/program_vm budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sketch/histogram.hpp"
+#include "telemetry/field_view.hpp"
+
+namespace p4s::mpl {
+
+/// Comparison operators of a match condition.
+enum class Cmp : std::uint8_t { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+const char* to_string(Cmp cmp);
+/// Inverse of to_string ("eq", "ne", "lt", "le", "gt", "ge"); throws
+/// std::invalid_argument on unknown names.
+Cmp cmp_from_name(const std::string& name);
+
+/// One conjunct of the match predicate: field cmp value.
+struct Condition {
+  telemetry::FieldId field = telemetry::FieldId::kFlowId;
+  Cmp cmp = Cmp::kEq;
+  std::uint64_t value = 0;
+};
+
+/// Register-op kinds. All operate on uint64 registers; min behaves as
+/// "first sample wins the empty register" so a cleared slot (all zeros)
+/// never reports a spurious 0 minimum.
+enum class OpKind : std::uint8_t {
+  kCount = 0,     // dst += 1 (src ignored)
+  kAdd,           // dst += src
+  kMin,           // dst = min(dst, src); empty (0 with no sample) adopts src
+  kMax,           // dst = max(dst, src)
+  kSet,           // dst = src (last value wins)
+  kEwma,          // dst = ((weight-1)*dst + src) / weight, integer
+  kHistogramBin,  // program histogram. add(src); no register written
+};
+
+const char* to_string(OpKind kind);
+/// Inverse of to_string ("count", "add", "min", "max", "set", "ewma",
+/// "histogram_bin"); throws std::invalid_argument on unknown names.
+OpKind op_from_name(const std::string& name);
+
+/// Op source: a FieldView field or an immediate constant.
+struct Operand {
+  bool is_field = true;
+  telemetry::FieldId field = telemetry::FieldId::kIpv4TotalLen;
+  std::uint64_t imm = 0;
+};
+
+struct Op {
+  OpKind kind = OpKind::kCount;
+  /// Destination register (ignored by histogram_bin).
+  std::uint8_t dst = 0;
+  Operand src;
+  /// ewma smoothing denominator (the IAT monitor's value is 8:
+  /// (7*ewma + x) / 8). Must be >= 2.
+  std::uint32_t ewma_weight = 8;
+};
+
+/// Where the program runs.
+enum class Scope : std::uint8_t {
+  kFlow = 0,  // measurement path: tracked data packets, slot-indexed
+  kSwitch,    // every parsed copy on the link, single register cells
+};
+
+const char* to_string(Scope scope);
+Scope scope_from_name(const std::string& name);
+
+/// How the export spec turns a register into the report value.
+struct ExportValue {
+  enum class Kind : std::uint8_t {
+    kRegister = 0,  // raw register value
+    kRatePerSec,    // (value - prev) / dt since the last extraction
+    kRateBps,       // (value - prev) * 8 / dt — the throughput semantics
+    kQuantile,      // program histogram quantile (switch scope only)
+  };
+  Kind kind = Kind::kRegister;
+  std::uint8_t reg = 0;
+  double quantile = 0.99;  // kQuantile only
+};
+
+/// The Report_v1 side: metric name (the extractor's identity), the JSON
+/// value key, the value derivation and the extraction rate.
+struct ExportSpec {
+  std::string metric;
+  std::string value_key = "value";
+  ExportValue value;
+  double samples_per_second = 1.0;
+};
+
+/// Optional digest spec: every `every`-th matched packet emits a
+/// ProgramDigest (drained by the control plane's poll loop into
+/// "program_digest" reports) carrying the watched register's value.
+struct DigestSpec {
+  std::uint32_t every = 0;  // 0 = disabled
+  std::uint8_t reg = 0;
+};
+
+struct Program {
+  std::string name;
+  Scope scope = Scope::kFlow;
+  std::vector<Condition> match;  // conjunction; empty = match everything
+  std::vector<Op> ops;
+  /// Register-file size. Flow scope: each register is a kFlowSlots-wide
+  /// window row; switch scope: one cell each.
+  std::uint8_t registers = 0;
+  /// Present iff any op is histogram_bin (bin edges in the op source's
+  /// units, nanoseconds for time fields).
+  std::optional<sketch::HistogramConfig> histogram;
+  std::optional<ExportSpec> export_spec;
+  DigestSpec digest;
+};
+
+/// Hard ceiling keeping one program's interpreter cost bounded.
+inline constexpr std::size_t kMaxOps = 32;
+inline constexpr std::size_t kMaxMatch = 16;
+inline constexpr std::size_t kMaxRegisters = 16;
+
+}  // namespace p4s::mpl

@@ -2,7 +2,11 @@
 
 #include <charconv>
 #include <cmath>
+#include <fstream>
 #include <sstream>
+
+#include "mpl/compiler.hpp"
+#include "mpl/vm.hpp"
 
 namespace p4s::ps {
 
@@ -45,10 +49,12 @@ PsConfig::Result PsConfig::run_config_p4(const std::vector<std::string>& args,
     return {false, "config-P4: no switch control plane attached"};
   }
 
-  std::optional<cp::MetricKind> metric;
+  std::optional<std::string> metric;
   std::optional<double> samples_per_second;
   std::optional<double> threshold;
   std::optional<std::string> switch_id;
+  std::optional<std::string> install_file;
+  std::optional<std::string> remove_name;
   bool alert = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -60,11 +66,18 @@ PsConfig::Result PsConfig::run_config_p4(const std::vector<std::string>& args,
     if (arg == "--metric") {
       auto v = next_value();
       if (!v) return {false, "config-P4: --metric needs a value"};
-      try {
-        metric = cp::metric_from_name(*v);
-      } catch (const std::invalid_argument& e) {
-        return {false, std::string("config-P4: ") + e.what()};
-      }
+      // Builtins and extension metrics alike: resolution is deferred to
+      // the targeted control plane, which knows its registered
+      // extractors (a VM program's exported metric counts).
+      metric = *v;
+    } else if (arg == "--install-program") {
+      auto v = next_value();
+      if (!v) return {false, "config-P4: --install-program needs a file"};
+      install_file = *v;
+    } else if (arg == "--remove-program") {
+      auto v = next_value();
+      if (!v) return {false, "config-P4: --remove-program needs a name"};
+      remove_name = *v;
     } else if (arg == "--samples_per_second") {
       auto v = next_value();
       if (!v) return {false, "config-P4: --samples_per_second needs a value"};
@@ -94,23 +107,34 @@ PsConfig::Result PsConfig::run_config_p4(const std::vector<std::string>& args,
     }
   }
 
-  if (alert && !threshold.has_value()) {
-    return {false, "config-P4: --alert requires --threshold"};
-  }
-  if (!alert && !samples_per_second.has_value()) {
+  const bool program_action =
+      install_file.has_value() || remove_name.has_value();
+  if (program_action &&
+      (metric.has_value() || alert || samples_per_second.has_value() ||
+       threshold.has_value())) {
     return {false,
-            "config-P4: nothing to do (need --samples_per_second or "
-            "--alert --threshold)"};
+            "config-P4: --install-program/--remove-program cannot be "
+            "combined with metric options"};
+  }
+  if (!program_action) {
+    if (alert && !threshold.has_value()) {
+      return {false, "config-P4: --alert requires --threshold"};
+    }
+    if (!alert && !samples_per_second.has_value()) {
+      return {false,
+              "config-P4: nothing to do (need --samples_per_second or "
+              "--alert --threshold)"};
+    }
   }
 
   // --switch targets one registered control plane by id or zero-based
   // index; the default is every registered switch.
-  std::vector<cp::ControlPlane*> switches;
+  std::vector<Plane*> switches;
   if (switch_id.has_value()) {
     for (std::size_t i = 0; i < planes_.size(); ++i) {
       if (planes_[i].id == *switch_id ||
           std::to_string(i) == *switch_id) {
-        switches.push_back(planes_[i].control_plane);
+        switches.push_back(&planes_[i]);
         break;
       }
     }
@@ -118,28 +142,103 @@ PsConfig::Result PsConfig::run_config_p4(const std::vector<std::string>& args,
       return {false, "config-P4: unknown switch '" + *switch_id + "'"};
     }
   } else {
-    for (const Plane& plane : planes_) {
-      switches.push_back(plane.control_plane);
-    }
+    for (Plane& plane : planes_) switches.push_back(&plane);
   }
 
-  // Figure 6 semantics: no --metric applies to all metrics.
-  std::vector<cp::MetricKind> targets;
-  if (metric.has_value()) {
-    targets.push_back(*metric);
-  } else {
-    for (std::size_t i = 0; i < cp::kMetricCount; ++i) {
-      targets.push_back(static_cast<cp::MetricKind>(i));
-    }
-  }
-
-  for (cp::ControlPlane* control_plane : switches) {
-    for (cp::MetricKind kind : targets) {
-      if (alert) {
-        control_plane->set_alert(kind, *threshold, samples_per_second);
-      } else {
-        control_plane->set_samples_per_second(kind, *samples_per_second);
+  if (program_action) {
+    for (const Plane* plane : switches) {
+      if (plane->vm == nullptr) {
+        return {false, "config-P4: switch '" + plane->id +
+                           "' has no measurement-program VM"};
       }
+    }
+    if (install_file.has_value()) {
+      std::ifstream in(*install_file);
+      if (!in) {
+        return {false,
+                "config-P4: cannot read program file '" + *install_file +
+                    "'"};
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      mpl::Program program;
+      try {
+        program = mpl::compile_program_text(text.str(), *install_file);
+      } catch (const util::JsonError& e) {
+        return {false, "config-P4: " + *install_file + ": " + e.what()};
+      } catch (const std::invalid_argument& e) {
+        return {false, std::string("config-P4: ") + e.what()};
+      }
+      const std::string name = program.name;
+      try {
+        for (Plane* plane : switches) plane->vm->install(program);
+      } catch (const std::invalid_argument& e) {
+        return {false, std::string("config-P4: ") + e.what()};
+      }
+      history_.push_back(original);
+      return {true, "program '" + name + "' installed on " +
+                        std::to_string(switches.size()) + " switch(es)"};
+    }
+    std::size_t removed = 0;
+    for (Plane* plane : switches) {
+      if (plane->vm->remove(*remove_name)) ++removed;
+    }
+    if (removed == 0) {
+      return {false,
+              "config-P4: no installed program '" + *remove_name + "'"};
+    }
+    history_.push_back(original);
+    return {true, "program '" + *remove_name + "' removed from " +
+                      std::to_string(removed) + " switch(es)"};
+  }
+
+  // A builtin --metric resolves through metric_from_name (which knows
+  // the paper's aliases, "RTT" included); anything else is looked up by
+  // extractor name on each targeted control plane, which reaches
+  // extension extractors — installed programs' exported metrics.
+  std::optional<cp::MetricKind> builtin_kind;
+  if (metric.has_value()) {
+    try {
+      builtin_kind = cp::metric_from_name(*metric);
+    } catch (const std::invalid_argument&) {
+      builtin_kind = std::nullopt;
+    }
+  }
+
+  // Figure 6 semantics: no --metric applies to all (builtin) metrics.
+  for (Plane* plane : switches) {
+    cp::ControlPlane* control_plane = plane->control_plane;
+    try {
+      if (metric.has_value()) {
+        if (builtin_kind.has_value()) {
+          if (alert) {
+            control_plane->set_alert(*builtin_kind, *threshold,
+                                     samples_per_second);
+          } else {
+            control_plane->set_samples_per_second(*builtin_kind,
+                                                  *samples_per_second);
+          }
+        } else if (alert) {
+          control_plane->set_alert(std::string_view(*metric), *threshold,
+                                   samples_per_second);
+        } else {
+          control_plane->set_samples_per_second(std::string_view(*metric),
+                                                *samples_per_second);
+        }
+      } else {
+        for (std::size_t i = 0; i < cp::kMetricCount; ++i) {
+          const auto kind = static_cast<cp::MetricKind>(i);
+          if (alert) {
+            control_plane->set_alert(kind, *threshold,
+                                     samples_per_second);
+          } else {
+            control_plane->set_samples_per_second(kind,
+                                                  *samples_per_second);
+          }
+        }
+      }
+    } catch (const std::invalid_argument& e) {
+      return {false, std::string("config-P4: ") + e.what()};
     }
   }
 

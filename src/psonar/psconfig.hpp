@@ -20,6 +20,18 @@
 // applies the command to every registered switch:
 //
 //   psconfig config-P4 --switch site-b --metric rtt --samples_per_second 2
+//
+// Runtime-programmable measurements (src/mpl): --install-program
+// compiles a .mpl.json measurement program and installs it on the
+// targeted switches' VMs; --remove-program uninstalls by name. An
+// installed program's exported metric is configurable by name like any
+// builtin:
+//
+//   psconfig config-P4 --install-program byte_counter.mpl.json
+//                      --switch site-b
+//   psconfig config-P4 --metric vm_throughput --samples_per_second 4
+//   psconfig config-P4 --remove-program byte_counter
+//
 // pSConfig also carries its original duty: JSON mesh templates that
 // define which active tests run between which hosts on what schedule
 // (apply_mesh). Template format (a compact pscfg.json analogue):
@@ -45,6 +57,10 @@
 #include "psonar/pscheduler.hpp"
 #include "util/json.hpp"
 
+namespace p4s::mpl {
+class ProgramVm;
+}
+
 namespace p4s::ps {
 
 class PsConfig {
@@ -63,9 +79,12 @@ class PsConfig {
 
   /// Register one monitored switch's control plane under its id. Fabric
   /// deployments call this once per site; config-P4 then targets one via
-  /// --switch <id|index> or all of them when --switch is omitted.
-  void add_control_plane(cp::ControlPlane& control_plane, std::string id) {
-    planes_.push_back(Plane{std::move(id), &control_plane});
+  /// --switch <id|index> or all of them when --switch is omitted. `vm`
+  /// is the switch's measurement-program VM when it has one —
+  /// --install-program / --remove-program target it.
+  void add_control_plane(cp::ControlPlane& control_plane, std::string id,
+                         mpl::ProgramVm* vm = nullptr) {
+    planes_.push_back(Plane{std::move(id), &control_plane, vm});
   }
 
   std::size_t control_plane_count() const { return planes_.size(); }
@@ -97,6 +116,7 @@ class PsConfig {
   struct Plane {
     std::string id;
     cp::ControlPlane* control_plane = nullptr;
+    mpl::ProgramVm* vm = nullptr;
   };
 
   Result run_config_p4(const std::vector<std::string>& args,

@@ -96,22 +96,19 @@ void DataPlaneProgram::ingress(p4::PacketContext& ctx) {
   const p4::FlowKey& fk = flow_key_for(tuple_from(ctx.hdr));
   const std::uint32_t pkt_sig = packet_signature(fk.key, ctx.hdr);
   const SimTime now = ctx.meta.ingress_ts;
+  const bool egress_copy =
+      ctx.meta.ingress_port != p4::P4Switch::kIngressTapPort;
 
-  const std::uint32_t hdr_bytes =
-      ctx.hdr.ipv4.header_bytes() +
-      (ctx.hdr.tcp_valid   ? ctx.hdr.tcp.header_bytes()
-       : ctx.hdr.udp_valid ? ctx.hdr.udp.header_bytes()
-       : ctx.hdr.icmp_valid ? ctx.hdr.icmp.header_bytes()
-                            : 0);
-  const std::uint32_t payload =
-      ctx.hdr.ipv4.total_len > hdr_bytes
-          ? ctx.hdr.ipv4.total_len - hdr_bytes
-          : 0;
+  // One field derivation per copy, shared by the hand-written engines
+  // below and every registered packet engine (the VM): the accessor
+  // table is THE definition of each field's arithmetic.
+  FieldView view(ctx, fk, egress_copy);
 
-  if (ctx.meta.ingress_port == p4::P4Switch::kIngressTapPort) {
+  if (!egress_copy) {
     ++ingress_copies_;
     queue_.on_ingress_copy(pkt_sig, now);
-    process_measurement_path(ctx, fk, payload);
+    process_measurement_path(view);
+    for (PacketEngine* engine : packet_engines_) engine->on_packet(view);
     return;
   }
 
@@ -121,10 +118,12 @@ void DataPlaneProgram::ingress(p4::PacketContext& ctx) {
   // signal that collapses instantly under an LOS blockage (§5.4.3),
   // whereas arrivals keep flowing until TCP itself stalls.
   ++egress_copies_;
+  const std::uint32_t payload = view.payload_bytes();
   const std::uint32_t flow_id = fk.flow_id;
   std::optional<std::uint16_t> slot = tracker_.dp_slot_of(flow_id);
   const std::optional<SimTime> delay =
       queue_.on_egress_copy(pkt_sig, slot, now);
+  if (delay.has_value()) view.set_queue_delay(*delay);
   // The switch-wide histograms observe every packet on the link, tracked
   // or not — that is their whole point.
   if (delay.has_value()) {
@@ -137,25 +136,22 @@ void DataPlaneProgram::ingress(p4::PacketContext& ctx) {
     if (delay.has_value()) limit_.on_queue_delay(*slot, *delay);
     if (payload > 0) {
       iat_.on_data(*slot, now);
-      int_.on_egress(*slot, flow_id,
-                     ctx.hdr.tcp_valid ? ctx.hdr.tcp.seq : 0,
-                     delay.value_or(0), now);
+      int_.on_egress(*slot, flow_id, view.tcp_seq(), delay.value_or(0),
+                     now);
     }
   }
+  for (PacketEngine* engine : packet_engines_) engine->on_packet(view);
 }
 
-void DataPlaneProgram::process_measurement_path(
-    const p4::PacketContext& ctx, const p4::FlowKey& fk,
-    std::uint32_t payload) {
-  const SimTime now = ctx.meta.ingress_ts;
-  const bool is_tcp = ctx.hdr.tcp_valid;
-  const std::uint8_t flags = is_tcp ? ctx.hdr.tcp.flags : 0;
-  const bool syn = is_tcp && (flags & net::tcpflags::kSyn) != 0;
-  const bool fin = is_tcp && (flags & net::tcpflags::kFin) != 0;
-  const bool pure_ack = is_tcp && payload == 0 && !syn && !fin &&
-                        (flags & net::tcpflags::kAck) != 0;
+void DataPlaneProgram::process_measurement_path(const FieldView& view) {
+  const p4::PacketContext& ctx = view.ctx();
+  const p4::FlowKey& fk = view.flow_key();
+  const SimTime now = view.ingress_ts();
+  const bool is_tcp = view.is_tcp();
+  const std::uint32_t payload = view.payload_bytes();
+  const bool fin = view.fin();
 
-  if (pure_ack) {
+  if (view.pure_ack()) {
     // ACK branch of Algorithm 1: this packet travels the reverse
     // direction; hash of its reversed tuple is the data flow's ID.
     const std::uint32_t ack_flow_id = fk.flow_id;
@@ -188,6 +184,9 @@ void DataPlaneProgram::process_measurement_path(
   if (!slot.has_value()) return;
 
   counters_.on_data(*slot, ctx.hdr.ipv4.total_len, now);
+  for (PacketEngine* engine : packet_engines_) {
+    engine->on_tracked_data(*slot, view);
+  }
 
   if (is_tcp) {
     const std::uint32_t rev_flow_id = fk.rev_flow_id;

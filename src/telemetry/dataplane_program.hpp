@@ -22,6 +22,7 @@
 #include "p4/p4_switch.hpp"
 #include "p4/pipeline.hpp"
 #include "p4/register.hpp"
+#include "telemetry/field_view.hpp"
 #include "telemetry/flow_counters.hpp"
 #include "telemetry/flow_tracker.hpp"
 #include "telemetry/histogram_engines.hpp"
@@ -29,6 +30,7 @@
 #include "telemetry/int_export.hpp"
 #include "telemetry/limit_classifier.hpp"
 #include "telemetry/metric_engine.hpp"
+#include "telemetry/packet_engine.hpp"
 #include "telemetry/queue_monitor.hpp"
 #include "telemetry/rtt_loss.hpp"
 #include "telemetry/types.hpp"
@@ -105,6 +107,18 @@ class DataPlaneProgram : public p4::P4Program {
   /// caller must keep it alive for the program's lifetime.
   void register_engine(MetricEngine& engine) { engines_.push_back(&engine); }
 
+  /// Register an engine that also observes the per-packet FieldView
+  /// stream (the measurement-program VM). Enrolls it in the MetricEngine
+  /// registry too; same ownership rules as register_engine().
+  void register_packet_engine(PacketEngine& engine) {
+    register_engine(engine);
+    packet_engines_.push_back(&engine);
+  }
+
+  const std::vector<PacketEngine*>& packet_engines() const {
+    return packet_engines_;
+  }
+
   /// True when every registered engine reports `slot` cleared — the
   /// invariant release_slot() establishes.
   bool slot_cleared(std::uint16_t slot) const;
@@ -124,9 +138,7 @@ class DataPlaneProgram : public p4::P4Program {
   std::uint64_t flow_key_memo_hits() const { return memo_hits_; }
 
  private:
-  void process_measurement_path(const p4::PacketContext& ctx,
-                                const p4::FlowKey& fk,
-                                std::uint32_t payload_bytes);
+  void process_measurement_path(const FieldView& view);
 
   static net::FiveTuple tuple_from(const p4::ParsedHeaders& hdr);
   static std::uint32_t packet_signature(
@@ -154,6 +166,7 @@ class DataPlaneProgram : public p4::P4Program {
   std::vector<QueueDelayHistogramEngine*> queue_hists_;
 
   std::vector<MetricEngine*> engines_;
+  std::vector<PacketEngine*> packet_engines_;
   p4::DigestQueue<FlowFinDigest> fin_digests_;
 
   p4::FlowKey memo_{};

@@ -1,0 +1,90 @@
+#include "telemetry/field_view.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace p4s::telemetry {
+
+namespace {
+
+// Index-aligned with FieldId; field_from_name walks it linearly (the
+// compiler front end resolves names once at install time, never on the
+// packet path).
+constexpr const char* kFieldNames[kFieldCount] = {
+    "flow_id",        "rev_flow_id",    "src_ip",
+    "dst_ip",         "src_port",       "dst_port",
+    "protocol",       "ipv4_total_len", "header_bytes",
+    "payload_bytes",  "tcp_seq",        "tcp_ack",
+    "tcp_flags",      "is_tcp",         "is_udp",
+    "is_syn",         "is_fin",         "is_pure_ack",
+    "ingress_ts_ns",  "tap_point",      "queue_delay_ns",
+    "queue_delay_valid",
+};
+
+}  // namespace
+
+const char* field_name(FieldId field) {
+  return kFieldNames[static_cast<std::size_t>(field)];
+}
+
+FieldId field_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if (name == kFieldNames[i]) return static_cast<FieldId>(i);
+  }
+  throw std::invalid_argument("unknown field: " + std::string(name));
+}
+
+FieldView::FieldView(const p4::PacketContext& ctx, const p4::FlowKey& fk,
+                     bool egress_copy)
+    : ctx_(&ctx), fk_(&fk), egress_copy_(egress_copy) {
+  // The historical derivation from DataPlaneProgram::ingress, verbatim:
+  // L4 header bytes by validity bit, payload clamped at zero (captures
+  // can carry total_len values smaller than the parsed headers).
+  header_bytes_ = ctx.hdr.ipv4.header_bytes() +
+                  (ctx.hdr.tcp_valid    ? ctx.hdr.tcp.header_bytes()
+                   : ctx.hdr.udp_valid  ? ctx.hdr.udp.header_bytes()
+                   : ctx.hdr.icmp_valid ? ctx.hdr.icmp.header_bytes()
+                                        : 0);
+  payload_ = ctx.hdr.ipv4.total_len > header_bytes_
+                 ? ctx.hdr.ipv4.total_len - header_bytes_
+                 : 0;
+  const bool is_tcp = ctx.hdr.tcp_valid;
+  const std::uint8_t flags = is_tcp ? ctx.hdr.tcp.flags : 0;
+  syn_ = is_tcp && (flags & net::tcpflags::kSyn) != 0;
+  fin_ = is_tcp && (flags & net::tcpflags::kFin) != 0;
+  pure_ack_ = is_tcp && payload_ == 0 && !syn_ && !fin_ &&
+              (flags & net::tcpflags::kAck) != 0;
+}
+
+std::uint64_t FieldView::get(FieldId field) const {
+  switch (field) {
+    case FieldId::kFlowId: return fk_->flow_id;
+    case FieldId::kRevFlowId: return fk_->rev_flow_id;
+    case FieldId::kSrcIp: return ctx_->hdr.ipv4.src;
+    case FieldId::kDstIp: return ctx_->hdr.ipv4.dst;
+    case FieldId::kSrcPort: return fk_->tuple.src_port;
+    case FieldId::kDstPort: return fk_->tuple.dst_port;
+    case FieldId::kProtocol: return ctx_->hdr.ipv4.protocol;
+    case FieldId::kIpv4TotalLen: return ctx_->hdr.ipv4.total_len;
+    case FieldId::kHeaderBytes: return header_bytes_;
+    case FieldId::kPayloadBytes: return payload_;
+    case FieldId::kTcpSeq: return tcp_seq();
+    case FieldId::kTcpAck: return tcp_ack();
+    case FieldId::kTcpFlags:
+      return ctx_->hdr.tcp_valid ? ctx_->hdr.tcp.flags : 0;
+    case FieldId::kIsTcp: return ctx_->hdr.tcp_valid ? 1 : 0;
+    case FieldId::kIsUdp: return ctx_->hdr.udp_valid ? 1 : 0;
+    case FieldId::kIsSyn: return syn_ ? 1 : 0;
+    case FieldId::kIsFin: return fin_ ? 1 : 0;
+    case FieldId::kIsPureAck: return pure_ack_ ? 1 : 0;
+    case FieldId::kIngressTsNs:
+      return static_cast<std::uint64_t>(ctx_->meta.ingress_ts);
+    case FieldId::kTapPoint: return egress_copy_ ? 1 : 0;
+    case FieldId::kQueueDelayNs:
+      return static_cast<std::uint64_t>(queue_delay_ns_);
+    case FieldId::kQueueDelayValid: return queue_delay_valid_ ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace p4s::telemetry

@@ -1,0 +1,124 @@
+// FieldView — the per-packet field accessor table shared by the
+// hand-written engines and the measurement-program VM (src/mpl).
+//
+// DataPlaneProgram::ingress used to derive the same handful of values
+// (payload bytes, TCP flag classification, flow ids) inline and pass
+// scalars into each engine; any new consumer — the VM above all — would
+// have had to re-derive them, inviting drift in exactly the arithmetic
+// the golden traces pin. FieldView computes them ONCE per parsed copy
+// and exposes two faces over the same data:
+//
+//   * typed accessors (payload_bytes, pure_ack, ...) for the
+//     hand-written pipeline — zero-cost, used by DataPlaneProgram;
+//   * a named table (FieldId + get() + field_from_name()) for the VM's
+//     match predicates and register ops, so a measurement program's
+//     "field": "ipv4_total_len" resolves to the very value the builtin
+//     engines consume.
+//
+// The derivations are byte-for-byte the historical ones: payload =
+// total_len - header bytes (clamped), pure-ACK = TCP, no payload, no
+// SYN/FIN, ACK set.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "p4/hash.hpp"
+#include "p4/parser.hpp"
+#include "util/units.hpp"
+
+namespace p4s::telemetry {
+
+/// Fields a measurement program can read. Every entry resolves through
+/// FieldView::get() to a uint64 (booleans as 0/1, addresses/ports as
+/// host-order integers, times in nanoseconds).
+enum class FieldId : std::uint8_t {
+  kFlowId = 0,       // hash(5-tuple)
+  kRevFlowId,        // hash(reversed 5-tuple)
+  kSrcIp,
+  kDstIp,
+  kSrcPort,
+  kDstPort,
+  kProtocol,         // IPv4 protocol number
+  kIpv4TotalLen,     // the byte-counter's input (§4.1)
+  kHeaderBytes,      // IPv4 + L4 header bytes
+  kPayloadBytes,     // total_len - header bytes, clamped at 0
+  kTcpSeq,           // 0 unless TCP
+  kTcpAck,
+  kTcpFlags,
+  kIsTcp,            // header validity bits
+  kIsUdp,
+  kIsSyn,            // flag classification (TCP only, else 0)
+  kIsFin,
+  kIsPureAck,        // payload == 0, no SYN/FIN, ACK set
+  kIngressTsNs,      // intrinsic metadata timestamp
+  kTapPoint,         // 0 = ingress-TAP copy, 1 = egress-TAP copy
+  kQueueDelayNs,     // egress copies with a matched TAP pair; else 0
+  kQueueDelayValid,  // whether kQueueDelayNs carries a measurement
+};
+
+inline constexpr std::size_t kFieldCount =
+    static_cast<std::size_t>(FieldId::kQueueDelayValid) + 1;
+
+/// Stable field name ("flow_id", "ipv4_total_len", ...).
+const char* field_name(FieldId field);
+/// Inverse of field_name; throws std::invalid_argument on unknown names.
+FieldId field_from_name(std::string_view name);
+
+class FieldView {
+ public:
+  /// Build the view for one parsed copy. `ctx.hdr.ipv4_valid` must hold
+  /// (the pipeline rejects everything else before any engine runs);
+  /// `fk` must be the key of ctx's 5-tuple. `egress_copy` selects the
+  /// TAP point. The context and key are referenced, not copied — the
+  /// view is valid for the duration of the pipeline pass only.
+  FieldView(const p4::PacketContext& ctx, const p4::FlowKey& fk,
+            bool egress_copy);
+
+  // ---- Typed accessors (the hand-written engines' face) ---------------
+  const p4::PacketContext& ctx() const { return *ctx_; }
+  const p4::FlowKey& flow_key() const { return *fk_; }
+  std::uint32_t flow_id() const { return fk_->flow_id; }
+  std::uint32_t rev_flow_id() const { return fk_->rev_flow_id; }
+  std::uint32_t ipv4_total_len() const { return ctx_->hdr.ipv4.total_len; }
+  std::uint32_t header_bytes() const { return header_bytes_; }
+  std::uint32_t payload_bytes() const { return payload_; }
+  bool is_tcp() const { return ctx_->hdr.tcp_valid; }
+  bool syn() const { return syn_; }
+  bool fin() const { return fin_; }
+  bool pure_ack() const { return pure_ack_; }
+  std::uint32_t tcp_seq() const {
+    return ctx_->hdr.tcp_valid ? ctx_->hdr.tcp.seq : 0;
+  }
+  std::uint32_t tcp_ack() const {
+    return ctx_->hdr.tcp_valid ? ctx_->hdr.tcp.ack : 0;
+  }
+  SimTime ingress_ts() const { return ctx_->meta.ingress_ts; }
+  bool egress_copy() const { return egress_copy_; }
+
+  /// Attach the measured queuing delay once the egress branch resolved
+  /// the TAP pair (before the packet-engine hooks run).
+  void set_queue_delay(SimTime delay_ns) {
+    queue_delay_ns_ = delay_ns;
+    queue_delay_valid_ = true;
+  }
+  bool queue_delay_valid() const { return queue_delay_valid_; }
+  SimTime queue_delay_ns() const { return queue_delay_ns_; }
+
+  // ---- Named table (the VM's face) ------------------------------------
+  std::uint64_t get(FieldId field) const;
+
+ private:
+  const p4::PacketContext* ctx_;
+  const p4::FlowKey* fk_;
+  std::uint32_t header_bytes_ = 0;
+  std::uint32_t payload_ = 0;
+  bool syn_ = false;
+  bool fin_ = false;
+  bool pure_ack_ = false;
+  bool egress_copy_ = false;
+  bool queue_delay_valid_ = false;
+  SimTime queue_delay_ns_ = 0;
+};
+
+}  // namespace p4s::telemetry

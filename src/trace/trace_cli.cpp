@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "mpl/compiler.hpp"
 #include "trace/pcap.hpp"
 #include "trace/trace_replayer.hpp"
 #include "util/cli.hpp"
@@ -31,13 +34,22 @@ void usage(std::ostream& err) {
          "through the\n"
          "                                   pipeline and render the "
          "metric's\n"
-         "                                   bin counts and quantiles\n"
+         "                                   bin counts and quantiles; "
+         "with no\n"
+         "                                   metric name, list the "
+         "metrics the\n"
+         "                                   capture offers\n"
          "  replay <ingress.pcap> [<egress.pcap>] [--max-speed]\n"
          "         [--samples-per-second N] [--seed N] [--runout-seconds S]\n"
          "         [--buffer-bytes B] [--bottleneck-bps R] "
          "[--print-reports]\n"
+         "         [--program <file.mpl.json>]\n"
          "                                   replay through the P4 "
-         "pipeline\n";
+         "pipeline;\n"
+         "                                   --program installs a "
+         "measurement\n"
+         "                                   program on the pipeline's "
+         "VM\n";
 }
 
 std::string fmt_seconds(SimTime ns) {
@@ -88,15 +100,45 @@ int cmd_info(const std::vector<std::string>& files, std::ostream& out) {
   return 0;
 }
 
+// Replay the capture through one engine of every histogram metric and
+// list what each would observe — the discovery path for `--histogram`
+// with no (or an unknown) metric name.
+void list_histogram_metrics(const TraceReplayer& trace, std::ostream& out) {
+  ReplayPipeline::Config config;
+  for (const auto metric :
+       {telemetry::HistogramEngineConfig::Metric::kRtt,
+        telemetry::HistogramEngineConfig::Metric::kIat,
+        telemetry::HistogramEngineConfig::Metric::kQueueDelay}) {
+    telemetry::HistogramEngineConfig hc;
+    hc.metric = metric;
+    config.program.histograms.push_back(hc);
+  }
+  ReplayPipeline pipeline(config);
+  trace.replay_now(pipeline.simulation(), pipeline.p4_switch(),
+                   /*advance_clock=*/true);
+  out << "available histogram metrics in this capture:\n";
+  for (const auto& engine : pipeline.program().histogram_engines()) {
+    out << "  " << engine->name() << ": " << engine->samples()
+        << " samples\n";
+  }
+}
+
 // Render the bin counts of a replayed capture's histogram engine: one
 // row per bin with an ASCII bar, then the sketch quantiles.
 int render_histogram(const TraceReplayer& trace, const util::CliArgs& args,
                      std::ostream& out, std::ostream& err) {
   telemetry::HistogramEngineConfig hc;
+  const std::string metric_arg = *args.get("histogram");
+  if (metric_arg.empty()) {
+    // `--histogram` with no metric: list what the capture offers.
+    list_histogram_metrics(trace, out);
+    return 0;
+  }
   try {
-    hc.metric = telemetry::histogram_metric_from_name(*args.get("histogram"));
+    hc.metric = telemetry::histogram_metric_from_name(metric_arg);
   } catch (const std::invalid_argument& e) {
     err << "p4s-trace stats: " << e.what() << "\n";
+    list_histogram_metrics(trace, err);
     return 2;
   }
   hc.histogram.bins = args.uint_or("bins", 32);
@@ -187,6 +229,22 @@ int cmd_replay(const util::CliArgs& args,
   config.seed = args.uint_or("seed", 1);
   config.control.core_buffer_bytes = args.uint_or("buffer-bytes", 0);
   config.control.bottleneck_bps = args.uint_or("bottleneck-bps", 0);
+  if (auto program_file = args.get("program")) {
+    std::ifstream in(*program_file);
+    if (!in) {
+      out << "error: cannot read program file '" << *program_file << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      config.programs.push_back(mpl::compile_program_text(text.str(), ""));
+    } catch (const std::exception& e) {
+      out << "error: " << *program_file << ": " << e.what() << "\n";
+      return 2;
+    }
+    out << "installed program '" << config.programs.back().name << "'\n";
+  }
   ReplayPipeline pipeline(config);
   const double sps = args.number_or("samples-per-second", 1.0);
   if (!std::isfinite(sps) || sps <= 0.0) {
@@ -239,7 +297,8 @@ int trace_cli(int argc, const char* const* argv, std::ostream& out,
   const util::CliArgs args(
       argc, argv,
       {"samples-per-second", "seed", "runout-seconds", "buffer-bytes",
-       "bottleneck-bps", "histogram", "bins", "hist-min-us", "hist-max-ms"},
+       "bottleneck-bps", "histogram", "bins", "hist-min-us", "hist-max-ms",
+       "program"},
       {"max-speed", "print-reports"});
   if (!args.errors().empty()) {
     for (const auto& e : args.errors()) err << "p4s-trace: " << e << "\n";

@@ -177,6 +177,9 @@ ReplayPipeline::ReplayPipeline(Config config)
       control_plane_(sim_, program_, config.control) {
   p4_switch_.load_program(program_);
   control_plane_.set_sink(this);
+  program_.register_packet_engine(vm_);
+  vm_.bind(control_plane_);
+  for (const mpl::Program& p : config.programs) vm_.install(p);
 }
 
 void ReplayPipeline::on_report(const util::Json& report) {

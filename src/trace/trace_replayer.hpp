@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "controlplane/control_plane.hpp"
+#include "mpl/vm.hpp"
 #include "net/tap.hpp"
 #include "p4/p4_switch.hpp"
 #include "sim/simulation.hpp"
@@ -118,6 +119,9 @@ class ReplayPipeline : public cp::ReportSink {
   struct Config {
     telemetry::DataPlaneProgram::Config program;
     cp::ControlPlaneConfig control;
+    /// Measurement programs installed on the pipeline's VM before the
+    /// run (p4s-trace replay --program <file.mpl.json>).
+    std::vector<mpl::Program> programs;
     std::uint64_t seed = 1;
   };
 
@@ -130,6 +134,7 @@ class ReplayPipeline : public cp::ReportSink {
   telemetry::DataPlaneProgram& program() { return program_; }
   p4::P4Switch& p4_switch() { return p4_switch_; }
   cp::ControlPlane& control_plane() { return control_plane_; }
+  mpl::ProgramVm& program_vm() { return vm_; }
 
   /// Report_v1 documents in emission order, one dumped JSON line each.
   const std::vector<std::string>& report_lines() const { return reports_; }
@@ -147,6 +152,7 @@ class ReplayPipeline : public cp::ReportSink {
   telemetry::DataPlaneProgram program_;
   p4::P4Switch p4_switch_;
   cp::ControlPlane control_plane_;
+  mpl::ProgramVm vm_;
   std::vector<std::string> reports_;
 };
 

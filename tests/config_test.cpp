@@ -433,5 +433,98 @@ TEST(ConfigLoader, ServingDisabledBuildsNoServer) {
   EXPECT_FALSE(system.serving());
 }
 
+// ---------------------------------------------------------- programs
+
+std::string config_error(const std::string& text) {
+  try {
+    core::config_from_text(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ConfigLoader, ProgramsSection) {
+  const auto config = core::config_from_text(R"({
+    "programs": [
+      {"name": "byte_counter", "scope": "flow",
+       "ops": [{"op": "add", "dst": 0, "field": "ipv4_total_len"}],
+       "export": {"metric": "vm_throughput", "value": "rate_bps",
+                  "register": 0, "samples_per_second": 2}}
+    ],
+    "switches": [
+      {"id": "site-a"},
+      {"id": "site-b",
+       "programs": [{"name": "pkt_count", "scope": "switch",
+                     "ops": [{"op": "count", "dst": 0}]}]}
+    ]
+  })");
+  ASSERT_EQ(config.programs.size(), 1u);
+  EXPECT_EQ(config.programs[0].name, "byte_counter");
+  EXPECT_EQ(config.programs[0].export_spec->metric, "vm_throughput");
+  ASSERT_EQ(config.switches.size(), 2u);
+  EXPECT_TRUE(config.switches[0].programs.empty());
+  ASSERT_EQ(config.switches[1].programs.size(), 1u);
+  EXPECT_EQ(config.switches[1].programs[0].name, "pkt_count");
+  EXPECT_EQ(config.switches[1].programs[0].scope, mpl::Scope::kSwitch);
+}
+
+TEST(ConfigLoader, ProgramDiagnosticsNameTheFullJsonPath) {
+  // A bad field in the third op of the second switch's first program is
+  // reported by its exact key path.
+  const std::string msg = config_error(R"({
+    "switches": [
+      {"id": "a"},
+      {"id": "b", "programs": [
+        {"name": "x", "ops": [
+          {"op": "count", "dst": 0},
+          {"op": "count", "dst": 1},
+          {"op": "add", "dst": 2, "field": "bogus_field"}
+        ]}
+      ]}
+    ]
+  })");
+  EXPECT_NE(msg.find("switches[1].programs[0].ops[2].field"),
+            std::string::npos)
+      << msg;
+  // Top-level programs report under "programs[i]".
+  const std::string top = config_error(
+      R"({"programs": [{"name": "x", "ops": []}, {"scope": 5}]})");
+  EXPECT_NE(top.find("programs["), std::string::npos) << top;
+  // And a non-array section is rejected with its own path.
+  EXPECT_NE(config_error(R"({"programs": 7})").find("'programs'"),
+            std::string::npos);
+}
+
+TEST(ConfigLoader, DiagnosticsAreSectionQualified) {
+  // Ill-typed leaves name section.key, not the bare key.
+  EXPECT_NE(config_error(R"({"transport": {"latency_us": "fast"}})")
+                .find("transport.latency_us"),
+            std::string::npos);
+  EXPECT_NE(config_error(R"({"control": {"digest_poll_ms": []}})")
+                .find("control.digest_poll_ms"),
+            std::string::npos);
+  EXPECT_NE(config_error(R"({"topology": {"bottleneck_mbps": false}})")
+                .find("topology.bottleneck_mbps"),
+            std::string::npos);
+}
+
+TEST(ConfigLoader, ProgramsSectionBuildsWorkingSystem) {
+  const auto config = core::config_from_text(R"({
+    "topology": {"bottleneck_mbps": 2},
+    "programs": [
+      {"name": "byte_counter", "scope": "flow",
+       "ops": [{"op": "add", "dst": 0, "field": "ipv4_total_len"}],
+       "export": {"metric": "vm_throughput", "value": "rate_bps",
+                  "register": 0, "samples_per_second": 2}}
+    ]
+  })");
+  core::MonitoringSystem system(config);
+  auto& vm = system.monitored_switch(0).program_vm();
+  ASSERT_NE(vm.find("byte_counter"), nullptr);
+  EXPECT_TRUE(system.monitored_switch(0).control_plane().has_extractor(
+      "vm_throughput"));
+}
+
 }  // namespace
 }  // namespace p4s

@@ -1,0 +1,206 @@
+// Byte-identity of the shipped byte-counter measurement program: the
+// interpreted port (examples/programs/byte_counter.mpl.json) must
+// reproduce the hand-written throughput pipeline's Report_v1 series
+// bit for bit — same timestamps, same double values — on the fixed-seed
+// fig9-style scenario, serially and under the sharded fabric.
+//
+// Why this holds: counters_.on_data and the VM's on_tracked_data see
+// the same packets in the same order (the packet-engine hook runs right
+// after the hand-written counter update), the add op accumulates the
+// same uint64, and the VM's export reader replicates the builtin rate
+// arithmetic verbatim (prev/prev_at seeded from detected_at, value =
+// (v - prev) * 8.0 / dt). Equal integer inputs + identical double
+// expressions = bitwise-equal doubles.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/monitoring_system.hpp"
+#include "mpl/compiler.hpp"
+
+namespace p4s {
+namespace {
+
+using core::MonitoredSwitchConfig;
+using core::MonitoringSystem;
+using core::MonitoringSystemConfig;
+using core::TapPoint;
+using units::seconds;
+
+const std::string kByteCounterFile =
+    std::string(P4S_EXAMPLES_DIR) + "/programs/byte_counter.mpl.json";
+
+mpl::Program load_byte_counter() {
+  std::ifstream in(kByteCounterFile);
+  EXPECT_TRUE(in.good()) << "cannot open " << kByteCounterFile;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return mpl::compile_program_text(text.str(), kByteCounterFile);
+}
+
+struct Collector : cp::ReportSink {
+  std::vector<std::string> lines;
+  cp::ReportSink* next = nullptr;
+  void on_report(const util::Json& report) override {
+    lines.push_back(report.dump());
+    if (next != nullptr) next->on_report(report);
+  }
+};
+
+/// Per-flow series of one metric: (ts_ns, value) in emission order.
+using Series = std::map<std::int64_t, std::vector<std::pair<std::int64_t,
+                                                            double>>>;
+
+Series series_of(const std::vector<std::string>& lines,
+                 const std::string& metric, const std::string& value_key) {
+  Series series;
+  for (const std::string& line : lines) {
+    const util::Json doc = util::Json::parse(line);
+    if (doc.at("report").as_string() != metric) continue;
+    const std::int64_t flow_id = doc.at("flow").at("id").as_int();
+    series[flow_id].push_back(
+        {doc.at("ts_ns").as_int(), doc.at(value_key).as_double()});
+  }
+  return series;
+}
+
+// The fig9-style scenario: 2 Mbit/s bottleneck, fixed seed, two seeded
+// transfers, 2 samples/s on the builtins AND on the program's export.
+MonitoringSystemConfig scenario() {
+  MonitoringSystemConfig config;
+  config.topology.bottleneck_bps = units::mbps(2);
+  config.seed = 1;
+  config.programs.push_back(load_byte_counter());
+  return config;
+}
+
+std::vector<std::string> run_scenario(MonitoringSystemConfig config) {
+  MonitoringSystem system(std::move(config));
+  Collector collector;
+  auto& plane = system.monitored_switch(0).control_plane();
+  collector.next = plane.sink();
+  plane.set_sink(&collector);
+  system.psonar().psconfig().execute(
+      "psconfig config-P4 --samples_per_second 2");
+  system.start();
+  system.add_transfer(0).start_at(seconds(1));
+  system.add_transfer(1).start_at(seconds(2));
+  system.run_until(seconds(8));
+  return collector.lines;
+}
+
+TEST(ProgramVmIdentity, ByteCounterMatchesHandWrittenThroughput) {
+  const std::vector<std::string> lines = run_scenario(scenario());
+
+  const Series handwritten = series_of(lines, "throughput",
+                                       "throughput_bps");
+  const Series interpreted = series_of(lines, "vm_throughput",
+                                       "throughput_bps");
+  ASSERT_FALSE(handwritten.empty());
+  ASSERT_EQ(handwritten.size(), 2u) << "expected two tracked flows";
+  ASSERT_EQ(interpreted.size(), handwritten.size());
+
+  std::size_t samples = 0;
+  for (const auto& [flow_id, expected] : handwritten) {
+    ASSERT_TRUE(interpreted.count(flow_id))
+        << "no vm_throughput series for flow " << flow_id;
+    const auto& actual = interpreted.at(flow_id);
+    ASSERT_EQ(actual.size(), expected.size()) << "flow " << flow_id;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].first, expected[i].first)
+          << "flow " << flow_id << " sample " << i << ": timestamp";
+      // EXPECT_EQ on doubles is exact — the byte-identity contract.
+      EXPECT_EQ(actual[i].second, expected[i].second)
+          << "flow " << flow_id << " sample " << i << ": value";
+    }
+    samples += expected.size();
+  }
+  EXPECT_GE(samples, 12u) << "scenario produced too few samples to be "
+                             "a meaningful comparison";
+}
+
+// The program rides the sharded fabric unchanged: a 4-switch run with
+// the byte counter installed fabric-wide produces the identical full
+// report stream at parallel=1 and parallel=4.
+TEST(ProgramVmIdentity, FabricWideInstallIsParallelInvariant) {
+  auto run = [](std::size_t parallel) {
+    MonitoringSystemConfig config;
+    config.topology.bottleneck_bps = units::mbps(2);
+    config.seed = 42;
+    config.parallel = parallel;
+    config.programs.push_back(load_byte_counter());
+    config.switches = {
+        MonitoredSwitchConfig{"core", TapPoint::kCoreBottleneck, {}},
+        MonitoredSwitchConfig{"ext0", TapPoint::kWanExt0, {}},
+        MonitoredSwitchConfig{"ext1", TapPoint::kWanExt1, {}},
+        MonitoredSwitchConfig{"ext2", TapPoint::kWanExt2, {}},
+    };
+    MonitoringSystem system(std::move(config));
+    std::vector<Collector> sites(system.switch_count());
+    for (std::size_t i = 0; i < system.switch_count(); ++i) {
+      auto& plane = system.monitored_switch(i).control_plane();
+      sites[i].next = plane.sink();
+      plane.set_sink(&sites[i]);
+    }
+    system.psonar().psconfig().execute(
+        "psconfig config-P4 --samples_per_second 2");
+    system.start();
+    system.add_transfer(0).start_at(seconds(1));
+    system.add_transfer(1).start_at(seconds(2));
+    system.add_transfer(2).start_at(seconds(4));
+    system.run_until(seconds(8));
+    std::vector<std::vector<std::string>> out;
+    for (auto& site : sites) out.push_back(std::move(site.lines));
+    return out;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  bool saw_vm_metric = false;
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    ASSERT_EQ(serial[s].size(), parallel[s].size()) << "site " << s;
+    for (std::size_t i = 0; i < serial[s].size(); ++i) {
+      ASSERT_EQ(serial[s][i], parallel[s][i])
+          << "site " << s << " report " << i;
+      if (serial[s][i].find("\"vm_throughput\"") != std::string::npos) {
+        saw_vm_metric = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_vm_metric)
+      << "the interpreted metric never appeared in the stream";
+}
+
+// Site-level installs replace fabric-wide ones by name: a per-site
+// variant with a different export rate wins on that site only.
+TEST(ProgramVmIdentity, SiteProgramReplacesFabricWideInstall) {
+  MonitoringSystemConfig config;
+  config.topology.bottleneck_bps = units::mbps(2);
+  config.seed = 1;
+  config.programs.push_back(load_byte_counter());
+  mpl::Program site_variant = load_byte_counter();
+  site_variant.export_spec->samples_per_second = 4.0;
+  config.switches = {
+      MonitoredSwitchConfig{"core", TapPoint::kCoreBottleneck, {}},
+      MonitoredSwitchConfig{"ext0", TapPoint::kWanExt0, {site_variant}},
+  };
+  MonitoringSystem system(std::move(config));
+  auto& core_vm = system.monitored_switch(0).program_vm();
+  auto& ext_vm = system.monitored_switch(1).program_vm();
+  ASSERT_NE(core_vm.find("byte_counter"), nullptr);
+  ASSERT_NE(ext_vm.find("byte_counter"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      core_vm.find("byte_counter")->export_spec->samples_per_second, 2.0);
+  EXPECT_DOUBLE_EQ(
+      ext_vm.find("byte_counter")->export_spec->samples_per_second, 4.0);
+  EXPECT_EQ(core_vm.program_count(), 1u);
+  EXPECT_EQ(ext_vm.program_count(), 1u);
+}
+
+}  // namespace
+}  // namespace p4s

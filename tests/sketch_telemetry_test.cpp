@@ -548,5 +548,35 @@ TEST(TraceCliHistogram, RejectsUnknownMetricAndBadBounds) {
             2);
 }
 
+TEST(TraceCliHistogram, BareFlagListsTheAvailableMetrics) {
+  const std::string data = P4S_TRACE_DATA_DIR;
+  std::string out, err;
+  ASSERT_EQ(run_cli({"stats", data + "/fig9.ingress.pcap",
+                     data + "/fig9.egress.pcap", "--histogram"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("available histogram metrics"), std::string::npos)
+      << out;
+  // Every metric the capture can offer is listed with its sample count.
+  EXPECT_NE(out.find("rtt_histogram"), std::string::npos) << out;
+  EXPECT_NE(out.find("iat_histogram"), std::string::npos) << out;
+  EXPECT_NE(out.find("queue_delay_histogram"), std::string::npos) << out;
+  EXPECT_NE(out.find("samples"), std::string::npos) << out;
+}
+
+TEST(TraceCliHistogram, UnknownMetricErrorCarriesTheListing) {
+  const std::string data = P4S_TRACE_DATA_DIR;
+  std::string out, err;
+  EXPECT_EQ(run_cli({"stats", data + "/fig9.ingress.pcap",
+                     data + "/fig9.egress.pcap", "--histogram", "bogus"},
+                    &out, &err),
+            2);
+  EXPECT_NE(err.find("unknown histogram metric"), std::string::npos) << err;
+  EXPECT_NE(err.find("available histogram metrics"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("queue_delay_histogram"), std::string::npos) << err;
+}
+
 }  // namespace
 }  // namespace p4s

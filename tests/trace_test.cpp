@@ -520,6 +520,40 @@ TEST(TraceCli, ReplayRunsThePipeline) {
       << out3;
 }
 
+TEST(TraceCli, ReplayInstallsAMeasurementProgram) {
+  TwoPortFixture fx;
+  const std::string good = temp_path("byte_counter.mpl.json");
+  write_file(good, R"({
+    "name": "byte_counter", "scope": "flow",
+    "ops": [{"op": "add", "dst": 0, "field": "ipv4_total_len"}],
+    "export": {"metric": "vm_throughput", "value_key": "throughput_bps",
+               "value": "rate_bps", "register": 0,
+               "samples_per_second": 2}})");
+  std::string out, err;
+  ASSERT_EQ(run_cli({"replay", fx.ingress_path, fx.egress_path,
+                     "--max-speed", "--runout-seconds", "1", "--program",
+                     good},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("installed program 'byte_counter'"), std::string::npos)
+      << out;
+
+  // A missing file and a program that fails to compile both fail with
+  // a diagnostic instead of replaying.
+  EXPECT_EQ(run_cli({"replay", fx.ingress_path, "--program",
+                     temp_path("never_written.mpl.json")},
+                    &out, &err),
+            2);
+  EXPECT_NE(out.find("cannot read program file"), std::string::npos) << out;
+  const std::string bad = temp_path("bad.mpl.json");
+  write_file(bad, R"({"name": "x", "scope": "flow", "ops": []})");
+  EXPECT_EQ(run_cli({"replay", fx.ingress_path, "--program", bad},
+                    &out, &err),
+            2);
+  EXPECT_NE(out.find("bad.mpl.json: program:"), std::string::npos) << out;
+}
+
 TEST(TraceCli, MalformedInputsFailCleanly) {
   const std::string bad = temp_path("not_a_capture.pcap");
   write_file(bad, "garbage bytes, not a pcap file at all......");
