@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"config", "flows", "duration", "bottleneck-mbps", "cc", "join-at",
        "buffer-bdp-ms", "seed", "csv", "svg", "report-sps"},
-      {"help"});
+      {"help", "quic"});
   if (!args.errors().empty() || args.has("help")) {
     for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n",
                                                      e.c_str());
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
         "usage: run_experiment [--config file.json] [--flows N<=3] "
         "[--duration S] [--bottleneck-mbps M] [--cc reno|cubic|bbr] "
         "[--join-at S] [--buffer-bdp-ms MS] [--seed N] [--report-sps R] "
-        "[--csv out.csv] [--svg out.svg]\n");
+        "[--quic] [--csv out.csv] [--svg out.svg]\n");
     return args.has("help") ? 0 : 2;
   }
 
@@ -80,15 +80,25 @@ int main(int argc, char** argv) {
   system.psonar().psconfig().execute(cmd);
   system.start();
 
+  // --quic routes the transfers over the QUIC-like encrypted transport
+  // (spin-bit observable; enable "telemetry": {"spin_rtt": {}} in the
+  // config to measure RTT passively — DESIGN.md §5i).
+  const bool quic = args.has("quic");
   for (std::uint64_t i = 0; i < flows; ++i) {
-    tcp::TcpFlow::Config fc;
-    fc.sender.congestion_control = cc;
-    auto& flow = system.add_transfer(static_cast<int>(i), fc);
     // Last flow joins late when --join-at is given; others start at 1 s.
     const double start =
         (join_at > 0 && i == flows - 1) ? join_at : 1.0;
-    flow.start_at(seconds_f(start));
-    flow.stop_at(seconds_f(duration));
+    if (quic) {
+      auto& flow = system.add_quic_transfer(static_cast<int>(i));
+      flow.start_at(seconds_f(start));
+      flow.stop_at(seconds_f(duration));
+    } else {
+      tcp::TcpFlow::Config fc;
+      fc.sender.congestion_control = cc;
+      auto& flow = system.add_transfer(static_cast<int>(i), fc);
+      flow.start_at(seconds_f(start));
+      flow.stop_at(seconds_f(duration));
+    }
   }
 
   core::Recorder recorder(system.simulation(), system.control_plane());
@@ -101,7 +111,8 @@ int main(int argc, char** argv) {
                   : "";
   std::printf("experiment: %llu %s flow(s), %.0f Mbps bottleneck, %.0f s"
               "%s\n",
-              static_cast<unsigned long long>(flows), cc.c_str(),
+              static_cast<unsigned long long>(flows),
+              quic ? "quic" : cc.c_str(),
               static_cast<double>(config.topology.bottleneck_bps) / 1e6,
               duration, join_note.c_str());
   recorder.print_table(std::cout, "throughput",

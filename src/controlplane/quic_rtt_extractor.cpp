@@ -1,0 +1,36 @@
+#include "controlplane/quic_rtt_extractor.hpp"
+
+namespace p4s::cp {
+
+void register_quic_rtt_extractor(ControlPlane& cp,
+                                 const telemetry::DataPlaneProgram& program,
+                                 MetricConfig config) {
+  const telemetry::SpinRttEngine* eng = program.spin_rtt_engine();
+  if (eng == nullptr) return;
+  ControlPlane::MetricExtractor ex;
+  ex.name = std::string(eng->name());
+  ex.value_key = "p50_ms";
+  ex.read_switch = [eng](SimTime) { return eng->quantile_ns(0.50) / 1e6; };
+  ex.annotate = [eng](util::Json& doc, SimTime) {
+    doc["p95_ms"] = eng->quantile_ns(0.95) / 1e6;
+    doc["samples"] = static_cast<std::int64_t>(eng->samples());
+    doc["edges"] = static_cast<std::int64_t>(eng->edges());
+    doc["rejected_reordered"] =
+        static_cast<std::int64_t>(eng->rejected_reordered());
+    doc["rejected_outlier"] =
+        static_cast<std::int64_t>(eng->rejected_outlier());
+    doc["rejected_floor"] = static_cast<std::int64_t>(eng->rejected_floor());
+    doc["dcid_collisions"] = static_cast<std::int64_t>(eng->collisions());
+  };
+  cp.register_extractor(std::move(ex), config);
+}
+
+void register_nids_digest_source(ControlPlane& cp,
+                                 telemetry::DataPlaneProgram& program) {
+  telemetry::NidsFeatureEngine* eng = program.nids_engine();
+  if (eng == nullptr) return;
+  cp.register_digest_source(
+      [eng](SimTime now) { return eng->drain_digests(now); });
+}
+
+}  // namespace p4s::cp

@@ -1,0 +1,35 @@
+// quic_rtt extractor + NIDS digest source: the control-plane face of
+// the encrypted-traffic engines.
+//
+// The spin-bit engine becomes one switch-wide extraction timer named
+// "quic_rtt" through the same register_extractor() seam the paper
+// metrics use (run-time rate configuration, alerting and boosting apply
+// unchanged). Headline value: median spin RTT in milliseconds — the
+// spin signal is noisy at the tail by construction, so the median is
+// the robust figure the experiments compare against ground truth; p95,
+// sample and rejection counters ride as annotations.
+//
+// The NIDS feature engine exports through the digest path instead: its
+// per-flow feature documents and classifier alerts are drained by the
+// control plane's digest poll and shipped as reports (the archive tags
+// attacks via report=nids_alert).
+#pragma once
+
+#include "controlplane/control_plane.hpp"
+#include "telemetry/dataplane_program.hpp"
+
+namespace p4s::cp {
+
+/// Register the "quic_rtt" extractor for the program's spin-bit engine
+/// (no-op when the program was built without one).
+void register_quic_rtt_extractor(ControlPlane& cp,
+                                 const telemetry::DataPlaneProgram& program,
+                                 MetricConfig config = {});
+
+/// Register the NIDS feature/alert digest source (no-op when the
+/// program was built without the NIDS engine). The program must outlive
+/// the control plane.
+void register_nids_digest_source(ControlPlane& cp,
+                                 telemetry::DataPlaneProgram& program);
+
+}  // namespace p4s::cp

@@ -419,6 +419,78 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
             fail("'telemetry.sketch_alpha' must be in (0, 1)");
           }
           sketch_alpha = a;
+        } else if (k == "spin_rtt") {
+          // Enabling the section (even empty) builds the spin-bit RTT
+          // engine with defaults.
+          auto& sc = config.program.spin_rtt.emplace();
+          walk(v, "telemetry.spin_rtt", [&](const std::string& sk,
+                                            const util::Json& sv) {
+            if (sk == "slots") {
+              const double n =
+                  require_number(sv, "telemetry.spin_rtt." + sk);
+              if (n < 1 || n != static_cast<std::size_t>(n)) {
+                fail("'telemetry.spin_rtt.slots' must be a positive "
+                     "integer");
+              }
+              sc.slots = static_cast<std::size_t>(n);
+            } else if (sk == "rtt_floor_us") {
+              sc.rtt_floor_ns = units::seconds_f(
+                  require_number(sv, "telemetry.spin_rtt." + sk) / 1e6);
+            } else if (sk == "outlier_factor") {
+              const double f =
+                  require_number(sv, "telemetry.spin_rtt." + sk);
+              if (!(f > 1.0)) {
+                fail("'telemetry.spin_rtt.outlier_factor' must be > 1");
+              }
+              sc.outlier_factor = f;
+            } else if (sk == "alpha") {
+              const double a =
+                  require_number(sv, "telemetry.spin_rtt." + sk);
+              if (!(a > 0.0 && a < 1.0)) {
+                fail("'telemetry.spin_rtt.alpha' must be in (0, 1)");
+              }
+              sc.sketch_alpha = a;
+            } else {
+              return false;
+            }
+            return true;
+          });
+        } else if (k == "nids") {
+          auto& nc = config.program.nids.emplace();
+          walk(v, "telemetry.nids", [&](const std::string& nk,
+                                        const util::Json& nv) {
+            auto positive = [&]() {
+              const double n =
+                  require_number(nv, "telemetry.nids." + nk);
+              if (n < 1 || n != static_cast<std::uint64_t>(n)) {
+                fail("'telemetry.nids." + nk +
+                     "' must be a positive integer");
+              }
+              return n;
+            };
+            if (nk == "max_flows") {
+              nc.max_flows = static_cast<std::size_t>(positive());
+            } else if (nk == "syn_flood_syns") {
+              nc.syn_flood_syns = static_cast<std::uint64_t>(positive());
+            } else if (nk == "syn_flood_ratio") {
+              const double r = require_number(nv, "telemetry.nids." + nk);
+              if (!(r >= 1.0)) {
+                fail("'telemetry.nids.syn_flood_ratio' must be >= 1");
+              }
+              nc.syn_flood_ratio = r;
+            } else if (nk == "port_scan_ports") {
+              nc.port_scan_ports = static_cast<std::size_t>(positive());
+            } else if (nk == "min_window_packets") {
+              nc.min_window_packets =
+                  static_cast<std::uint64_t>(positive());
+            } else if (nk == "window_ms") {
+              nc.window = static_cast<SimTime>(
+                  positive() * 1e6);  // ms -> ns
+            } else {
+              return false;
+            }
+            return true;
+          });
         } else if (k == "histograms") {
           if (!v.is_array()) {
             fail("'telemetry.histograms' must be an array");
@@ -506,6 +578,79 @@ MonitoringSystemConfig config_from_json(const util::Json& doc) {
     } else if (key == "programs") {
       // Fabric-wide measurement programs, installed on every site's VM.
       config.programs = parse_programs(value, "programs");
+    } else if (key == "workloads") {
+      // Declarative traffic generators (workload/generators): resolved
+      // against topology host names when the MonitoringSystem is built.
+      if (!value.is_array()) fail("'workloads' must be an array");
+      const auto& entries = value.as_array();
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const std::string where = "workloads[" + std::to_string(i) + "]";
+        workload::WorkloadSpec spec;
+        bool has_kind = false;
+        walk(entries[i], where, [&](const std::string& k,
+                                    const util::Json& v) {
+          if (k == "kind") {
+            if (!v.is_string()) fail("'" + where + ".kind' must be a string");
+            try {
+              spec.kind = workload::workload_kind_from_name(v.as_string());
+            } catch (const std::invalid_argument& e) {
+              fail("'" + where + ".kind': " + std::string(e.what()));
+            }
+            has_kind = true;
+          } else if (k == "src" || k == "dst") {
+            if (!v.is_string()) {
+              fail("'" + where + "." + k + "' must be a string");
+            }
+            // Fail at load time, not at MonitoringSystem construction:
+            // the topology's host names are a fixed set.
+            static constexpr const char* kHosts[] = {
+                "dtn_int",     "psonar_int",  "ext0",
+                "ext1",        "ext2",        "psonar_ext0",
+                "psonar_ext1", "psonar_ext2"};
+            const std::string name = v.as_string();
+            bool known = false;
+            for (const char* h : kHosts) known = known || name == h;
+            if (!known) {
+              fail("'" + where + "." + k + "': unknown host '" + name +
+                   "' (dtn_int, psonar_int, ext0..2, psonar_ext0..2)");
+            }
+            (k == "src" ? spec.src : spec.dst) = name;
+          } else if (k == "start_s") {
+            spec.start = units::seconds_f(require_number(v, where + "." + k));
+          } else if (k == "duration_s") {
+            spec.duration =
+                units::seconds_f(require_number(v, where + "." + k));
+          } else if (k == "pps") {
+            spec.pps = require_number(v, where + "." + k);
+          } else if (k == "port") {
+            spec.port = static_cast<std::uint16_t>(
+                require_number(v, where + "." + k));
+          } else if (k == "port_count") {
+            spec.port_count = static_cast<std::uint32_t>(
+                require_number(v, where + "." + k));
+          } else if (k == "spoof_count") {
+            const double n = require_number(v, where + "." + k);
+            if (n < 1) fail("'" + where + ".spoof_count' must be >= 1");
+            spec.spoof_count = static_cast<std::uint32_t>(n);
+          } else if (k == "elephants") {
+            spec.elephants = static_cast<std::size_t>(
+                require_number(v, where + "." + k));
+          } else if (k == "elephant_mb") {
+            spec.elephant_bytes = static_cast<std::uint64_t>(
+                require_number(v, where + "." + k) * 1e6);
+          } else if (k == "mice_per_second") {
+            spec.mice_per_second = require_number(v, where + "." + k);
+          } else if (k == "mice_kb") {
+            spec.mice_bytes = static_cast<std::uint64_t>(
+                require_number(v, where + "." + k) * 1024);
+          } else {
+            return false;
+          }
+          return true;
+        });
+        if (!has_kind) fail("'" + where + "' needs 'kind'");
+        config.workloads.push_back(std::move(spec));
+      }
     } else if (key == "control") {
       walk(value, "control", [&](const std::string& k,
                                  const util::Json& v) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "controlplane/histogram_extractor.hpp"
+#include "controlplane/quic_rtt_extractor.hpp"
 
 namespace p4s::core {
 
@@ -116,6 +117,11 @@ MonitoredSwitch::MonitoredSwitch(
   // One extraction timer per configured histogram engine (none by
   // default — the default control plane is untouched).
   cp::register_histogram_extractors(*control_plane_, *program_);
+  // Encrypted-traffic engines (both no-ops unless the program config
+  // enabled them): the spin-bit RTT engine gets its own extraction
+  // timer; the NIDS feature engine exports through the digest poll.
+  cp::register_quic_rtt_extractor(*control_plane_, *program_);
+  cp::register_nids_digest_source(*control_plane_, *program_);
   // Bind the VM (its export extractors and digest source hang off this
   // control plane), then install fabric-wide and site programs — site
   // entries replace same-named fabric-wide ones.

@@ -115,6 +115,15 @@ MonitoringSystem::MonitoringSystem(MonitoringSystemConfig config)
   for (auto& monitored : switches_) {
     monitored->control_plane().set_sink(shared_sink);
   }
+
+  // Declarative workloads: built here (hosts exist), scheduled in
+  // start(). Generators are deterministic — their schedules derive from
+  // counters, never the simulation RNG — so enabling one perturbs no
+  // other seeded output.
+  for (const workload::WorkloadSpec& spec : config_.workloads) {
+    workloads_.push_back(make_generator(
+        sim_, host_by_name(spec.src), host_by_name(spec.dst), spec));
+  }
 }
 
 MonitoringSystem::~MonitoringSystem() {
@@ -168,6 +177,7 @@ void MonitoringSystem::start() {
   if (fabric_) fabric_->start();
   if (fault_injector_) fault_injector_->arm();
   for (auto& monitored : switches_) monitored->control_plane().start();
+  for (auto& generator : workloads_) generator->start();
   if (store_ && config_.archive.maintenance_interval > 0) {
     // Background-style store maintenance on the simulation clock: commit
     // the WAL batch, seal big memtables, compact fragmented indices.
@@ -194,6 +204,39 @@ tcp::TcpFlow& MonitoringSystem::add_flow(net::Host& src, net::Host& dst,
   flows_.push_back(
       std::make_unique<tcp::TcpFlow>(sim_, src, dst, std::move(flow_config)));
   return *flows_.back();
+}
+
+quic::QuicFlow& MonitoringSystem::add_quic_transfer(
+    int ext_index, quic::QuicFlow::Config flow_config) {
+  if (ext_index < 0 || ext_index > 2) {
+    throw std::out_of_range("add_quic_transfer: ext_index must be 0..2");
+  }
+  return add_quic_flow(
+      *topology_.dtn_internal,
+      *topology_.dtn_ext[static_cast<std::size_t>(ext_index)],
+      std::move(flow_config));
+}
+
+quic::QuicFlow& MonitoringSystem::add_quic_flow(
+    net::Host& src, net::Host& dst, quic::QuicFlow::Config flow_config) {
+  quic_flows_.push_back(std::make_unique<quic::QuicFlow>(
+      sim_, src, dst, std::move(flow_config)));
+  return *quic_flows_.back();
+}
+
+net::Host& MonitoringSystem::host_by_name(const std::string& name) {
+  if (name == "dtn_int") return *topology_.dtn_internal;
+  if (name == "psonar_int") return *topology_.psonar_internal;
+  for (int i = 0; i < 3; ++i) {
+    const std::string suffix = std::to_string(i);
+    if (name == "ext" + suffix) {
+      return *topology_.dtn_ext[static_cast<std::size_t>(i)];
+    }
+    if (name == "psonar_ext" + suffix) {
+      return *topology_.psonar_ext[static_cast<std::size_t>(i)];
+    }
+  }
+  throw std::invalid_argument("unknown topology host: " + name);
 }
 
 }  // namespace p4s::core

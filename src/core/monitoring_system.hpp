@@ -35,12 +35,14 @@
 #include "net/topology.hpp"
 #include "p4/p4_switch.hpp"
 #include "psonar/node.hpp"
+#include "quic/flow.hpp"
 #include "psonar/store_server.hpp"
 #include "sim/simulation.hpp"
 #include "store/store.hpp"
 #include "tcp/flow.hpp"
 #include "telemetry/dataplane_program.hpp"
 #include "trace/trace_capture.hpp"
+#include "workload/generators.hpp"
 
 namespace p4s::core {
 
@@ -118,6 +120,11 @@ struct MonitoringSystemConfig {
   /// Test-only: randomized worker stalls (see ShardPool::Config) for the
   /// parallel determinism battery. 0 = off.
   std::uint64_t scheduling_jitter_seed = 0;
+  /// Declarative traffic workloads (the config loader's "workloads"
+  /// section): adversarial generators (SYN flood, port scan) and the
+  /// benign elephant/mice mix, resolved against topology host names and
+  /// started with the system.
+  std::vector<workload::WorkloadSpec> workloads;
   SimTime tap_latency = units::microseconds(1);
   std::uint64_t seed = 1;
 };
@@ -144,6 +151,21 @@ class MonitoringSystem {
   /// Create a transfer between arbitrary hosts of the topology.
   tcp::TcpFlow& add_flow(net::Host& src, net::Host& dst,
                          tcp::TcpFlow::Config flow_config = {});
+
+  /// Create an encrypted QUIC transfer from the internal DTN to external
+  /// DTN `ext_index` (0..2). Owned by the system; schedule with
+  /// start_at()/stop_at().
+  quic::QuicFlow& add_quic_transfer(int ext_index,
+                                    quic::QuicFlow::Config flow_config = {});
+
+  /// Create a QUIC transfer between arbitrary hosts of the topology.
+  quic::QuicFlow& add_quic_flow(net::Host& src, net::Host& dst,
+                                quic::QuicFlow::Config flow_config = {});
+
+  /// Resolve a topology host by its config name: "dtn_int",
+  /// "psonar_int", "ext0".."ext2", "psonar_ext0".."psonar_ext2". Throws
+  /// std::invalid_argument on unknown names.
+  net::Host& host_by_name(const std::string& name);
 
   /// Advance the run to `t`. In parallel mode this ends with an
   /// inclusive fabric barrier at `t`, after which every shard's clock
@@ -246,6 +268,15 @@ class MonitoringSystem {
   const std::vector<std::unique_ptr<tcp::TcpFlow>>& flows() const {
     return flows_;
   }
+  const std::vector<std::unique_ptr<quic::QuicFlow>>& quic_flows() const {
+    return quic_flows_;
+  }
+  /// Generators built from config.workloads, in config order; start()
+  /// schedules them.
+  const std::vector<std::unique_ptr<workload::TrafficGenerator>>& workloads()
+      const {
+    return workloads_;
+  }
 
  private:
   MonitoringSystemConfig config_;
@@ -263,6 +294,8 @@ class MonitoringSystem {
   std::unique_ptr<net::FaultInjector> fault_injector_;
   std::unique_ptr<cp::ResilientReportSink> resilient_sink_;
   std::vector<std::unique_ptr<tcp::TcpFlow>> flows_;
+  std::vector<std::unique_ptr<quic::QuicFlow>> quic_flows_;
+  std::vector<std::unique_ptr<workload::TrafficGenerator>> workloads_;
   // Declared last: destroyed first, stopping the workers while every
   // shard's simulation and sinks are still alive.
   std::unique_ptr<FabricExecutor> fabric_;

@@ -114,4 +114,25 @@ Packet make_icmp_packet(Ipv4Address src, Ipv4Address dst, std::uint8_t type,
   return p;
 }
 
+Packet make_quic_packet(Ipv4Address src, Ipv4Address dst,
+                        std::uint16_t src_port, std::uint16_t dst_port,
+                        const QuicHeader& hdr, std::uint32_t payload) {
+  Packet p;
+  p.ip.src = src;
+  p.ip.dst = dst;
+  p.ip.protocol = static_cast<std::uint8_t>(Protocol::kUdp);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(udp.header_bytes() +
+                                          hdr.header_bytes() + payload);
+  p.l4 = udp;
+  p.ip.total_len =
+      static_cast<std::uint16_t>(p.ip.header_bytes() + udp.length);
+  p.quic = hdr;
+  p.has_quic = true;
+  p.uid = next_uid();
+  return p;
+}
+
 }  // namespace p4s::net

@@ -109,6 +109,54 @@ struct IcmpHeader {
   std::uint32_t header_bytes() const { return 8; }
 };
 
+/// QUIC-like packet header carried inside a UDP payload (a fixed-shape
+/// subset of RFC 9000): long headers for the handshake (version + both
+/// connection IDs visible), short headers for 1-RTT packets (DCID + the
+/// latency spin bit, §17.4). Connection IDs are always 8 bytes and
+/// packet numbers are always encoded on 4 — the simulator never needs
+/// variable-length encodings, and a fixed shape keeps the P4 parse
+/// graph honest about what a switch can extract without loops.
+///
+/// Everything BEYOND this header — stream data, ACK frames — is
+/// ciphertext to the network: the wire codec emits only the header and
+/// an opaque payload length, exactly like real QUIC short packets.
+struct QuicHeader {
+  bool long_form = false;  // long (handshake) vs short (1-RTT) header
+  bool spin = false;       // latency spin bit; short headers only
+  std::uint8_t type = 0;   // long-header packet type (0 = Initial)
+  std::uint32_t version = 1;  // long headers only (QUIC v1)
+  std::uint64_t dcid = 0;
+  std::uint64_t scid = 0;  // long headers only
+  std::uint32_t packet_number = 0;
+
+  // byte0 + version(4) + dcid_len(1) + dcid(8) + scid_len(1) + scid(8)
+  // + pn(4) = 27; short: byte0 + dcid(8) + pn(4) = 13.
+  std::uint32_t header_bytes() const { return long_form ? 27u : 13u; }
+};
+
+/// Inclusive packet-number range [start, end] inside an ACK frame.
+struct QuicAckRange {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+};
+
+/// Modeled QUIC frame contents — the *plaintext* inside the encrypted
+/// payload. Carried on the value type but NEVER serialized by the wire
+/// codec (like AppData): the P4 pipeline sees only the opaque payload
+/// length, so ACKs are invisible to passive observers. Only endpoints
+/// decrypt these.
+struct QuicFrames {
+  // STREAM frame: [stream_offset, stream_offset + stream_len).
+  bool has_stream = false;
+  std::uint64_t stream_offset = 0;
+  std::uint32_t stream_len = 0;
+  bool stream_fin = false;
+  // ACK frame: up to 3 ranges, ack[0] holds the largest packet number.
+  bool has_ack = false;
+  std::array<QuicAckRange, 3> ack{};
+  std::uint8_t ack_count = 0;
+};
+
 /// 5-tuple flow key (§3.2: flows are characterized by their 5-tuple).
 struct FiveTuple {
   Ipv4Address src_ip = 0;
@@ -141,12 +189,18 @@ struct Packet {
   Ipv4Header ip;
   std::variant<TcpHeader, UdpHeader, IcmpHeader> l4;
   AppData app;
+  /// QUIC header riding the UDP payload (valid when has_quic). The
+  /// header bytes ARE serialized (observable); `quic_frames` is not.
+  QuicHeader quic;
+  QuicFrames quic_frames;
+  bool has_quic = false;
   /// Simulator-unique id for tracing; not visible to the P4 pipeline.
   std::uint64_t uid = 0;
 
   bool is_tcp() const { return std::holds_alternative<TcpHeader>(l4); }
   bool is_udp() const { return std::holds_alternative<UdpHeader>(l4); }
   bool is_icmp() const { return std::holds_alternative<IcmpHeader>(l4); }
+  bool is_quic() const { return has_quic && is_udp(); }
 
   TcpHeader& tcp() { return std::get<TcpHeader>(l4); }
   const TcpHeader& tcp() const { return std::get<TcpHeader>(l4); }
@@ -183,6 +237,13 @@ Packet make_udp_packet(Ipv4Address src, Ipv4Address dst,
 Packet make_icmp_packet(Ipv4Address src, Ipv4Address dst, std::uint8_t type,
                         std::uint16_t ident, std::uint16_t seq,
                         std::uint32_t payload);
+
+/// Build a QUIC packet (UDP + QUIC header) with consistent lengths.
+/// `payload` is the opaque encrypted-frame length in bytes (NOT
+/// including the QUIC header itself, which hdr.header_bytes() adds).
+Packet make_quic_packet(Ipv4Address src, Ipv4Address dst,
+                        std::uint16_t src_port, std::uint16_t dst_port,
+                        const QuicHeader& hdr, std::uint32_t payload);
 
 /// Anything that consumes packets (hosts, switch ports, links, pipelines).
 class PacketSink {

@@ -37,6 +37,54 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& pos) {
   return v;
 }
 
+void put_u64(std::span<std::uint8_t> out, std::size_t& pos, std::uint64_t v) {
+  put_u32(out, pos, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, pos, static_cast<std::uint32_t>(v));
+}
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t& pos) {
+  const std::uint64_t hi = get_u32(in, pos);
+  return (hi << 32) | get_u32(in, pos);
+}
+
+// QUIC first-byte bits (RFC 9000 §17): form, fixed, spin, and the
+// packet-number-length code (always 3 here — 4-byte packet numbers).
+constexpr std::uint8_t kQuicFormBit = 0x80;
+constexpr std::uint8_t kQuicFixedBit = 0x40;
+constexpr std::uint8_t kQuicSpinBit = 0x20;
+constexpr std::uint8_t kQuicPnLen4 = 0x03;
+constexpr std::uint8_t kQuicCidLen = 8;
+
+// Best-effort QUIC header extraction from the UDP payload region. The
+// fixed bit plus our fixed shape (8-byte CIDs, 4-byte packet numbers)
+// gate acceptance; anything else is opaque UDP payload, not an error —
+// real demultiplexers are exactly this tolerant (RFC 9443-style
+// heuristics), and captures may carry arbitrary payloads.
+bool parse_quic(std::span<const std::uint8_t> in, std::size_t pos,
+                Packet& pkt) {
+  if (in.size() < pos + 13) return false;
+  const std::uint8_t byte0 = in[pos++];
+  if ((byte0 & kQuicFixedBit) == 0) return false;
+  QuicHeader q;
+  if ((byte0 & kQuicFormBit) != 0) {
+    if (in.size() < pos + 26) return false;
+    q.long_form = true;
+    q.type = (byte0 >> 4) & 0x03;
+    q.version = get_u32(in, pos);
+    if (get_u8(in, pos) != kQuicCidLen) return false;
+    q.dcid = get_u64(in, pos);
+    if (get_u8(in, pos) != kQuicCidLen) return false;
+    q.scid = get_u64(in, pos);
+  } else {
+    if ((byte0 & kQuicPnLen4) != kQuicPnLen4) return false;
+    q.spin = (byte0 & kQuicSpinBit) != 0;
+    q.dcid = get_u64(in, pos);
+  }
+  q.packet_number = get_u32(in, pos);
+  pkt.quic = q;
+  pkt.has_quic = true;
+  return true;
+}
+
 }  // namespace
 
 std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
@@ -134,6 +182,29 @@ std::size_t serialize_headers(const Packet& pkt,
     put_u16(out, pos, u.dst_port);
     put_u16(out, pos, u.length);
     put_u16(out, pos, 0);  // UDP checksum optional in IPv4
+    if (pkt.has_quic) {
+      // The QUIC header is the only observable slice of the UDP
+      // payload; the encrypted frames behind it stay virtual.
+      const QuicHeader& q = pkt.quic;
+      if (q.long_form) {
+        put_u8(out, pos,
+               static_cast<std::uint8_t>(kQuicFormBit | kQuicFixedBit |
+                                         ((q.type & 0x03) << 4) |
+                                         kQuicPnLen4));
+        put_u32(out, pos, q.version);
+        put_u8(out, pos, kQuicCidLen);
+        put_u64(out, pos, q.dcid);
+        put_u8(out, pos, kQuicCidLen);
+        put_u64(out, pos, q.scid);
+      } else {
+        put_u8(out, pos,
+               static_cast<std::uint8_t>(kQuicFixedBit |
+                                         (q.spin ? kQuicSpinBit : 0) |
+                                         kQuicPnLen4));
+        put_u64(out, pos, q.dcid);
+      }
+      put_u32(out, pos, q.packet_number);
+    }
   } else {
     const IcmpHeader& ic = pkt.icmp();
     put_u8(out, pos, ic.type);
@@ -195,6 +266,7 @@ std::optional<Packet> parse_headers(std::span<const std::uint8_t> in) {
       u.length = get_u16(in, pos);
       (void)get_u16(in, pos);
       pkt.l4 = u;
+      parse_quic(in, pos, pkt);  // best effort; failure is plain UDP
       break;
     }
     case Protocol::kIcmp: {

@@ -21,20 +21,29 @@ namespace p4s::net {
 inline constexpr std::size_t kEthernetHeaderBytes = 14;
 inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
 
+/// Largest QUIC header the codec emits (the fixed-shape long header;
+/// short headers are 13 bytes). Serialized after the UDP header when a
+/// packet carries one — the observable part of a QUIC packet.
+inline constexpr std::size_t kMaxQuicHeaderBytes = 27;
+/// Short (1-RTT) header: flags + 8-byte DCID + 4-byte packet number.
+inline constexpr std::size_t kQuicShortHeaderBytes = 13;
+
 /// Maximum serialized header size we ever produce (Ethernet II + IPv4
-/// at its maximum IHL of 15 words + largest L4 header). The simulator's
-/// own packets carry no options (IHL 5), but packets parsed from
-/// real-world captures may, and those must survive a re-serialization.
+/// at its maximum IHL of 15 words + largest L4 header + QUIC long
+/// header). The simulator's own packets carry no options (IHL 5), but
+/// packets parsed from real-world captures may, and those must survive
+/// a re-serialization.
 inline constexpr std::size_t kMaxHeaderBytes =
-    kEthernetHeaderBytes + 60 + 20;
+    kEthernetHeaderBytes + 60 + 20 + kMaxQuicHeaderBytes;
 
 /// Deterministic MAC for an IPv4 address (02:00:aa:bb:cc:dd), written
 /// into `out` (6 bytes).
 void mac_for(Ipv4Address addr, std::span<std::uint8_t> out);
 
 /// Serialize IPv4 + L4 headers of `pkt` into `out` (must hold at least
-/// kMaxHeaderBytes). Returns the number of bytes written. Computes and
-/// embeds the IPv4 header checksum.
+/// kMaxHeaderBytes), plus the QUIC header when pkt.has_quic — the
+/// encrypted frames behind it are never emitted. Returns the number of
+/// bytes written. Computes and embeds the IPv4 header checksum.
 std::size_t serialize_headers(const Packet& pkt, std::span<std::uint8_t> out);
 
 /// Inverse of serialize_headers. Returns nullopt if the buffer is

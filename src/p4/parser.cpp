@@ -76,6 +76,55 @@ bool parse_tcp(Cursor& c, ParsedHeaders& hdr) {
   return true;
 }
 
+// state parse_quic — entered from parse_udp when the first payload byte
+// carries the QUIC fixed bit. Extraction mirrors the wire codec's fixed
+// shape (8-byte CIDs, 4-byte packet numbers); any mismatch falls back
+// to plain UDP (the payload is opaque, not a parse error — a switch
+// cannot reject traffic for not being QUIC).
+void parse_quic(Cursor& c, ParsedHeaders& hdr) {
+  std::uint64_t u64 = 0;
+  if (!c.have(13)) return;
+  const std::size_t start = c.pos;
+  const std::uint8_t byte0 = c.u8();
+  if ((byte0 & 0x40) == 0) {
+    c.pos = start;
+    return;
+  }
+  net::QuicHeader q;
+  if ((byte0 & 0x80) != 0) {
+    if (!c.have(26)) {
+      c.pos = start;
+      return;
+    }
+    q.long_form = true;
+    q.type = (byte0 >> 4) & 0x03;
+    q.version = c.u32();
+    if (c.u8() != 8) {
+      c.pos = start;
+      return;
+    }
+    u64 = static_cast<std::uint64_t>(c.u32()) << 32;
+    q.dcid = u64 | c.u32();
+    if (c.u8() != 8) {
+      c.pos = start;
+      return;
+    }
+    u64 = static_cast<std::uint64_t>(c.u32()) << 32;
+    q.scid = u64 | c.u32();
+  } else {
+    if ((byte0 & 0x03) != 0x03) {
+      c.pos = start;
+      return;
+    }
+    q.spin = (byte0 & 0x20) != 0;
+    u64 = static_cast<std::uint64_t>(c.u32()) << 32;
+    q.dcid = u64 | c.u32();
+  }
+  q.packet_number = c.u32();
+  hdr.quic = q;
+  hdr.quic_valid = true;
+}
+
 // state parse_udp
 bool parse_udp(Cursor& c, ParsedHeaders& hdr) {
   if (!c.have(8)) return false;
@@ -84,6 +133,8 @@ bool parse_udp(Cursor& c, ParsedHeaders& hdr) {
   hdr.udp.length = c.u16();
   c.skip(2);
   hdr.udp_valid = true;
+  // select(first payload byte): QUIC or opaque payload.
+  parse_quic(c, hdr);
   return true;
 }
 

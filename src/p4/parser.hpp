@@ -1,6 +1,7 @@
 // Programmable parser: a state machine that extracts headers from packet
 // bytes, mirroring a P4 parser block (start -> ethernet -> ipv4 ->
-// {tcp,udp,icmp} -> accept). The pipeline only ever sees fields the
+// {tcp,udp,icmp} -> accept, with udp -> quic when the payload prefix
+// carries a QUIC fixed bit). The pipeline only ever sees fields the
 // parser extracted — validity bits and all — which is what makes
 // downstream code honest about what a data plane can actually observe.
 #pragma once
@@ -36,10 +37,12 @@ struct ParsedHeaders {
   bool tcp_valid = false;
   bool udp_valid = false;
   bool icmp_valid = false;
+  bool quic_valid = false;
   EthernetHeader ethernet;
   net::Ipv4Header ipv4;
   net::TcpHeader tcp;
   net::UdpHeader udp;
+  net::QuicHeader quic;
   net::IcmpHeader icmp;
 };
 

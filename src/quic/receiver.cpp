@@ -1,0 +1,167 @@
+#include "quic/receiver.hpp"
+
+#include <algorithm>
+
+namespace p4s::quic {
+
+QuicReceiver::QuicReceiver(sim::Simulation& sim, net::Host& host,
+                           std::uint16_t port, Config config)
+    : sim_(sim), host_(host), port_(port), config_(config) {
+  host_.bind(net::Protocol::kUdp, port_,
+             [this](const net::Packet& pkt) { on_packet(pkt); });
+}
+
+QuicReceiver::~QuicReceiver() { host_.unbind(net::Protocol::kUdp, port_); }
+
+void QuicReceiver::on_packet(const net::Packet& pkt) {
+  if (!pkt.is_quic()) return;
+  if (pkt.quic.dcid != config_.my_cid) {
+    ++stats_.wrong_dcid;
+    return;
+  }
+  if (pkt.quic.long_form) {
+    handle_initial(pkt);
+  } else {
+    handle_short(pkt);
+  }
+}
+
+void QuicReceiver::handle_initial(const net::Packet& pkt) {
+  if (!established_) {
+    established_ = true;
+    peer_ip_ = pkt.ip.src;
+    peer_port_ = pkt.udp().src_port;
+  }
+  // A retransmitted Initial (our reply was lost) re-answers identically.
+  record_pn(pkt.quic.packet_number);
+  ++stats_.received_packets;
+
+  net::QuicHeader hdr;
+  hdr.long_form = true;
+  hdr.type = 0;  // Initial
+  hdr.dcid = config_.peer_cid;
+  hdr.scid = config_.my_cid;
+  hdr.packet_number = next_pn_++;
+  net::Packet reply =
+      net::make_quic_packet(host_.ip(), peer_ip_, port_, peer_port_, hdr,
+                            config_.ack_payload_bytes);
+  fill_ack(reply.quic_frames);
+  ++stats_.acks_sent;
+  host_.send(std::move(reply));
+}
+
+void QuicReceiver::handle_short(const net::Packet& pkt) {
+  if (!established_) return;
+  if (pkt.ip.src != peer_ip_ || pkt.udp().src_port != peer_port_) return;
+
+  const std::uint32_t pn = pkt.quic.packet_number;
+  if (!any_short_ || pn > largest_short_pn_) {
+    largest_short_pn_ = pn;
+    peer_spin_ = pkt.quic.spin;
+    any_short_ = true;
+  }
+  if (!record_pn(pn)) {
+    ++stats_.duplicate_packets;
+    send_ack();
+    return;
+  }
+  ++stats_.received_packets;
+
+  const net::QuicFrames& frames = pkt.quic_frames;
+  if (!frames.has_stream) return;  // ack-only packets are not ack-eliciting
+
+  if (stats_.first_data_time == 0) stats_.first_data_time = sim_.now();
+  stats_.last_data_time = sim_.now();
+
+  std::uint64_t start = frames.stream_offset;
+  std::uint64_t end = start + frames.stream_len;
+  if (frames.stream_fin) final_size_ = end;
+
+  if (end > rcv_next_) {
+    start = std::max(start, rcv_next_);
+    if (start == rcv_next_) {
+      rcv_next_ = end;
+      auto it = ooo_.begin();
+      while (it != ooo_.end() && it->first <= rcv_next_) {
+        if (it->second > rcv_next_) rcv_next_ = it->second;
+        it = ooo_.erase(it);
+      }
+    } else {
+      ++stats_.out_of_order_packets;
+      auto it = ooo_.lower_bound(start);
+      if (it != ooo_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= start) {
+          start = prev->first;
+          end = std::max(end, prev->second);
+          ooo_.erase(prev);
+        }
+      }
+      it = ooo_.lower_bound(start);
+      while (it != ooo_.end() && it->first <= end) {
+        end = std::max(end, it->second);
+        it = ooo_.erase(it);
+      }
+      ooo_[start] = end;
+    }
+  }
+  stats_.goodput_bytes = rcv_next_;
+
+  const bool was_fin = stats_.fin_received;
+  if (final_size_ != kNoFinalSize && rcv_next_ >= final_size_) {
+    stats_.fin_received = true;
+  }
+  send_ack();
+  if (!was_fin && stats_.fin_received && on_fin_) on_fin_();
+}
+
+bool QuicReceiver::record_pn(std::uint32_t pn) {
+  std::uint32_t start = pn;
+  std::uint32_t end = pn + 1;
+  // upper_bound: first interval starting strictly above pn; its
+  // predecessor is the only interval that could already cover pn.
+  auto it = rcvd_pns_.upper_bound(pn);
+  if (it != rcvd_pns_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > pn) return false;  // duplicate
+    if (prev->second == pn) {  // extends the predecessor
+      start = prev->first;
+      rcvd_pns_.erase(prev);
+    }
+  }
+  auto next = rcvd_pns_.find(end);
+  if (next != rcvd_pns_.end()) {  // bridges into the successor
+    end = next->second;
+    rcvd_pns_.erase(next);
+  }
+  rcvd_pns_[start] = end;
+  return true;
+}
+
+void QuicReceiver::fill_ack(net::QuicFrames& frames) const {
+  frames.has_ack = true;
+  frames.ack_count = 0;
+  // Largest range first (ack[0] carries the largest packet number).
+  for (auto it = rcvd_pns_.rbegin();
+       it != rcvd_pns_.rend() && frames.ack_count < frames.ack.size();
+       ++it) {
+    frames.ack[frames.ack_count++] =
+        net::QuicAckRange{it->first, it->second - 1};
+  }
+}
+
+void QuicReceiver::send_ack() {
+  net::QuicHeader hdr;
+  hdr.long_form = false;
+  hdr.spin = peer_spin_;  // server reflects the client's spin (§17.4)
+  hdr.dcid = config_.peer_cid;
+  hdr.packet_number = next_pn_++;
+  net::Packet ack =
+      net::make_quic_packet(host_.ip(), peer_ip_, port_, peer_port_, hdr,
+                            config_.ack_payload_bytes);
+  fill_ack(ack.quic_frames);
+  ++stats_.acks_sent;
+  host_.send(std::move(ack));
+}
+
+}  // namespace p4s::quic

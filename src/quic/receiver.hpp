@@ -1,0 +1,102 @@
+// QUIC-like receiver endpoint (the server side of a one-directional
+// bulk transfer over the encrypted transport).
+//
+// Answers the client's Initial with its own Initial (completing the
+// 1-RTT handshake the simulator models), reassembles STREAM frames with
+// the same interval-map bookkeeping the TCP receiver uses, and returns
+// ACK frames *inside* the encrypted payload of short-header packets —
+// a passive observer sees only header bytes and an opaque length, which
+// is exactly why the spin bit exists (RFC 9000 §17.4): the receiver
+// reflects the spin value of the largest-numbered packet seen from the
+// client, giving the path one observable edge per RTT per direction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace p4s::quic {
+
+class QuicReceiver {
+ public:
+  struct Config {
+    /// Connection ID this endpoint answers to (the DCID on every
+    /// client-to-server packet). Assigned by QuicFlow.
+    std::uint64_t my_cid = 0;
+    /// DCID we put on packets back to the client.
+    std::uint64_t peer_cid = 0;
+    /// Opaque payload bytes of an ACK-only packet (ciphertext of the
+    /// ACK frame + AEAD tag).
+    std::uint32_t ack_payload_bytes = 24;
+  };
+
+  struct Stats {
+    std::uint64_t goodput_bytes = 0;  // stream bytes delivered in order
+    std::uint64_t received_packets = 0;
+    std::uint64_t duplicate_packets = 0;   // packet number seen before
+    std::uint64_t out_of_order_packets = 0;
+    std::uint64_t wrong_dcid = 0;          // DCID != my_cid: dropped
+    std::uint64_t acks_sent = 0;
+    SimTime first_data_time = 0;
+    SimTime last_data_time = 0;
+    bool fin_received = false;
+  };
+
+  QuicReceiver(sim::Simulation& sim, net::Host& host, std::uint16_t port,
+               Config config);
+  ~QuicReceiver();
+
+  QuicReceiver(const QuicReceiver&) = delete;
+  QuicReceiver& operator=(const QuicReceiver&) = delete;
+
+  void on_packet(const net::Packet& pkt);
+
+  void set_on_fin(std::function<void()> cb) { on_fin_ = std::move(cb); }
+
+  const Stats& stats() const { return stats_; }
+  bool established() const { return established_; }
+
+ private:
+  void handle_initial(const net::Packet& pkt);
+  void handle_short(const net::Packet& pkt);
+  /// Record `pn` in the received-packet-number interval set; returns
+  /// false if it was already present (a duplicate).
+  bool record_pn(std::uint32_t pn);
+  void fill_ack(net::QuicFrames& frames) const;
+  void send_ack();
+
+  sim::Simulation& sim_;
+  net::Host& host_;
+  std::uint16_t port_;
+  Config config_;
+  Stats stats_;
+
+  bool established_ = false;
+  net::Ipv4Address peer_ip_ = 0;
+  std::uint16_t peer_port_ = 0;
+  std::uint32_t next_pn_ = 0;  // our (server) packet-number space
+
+  // Spin reflection state: spin value of the largest-numbered short
+  // packet received from the client (RFC 9000 §17.4).
+  bool peer_spin_ = false;
+  std::uint32_t largest_short_pn_ = 0;
+  bool any_short_ = false;
+
+  // Received packet numbers as disjoint [start, end) intervals — the
+  // source of the ACK frame's ranges.
+  std::map<std::uint32_t, std::uint32_t> rcvd_pns_;
+
+  // Stream reassembly: [start, end) intervals strictly above rcv_next_.
+  std::uint64_t rcv_next_ = 0;
+  std::map<std::uint64_t, std::uint64_t> ooo_;
+  std::uint64_t final_size_ = kNoFinalSize;
+  static constexpr std::uint64_t kNoFinalSize = ~0ULL;
+
+  std::function<void()> on_fin_;
+};
+
+}  // namespace p4s::quic

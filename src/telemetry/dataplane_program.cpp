@@ -40,6 +40,17 @@ DataPlaneProgram::DataPlaneProgram(Config config)
         break;
     }
   }
+
+  // Optional engines observing the per-packet stream (absent in the
+  // default pipeline, so the golden traces never see them).
+  if (config.spin_rtt.has_value()) {
+    spin_rtt_ = std::make_unique<SpinRttEngine>(*config.spin_rtt);
+    register_packet_engine(*spin_rtt_);
+  }
+  if (config.nids.has_value()) {
+    nids_ = std::make_unique<NidsFeatureEngine>(*config.nids);
+    register_packet_engine(*nids_);
+  }
 }
 
 net::FiveTuple DataPlaneProgram::tuple_from(const p4::ParsedHeaders& hdr) {

@@ -30,9 +30,11 @@
 #include "telemetry/int_export.hpp"
 #include "telemetry/limit_classifier.hpp"
 #include "telemetry/metric_engine.hpp"
+#include "telemetry/nids_features.hpp"
 #include "telemetry/packet_engine.hpp"
 #include "telemetry/queue_monitor.hpp"
 #include "telemetry/rtt_loss.hpp"
+#include "telemetry/spin_rtt.hpp"
 #include "telemetry/types.hpp"
 
 namespace p4s::telemetry {
@@ -51,6 +53,12 @@ class DataPlaneProgram : public p4::P4Program {
     /// stages exist only when configured, leaving the default pipeline
     /// untouched).
     std::vector<HistogramEngineConfig> histograms;
+    /// Spin-bit RTT engine for encrypted QUIC traffic (absent by
+    /// default, same gating rule as the histograms).
+    std::optional<SpinRttEngineConfig> spin_rtt;
+    /// Per-flow NIDS feature engine + threshold classifier (absent by
+    /// default).
+    std::optional<NidsFeatureEngineConfig> nids;
   };
 
   explicit DataPlaneProgram(Config config);
@@ -95,6 +103,14 @@ class DataPlaneProgram : public p4::P4Program {
       const {
     return hist_engines_;
   }
+
+  /// Configured spin-bit RTT engine, or nullptr when not configured.
+  SpinRttEngine* spin_rtt_engine() { return spin_rtt_.get(); }
+  const SpinRttEngine* spin_rtt_engine() const { return spin_rtt_.get(); }
+
+  /// Configured NIDS feature engine, or nullptr when not configured.
+  NidsFeatureEngine* nids_engine() { return nids_.get(); }
+  const NidsFeatureEngine* nids_engine() const { return nids_.get(); }
 
   // ---- Engine registry ------------------------------------------------
   // The registry is the program's definition of "every engine": the
@@ -164,6 +180,8 @@ class DataPlaneProgram : public p4::P4Program {
   std::vector<RttHistogramEngine*> rtt_hists_;
   std::vector<IatHistogramEngine*> iat_hists_;
   std::vector<QueueDelayHistogramEngine*> queue_hists_;
+  std::unique_ptr<SpinRttEngine> spin_rtt_;
+  std::unique_ptr<NidsFeatureEngine> nids_;
 
   std::vector<MetricEngine*> engines_;
   std::vector<PacketEngine*> packet_engines_;

@@ -18,7 +18,8 @@ constexpr const char* kFieldNames[kFieldCount] = {
     "tcp_flags",      "is_tcp",         "is_udp",
     "is_syn",         "is_fin",         "is_pure_ack",
     "ingress_ts_ns",  "tap_point",      "queue_delay_ns",
-    "queue_delay_valid",
+    "queue_delay_valid", "is_quic",     "quic_spin",
+    "quic_dcid",      "quic_pn",        "quic_long_header",
 };
 
 }  // namespace
@@ -83,6 +84,15 @@ std::uint64_t FieldView::get(FieldId field) const {
     case FieldId::kQueueDelayNs:
       return static_cast<std::uint64_t>(queue_delay_ns_);
     case FieldId::kQueueDelayValid: return queue_delay_valid_ ? 1 : 0;
+    case FieldId::kIsQuic: return ctx_->hdr.quic_valid ? 1 : 0;
+    case FieldId::kQuicSpin:
+      return ctx_->hdr.quic_valid && ctx_->hdr.quic.spin ? 1 : 0;
+    case FieldId::kQuicDcid:
+      return ctx_->hdr.quic_valid ? ctx_->hdr.quic.dcid : 0;
+    case FieldId::kQuicPn:
+      return ctx_->hdr.quic_valid ? ctx_->hdr.quic.packet_number : 0;
+    case FieldId::kQuicLongHeader:
+      return ctx_->hdr.quic_valid && ctx_->hdr.quic.long_form ? 1 : 0;
   }
   return 0;
 }

@@ -55,10 +55,18 @@ enum class FieldId : std::uint8_t {
   kTapPoint,         // 0 = ingress-TAP copy, 1 = egress-TAP copy
   kQueueDelayNs,     // egress copies with a matched TAP pair; else 0
   kQueueDelayValid,  // whether kQueueDelayNs carries a measurement
+  // QUIC header fields (appended — earlier indices are pinned by
+  // installed programs and the golden traces). All 0 unless the parser
+  // extracted a QUIC header.
+  kIsQuic,           // quic_valid bit
+  kQuicSpin,         // latency spin bit (short headers; long -> 0)
+  kQuicDcid,         // destination connection ID (64-bit)
+  kQuicPn,           // packet number
+  kQuicLongHeader,   // 1 = long (handshake) header, 0 = short
 };
 
 inline constexpr std::size_t kFieldCount =
-    static_cast<std::size_t>(FieldId::kQueueDelayValid) + 1;
+    static_cast<std::size_t>(FieldId::kQuicLongHeader) + 1;
 
 /// Stable field name ("flow_id", "ipv4_total_len", ...).
 const char* field_name(FieldId field);
@@ -95,6 +103,9 @@ class FieldView {
   }
   SimTime ingress_ts() const { return ctx_->meta.ingress_ts; }
   bool egress_copy() const { return egress_copy_; }
+  bool is_quic() const { return ctx_->hdr.quic_valid; }
+  /// Valid only when is_quic().
+  const net::QuicHeader& quic() const { return ctx_->hdr.quic; }
 
   /// Attach the measured queuing delay once the egress branch resolved
   /// the TAP pair (before the packet-engine hooks run).

@@ -1,0 +1,199 @@
+#include "telemetry/nids_features.hpp"
+
+#include <algorithm>
+
+namespace p4s::telemetry {
+
+namespace {
+
+using net::tcpflags::kAck;
+using net::tcpflags::kFin;
+using net::tcpflags::kPsh;
+using net::tcpflags::kRst;
+using net::tcpflags::kSyn;
+
+std::uint64_t canonical_key(std::uint32_t flow_id, std::uint32_t rev_id) {
+  const std::uint32_t lo = std::min(flow_id, rev_id);
+  const std::uint32_t hi = std::max(flow_id, rev_id);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+NidsFeatureEngine::NidsFeatureEngine(const NidsFeatureEngineConfig& config)
+    : config_(config) {}
+
+void NidsFeatureEngine::on_packet(const FieldView& view) {
+  if (view.egress_copy()) return;  // one observation per packet
+  const SimTime now = view.ingress_ts();
+
+  const std::uint64_t key =
+      canonical_key(view.flow_id(), view.rev_flow_id());
+  const bool fwd = view.flow_id() <= view.rev_flow_id();
+
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    if (flows_.size() >= config_.max_flows) {
+      ++untracked_flows_;
+      it = flows_.end();
+    } else {
+      FlowRow row;
+      row.tuple = view.flow_key().tuple;
+      row.fwd_is_lower_hash = fwd;
+      row.first_ts = now;
+      row.last_ts = now;
+      it = flows_.emplace(key, row).first;
+    }
+  }
+
+  const std::uint8_t flags =
+      view.is_tcp() ? view.ctx().hdr.tcp.flags : 0;
+  const bool syn = (flags & kSyn) != 0 && (flags & kAck) == 0;
+  const bool synack = (flags & kSyn) != 0 && (flags & kAck) != 0;
+
+  if (it != flows_.end()) {
+    FlowRow& row = it->second;
+    const bool row_fwd = fwd == row.fwd_is_lower_hash;
+    if (row_fwd) {
+      ++row.fwd_pkts;
+      row.fwd_bytes += view.ipv4_total_len();
+    } else {
+      ++row.rev_pkts;
+      row.rev_bytes += view.ipv4_total_len();
+    }
+    if (syn) ++row.syn;
+    if (synack) ++row.synack;
+    if ((flags & kFin) != 0) ++row.fin;
+    if ((flags & kRst) != 0) ++row.rst;
+    if ((flags & kPsh) != 0) ++row.psh;
+    if ((flags & kAck) != 0) ++row.ack;
+    if (row.last_ts != 0 && now >= row.last_ts &&
+        row.fwd_pkts + row.rev_pkts > 1) {
+      row.iat_us.add(static_cast<double>(now - row.last_ts) / 1e3);
+    }
+    row.len.add(static_cast<double>(view.ipv4_total_len()));
+    row.last_ts = now;
+    ++row.window_pkts;
+  }
+
+  // Window classifier inputs (independent of the per-flow cap — a flood
+  // of one-packet flows must still be countable).
+  if (syn) {
+    ++window_syns_;
+    ++syn_dst_counts_[view.flow_key().tuple.dst_ip];
+    ScanRow& scan = scan_rows_[view.flow_key().tuple.src_ip];
+    ++scan.syns;
+    scan.last_dst = view.flow_key().tuple.dst_ip;
+    const std::uint16_t port = view.flow_key().tuple.dst_port;
+    if (scan.ports.size() <= config_.port_scan_ports &&
+        std::find(scan.ports.begin(), scan.ports.end(), port) ==
+            scan.ports.end()) {
+      scan.ports.push_back(port);
+    }
+  }
+  if (synack) ++window_synacks_;
+}
+
+std::vector<util::Json> NidsFeatureEngine::drain_digests(SimTime now) {
+  std::vector<util::Json> docs;
+
+  // The digest poll fires far more often than one classifier window; a
+  // drain before the window has elapsed is a no-op so the thresholds
+  // apply to the full aggregation interval, not a poll period.
+  if (now < window_start_ + config_.window) return docs;
+  window_start_ = now;
+
+  // Deterministic document order (the archive goldens and the parallel
+  // byte-identity pin both hash report lines): sort active rows by their
+  // forward tuple instead of leaking unordered_map iteration order.
+  std::vector<FlowRow*> active;
+  for (auto& [key, row] : flows_) {
+    if (row.window_pkts >= config_.min_window_packets)
+      active.push_back(&row);
+  }
+  std::sort(active.begin(), active.end(),
+            [](const FlowRow* a, const FlowRow* b) {
+              return a->tuple.to_string() < b->tuple.to_string();
+            });
+  for (FlowRow* rp : active) {
+    FlowRow& row = *rp;
+    util::Json j = util::Json::object();
+    j["report"] = "nids_features";
+    j["ts_ns"] = now;
+    j["flow"] = row.tuple.to_string();
+    j["fwd_pkts"] = row.fwd_pkts;
+    j["fwd_bytes"] = row.fwd_bytes;
+    j["rev_pkts"] = row.rev_pkts;
+    j["rev_bytes"] = row.rev_bytes;
+    j["syn"] = row.syn;
+    j["synack"] = row.synack;
+    j["fin"] = row.fin;
+    j["rst"] = row.rst;
+    j["psh"] = row.psh;
+    j["ack"] = row.ack;
+    j["iat_mean_us"] = row.iat_us.mean;
+    j["iat_var_us2"] = row.iat_us.variance();
+    j["len_mean_bytes"] = row.len.mean;
+    j["len_var_bytes2"] = row.len.variance();
+    j["duration_ns"] = row.last_ts - row.first_ts;
+    docs.push_back(std::move(j));
+    row.window_pkts = 0;
+  }
+
+  // SYN flood: many SYNs, almost no SYN-ACKs coming back.
+  if (window_syns_ >= config_.syn_flood_syns &&
+      (window_synacks_ == 0 ||
+       static_cast<double>(window_syns_) >=
+           config_.syn_flood_ratio *
+               static_cast<double>(window_synacks_))) {
+    net::Ipv4Address victim = 0;
+    std::uint64_t victim_syns = 0;
+    for (const auto& [dst, count] : syn_dst_counts_) {
+      // Lowest address breaks count ties: the pick must not depend on
+      // unordered_map iteration order.
+      if (count > victim_syns ||
+          (count == victim_syns && (victim_syns == 0 || dst < victim))) {
+        victim = dst;
+        victim_syns = count;
+      }
+    }
+    util::Json j = util::Json::object();
+    j["report"] = "nids_alert";
+    j["ts_ns"] = now;
+    j["alert"] = "syn_flood";
+    j["victim"] = net::to_string(victim);
+    j["syns"] = window_syns_;
+    j["synacks"] = window_synacks_;
+    docs.push_back(std::move(j));
+    ++alerts_emitted_;
+  }
+
+  // Port scan: one source fanning SYNs across many destination ports.
+  std::vector<net::Ipv4Address> scanners;
+  for (const auto& [src, scan] : scan_rows_) {
+    if (scan.ports.size() >= config_.port_scan_ports)
+      scanners.push_back(src);
+  }
+  std::sort(scanners.begin(), scanners.end());
+  for (const net::Ipv4Address src : scanners) {
+    const ScanRow& scan = scan_rows_[src];
+    util::Json j = util::Json::object();
+    j["report"] = "nids_alert";
+    j["ts_ns"] = now;
+    j["alert"] = "port_scan";
+    j["attacker"] = net::to_string(src);
+    j["victim"] = net::to_string(scan.last_dst);
+    j["distinct_ports"] = scan.ports.size();
+    j["syns"] = scan.syns;
+    docs.push_back(std::move(j));
+    ++alerts_emitted_;
+  }
+
+  window_syns_ = 0;
+  window_synacks_ = 0;
+  syn_dst_counts_.clear();
+  scan_rows_.clear();
+  return docs;
+}
+
+}  // namespace p4s::telemetry

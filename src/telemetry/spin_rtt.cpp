@@ -1,0 +1,87 @@
+#include "telemetry/spin_rtt.hpp"
+
+namespace p4s::telemetry {
+
+namespace {
+
+// splitmix64 finalizer: table index from the 64-bit DCID.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SpinRttEngine::SpinRttEngine(const SpinRttEngineConfig& config)
+    : config_(config),
+      table_(pow2_at_least(config.slots == 0 ? 1 : config.slots)),
+      mask_(table_.size() - 1),
+      sketch_(sketch::DdSketchConfig{config.sketch_alpha,
+                                     config.sketch_max_bins,
+                                     /*min_value=*/1.0}) {}
+
+void SpinRttEngine::on_packet(const FieldView& view) {
+  // One observation per packet: the ingress-TAP copy only (the egress
+  // copy of the same packet would double every edge).
+  if (view.egress_copy() || !view.is_quic()) return;
+  const net::QuicHeader& q = view.quic();
+  if (q.long_form) return;  // no spin bit on long headers
+
+  const std::size_t index = mix(q.dcid) & mask_;
+  const SimTime now = view.ingress_ts();
+  table_.execute(index, [&](Entry& e) {
+    if (!e.valid || e.dcid != q.dcid) {
+      if (e.valid) ++collisions_;
+      e = Entry{};
+      e.dcid = q.dcid;
+      e.valid = true;
+      e.spin = q.spin;
+      e.largest_pn = q.packet_number;
+      return 0;
+    }
+    if (q.packet_number <= e.largest_pn) {
+      // Not advancing the pn: a reordered packet. If its spin differs
+      // it would have faked an edge — count the save.
+      if (q.spin != e.spin) ++rejected_reordered_;
+      return 0;
+    }
+    e.largest_pn = q.packet_number;
+    if (q.spin == e.spin) return 0;
+
+    // A genuine spin edge on this direction's timeline.
+    ++edges_;
+    e.spin = q.spin;
+    if (e.have_edge) {
+      const SimTime gap = now - e.last_edge_ts;
+      if (gap < config_.rtt_floor_ns) {
+        ++rejected_floor_;
+      } else if (e.ewma_rtt_ns > 0.0 &&
+                 static_cast<double>(gap) >
+                     config_.outlier_factor * e.ewma_rtt_ns) {
+        // Likely a lost toggling packet: the edge arrived a full extra
+        // round trip late. Keep the EWMA untouched.
+        ++rejected_outlier_;
+      } else {
+        sketch_.add(static_cast<double>(gap));
+        ++samples_;
+        e.ewma_rtt_ns = e.ewma_rtt_ns == 0.0
+                            ? static_cast<double>(gap)
+                            : 0.875 * e.ewma_rtt_ns +
+                                  0.125 * static_cast<double>(gap);
+      }
+    }
+    e.have_edge = true;
+    e.last_edge_ts = now;
+    return 0;
+  });
+}
+
+}  // namespace p4s::telemetry

@@ -5,11 +5,15 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mpl/compiler.hpp"
+#include "net/wire.hpp"
 #include "trace/pcap.hpp"
 #include "trace/trace_replayer.hpp"
 #include "util/cli.hpp"
@@ -27,7 +31,7 @@ void usage(std::ostream& err) {
          "summary\n"
          "  stats  <ingress.pcap> [<egress.pcap>]\n"
          "         [--histogram rtt|iat|queue_delay] [--bins N]\n"
-         "         [--hist-min-us X] [--hist-max-ms Y]\n"
+         "         [--hist-min-us X] [--hist-max-ms Y] [--flows N]\n"
          "                                   analyze the merged trace; "
          "with\n"
          "                                   --histogram, replay it "
@@ -188,6 +192,56 @@ int render_histogram(const TraceReplayer& trace, const util::CliArgs& args,
   return 0;
 }
 
+// Top-talker table: aggregate ingress frames (one copy per packet; the
+// egress mirror would double-count) by 5-tuple and print the top N by
+// wire bytes.
+void print_top_flows(const TraceReplayer& trace, std::size_t top_n,
+                     std::ostream& out) {
+  struct FlowAgg {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::string, FlowAgg> flows;
+  for (const TraceFrame& f : trace.frames()) {
+    if (f.point != net::MirrorPoint::kIngress) continue;
+    const std::optional<net::Packet> parsed =
+        net::parse_headers({f.bytes.data(), f.bytes.size()});
+    if (!parsed.has_value()) continue;
+    const net::Packet& pkt = *parsed;
+    char key[96];
+    const char* proto = pkt.is_tcp()    ? "tcp"
+                        : pkt.is_quic() ? "quic"
+                        : pkt.is_udp()  ? "udp"
+                                        : "ip";
+    const std::uint16_t src_port = pkt.is_tcp()   ? pkt.tcp().src_port
+                                   : pkt.is_udp() ? pkt.udp().src_port
+                                                  : 0;
+    const std::uint16_t dst_port = pkt.is_tcp()   ? pkt.tcp().dst_port
+                                   : pkt.is_udp() ? pkt.udp().dst_port
+                                                  : 0;
+    std::snprintf(key, sizeof(key), "%s %s:%u -> %s:%u", proto,
+                  net::to_string(pkt.ip.src).c_str(), src_port,
+                  net::to_string(pkt.ip.dst).c_str(), dst_port);
+    FlowAgg& agg = flows[key];
+    ++agg.frames;
+    agg.bytes += f.orig_len;
+  }
+  std::vector<std::pair<std::string, FlowAgg>> ranked(flows.begin(),
+                                                      flows.end());
+  // Bytes descending; the map key (already sorted) breaks ties so the
+  // listing is deterministic.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.bytes > b.second.bytes;
+                   });
+  out << "flows: " << ranked.size() << " (top " << std::min(top_n, ranked.size())
+      << " by bytes, ingress frames only)\n";
+  for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    out << "  " << ranked[i].first << ": " << ranked[i].second.frames
+        << " frames, " << ranked[i].second.bytes << " bytes\n";
+  }
+}
+
 int cmd_stats(const util::CliArgs& args,
               const std::vector<std::string>& files, std::ostream& out,
               std::ostream& err) {
@@ -206,8 +260,12 @@ int cmd_stats(const util::CliArgs& args,
         << fmt_seconds(s.last_ts) << "s\n";
   }
   out << "ipv4: " << s.ipv4 << " (tcp " << s.tcp << ", udp " << s.udp
-      << ", icmp " << s.icmp << ", other " << s.other_l4 << ")\n"
-      << "tolerated: non-ipv4 " << s.non_ipv4 << ", ipv4-options "
+      << ", icmp " << s.icmp << ", other " << s.other_l4 << ")\n";
+  if (s.quic > 0) {
+    out << "quic: " << s.quic << " (long-header " << s.quic_long
+        << ", short-header " << (s.quic - s.quic_long) << ")\n";
+  }
+  out << "tolerated: non-ipv4 " << s.non_ipv4 << ", ipv4-options "
       << s.ipv4_options << ", with-payload " << s.with_payload
       << ", undecodable " << s.undecodable << "\n"
       << "ethertypes:\n";
@@ -215,6 +273,9 @@ int cmd_stats(const util::CliArgs& args,
     char buf[16];
     std::snprintf(buf, sizeof(buf), "0x%04x", ethertype);
     out << "  " << buf << ": " << count << "\n";
+  }
+  if (args.has("flows")) {
+    print_top_flows(trace, args.uint_or("flows", 10), out);
   }
   return 0;
 }
@@ -298,7 +359,7 @@ int trace_cli(int argc, const char* const* argv, std::ostream& out,
       argc, argv,
       {"samples-per-second", "seed", "runout-seconds", "buffer-bytes",
        "bottleneck-bps", "histogram", "bins", "hist-min-us", "hist-max-ms",
-       "program"},
+       "program", "flows"},
       {"max-speed", "print-reports"});
   if (!args.errors().empty()) {
     for (const auto& e : args.errors()) err << "p4s-trace: " << e << "\n";

@@ -109,10 +109,20 @@ TraceReplayer::Stats TraceReplayer::analyze() const {
           if (total_len > ihl_bytes + l4) ++s.with_payload;
         }
         break;
-      case 17:
+      case 17: {
         ++s.udp;
         if (total_len > ihl_bytes + 8) ++s.with_payload;
+        // QUIC rides UDP: the fixed bit (0x40) is set on both header
+        // forms, and the captured datagram must cover at least the
+        // 13-byte short header to count.
+        const std::size_t udp_payload_off = ihl_bytes + 8;
+        if (ip_avail >= udp_payload_off + net::kQuicShortHeaderBytes &&
+            (ip[udp_payload_off] & 0x40) != 0) {
+          ++s.quic;
+          if ((ip[udp_payload_off] & 0x80) != 0) ++s.quic_long;
+        }
         break;
+      }
       case 1:
         ++s.icmp;
         if (total_len > ihl_bytes + 8) ++s.with_payload;

@@ -61,6 +61,8 @@ class TraceReplayer {
     std::uint64_t with_payload = 0;   // captured bytes beyond the headers
     std::uint64_t tcp = 0;
     std::uint64_t udp = 0;
+    std::uint64_t quic = 0;       // UDP frames carrying a QUIC header
+    std::uint64_t quic_long = 0;  // of which long-header (handshake)
     std::uint64_t icmp = 0;
     std::uint64_t other_l4 = 0;       // unknown IP protocol
     std::uint64_t undecodable = 0;    // too short for Ethernet+IPv4 headers

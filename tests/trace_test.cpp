@@ -492,6 +492,48 @@ TEST(TraceCli, StatsAnalyzesMergedTrace) {
   EXPECT_NE(out.find("0x0800: 5"), std::string::npos);
 }
 
+TEST(TraceCli, StatsTopFlowsAndQuicCounting) {
+  // Two TCP flows of different sizes plus a QUIC short-header frame:
+  // --flows must rank by bytes and stats must count the QUIC frame.
+  const std::string path = temp_path("flows_test.ingress.pcap");
+  const net::Packet big = net::make_tcp_packet(
+      net::ipv4(10, 0, 0, 10), net::ipv4(10, 1, 0, 10), 5001, 5201, 1, 0,
+      net::tcpflags::kAck, 1400, 65535);
+  const net::Packet small = net::make_tcp_packet(
+      net::ipv4(10, 2, 0, 10), net::ipv4(10, 1, 0, 10), 6001, 80, 1, 0,
+      net::tcpflags::kSyn, 0, 65535);
+  net::QuicHeader hdr;
+  hdr.long_form = false;
+  hdr.spin = true;
+  hdr.dcid = 0xD1D;
+  hdr.packet_number = 9;
+  const net::Packet quic = net::make_quic_packet(
+      net::ipv4(10, 3, 0, 10), net::ipv4(10, 1, 0, 10), 40000, 4433, hdr,
+      1200);
+  {
+    trace::PcapWriter w(path);
+    w.write(100, serialized(big));
+    w.write(200, serialized(big));
+    w.write(300, serialized(small));
+    w.write(400, serialized(quic));
+  }
+  std::string out, err;
+  ASSERT_EQ(run_cli({"stats", "--flows", "2", path}, &out, &err), 0) << err;
+  EXPECT_NE(out.find("quic: 1 (long-header 0, short-header 1)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("flows: 3 (top 2 by bytes"), std::string::npos) << out;
+  // Ranked by bytes: the two-frame TCP flow first, the QUIC flow second
+  // (1200 B payload beats the 54 B SYN), the SYN cut by top 2.
+  const auto big_pos =
+      out.find("tcp 10.0.0.10:5001 -> 10.1.0.10:5201: 2 frames");
+  const auto quic_pos = out.find("quic 10.3.0.10:40000 -> 10.1.0.10:4433");
+  ASSERT_NE(big_pos, std::string::npos) << out;
+  ASSERT_NE(quic_pos, std::string::npos) << out;
+  EXPECT_LT(big_pos, quic_pos);
+  EXPECT_EQ(out.find("tcp 10.2.0.10:6001"), std::string::npos) << out;
+}
+
 TEST(TraceCli, ReplayRunsThePipeline) {
   TwoPortFixture fx;
   std::string out, err;
